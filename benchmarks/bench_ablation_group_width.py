@@ -1,0 +1,71 @@
+"""Ablation — in-group search width vs accuracy.
+
+Once the best-matching representative is found, ONEX searches inside
+its group in the ED-ordered neighbourhood of DTW(query, rep) (§5.3).
+This bench caps how many members are examined ("width") and measures
+the accuracy/time trade: width 1 trusts the ED ordering completely,
+``None`` (the default) examines every member with early-abandoning DTW.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.accuracy import accuracy_percent
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = ("ItalyPower", "ECG", "Face")
+WIDTHS: tuple[int | None, ...] = (1, 2, 4, 8, None)
+_rows: dict[tuple[str, object], list[object]] = {}
+
+
+def _run(dataset: str, width: int | None) -> list[object]:
+    context = get_context(dataset)
+    processor = context.make_processor(group_search_width=width)
+    exact = context.exact_any
+    durations = []
+    distances = []
+    for query in context.workload.queries:
+        started = time.perf_counter()
+        matches = processor.best_match(query.values)
+        durations.append(time.perf_counter() - started)
+        distances.append(matches[0].dtw_normalized)
+    return [
+        dataset,
+        "all" if width is None else width,
+        accuracy_percent(distances, exact,
+                         query_lengths=[q.length for q in context.workload.queries]),
+        sum(durations) / len(durations),
+    ]
+
+
+def _register_table() -> None:
+    rows = [
+        _rows[(dataset, width)]
+        for dataset in DATASETS
+        for width in WIDTHS
+        if (dataset, width) in _rows
+    ]
+    registry.add_table(
+        "ablation_group_width",
+        "Ablation: in-group search width (Match=Any workload)",
+        ["dataset", "width", "accuracy %", "s/query"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("width", WIDTHS)
+def test_ablation_group_width(benchmark, dataset: str, width: int | None) -> None:
+    _rows[(dataset, width)] = _run(dataset, width)
+    _register_table()
+
+    context = get_context(dataset)
+    processor = context.make_processor(group_search_width=width)
+    query = context.workload.queries[0]
+    benchmark.pedantic(
+        lambda: processor.best_match(query.values), rounds=2, iterations=1
+    )

@@ -1,0 +1,83 @@
+"""Ablation — Algorithm 1 vs radius-constrained k-means grouping.
+
+The paper's tech report discusses alternative clustering methods for
+base construction. This bench compares the paper's single-pass
+incremental grouping against the k-means alternative on construction
+time, group count, and downstream query accuracy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.accuracy import accuracy_percent
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+from repro.core.onex import OnexIndex
+
+DATASETS = ("ItalyPower", "ECG", "Wafer")
+STRATEGIES = ("incremental", "kmeans")
+_rows: dict[tuple[str, str], list[object]] = {}
+
+
+def _run(dataset: str, grouping: str) -> list[object]:
+    context = get_context(dataset)
+    config = context.config
+    started = time.perf_counter()
+    index = OnexIndex.build(
+        context.workload.indexed,
+        st=config.st,
+        lengths=list(config.lengths),
+        start_step=config.start_step,
+        window=config.window,
+        seed=config.seed,
+        normalize=False,
+        grouping=grouping,
+    )
+    build_seconds = time.perf_counter() - started
+    distances = []
+    durations = []
+    for query in context.workload.queries:
+        t0 = time.perf_counter()
+        matches = index.query(query.values)
+        durations.append(time.perf_counter() - t0)
+        distances.append(matches[0].dtw_normalized)
+    lengths = [q.length for q in context.workload.queries]
+    return [
+        dataset,
+        grouping,
+        build_seconds,
+        index.rspace.n_groups,
+        accuracy_percent(distances, context.exact_any, query_lengths=lengths),
+        sum(durations) / len(durations),
+    ]
+
+
+def _register_table() -> None:
+    rows = [
+        _rows[(dataset, strategy)]
+        for dataset in DATASETS
+        for strategy in STRATEGIES
+        if (dataset, strategy) in _rows
+    ]
+    registry.add_table(
+        "ablation_grouping",
+        "Ablation: Algorithm 1 vs k-means grouping",
+        ["dataset", "strategy", "build s", "groups", "accuracy %", "query s"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_grouping(benchmark, dataset: str, strategy: str) -> None:
+    _rows[(dataset, strategy)] = _run(dataset, strategy)
+    _register_table()
+    # Both strategies must produce a usable base.
+    assert _rows[(dataset, strategy)][4] > 80.0
+
+    benchmark.pedantic(
+        lambda: _run(dataset, strategy), rounds=1, iterations=1
+    )

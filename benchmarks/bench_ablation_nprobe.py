@@ -1,0 +1,71 @@
+"""Ablation — multi-probe search (extension beyond the paper).
+
+The paper searches exactly one group: the best-matching
+representative's. Probing the ``p`` closest representatives instead
+recovers accuracy lost to borderline group assignments at a linear cost
+in ``p``. This bench sweeps ``p`` on the datasets where single-probe
+ONEX loses the most accuracy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.accuracy import accuracy_percent
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = ("TwoPattern", "ECG", "Wafer")
+PROBES = (1, 2, 4, 8)
+_rows: dict[tuple[str, int], list[object]] = {}
+
+
+def _run(dataset: str, n_probe: int) -> list[object]:
+    context = get_context(dataset)
+    processor = context.make_processor(n_probe=n_probe)
+    exact = context.exact_any
+    lengths = [q.length for q in context.workload.queries]
+    durations = []
+    distances = []
+    for query in context.workload.queries:
+        started = time.perf_counter()
+        matches = processor.best_match(query.values)
+        durations.append(time.perf_counter() - started)
+        distances.append(matches[0].dtw_normalized)
+    return [
+        dataset,
+        n_probe,
+        accuracy_percent(distances, exact, query_lengths=lengths),
+        sum(durations) / len(durations),
+    ]
+
+
+def _register_table() -> None:
+    rows = [
+        _rows[(dataset, probe)]
+        for dataset in DATASETS
+        for probe in PROBES
+        if (dataset, probe) in _rows
+    ]
+    registry.add_table(
+        "ablation_nprobe",
+        "Ablation: multi-probe search (extension; Match=Any workload)",
+        ["dataset", "n_probe", "accuracy %", "s/query"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("n_probe", PROBES)
+def test_ablation_nprobe(benchmark, dataset: str, n_probe: int) -> None:
+    _rows[(dataset, n_probe)] = _run(dataset, n_probe)
+    _register_table()
+
+    context = get_context(dataset)
+    processor = context.make_processor(n_probe=n_probe)
+    query = context.workload.queries[0]
+    benchmark.pedantic(
+        lambda: processor.best_match(query.values), rounds=2, iterations=1
+    )

@@ -1,0 +1,85 @@
+"""Figure 2 — time response for similarity queries.
+
+Paper: Fig. 2a compares ONEX, Trillion, PAA and Standard DTW across the
+six datasets (log scale); Fig. 2b zooms into ONEX vs Trillion. ONEX
+should beat Standard DTW and PAA by orders of magnitude and Trillion by
+a small factor (paper: on average 1.8x).
+
+Each system answers the same 20-query §6.2.1 workload (10 in-dataset,
+10 held-out); the table reports the average per-query seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = list(BENCH_CONFIGS)
+SYSTEMS = ("ONEX", "Trillion", "PAA", "StandardDTW")
+
+_means: dict[tuple[str, str], float] = {}
+
+
+def _run(dataset: str, system: str) -> float:
+    context = get_context(dataset)
+    if system == "ONEX":
+        run = context.run_onex()
+    elif system == "Trillion":
+        run = context.run_baseline(context.trillion)
+    elif system == "PAA":
+        run = context.run_baseline(context.paa)
+    else:
+        run = context.run_baseline(context.brute)
+    return run.mean_seconds
+
+
+def _register_tables() -> None:
+    rows_a = []
+    for dataset in DATASETS:
+        row = [dataset]
+        for system in SYSTEMS:
+            mean = _means.get((dataset, system))
+            row.append("-" if mean is None else mean)
+        rows_a.append(row)
+    registry.add_table(
+        "fig2a_similarity_time",
+        "Fig. 2a: similarity query time (seconds/query, Match=Any workload)",
+        ["dataset", *SYSTEMS],
+        rows_a,
+    )
+    rows_b = []
+    for dataset in DATASETS:
+        onex = _means.get((dataset, "ONEX"))
+        trillion = _means.get((dataset, "Trillion"))
+        if onex is None or trillion is None:
+            continue
+        rows_b.append([dataset, onex, trillion, trillion / onex])
+    registry.add_table(
+        "fig2b_onex_vs_trillion",
+        "Fig. 2b: ONEX vs Trillion (seconds/query; paper: ONEX ~1.8x faster)",
+        ["dataset", "ONEX", "Trillion", "Trillion/ONEX"],
+        rows_b,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig2_similarity_query_time(benchmark, dataset: str, system: str) -> None:
+    """Workload mean goes into the table; the benchmark times one query."""
+    _means[(dataset, system)] = _run(dataset, system)
+    _register_tables()
+
+    context = get_context(dataset)
+    query = context.workload.queries[0]
+    if system == "ONEX":
+        target = lambda: context.index.query(query.values)  # noqa: E731
+    elif system == "Trillion":
+        target = lambda: context.trillion.best_match(query.values)  # noqa: E731
+    elif system == "PAA":
+        target = lambda: context.paa.best_match(query.values)  # noqa: E731
+    else:
+        target = lambda: context.brute.best_match(query.values)  # noqa: E731
+    benchmark.pedantic(target, rounds=2, iterations=1)

@@ -1,0 +1,79 @@
+"""Figure 3 — scalability: query time vs number of time series.
+
+Paper: StarLightCurves subsets (series of length 100) with N from 1000
+to 5000; Standard DTW and PAA grow steeply while ONEX and Trillion look
+flat (Fig. 3a), and the zoom (Fig. 3b) shows Trillion up to 4x slower
+than ONEX. This reproduction scales N down by 10x (see DESIGN.md §5)
+and reports the same four curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import STARLIGHT_N_GRID, starlight_config
+from repro.bench.reporting import registry
+from repro.bench.runner import BenchContext, build_context
+
+SYSTEMS = ("ONEX", "Trillion", "PAA", "StandardDTW")
+
+_contexts: dict[int, BenchContext] = {}
+_means: dict[tuple[int, str], float] = {}
+
+
+def _context(n_series: int) -> BenchContext:
+    if n_series not in _contexts:
+        _contexts[n_series] = build_context(starlight_config(n_series))
+    return _contexts[n_series]
+
+
+def _register_tables() -> None:
+    rows = []
+    for n in STARLIGHT_N_GRID:
+        rows.append([n] + [_means.get((n, system), "-") for system in SYSTEMS])
+    registry.add_table(
+        "fig3a_scalability",
+        "Fig. 3a: query time vs N (StarLightCurves, seconds/query; N scaled 10x down)",
+        ["N series", *SYSTEMS],
+        rows,
+    )
+    zoom_rows = []
+    for n in STARLIGHT_N_GRID:
+        onex = _means.get((n, "ONEX"))
+        trillion = _means.get((n, "Trillion"))
+        if onex is None or trillion is None:
+            continue
+        zoom_rows.append([n, onex, trillion, trillion / onex])
+    registry.add_table(
+        "fig3b_scalability_zoom",
+        "Fig. 3b: ONEX vs Trillion zoom (paper: Trillion up to 4x slower)",
+        ["N series", "ONEX", "Trillion", "Trillion/ONEX"],
+        zoom_rows,
+    )
+
+
+@pytest.mark.parametrize("n_series", STARLIGHT_N_GRID)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig3_scalability(benchmark, n_series: int, system: str) -> None:
+    context = _context(n_series)
+    if system == "ONEX":
+        run = context.run_onex()
+    elif system == "Trillion":
+        run = context.run_baseline(context.trillion)
+    elif system == "PAA":
+        run = context.run_baseline(context.paa)
+    else:
+        run = context.run_baseline(context.brute)
+    _means[(n_series, system)] = run.mean_seconds
+    _register_tables()
+
+    query = context.workload.queries[0]
+    if system == "ONEX":
+        target = lambda: context.index.query(query.values)  # noqa: E731
+    elif system == "Trillion":
+        target = lambda: context.trillion.best_match(query.values)  # noqa: E731
+    elif system == "PAA":
+        target = lambda: context.paa.best_match(query.values)  # noqa: E731
+    else:
+        target = lambda: context.brute.best_match(query.values)  # noqa: E731
+    benchmark.pedantic(target, rounds=1, iterations=1)

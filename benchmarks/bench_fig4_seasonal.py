@@ -1,0 +1,87 @@
+"""Figure 4 — time response for seasonal similarity queries.
+
+Paper §6.2.2: the user-driven case averages, per dataset, 5 sample
+series x 5 lengths x 5 repetitions of "find this series' recurring
+similar subsequences of length L"; the data-driven case averages 5
+random lengths x 5 repetitions of "find all clusters of length L".
+Standard DTW / PAA / Trillion cannot answer this query class, so only
+ONEX appears (as in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = list(BENCH_CONFIGS)
+_REPEATS = 5
+_means: dict[tuple[str, str], float] = {}
+
+
+def _register_table() -> None:
+    rows = []
+    for dataset in DATASETS:
+        rows.append(
+            [
+                dataset,
+                _means.get((dataset, "sample"), "-"),
+                _means.get((dataset, "all"), "-"),
+            ]
+        )
+    registry.add_table(
+        "fig4_seasonal_time",
+        "Fig. 4: seasonal similarity query time (seconds/query)",
+        ["dataset", "Seasonal-Sample TS", "Seasonal-All TS"],
+        rows,
+    )
+
+
+def _user_driven_mean(dataset: str) -> float:
+    context = get_context(dataset)
+    index = context.index
+    lengths = context.config.lengths
+    n_series = min(5, len(context.workload.indexed))
+    durations = []
+    for series in range(n_series):
+        for length in lengths[:5]:
+            for _ in range(_REPEATS):
+                started = time.perf_counter()
+                index.seasonal(length, series=series)
+                durations.append(time.perf_counter() - started)
+    return sum(durations) / len(durations)
+
+
+def _data_driven_mean(dataset: str) -> float:
+    context = get_context(dataset)
+    index = context.index
+    durations = []
+    for length in context.config.lengths[:5]:
+        for _ in range(_REPEATS):
+            started = time.perf_counter()
+            index.seasonal(length)
+            durations.append(time.perf_counter() - started)
+    return sum(durations) / len(durations)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("mode", ("sample", "all"))
+def test_fig4_seasonal_time(benchmark, dataset: str, mode: str) -> None:
+    if mode == "sample":
+        _means[(dataset, mode)] = _user_driven_mean(dataset)
+    else:
+        _means[(dataset, mode)] = _data_driven_mean(dataset)
+    _register_table()
+
+    context = get_context(dataset)
+    length = context.config.lengths[0]
+    if mode == "sample":
+        target = lambda: context.index.seasonal(length, series=0)  # noqa: E731
+    else:
+        target = lambda: context.index.seasonal(length)  # noqa: E731
+    result = benchmark(target)
+    assert result is not None

@@ -1,0 +1,48 @@
+"""Figure 5 — offline ONEX base construction time varying ST.
+
+Paper §6.3: for low thresholds many groups form and construction is
+slow; as ST grows, fewer groups absorb more subsequences and the time
+flattens out. One row per dataset, one column per ST value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.sweeps import CONSTRUCTION_ST_GRID, construction_sweep
+
+DATASETS = list(BENCH_CONFIGS)
+_rows: dict[str, list[float]] = {}
+
+
+def _register_table() -> None:
+    headers = ["dataset"] + [f"ST={st}" for st in CONSTRUCTION_ST_GRID]
+    rows = [
+        [dataset, *_rows[dataset]] for dataset in DATASETS if dataset in _rows
+    ]
+    registry.add_table(
+        "fig5_construction_time",
+        "Fig. 5: offline construction time vs ST (seconds)",
+        headers,
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_construction_time(benchmark, dataset: str) -> None:
+    points = construction_sweep(dataset)
+    _rows[dataset] = [point.build_seconds for point in points]
+    _register_table()
+    # Construction time must not *increase* with looser thresholds:
+    # compare the tightest and loosest points with generous slack.
+    assert points[-1].build_seconds <= points[0].build_seconds * 3.0
+
+    from repro.bench.runner import get_context
+    from repro.bench.sweeps import _build_at
+
+    context = get_context(dataset)
+    benchmark.pedantic(
+        lambda: _build_at(context, 0.4), rounds=1, iterations=1
+    )

@@ -1,0 +1,43 @@
+"""Figure 6 — size of the pregenerated information varying ST.
+
+Paper §6.3: the number of representatives (= groups) in the R-Space
+shrinks monotonically as the similarity threshold loosens, because more
+subsequences fall within ST/2 of an existing representative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.sweeps import CONSTRUCTION_ST_GRID, construction_sweep
+
+DATASETS = list(BENCH_CONFIGS)
+_rows: dict[str, list[int]] = {}
+
+
+def _register_table() -> None:
+    headers = ["dataset"] + [f"ST={st}" for st in CONSTRUCTION_ST_GRID]
+    rows = [
+        [dataset, *_rows[dataset]] for dataset in DATASETS if dataset in _rows
+    ]
+    registry.add_table(
+        "fig6_representatives",
+        "Fig. 6: number of representatives vs ST",
+        headers,
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6_representatives(benchmark, dataset: str) -> None:
+    points = construction_sweep(dataset)
+    _rows[dataset] = [point.n_representatives for point in points]
+    _register_table()
+    counts = [point.n_representatives for point in points]
+    # The paper's headline trend: looser thresholds => fewer representatives.
+    assert counts[-1] <= counts[0]
+    assert all(count >= 1 for count in counts)
+
+    benchmark.pedantic(lambda: construction_sweep(dataset), rounds=1, iterations=1)

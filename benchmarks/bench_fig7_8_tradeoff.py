@@ -1,0 +1,46 @@
+"""Figures 7 and 8 — accuracy vs running time when varying ST.
+
+Paper §6.3: for ItalyPower, ECG (Fig. 7), Face and Wafer (Fig. 8), both
+accuracy and query time are plotted over ST in 0.1..0.4. Each dataset
+has a "balanced" threshold (~0.2) that the paper then uses everywhere
+else: accuracy stays high while time drops as groups coarsen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import registry
+from repro.bench.sweeps import TRADEOFF_ST_GRID, tradeoff_sweep
+
+DATASETS = ("ItalyPower", "ECG", "Face", "Wafer")
+_rows: dict[str, list[list[object]]] = {}
+
+
+def _register_table() -> None:
+    rows: list[list[object]] = []
+    for dataset in DATASETS:
+        rows.extend(_rows.get(dataset, []))
+    registry.add_table(
+        "fig7_8_tradeoff",
+        "Fig. 7/8: accuracy vs query time varying ST",
+        ["dataset", "ST", "accuracy %", "query s", "build s"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_8_accuracy_time_tradeoff(benchmark, dataset: str) -> None:
+    points = tradeoff_sweep(dataset)
+    _rows[dataset] = [
+        [dataset, p.st, p.accuracy, p.mean_query_seconds, p.build_seconds]
+        for p in points
+    ]
+    _register_table()
+    for point in points:
+        assert 0.0 <= point.accuracy <= 100.0
+    # Accuracy at the paper's operating point (~0.2) should be high.
+    at_02 = next(p for p in points if abs(p.st - 0.2) < 1e-9)
+    assert at_02.accuracy > 90.0
+
+    benchmark.pedantic(lambda: tradeoff_sweep(dataset), rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Table 1 — time response when the solution must match the query's length.
+
+Paper: ONEX restricted to same-length answers (ONEX-S) vs Trillion;
+ONEX-S is on average 3.8x faster. Both systems answer the 20-query
+workload with Match = Exact(len(query)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = list(BENCH_CONFIGS)
+_means: dict[tuple[str, str], float] = {}
+
+
+def _register_table() -> None:
+    rows = []
+    for dataset in DATASETS:
+        onex = _means.get((dataset, "ONEX-S"))
+        trillion = _means.get((dataset, "Trillion"))
+        row = [
+            dataset,
+            "-" if onex is None else onex,
+            "-" if trillion is None else trillion,
+        ]
+        if onex is not None and trillion is not None and onex > 0:
+            row.append(trillion / onex)
+        else:
+            row.append("-")
+        rows.append(row)
+    registry.add_table(
+        "table1_same_length_time",
+        "Table 1: same-length query time (seconds/query; paper: ONEX-S ~3.8x faster)",
+        ["dataset", "ONEX-S", "Trillion", "Trillion/ONEX-S"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("system", ("ONEX-S", "Trillion"))
+def test_table1_same_length_time(benchmark, dataset: str, system: str) -> None:
+    context = get_context(dataset)
+    if system == "ONEX-S":
+        run = context.run_onex(same_length=True)
+    else:
+        run = context.run_baseline(context.trillion, same_length=True)
+    _means[(dataset, system)] = run.mean_seconds
+    _register_table()
+
+    query = context.workload.queries[0]
+    if system == "ONEX-S":
+        target = lambda: context.index.query(query.values, length=query.length)  # noqa: E731
+    else:
+        target = lambda: context.trillion.best_match(  # noqa: E731
+            query.values, length=query.length
+        )
+    benchmark.pedantic(target, rounds=2, iterations=1)

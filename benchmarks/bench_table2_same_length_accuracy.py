@@ -1,0 +1,63 @@
+"""Table 2 — accuracy when the solution must match the query's length.
+
+Paper: accuracy = (1 - average error) * 100 against the brute-force
+exact solution of the same length; ONEX-S 97-99% vs Trillion 71-97%
+(Trillion is exact for in-dataset queries but degrades on the held-out
+half of the workload once the best same-length match is only a close
+match).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.accuracy import accuracy_percent
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = list(BENCH_CONFIGS)
+_accuracy: dict[tuple[str, str], float] = {}
+
+
+def _register_table() -> None:
+    rows = []
+    for dataset in DATASETS:
+        rows.append(
+            [
+                dataset,
+                _accuracy.get((dataset, "ONEX-S"), "-"),
+                _accuracy.get((dataset, "Trillion"), "-"),
+            ]
+        )
+    registry.add_table(
+        "table2_same_length_accuracy",
+        "Table 2: accuracy, same-length solutions (%; paper: ONEX-S ~+12.6 pts)",
+        ["dataset", "ONEX-S", "Trillion"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("system", ("ONEX-S", "Trillion"))
+def test_table2_same_length_accuracy(benchmark, dataset: str, system: str) -> None:
+    context = get_context(dataset)
+    exact = context.exact_same
+    if system == "ONEX-S":
+        run = context.run_onex(same_length=True)
+    else:
+        run = context.run_baseline(context.trillion, same_length=True)
+    lengths = [q.length for q in context.workload.queries]
+    score = accuracy_percent(run.distances, exact, query_lengths=lengths)
+    _accuracy[(dataset, system)] = score
+    _register_table()
+    assert 0.0 <= score <= 100.0
+
+    query = context.workload.queries[0]
+    if system == "ONEX-S":
+        target = lambda: context.index.query(query.values, length=query.length)  # noqa: E731
+    else:
+        target = lambda: context.trillion.best_match(  # noqa: E731
+            query.values, length=query.length
+        )
+    benchmark.pedantic(target, rounds=1, iterations=1)

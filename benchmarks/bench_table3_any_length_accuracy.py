@@ -1,0 +1,62 @@
+"""Table 3 — accuracy for any-length solutions.
+
+Paper: ONEX (Match = Any) vs Trillion (which can only answer at the
+query's own length) vs PAA, all scored against the brute-force exact
+best match over *all* indexed lengths. ONEX ~98-99%, PAA ~93-99%,
+Trillion ~72-97% (its restriction to one length is what costs it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.accuracy import accuracy_percent
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = list(BENCH_CONFIGS)
+SYSTEMS = ("ONEX", "Trillion", "PAA")
+_accuracy: dict[tuple[str, str], float] = {}
+
+
+def _register_table() -> None:
+    rows = []
+    for dataset in DATASETS:
+        rows.append(
+            [dataset]
+            + [_accuracy.get((dataset, system), "-") for system in SYSTEMS]
+        )
+    registry.add_table(
+        "table3_any_length_accuracy",
+        "Table 3: accuracy, any-length solutions (%; paper: ONEX ~+19.5 over Trillion)",
+        ["dataset", *SYSTEMS],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_table3_any_length_accuracy(benchmark, dataset: str, system: str) -> None:
+    context = get_context(dataset)
+    exact = context.exact_any
+    if system == "ONEX":
+        run = context.run_onex()
+    elif system == "Trillion":
+        run = context.run_baseline(context.trillion)
+    else:
+        run = context.run_baseline(context.paa)
+    lengths = [q.length for q in context.workload.queries]
+    score = accuracy_percent(run.distances, exact, query_lengths=lengths)
+    _accuracy[(dataset, system)] = score
+    _register_table()
+    assert 0.0 <= score <= 100.0
+
+    query = context.workload.queries[0]
+    if system == "ONEX":
+        target = lambda: context.index.query(query.values)  # noqa: E731
+    elif system == "Trillion":
+        target = lambda: context.trillion.best_match(query.values)  # noqa: E731
+    else:
+        target = lambda: context.paa.best_match(query.values)  # noqa: E731
+    benchmark.pedantic(target, rounds=1, iterations=1)

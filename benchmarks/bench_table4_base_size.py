@@ -1,0 +1,47 @@
+"""Table 4 — number of representatives, subsequences and index size.
+
+Paper §6.3: per dataset at its chosen ST (~0.2), the representative
+count, the total number of subsequences it summarizes (the data
+cardinality reduction) and the index size in MB split into GTI and LSI
+components.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import BENCH_CONFIGS
+from repro.bench.reporting import registry
+from repro.bench.runner import get_context
+
+DATASETS = list(BENCH_CONFIGS)
+_rows: dict[str, list[object]] = {}
+
+
+def _register_table() -> None:
+    rows = [_rows[dataset] for dataset in DATASETS if dataset in _rows]
+    registry.add_table(
+        "table4_base_size",
+        "Table 4: representatives, subsequences and index size (ST=0.2)",
+        ["dataset", "representatives", "subsequences", "size MB", "GTI MB", "LSI MB"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table4_base_size(benchmark, dataset: str) -> None:
+    context = get_context(dataset)
+    stats = context.index.stats()
+    _rows[dataset] = [
+        dataset,
+        stats.n_representatives,
+        stats.n_subsequences,
+        stats.size_mb,
+        stats.gti_mb,
+        stats.lsi_mb,
+    ]
+    _register_table()
+    # Data-cardinality reduction is the point of the ONEX base:
+    assert stats.n_representatives < stats.n_subsequences
+
+    benchmark.pedantic(context.index.stats, rounds=3, iterations=1)

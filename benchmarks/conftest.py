@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Registers every experiment table produced during the run and prints
+them in pytest's terminal summary (terminal-summary output is never
+captured, so the paper-style rows always reach the console and any
+``tee``'d log). Rendered tables are also written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.reporting import registry
+
+registry.output_dir = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    registry.render_all(terminalreporter.write_line)

@@ -1,0 +1,102 @@
+"""The paper's motivating example: exploring economic indicators.
+
+§1.1 of the paper describes analysts in Massachusetts studying the 2013
+tax repeal: they *designed* a sample growth-rate timeline indicating a
+positive impact and searched all states for matches — with the sample
+sequence possibly absent from the data — and compared indicators
+reported over different durations (hence DTW, not ED).
+
+This example synthesizes growth-rate series for 20 "states" (trend +
+business cycle + policy shocks), registers a hand-designed recovery
+shape, and explores with the paper's query language.
+
+Run with::
+
+    python examples/economic_indicators.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Dataset, OnexIndex, TimeSeries
+from repro.query import QueryExecutor
+
+
+def synthesize_states(n_states: int = 20, n_quarters: int = 48) -> Dataset:
+    """Quarterly growth-rate series per state: cycle + trend + shocks."""
+    rng = np.random.default_rng(2013)
+    series = []
+    for state in range(n_states):
+        t = np.arange(n_quarters, dtype=float)
+        cycle = 1.5 * np.sin(2 * np.pi * t / rng.uniform(14, 22) + rng.uniform(0, 6))
+        trend = rng.uniform(-0.02, 0.05) * t
+        shocks = np.zeros(n_quarters)
+        for _ in range(rng.integers(1, 4)):
+            at = int(rng.integers(4, n_quarters - 8))
+            shocks[at : at + 8] += rng.choice([-1.0, 1.0]) * np.linspace(
+                0, rng.uniform(0.5, 2.0), 8
+            )
+        noise = rng.normal(0.0, 0.25, n_quarters)
+        growth = 2.0 + cycle + trend + shocks + noise
+        series.append(TimeSeries(growth, name=f"state-{state:02d}"))
+    return Dataset(series, name="StateGrowthRates")
+
+
+def designed_recovery(n_quarters: int = 12) -> np.ndarray:
+    """A hand-designed 'positive impact' shape: dip, then steady recovery."""
+    dip = np.linspace(2.0, 0.5, 4)
+    recovery = np.linspace(0.5, 3.5, n_quarters - 4)
+    return np.concatenate([dip, recovery])
+
+
+def main() -> None:
+    dataset = synthesize_states()
+    index = OnexIndex.build(dataset, st=0.2, lengths=[8, 12, 16, 24, 32, 48])
+    print(f"indexed {len(dataset)} states: {index!r}\n")
+
+    executor = QueryExecutor(index)
+    executor.register_sequence("recovery", designed_recovery())
+
+    # Q1 - "which states' growth ever looked like this designed recovery?"
+    print("Q1: OUTPUT X FROM states WHERE seq = recovery, k = 3 MATCH = Any")
+    matches = executor.execute(
+        "OUTPUT X FROM states WHERE seq = recovery, k = 3 MATCH = Any"
+    )
+    for match in matches:
+        state = dataset[match.ssid.series].name
+        print(
+            f"  {state} quarters {match.ssid.start}-{match.ssid.stop}: "
+            f"normalized DTW = {match.dtw_normalized:.4f}"
+        )
+
+    # Q2 - "does state 3 repeat its own growth patterns?" (recurring shapes)
+    print("\nQ2: OUTPUT SeasonalSim FROM states WHERE seq = state-03 MATCH = Exact(12)")
+    seasonal = executor.execute(
+        "OUTPUT SeasonalSim FROM states WHERE seq = state-03 MATCH = Exact(12)"
+    )
+    print(f"  {len(seasonal)} recurring cluster(s) inside state-03")
+    for cluster in seasonal:
+        spans = ", ".join(
+            f"q{ssid.start}-q{ssid.stop}" for ssid in cluster.members
+        )
+        print(f"  cluster {cluster.group_index}: {spans}")
+
+    # Q3 - "what threshold counts as strict similarity for this data?"
+    print("\nQ3: OUTPUT ST FROM states WHERE simDegree = S MATCH = Any")
+    for rec in executor.execute(
+        "OUTPUT ST FROM states WHERE simDegree = S MATCH = Any"
+    ):
+        print(f"  strict similarity: ST in [{rec.low:.3f}, {rec.high:.3f})")
+
+    # Range form of Q1: every 16-quarter window within a loose threshold.
+    print("\nQ1 (range): OUTPUT X FROM states WHERE Sim <= 0.3, seq = recovery MATCH = Exact(16)")
+    within = executor.execute(
+        "OUTPUT X FROM states WHERE Sim <= 0.3, seq = recovery MATCH = Exact(16)"
+    )
+    states = sorted({dataset[m.ssid.series].name for m in within})
+    print(f"  {len(within)} windows across {len(states)} states matched")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: build an ONEX base and run all three query classes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import OnexIndex, make_dataset
+
+
+def main() -> None:
+    # 1. A dataset: 30 daily power-demand profiles (ItalyPowerDemand-like).
+    dataset = make_dataset("ItalyPower", n_series=30, length=24, seed=7)
+    print(f"dataset: {dataset!r}")
+
+    # 2. One-time preprocessing: cluster all subsequences into similarity
+    #    groups with ED, keep one representative per group (the ONEX base).
+    index = OnexIndex.build(dataset, st=0.2)
+    stats = index.stats()
+    print(
+        f"built ONEX base in {stats.build_seconds:.2f}s: "
+        f"{stats.n_representatives} representatives summarize "
+        f"{stats.n_subsequences} subsequences ({stats.size_mb:.3f} MB)"
+    )
+
+    # 3. Class I - similarity query. The sample is the morning of day 5;
+    #    ONEX runs DTW only against representatives, then inside one group.
+    sample = index.dataset[5].values[4:16]
+    print("\nQ1: best matches for day 5's morning profile (Match = Any):")
+    for match in index.query(sample, k=3):
+        print(
+            f"  {str(match.ssid):16} normalized DTW = {match.dtw_normalized:.5f} "
+            f"(group G{match.group[0]}.{match.group[1]})"
+        )
+
+    # 4. Class II - seasonal similarity: recurring half-day shapes of day 0.
+    length = index.rspace.lengths[1]
+    seasonal = index.seasonal(length, series=0)
+    print(
+        f"\nQ2: recurring length-{length} shapes inside day 0: "
+        f"{len(seasonal)} cluster(s)"
+    )
+    for cluster in seasonal:
+        members = ", ".join(str(ssid) for ssid in cluster.members)
+        print(f"  cluster {cluster.group_index}: {members}")
+
+    # 5. Class III - threshold recommendation: what does "strict" mean here?
+    print("\nQ3: recommended similarity-threshold ranges:")
+    for rec in index.recommend():
+        high = "inf" if rec.high == float("inf") else f"{rec.high:.3f}"
+        print(f"  degree {rec.degree}: ST in [{rec.low:.3f}, {high})")
+
+    # 6. Changing the threshold does not rebuild the base (Algorithm 2.C).
+    looser = index.with_threshold(0.4)
+    print(
+        f"\nadapted ST 0.2 -> 0.4 without rebuilding: "
+        f"{index.rspace.n_groups} groups -> {looser.rspace.n_groups} groups"
+    )
+
+
+if __name__ == "__main__":
+    main()

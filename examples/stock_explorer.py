@@ -1,0 +1,105 @@
+"""Stock-market exploration (the paper's §5.1 use cases).
+
+"A financial analyst may want to retrieve the stock similar to the
+stock fluctuations of the Apple stock for a specific time period" and
+"find all 30 days long subsequences of the Apple stock having similar
+prices". This example synthesizes daily prices for 15 tickers, runs
+both use cases, demonstrates k-NN retrieval and threshold adaptation,
+and round-trips the index through save/load.
+
+Run with::
+
+    python examples/stock_explorer.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import Dataset, OnexIndex, TimeSeries
+
+_TICKERS = (
+    "AAPL", "MSFT", "GOOG", "AMZN", "META",
+    "NFLX", "NVDA", "TSLA", "ORCL", "INTC",
+    "AMD", "IBM", "CRM", "ADBE", "QCOM",
+)
+
+
+def synthesize_market(n_days: int = 180) -> Dataset:
+    """Geometric-random-walk prices with a few market-wide regimes."""
+    rng = np.random.default_rng(42)
+    t = np.arange(n_days)
+    market_regime = 0.002 * np.sin(2 * np.pi * t / 90.0)  # shared cycle
+    series = []
+    for ticker in _TICKERS:
+        drift = rng.normal(0.0004, 0.0006)
+        vol = rng.uniform(0.01, 0.025)
+        returns = drift + market_regime + rng.normal(0.0, vol, n_days)
+        prices = 100.0 * np.exp(np.cumsum(returns))
+        series.append(TimeSeries(prices, name=ticker))
+    return Dataset(series, name="Market")
+
+
+def main() -> None:
+    market = synthesize_market()
+    index = OnexIndex.build(market, st=0.2, lengths=[10, 20, 30, 60, 90])
+    print(f"indexed {len(market)} tickers over {len(market[0])} days\n")
+
+    # Use case 1: "stocks similar to AAPL days 100-130" (a real window).
+    aapl = market[0]
+    sample = index.normalize_query(aapl.values[100:130])
+    print("stocks moving like AAPL days 100-130:")
+    for match in index.query(sample, length=30, k=4):
+        ticker = market[match.ssid.series].name
+        print(
+            f"  {ticker:5} days {match.ssid.start:3}-{match.ssid.stop:3} "
+            f"normalized DTW = {match.dtw_normalized:.5f}"
+        )
+
+    # Use case 2: a *designed* fluctuation: sharp drop then full rebound.
+    designed = np.concatenate(
+        [np.linspace(120, 95, 8), np.linspace(95, 125, 12)]
+    )
+    print("\nbest matches for a designed drop-and-rebound shape (any length):")
+    for match in index.query(designed, k=3, normalized=False):
+        ticker = market[match.ssid.series].name
+        print(
+            f"  {ticker:5} days {match.ssid.start:3}-{match.ssid.stop:3} "
+            f"(length {match.ssid.length}) normalized DTW = "
+            f"{match.dtw_normalized:.5f}"
+        )
+
+    # Use case 3: recurring 30-day patterns of AAPL (seasonal similarity).
+    seasonal = index.seasonal(30, series=0)
+    print(f"\nAAPL 30-day windows with recurring shapes: {len(seasonal)} cluster(s)")
+    for cluster in seasonal:
+        spans = ", ".join(f"d{s.start}-d{s.stop}" for s in cluster.members[:5])
+        extra = " ..." if len(cluster.members) > 5 else ""
+        print(f"  cluster {cluster.group_index}: {spans}{extra}")
+
+    # Threshold guidance, then a looser exploration without rebuilding.
+    strict = index.recommend("S")[0]
+    print(f"\nstrict similarity for this market: ST < {strict.high:.3f}")
+    loose = index.with_threshold(min(0.5, strict.high * 2))
+    print(
+        f"loosening ST to {loose.st:.3f}: {index.rspace.n_groups} -> "
+        f"{loose.rspace.n_groups} groups (no rebuild)"
+    )
+
+    # Persistence round trip.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "market.npz")
+        index.save(path)
+        restored = OnexIndex.load(path)
+        again = restored.query(sample, length=30, k=1)[0]
+        print(
+            f"\nsaved + reloaded index answers identically: "
+            f"{str(again.ssid)} @ {again.dtw_normalized:.5f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

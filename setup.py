@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which build a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""ONEX - Online Exploration of Time Series (VLDB 2016) reproduction.
+
+Public API quick tour::
+
+    from repro import OnexIndex, make_dataset
+
+    dataset = make_dataset("ItalyPower", n_series=30)
+    index = OnexIndex.build(dataset, st=0.2)
+    best = index.query(sample_sequence)[0]          # Q1 similarity
+    clusters = index.seasonal(length=12)            # Q2 seasonal similarity
+    ranges = index.recommend("S")                   # Q3 threshold guidance
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.core.onex import OnexIndex, default_length_grid
+from repro.core.results import (
+    BaseStats,
+    Match,
+    SeasonalGroup,
+    SeasonalResult,
+    ThresholdRecommendation,
+)
+from repro.core.spspace import SimilarityDegree
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId, TimeSeries
+from repro.data.loader import load_ucr_file, save_ucr_file
+from repro.data.synthetic import make_dataset
+from repro.distances import (
+    dtw,
+    erp,
+    euclidean,
+    lcss_distance,
+    normalized_dtw,
+    normalized_euclidean,
+    pdtw,
+)
+from repro.exceptions import OnexError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OnexIndex",
+    "default_length_grid",
+    "BaseStats",
+    "Match",
+    "SeasonalGroup",
+    "SeasonalResult",
+    "ThresholdRecommendation",
+    "SimilarityDegree",
+    "Dataset",
+    "TimeSeries",
+    "SubsequenceId",
+    "load_ucr_file",
+    "save_ucr_file",
+    "make_dataset",
+    "dtw",
+    "normalized_dtw",
+    "euclidean",
+    "normalized_euclidean",
+    "pdtw",
+    "lcss_distance",
+    "erp",
+    "OnexError",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""The paper's comparison systems: Standard DTW, PAA and Trillion."""
+
+from repro.baselines.base import SearchMethod, SearchResult
+from repro.baselines.brute_force import StandardDTW
+from repro.baselines.paa_search import PAASearch
+from repro.baselines.trillion import Trillion
+
+__all__ = [
+    "SearchMethod",
+    "SearchResult",
+    "StandardDTW",
+    "PAASearch",
+    "Trillion",
+]

@@ -1,0 +1,100 @@
+"""Common interface for the similarity-search systems compared in §6.
+
+Every method (ONEX and the three baselines) answers the same question:
+*given a sample sequence, return the subsequence of the dataset with the
+smallest DTW*. The harness treats them uniformly through this interface:
+:meth:`SearchMethod.prepare` runs any preprocessing over a shared
+subsequence enumeration (so all systems search exactly the same
+candidate space), and :meth:`SearchMethod.best_match` answers one query.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """A baseline's answer: the chosen subsequence and its DTW to the query.
+
+    ``dtw_normalized`` is the paper's Def. 6 scale (``DTW / 2n``), the
+    quantity the accuracy metric of §6.2.1 compares across systems.
+    """
+
+    ssid: SubsequenceId
+    values: np.ndarray
+    dtw: float
+    dtw_normalized: float
+
+    def __lt__(self, other: "SearchResult") -> bool:
+        return self.dtw_normalized < other.dtw_normalized
+
+
+class SearchMethod(abc.ABC):
+    """Base class for the §6 search systems."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self, window: int | float | None = 0.1) -> None:
+        self.window = window
+        self._dataset: Dataset | None = None
+        self._lengths: list[int] = []
+        self._start_step = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        if self._dataset is None:
+            raise QueryError(f"{self.name}: prepare() must be called before querying")
+        return self._dataset
+
+    @property
+    def lengths(self) -> list[int]:
+        return list(self._lengths)
+
+    def prepare(
+        self,
+        dataset: Dataset,
+        lengths: Sequence[int],
+        start_step: int = 1,
+    ) -> None:
+        """Preprocess (already normalized) data over the shared enumeration.
+
+        Subclasses extend this to build their own structures; they must
+        call ``super().prepare(...)`` first.
+        """
+        self._dataset = dataset
+        self._lengths = sorted(set(int(length) for length in lengths))
+        self._start_step = int(start_step)
+        if not self._lengths:
+            raise QueryError(f"{self.name}: at least one length is required")
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def best_match(
+        self, query: np.ndarray, length: int | None = None
+    ) -> SearchResult:
+        """Best match for ``query``; ``length`` restricts to one length."""
+
+    def _candidate_lengths(self, length: int | None) -> list[int]:
+        """The lengths this query must search."""
+        if self._dataset is None:
+            raise QueryError(f"{self.name}: prepare() must be called before querying")
+        if length is None:
+            return list(self._lengths)
+        length = int(length)
+        if length not in self._lengths:
+            known = ", ".join(map(str, self._lengths))
+            raise QueryError(
+                f"{self.name}: length {length} not prepared; prepared lengths: {known}"
+            )
+        return [length]

@@ -1,0 +1,24 @@
+"""Benchmark harness: workloads, accuracy metric, contexts and reporting."""
+
+from repro.bench.accuracy import accuracy_percent, retrieval_errors
+from repro.bench.datasets import BENCH_CONFIGS, BenchConfig, bench_dataset
+from repro.bench.workloads import QuerySpec, Workload, make_workload
+from repro.bench.runner import BenchContext, get_context, clear_context_cache
+from repro.bench.reporting import ReportRegistry, format_table, registry
+
+__all__ = [
+    "accuracy_percent",
+    "retrieval_errors",
+    "BENCH_CONFIGS",
+    "BenchConfig",
+    "bench_dataset",
+    "QuerySpec",
+    "Workload",
+    "make_workload",
+    "BenchContext",
+    "get_context",
+    "clear_context_cache",
+    "ReportRegistry",
+    "format_table",
+    "registry",
+]

@@ -1,0 +1,64 @@
+"""The paper's accuracy metric (§6.2.1, "Solution Accuracy").
+
+For each query, the *error* of a system is the difference between the
+(normalized) DTW of the solution it retrieved and the DTW of the exact
+solution found by brute-force Standard DTW. Accuracy is
+``(1 - average(error)) * 100``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def retrieval_errors(
+    system_distances: Sequence[float],
+    exact_distances: Sequence[float],
+    query_lengths: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Per-query errors ``system - exact`` (clipped at 0 for round-off).
+
+    A positive error means the system returned a worse-than-optimal
+    match; an exact system scores 0 everywhere.
+
+    Distances are on the normalized (Def. 6) scale. With
+    ``query_lengths`` given, each error is rescaled by ``2 * length`` —
+    the raw-DTW scale at the query's own length, which is the magnitude
+    the paper's accuracy percentages are quoted on (its reported errors
+    reach ~0.28, far above anything the /2n scale can produce).
+    """
+    system = np.asarray(system_distances, dtype=np.float64)
+    exact = np.asarray(exact_distances, dtype=np.float64)
+    if system.shape != exact.shape:
+        raise DataError(
+            f"got {system.shape[0]} system distances for {exact.shape[0]} exact ones"
+        )
+    if system.size == 0:
+        raise DataError("accuracy requires at least one query")
+    errors = np.clip(system - exact, 0.0, None)
+    if query_lengths is not None:
+        lengths = np.asarray(query_lengths, dtype=np.float64)
+        if lengths.shape != errors.shape:
+            raise DataError(
+                f"got {lengths.shape[0]} query lengths for {errors.shape[0]} errors"
+            )
+        errors = errors * 2.0 * lengths
+    return errors
+
+
+def accuracy_percent(
+    system_distances: Sequence[float],
+    exact_distances: Sequence[float],
+    query_lengths: Sequence[int] | None = None,
+) -> float:
+    """``(1 - average(error)) * 100`` — the §6.2.1 accuracy.
+
+    Clamped below at 0 (a pathological system could otherwise go
+    negative, which the percentage scale does not represent).
+    """
+    errors = retrieval_errors(system_distances, exact_distances, query_lengths)
+    return float(max(0.0, (1.0 - errors.mean()) * 100.0))

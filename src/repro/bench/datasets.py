@@ -1,0 +1,107 @@
+"""Per-dataset benchmark configurations.
+
+The paper runs on full-size UCR datasets with a C++ implementation; this
+pure-Python reproduction scales every dataset down by a comparable
+factor so that relative behaviour (who wins, how ratios move with size)
+is preserved while the whole suite stays runnable on a laptop — see
+DESIGN.md §5. Each config fixes the synthetic generator parameters, the
+indexed length grid and the subsequence stride shared by *all* systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import Dataset
+from repro.data.normalize import min_max_normalize_dataset
+from repro.data.synthetic import make_dataset
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scaled-down stand-in for one of the paper's datasets."""
+
+    name: str
+    n_series: int
+    length: int
+    lengths: tuple[int, ...]  # indexed subsequence lengths
+    start_step: int = 1
+    seed: int = 1234
+    st: float = 0.2  # the paper's chosen per-dataset threshold (§6.3)
+    window: float = 0.1
+
+    def query_lengths(self) -> tuple[int, ...]:
+        """Lengths queries are drawn from ("a wide range", §6.2.1)."""
+        return self.lengths
+
+
+#: The six datasets of the main experiments (Fig. 2, 4-8, Tables 1-4).
+BENCH_CONFIGS: dict[str, BenchConfig] = {
+    "ItalyPower": BenchConfig(
+        name="ItalyPower",
+        n_series=30,
+        length=24,
+        lengths=(8, 12, 16, 20, 24),
+    ),
+    "ECG": BenchConfig(
+        name="ECG",
+        n_series=20,
+        length=64,
+        lengths=(16, 24, 32, 40, 48, 64),
+    ),
+    "Face": BenchConfig(
+        name="Face",
+        n_series=16,
+        length=96,
+        lengths=(24, 40, 56, 72, 96),
+        start_step=2,
+    ),
+    "Wafer": BenchConfig(
+        name="Wafer",
+        n_series=16,
+        length=104,
+        lengths=(24, 44, 64, 84, 104),
+        start_step=2,
+    ),
+    "Symbols": BenchConfig(
+        name="Symbols",
+        n_series=12,
+        length=128,
+        lengths=(32, 56, 80, 104, 128),
+        start_step=3,
+    ),
+    "TwoPattern": BenchConfig(
+        name="TwoPattern",
+        n_series=12,
+        length=128,
+        lengths=(32, 56, 80, 104, 128),
+        start_step=3,
+    ),
+}
+
+#: Scalability experiment (Fig. 3): StarLightCurves-like, series length 100.
+#: The paper varies N over 1000..5000; scaled here by 10x (see DESIGN.md).
+STARLIGHT_N_GRID: tuple[int, ...] = (50, 100, 150, 200)
+
+
+def starlight_config(n_series: int) -> BenchConfig:
+    """Config for one point of the Fig. 3 N-sweep."""
+    return BenchConfig(
+        name=f"StarLightCurves-{n_series}",
+        n_series=n_series,
+        length=100,
+        lengths=(40, 70, 100),
+        start_step=10,
+    )
+
+
+def bench_dataset(config: BenchConfig) -> Dataset:
+    """Instantiate and min-max normalize a config's dataset (§6.1)."""
+    base_name = config.name.split("-")[0]
+    dataset = make_dataset(
+        base_name,
+        n_series=config.n_series,
+        length=config.length,
+        seed=config.seed,
+    )
+    return min_max_normalize_dataset(dataset)

@@ -1,0 +1,92 @@
+"""Rendering paper-style tables/series and collecting them for pytest.
+
+Benchmarks register their result tables with the module-level
+:data:`registry`; the ``benchmarks/conftest.py`` hook prints everything
+in the pytest terminal summary (which is never swallowed by output
+capture) and also writes ``benchmarks/results/<name>.txt`` so the rows
+survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an ASCII table with a title rule, suitable for the terminal."""
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ReportRegistry:
+    """Accumulates experiment tables during a benchmark session."""
+
+    _tables: list[tuple[str, str]] = field(default_factory=list)
+    output_dir: str | None = None
+
+    def add_table(
+        self,
+        name: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+    ) -> str:
+        """Register (and return) a rendered table under a unique name."""
+        rendered = format_table(title, headers, rows)
+        self._tables = [(n, t) for n, t in self._tables if n != name]
+        self._tables.append((name, rendered))
+        if self.output_dir:
+            os.makedirs(self.output_dir, exist_ok=True)
+            path = os.path.join(self.output_dir, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+        return rendered
+
+    def render_all(self, write_line: Callable[[str], None]) -> None:
+        """Emit every registered table through ``write_line``."""
+        if not self._tables:
+            return
+        write_line("")
+        write_line("=" * 72)
+        write_line("ONEX reproduction: paper tables and figures (this run)")
+        write_line("=" * 72)
+        for _, rendered in self._tables:
+            write_line("")
+            for line in rendered.splitlines():
+                write_line(line)
+
+    def clear(self) -> None:
+        self._tables.clear()
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+
+#: Shared registry used by the benchmark suite.
+registry = ReportRegistry()

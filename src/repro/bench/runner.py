@@ -1,0 +1,177 @@
+"""Benchmark contexts: shared built systems + cached ground truth.
+
+A :class:`BenchContext` bundles everything one dataset's experiments
+need — the normalized dataset with the workload's holdout removed, the
+built ONEX index, the three prepared baselines, and lazily computed
+exact ground-truth distances (brute-force Standard DTW) for both the
+any-length and same-length retrieval problems.
+
+Contexts are cached per dataset in the process, so the ground truth is
+paid for once even though several benchmark files consume it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import SearchMethod
+from repro.baselines.brute_force import StandardDTW
+from repro.baselines.paa_search import PAASearch
+from repro.baselines.trillion import Trillion
+from repro.bench.datasets import BENCH_CONFIGS, BenchConfig, bench_dataset
+from repro.bench.workloads import Workload, make_workload
+from repro.core.onex import OnexIndex
+from repro.core.query_processor import QueryProcessor
+
+
+@dataclass
+class MethodRun:
+    """Outcome of running the 20-query workload through one system."""
+
+    name: str
+    per_query_seconds: list[float]
+    distances: list[float]  # normalized DTW of each retrieved solution
+
+    @property
+    def mean_seconds(self) -> float:
+        return float(np.mean(self.per_query_seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        return float(np.sum(self.per_query_seconds))
+
+
+@dataclass
+class BenchContext:
+    """All systems and cached results for one benchmark dataset."""
+
+    config: BenchConfig
+    workload: Workload
+    index: OnexIndex
+    brute: StandardDTW
+    paa: PAASearch
+    trillion: Trillion
+    _exact_any: list[float] | None = field(default=None, repr=False)
+    _exact_same: list[float] | None = field(default=None, repr=False)
+    _runs: dict[str, MethodRun] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Ground truth (lazy; this is the expensive part)
+    # ------------------------------------------------------------------
+    @property
+    def exact_any(self) -> list[float]:
+        """Exact any-length best-match distances (brute force)."""
+        if self._exact_any is None:
+            self._exact_any = [
+                self.brute.best_match(q.values).dtw_normalized
+                for q in self.workload.queries
+            ]
+        return self._exact_any
+
+    @property
+    def exact_same(self) -> list[float]:
+        """Exact same-length best-match distances (brute force)."""
+        if self._exact_same is None:
+            self._exact_same = [
+                self.brute.best_match(q.values, length=q.length).dtw_normalized
+                for q in self.workload.queries
+            ]
+        return self._exact_same
+
+    # ------------------------------------------------------------------
+    # Workload runners (cached per system + matching mode)
+    # ------------------------------------------------------------------
+    def run_onex(self, same_length: bool = False) -> MethodRun:
+        """Run all queries through ONEX (Any, or restricted to the query length)."""
+        key = "ONEX-S" if same_length else "ONEX"
+        if key not in self._runs:
+            seconds: list[float] = []
+            distances: list[float] = []
+            for query in self.workload.queries:
+                started = time.perf_counter()
+                matches = self.index.query(
+                    query.values,
+                    length=query.length if same_length else None,
+                )
+                seconds.append(time.perf_counter() - started)
+                distances.append(matches[0].dtw_normalized)
+            self._runs[key] = MethodRun(key, seconds, distances)
+        return self._runs[key]
+
+    def run_baseline(
+        self, method: SearchMethod, same_length: bool = False
+    ) -> MethodRun:
+        """Run all queries through one baseline system."""
+        key = f"{method.name}{'-S' if same_length else ''}"
+        if key not in self._runs:
+            seconds: list[float] = []
+            distances: list[float] = []
+            for query in self.workload.queries:
+                started = time.perf_counter()
+                result = method.best_match(
+                    query.values,
+                    length=query.length if same_length else None,
+                )
+                seconds.append(time.perf_counter() - started)
+                distances.append(result.dtw_normalized)
+            self._runs[key] = MethodRun(key, seconds, distances)
+        return self._runs[key]
+
+    def make_processor(self, **kwargs) -> QueryProcessor:
+        """A query processor over this context's R-Space with overrides.
+
+        Used by the ablation benches to toggle the §5.3 optimizations
+        without rebuilding the base.
+        """
+        defaults = dict(
+            st=self.index.st,
+            window=self.index.window,
+        )
+        defaults.update(kwargs)
+        return QueryProcessor(self.index.rspace, self.index.dataset, **defaults)
+
+
+_CONTEXTS: dict[str, BenchContext] = {}
+
+
+def build_context(config: BenchConfig, workload_seed: int = 99) -> BenchContext:
+    """Construct a context (dataset, workload, index, baselines) for a config."""
+    dataset = bench_dataset(config)
+    workload = make_workload(dataset, config.lengths, seed=workload_seed)
+    index = OnexIndex.build(
+        workload.indexed,
+        st=config.st,
+        lengths=list(config.lengths),
+        start_step=config.start_step,
+        window=config.window,
+        seed=config.seed,
+        normalize=False,  # bench datasets are normalized up front (§6.1)
+    )
+    brute = StandardDTW(window=config.window)
+    paa = PAASearch(window=config.window)
+    trillion = Trillion(window=config.window)
+    for method in (brute, paa, trillion):
+        method.prepare(workload.indexed, config.lengths, start_step=config.start_step)
+    return BenchContext(
+        config=config,
+        workload=workload,
+        index=index,
+        brute=brute,
+        paa=paa,
+        trillion=trillion,
+    )
+
+
+def get_context(name: str) -> BenchContext:
+    """The cached context for one of the paper's datasets."""
+    if name not in _CONTEXTS:
+        _CONTEXTS[name] = build_context(BENCH_CONFIGS[name])
+    return _CONTEXTS[name]
+
+
+def clear_context_cache() -> None:
+    """Drop every cached context (used by tests)."""
+    _CONTEXTS.clear()

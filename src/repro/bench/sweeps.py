@@ -1,0 +1,128 @@
+"""Shared parameter sweeps (cached) behind Figs. 5, 6, 7 and 8.
+
+Fig. 5 (construction time vs ST) and Fig. 6 (number of representatives
+vs ST) read the same threshold sweep; Figs. 7/8 (accuracy vs time
+trade-off) rebuild the index per ST and re-run the query workload. Both
+sweeps cache per dataset so the two bench files that consume each sweep
+only pay for it once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bench.accuracy import accuracy_percent
+from repro.bench.runner import BenchContext, get_context
+from repro.core.onex import OnexIndex
+
+#: The ST grid of Figs. 5/6 (the paper plots 0.1 .. 1.0).
+CONSTRUCTION_ST_GRID: tuple[float, ...] = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: The ST grid of Figs. 7/8 (the paper plots 0.1 .. 0.4).
+TRADEOFF_ST_GRID: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4)
+
+
+@dataclass(frozen=True)
+class ConstructionPoint:
+    """One point of the Fig. 5 / Fig. 6 threshold sweep."""
+
+    st: float
+    build_seconds: float
+    n_representatives: int
+    n_subsequences: int
+    size_mb: float
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the Fig. 7/8 accuracy-vs-time sweep."""
+
+    st: float
+    accuracy: float
+    mean_query_seconds: float
+    build_seconds: float
+
+
+_CONSTRUCTION: dict[str, list[ConstructionPoint]] = {}
+_TRADEOFF: dict[str, list[TradeoffPoint]] = {}
+
+
+def _build_at(context: BenchContext, st: float) -> OnexIndex:
+    """Build a fresh index over the context's data at threshold ``st``."""
+    config = context.config
+    return OnexIndex.build(
+        context.workload.indexed,
+        st=st,
+        lengths=list(config.lengths),
+        start_step=config.start_step,
+        window=config.window,
+        seed=config.seed,
+        normalize=False,
+    )
+
+
+def construction_sweep(
+    dataset: str, st_grid: tuple[float, ...] = CONSTRUCTION_ST_GRID
+) -> list[ConstructionPoint]:
+    """Offline construction sweep over ST (Figs. 5 and 6), cached."""
+    if dataset not in _CONSTRUCTION:
+        context = get_context(dataset)
+        points = []
+        for st in st_grid:
+            index = _build_at(context, st)
+            stats = index.stats()
+            points.append(
+                ConstructionPoint(
+                    st=st,
+                    build_seconds=stats.build_seconds,
+                    n_representatives=stats.n_representatives,
+                    n_subsequences=stats.n_subsequences,
+                    size_mb=stats.size_mb,
+                )
+            )
+        _CONSTRUCTION[dataset] = points
+    return _CONSTRUCTION[dataset]
+
+
+def tradeoff_sweep(
+    dataset: str, st_grid: tuple[float, ...] = TRADEOFF_ST_GRID
+) -> list[TradeoffPoint]:
+    """Accuracy-vs-time sweep over ST (Figs. 7 and 8), cached.
+
+    For each ST the index is rebuilt, the 20-query workload re-run
+    (Match = Any) and accuracy measured against the context's cached
+    any-length ground truth.
+    """
+    if dataset not in _TRADEOFF:
+        context = get_context(dataset)
+        exact = context.exact_any
+        query_lengths = [q.length for q in context.workload.queries]
+        points = []
+        for st in st_grid:
+            index = _build_at(context, st)
+            distances = []
+            seconds = []
+            for query in context.workload.queries:
+                started = time.perf_counter()
+                matches = index.query(query.values)
+                seconds.append(time.perf_counter() - started)
+                distances.append(matches[0].dtw_normalized)
+            points.append(
+                TradeoffPoint(
+                    st=st,
+                    accuracy=accuracy_percent(
+                        distances, exact, query_lengths=query_lengths
+                    ),
+                    mean_query_seconds=sum(seconds) / len(seconds),
+                    build_seconds=index.build_seconds,
+                )
+            )
+        _TRADEOFF[dataset] = points
+    return _TRADEOFF[dataset]
+
+
+def clear_sweep_caches() -> None:
+    """Drop cached sweeps (used by tests)."""
+    _CONSTRUCTION.clear()
+    _TRADEOFF.clear()

@@ -1,0 +1,130 @@
+"""Query workload generation following the paper's §6.2.1 methodology.
+
+Each experiment uses 20 queries per dataset:
+
+* 10 **in-dataset** queries: random subsequences of the indexed series,
+  "promoted" to query sequences;
+* 10 **outside-of-dataset** queries (after Fu et al. [13]): a random
+  series is held out of the dataset before indexing and its
+  subsequences act as queries — the best match exists only as a close,
+  not exact, match.
+
+Query lengths are spread over the indexed grid "to cover a wide range
+from the smallest to the largest length".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One benchmark query: the sample values plus provenance."""
+
+    values: np.ndarray
+    length: int
+    kind: str  # 'in' or 'out'
+    source_series: int
+    source_start: int
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An indexable dataset plus its 20-query workload."""
+
+    indexed: Dataset  # the dataset systems index (holdout removed)
+    holdout_series: int  # index of the removed series in the original
+    queries: tuple[QuerySpec, ...]
+
+    @property
+    def in_queries(self) -> tuple[QuerySpec, ...]:
+        return tuple(q for q in self.queries if q.kind == "in")
+
+    @property
+    def out_queries(self) -> tuple[QuerySpec, ...]:
+        return tuple(q for q in self.queries if q.kind == "out")
+
+
+def _spread_lengths(lengths: Sequence[int], count: int, rng: np.random.Generator) -> list[int]:
+    """``count`` lengths covering the grid from smallest to largest."""
+    lengths = sorted(lengths)
+    picks = [lengths[int(round(i * (len(lengths) - 1) / max(1, count - 1)))] for i in range(count)]
+    rng.shuffle(picks)
+    return picks
+
+
+def _random_subsequence(
+    series_values: np.ndarray, length: int, rng: np.random.Generator
+) -> int:
+    max_start = series_values.shape[0] - length
+    if max_start < 0:
+        raise DataError(
+            f"series of length {series_values.shape[0]} cannot host a "
+            f"query of length {length}"
+        )
+    return int(rng.integers(0, max_start + 1))
+
+
+def make_workload(
+    dataset: Dataset,
+    lengths: Sequence[int],
+    n_in: int = 10,
+    n_out: int = 10,
+    seed: int = 99,
+) -> Workload:
+    """Build the §6.2.1 workload for an (already normalized) dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Normalized dataset; one random series is held out for the
+        out-of-dataset queries and the rest become ``Workload.indexed``.
+    lengths:
+        The indexed length grid queries are drawn from.
+    n_in / n_out:
+        Number of in-dataset and held-out queries (paper: 10 + 10).
+    seed:
+        RNG seed so every system sees the identical workload.
+    """
+    if len(dataset) < 2:
+        raise DataError("workload generation requires at least two series")
+    rng = np.random.default_rng(seed)
+    holdout = int(rng.integers(0, len(dataset)))
+    indexed = dataset.without_series(holdout)
+
+    queries: list[QuerySpec] = []
+    for length in _spread_lengths(lengths, n_in, rng):
+        series_index = int(rng.integers(0, len(indexed)))
+        values = indexed[series_index].values
+        start = _random_subsequence(values, length, rng)
+        queries.append(
+            QuerySpec(
+                values=values[start : start + length].copy(),
+                length=length,
+                kind="in",
+                source_series=series_index,
+                source_start=start,
+            )
+        )
+    holdout_values = dataset[holdout].values
+    for length in _spread_lengths(lengths, n_out, rng):
+        start = _random_subsequence(holdout_values, length, rng)
+        queries.append(
+            QuerySpec(
+                values=holdout_values[start : start + length].copy(),
+                length=length,
+                kind="out",
+                source_series=holdout,
+                source_start=start,
+            )
+        )
+    return Workload(
+        indexed=indexed, holdout_series=holdout, queries=tuple(queries)
+    )

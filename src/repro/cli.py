@@ -1,0 +1,283 @@
+"""``onex`` — command-line interface for interactive time series exploration.
+
+Subcommands mirror the ONEX lifecycle:
+
+* ``onex datasets`` — list the built-in synthetic datasets;
+* ``onex build`` — run the one-time preprocessing and save an index;
+* ``onex info`` — show a saved index's statistics (Table 4 columns);
+* ``onex query`` — Class I similarity query (best match / within ST);
+* ``onex seasonal`` — Class II seasonal similarity query;
+* ``onex recommend`` — Class III threshold recommendation;
+* ``onex ql`` — run a query written in the paper's query language.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.onex import OnexIndex
+from repro.core.results import Match, SeasonalResult, ThresholdRecommendation
+from repro.data.loader import load_ucr_file
+from repro.data.synthetic import DATASET_GENERATORS, make_dataset
+from repro.exceptions import OnexError
+from repro.query.executor import QueryExecutor
+
+
+def _read_sequence_file(path: str) -> np.ndarray:
+    """Read a query sequence from a one-column (or comma-separated) file."""
+    values: list[float] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            for field in line.replace(",", " ").split():
+                values.append(float(field))
+    return np.asarray(values, dtype=np.float64)
+
+
+def _resolve_query_values(index: OnexIndex, args: argparse.Namespace) -> np.ndarray:
+    """Build the query sequence from --csv or --series/--start/--length."""
+    if args.csv:
+        return index.normalize_query(_read_sequence_file(args.csv))
+    if args.series is None:
+        raise OnexError("provide either --csv FILE or --series INDEX")
+    series = index.dataset[args.series]
+    start = args.start or 0
+    length = args.length or (len(series) - start)
+    return series.subsequence(start, length)
+
+
+def _print_matches(matches: Sequence[Match]) -> None:
+    if not matches:
+        print("no matches")
+        return
+    print(f"{'rank':>4}  {'subsequence':20} {'DTW':>10} {'DTW/2n':>10} {'group':>12}")
+    for rank, match in enumerate(matches, start=1):
+        group = f"G{match.group[0]}.{match.group[1]}"
+        print(
+            f"{rank:>4}  {str(match.ssid):20} {match.dtw:>10.5f} "
+            f"{match.dtw_normalized:>10.5f} {group:>12}"
+        )
+
+
+def _print_seasonal(result: SeasonalResult) -> None:
+    scope = "data-driven" if result.series is None else f"series X{result.series}"
+    print(
+        f"seasonal similarity at length {result.length} ({scope}): "
+        f"{len(result)} cluster(s), {result.n_subsequences} subsequence(s)"
+    )
+    for group in result:
+        members = ", ".join(str(ssid) for ssid in group.members[:8])
+        suffix = " ..." if len(group.members) > 8 else ""
+        print(f"  group {group.group_index}: {len(group)} members: {members}{suffix}")
+
+
+def _print_recommendations(recs: Sequence[ThresholdRecommendation]) -> None:
+    names = {"S": "Strict", "M": "Medium", "L": "Loose"}
+    for rec in recs:
+        scope = "global" if rec.length is None else f"length {rec.length}"
+        high = "inf" if rec.high == float("inf") else f"{rec.high:.4f}"
+        print(f"  {names[rec.degree]:6} ({scope}): ST in [{rec.low:.4f}, {high})")
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers
+# ----------------------------------------------------------------------
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    print("built-in synthetic datasets (UCR substitutes):")
+    for name in DATASET_GENERATORS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.ucr_file:
+        dataset = load_ucr_file(args.ucr_file, name=args.dataset or "")
+    else:
+        if not args.dataset:
+            raise OnexError("provide --dataset NAME or --ucr-file FILE")
+        kwargs = {}
+        if args.n_series:
+            kwargs["n_series"] = args.n_series
+        if args.series_length:
+            kwargs["length"] = args.series_length
+        dataset = make_dataset(args.dataset, seed=args.seed, **kwargs)
+    lengths: object = None
+    if args.all_lengths:
+        lengths = "all"
+    index = OnexIndex.build(
+        dataset,
+        st=args.st,
+        lengths=lengths,
+        start_step=args.start_step,
+        window=args.window,
+        seed=args.seed,
+    )
+    index.save(args.out)
+    stats = index.stats()
+    print(
+        f"built ONEX base for {stats.dataset!r}: {stats.n_representatives} "
+        f"representatives over {stats.n_subsequences} subsequences "
+        f"({stats.size_mb:.3f} MB, {stats.build_seconds:.2f}s)"
+    )
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = OnexIndex.load(args.index)
+    stats = index.stats()
+    print(f"dataset:         {stats.dataset}")
+    print(f"series:          {stats.n_series}")
+    print(f"threshold (ST):  {stats.st}")
+    print(f"lengths:         {index.rspace.lengths}")
+    print(f"groups:          {stats.n_groups}")
+    print(f"representatives: {stats.n_representatives}")
+    print(f"subsequences:    {stats.n_subsequences}")
+    print(f"index size:      {stats.size_mb:.3f} MB "
+          f"(GTI {stats.gti_mb:.3f} + LSI {stats.lsi_mb:.3f})")
+    print(f"ST_half/ST_final (global): {index.spspace.st_half:.4f} / "
+          f"{index.spspace.st_final:.4f}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = OnexIndex.load(args.index)
+    values = _resolve_query_values(index, args)
+    if args.within is not None:
+        matches = index.within(values, st=args.within, length=args.exact)
+    else:
+        matches = index.query(values, length=args.exact, k=args.k)
+    _print_matches(matches)
+    return 0
+
+
+def _cmd_seasonal(args: argparse.Namespace) -> int:
+    index = OnexIndex.load(args.index)
+    result = index.seasonal(args.length, series=args.series)
+    _print_seasonal(result)
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    index = OnexIndex.load(args.index)
+    recs = index.recommend(degree=args.degree, length=args.length)
+    scope = "global" if args.length is None else f"length {args.length}"
+    print(f"threshold recommendations ({scope}):")
+    _print_recommendations(recs)
+    return 0
+
+
+def _cmd_ql(args: argparse.Namespace) -> int:
+    index = OnexIndex.load(args.index)
+    executor = QueryExecutor(index)
+    for spec in args.seq or []:
+        name, _, path = spec.partition("=")
+        if not path:
+            raise OnexError(f"--seq expects NAME=FILE, got {spec!r}")
+        executor.register_sequence(name, _read_sequence_file(path))
+    result = executor.execute(args.query)
+    if isinstance(result, SeasonalResult):
+        _print_seasonal(result)
+    elif result and isinstance(result[0], ThresholdRecommendation):
+        _print_recommendations(result)  # type: ignore[arg-type]
+    else:
+        _print_matches(result)  # type: ignore[arg-type]
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="onex",
+        description="ONEX: interactive time series exploration (VLDB 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list built-in synthetic datasets").set_defaults(
+        handler=_cmd_datasets
+    )
+
+    p_build = sub.add_parser("build", help="build and save an ONEX base")
+    p_build.add_argument("--dataset", help="synthetic dataset name")
+    p_build.add_argument("--ucr-file", help="UCR-format text file to index instead")
+    p_build.add_argument("--n-series", type=int, help="series count (synthetic)")
+    p_build.add_argument(
+        "--series-length", type=int, help="series length (synthetic)"
+    )
+    p_build.add_argument("--st", type=float, default=0.2, help="similarity threshold")
+    p_build.add_argument(
+        "--window", type=float, default=0.1, help="DTW band as fraction of length"
+    )
+    p_build.add_argument("--start-step", type=int, default=1)
+    p_build.add_argument(
+        "--all-lengths",
+        action="store_true",
+        help="index every length (the paper's full decomposition)",
+    )
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--out", required=True, help="output .npz path")
+    p_build.set_defaults(handler=_cmd_build)
+
+    p_info = sub.add_parser("info", help="describe a saved index")
+    p_info.add_argument("index")
+    p_info.set_defaults(handler=_cmd_info)
+
+    p_query = sub.add_parser("query", help="similarity query (Q1)")
+    p_query.add_argument("index")
+    p_query.add_argument("--csv", help="file with the sample sequence values")
+    p_query.add_argument("--series", type=int, help="use a dataset series as sample")
+    p_query.add_argument("--start", type=int, default=0)
+    p_query.add_argument("--length", type=int)
+    p_query.add_argument("--k", type=int, default=1)
+    p_query.add_argument(
+        "--exact", type=int, default=None, help="MATCH = Exact(L) instead of Any"
+    )
+    p_query.add_argument(
+        "--within", type=float, default=None, help="range form: Sim <= ST"
+    )
+    p_query.set_defaults(handler=_cmd_query)
+
+    p_seasonal = sub.add_parser("seasonal", help="seasonal similarity query (Q2)")
+    p_seasonal.add_argument("index")
+    p_seasonal.add_argument("--length", type=int, required=True)
+    p_seasonal.add_argument("--series", type=int, default=None)
+    p_seasonal.set_defaults(handler=_cmd_seasonal)
+
+    p_rec = sub.add_parser("recommend", help="threshold recommendation (Q3)")
+    p_rec.add_argument("index")
+    p_rec.add_argument("--degree", choices=["S", "M", "L"], default=None)
+    p_rec.add_argument("--length", type=int, default=None)
+    p_rec.set_defaults(handler=_cmd_recommend)
+
+    p_ql = sub.add_parser("ql", help="run a query in the paper's query language")
+    p_ql.add_argument("index")
+    p_ql.add_argument("query", help='e.g. "OUTPUT X FROM D WHERE seq = X0 MATCH = Any"')
+    p_ql.add_argument(
+        "--seq",
+        action="append",
+        metavar="NAME=FILE",
+        help="register a sample sequence from a file",
+    )
+    p_ql.set_defaults(handler=_cmd_ql)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``onex`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except OnexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

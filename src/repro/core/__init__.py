@@ -1,0 +1,29 @@
+"""The ONEX core: similarity groups, R-Space, indexes and query processing."""
+
+from repro.core.group import SimilarityGroup
+from repro.core.grouping import build_groups_for_length
+from repro.core.rspace import LengthBucket, RSpace
+from repro.core.spspace import SPSpace, SimilarityDegree
+from repro.core.results import (
+    BaseStats,
+    Match,
+    SeasonalGroup,
+    SeasonalResult,
+    ThresholdRecommendation,
+)
+from repro.core.onex import OnexIndex
+
+__all__ = [
+    "SimilarityGroup",
+    "build_groups_for_length",
+    "LengthBucket",
+    "RSpace",
+    "SPSpace",
+    "SimilarityDegree",
+    "BaseStats",
+    "Match",
+    "SeasonalGroup",
+    "SeasonalResult",
+    "ThresholdRecommendation",
+    "OnexIndex",
+]

@@ -1,0 +1,185 @@
+"""ONEX similarity groups (paper Definition 8).
+
+A group collects same-length subsequences whose normalized ED to the
+group's *representative* — the running point-wise average of its members
+(Definition 7) — is at most ``ST/2``. Lemma 1 then guarantees every pair
+of members is within ``ST`` of each other.
+
+During construction the group is mutable (members stream in, the mean
+updates incrementally); :meth:`SimilarityGroup.finalize` freezes it and
+computes the Local Sequence Index payload: member→representative EDs
+sorted ascending, plus the representative's LB_Keogh envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.timeseries import SubsequenceId
+from repro.distances.lower_bounds import Envelope, envelope
+from repro.exceptions import IndexConstructionError
+
+
+class SimilarityGroup:
+    """One ONEX similarity group ``G^i_k`` of subsequences of length ``i``.
+
+    Parameters
+    ----------
+    length:
+        Common length ``i`` of every member.
+    seed_id, seed_values:
+        The first subsequence, which also becomes the initial
+        representative (Algorithm 1, lines 7-10).
+    """
+
+    __slots__ = (
+        "length",
+        "_ids",
+        "_sum",
+        "_finalized",
+        "member_ids",
+        "ed_to_rep",
+        "_representative",
+        "_envelope",
+    )
+
+    def __init__(
+        self, length: int, seed_id: SubsequenceId, seed_values: np.ndarray
+    ) -> None:
+        if seed_values.shape[0] != length:
+            raise IndexConstructionError(
+                f"seed subsequence has length {seed_values.shape[0]}, expected {length}"
+            )
+        self.length = int(length)
+        self._ids: list[SubsequenceId] = [seed_id]
+        self._sum = seed_values.astype(np.float64).copy()
+        self._finalized = False
+        # Populated by finalize():
+        self.member_ids: tuple[SubsequenceId, ...] = ()
+        self.ed_to_rep: np.ndarray | None = None
+        self._representative: np.ndarray | None = None
+        self._envelope: Envelope | None = None
+
+    # ------------------------------------------------------------------
+    # Construction phase
+    # ------------------------------------------------------------------
+    def add(self, ssid: SubsequenceId, values: np.ndarray) -> None:
+        """Add a member and update the running mean (Algorithm 1, line 17)."""
+        if self._finalized:
+            raise IndexConstructionError("cannot add members to a finalized group")
+        self._ids.append(ssid)
+        self._sum += values
+
+    @property
+    def count(self) -> int:
+        """Number of member subsequences."""
+        return len(self._ids)
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def representative(self) -> np.ndarray:
+        """Point-wise average of the members (paper Definition 7)."""
+        if self._finalized:
+            assert self._representative is not None
+            return self._representative
+        return self._sum / self.count
+
+    # ------------------------------------------------------------------
+    # Finalization: freeze and build the LSI payload
+    # ------------------------------------------------------------------
+    def finalize(self, member_values: Sequence[np.ndarray], envelope_radius: int) -> None:
+        """Freeze the group and index its members.
+
+        Parameters
+        ----------
+        member_values:
+            Values of each member in the same order as they were added.
+        envelope_radius:
+            LB_Keogh band radius for the representative's envelope (§4.3:
+            LSI stores "envelopes around each representative").
+        """
+        if self._finalized:
+            raise IndexConstructionError("group is already finalized")
+        if len(member_values) != self.count:
+            raise IndexConstructionError(
+                f"got {len(member_values)} member value arrays for {self.count} members"
+            )
+        representative = self._sum / self.count
+        distances = np.array(
+            [float(np.linalg.norm(values - representative)) for values in member_values]
+        )
+        order = np.argsort(distances, kind="stable")
+        self.member_ids = tuple(self._ids[i] for i in order)
+        self.ed_to_rep = distances[order]
+        self._representative = representative
+        self._representative.setflags(write=False)
+        self._envelope = envelope(representative, envelope_radius)
+        self._finalized = True
+
+    @property
+    def is_finalized(self) -> bool:
+        return self._finalized
+
+    @classmethod
+    def restore(
+        cls,
+        length: int,
+        member_ids: Sequence[SubsequenceId],
+        ed_to_rep: np.ndarray,
+        representative: np.ndarray,
+        envelope_radius: int,
+    ) -> "SimilarityGroup":
+        """Rebuild a finalized group from persisted arrays.
+
+        ``member_ids``/``ed_to_rep`` must already be in ascending-ED
+        order (the order :meth:`finalize` produced before saving).
+        """
+        if len(member_ids) == 0:
+            raise IndexConstructionError("cannot restore an empty group")
+        if len(member_ids) != len(ed_to_rep):
+            raise IndexConstructionError(
+                f"{len(member_ids)} member ids but {len(ed_to_rep)} distances"
+            )
+        representative = np.asarray(representative, dtype=np.float64)
+        group = cls.__new__(cls)
+        group.length = int(length)
+        group._ids = list(member_ids)
+        group._sum = representative * len(member_ids)
+        group.member_ids = tuple(member_ids)
+        group.ed_to_rep = np.asarray(ed_to_rep, dtype=np.float64)
+        rep_copy = representative.copy()
+        rep_copy.setflags(write=False)
+        group._representative = rep_copy
+        group._envelope = envelope(rep_copy, envelope_radius)
+        group._finalized = True
+        return group
+
+    @property
+    def rep_envelope(self) -> Envelope:
+        """The representative's LB_Keogh envelope (available once finalized)."""
+        if self._envelope is None:
+            raise IndexConstructionError("group has not been finalized")
+        return self._envelope
+
+    # ------------------------------------------------------------------
+    # Lookup helpers used by the query processor
+    # ------------------------------------------------------------------
+    def normalized_ed_to_rep(self) -> np.ndarray:
+        """Member distances to the representative on the normalized scale."""
+        if self.ed_to_rep is None:
+            raise IndexConstructionError("group has not been finalized")
+        return self.ed_to_rep / math.sqrt(self.length)
+
+    def members_of_series(self, series: int) -> tuple[SubsequenceId, ...]:
+        """Members drawn from one particular parent series."""
+        source = self.member_ids if self._finalized else tuple(self._ids)
+        return tuple(ssid for ssid in source if ssid.series == series)
+
+    def __repr__(self) -> str:
+        state = "finalized" if self._finalized else "building"
+        return f"<SimilarityGroup L={self.length} members={self.count} ({state})>"

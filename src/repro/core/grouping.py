@@ -1,0 +1,172 @@
+"""Construction of similarity groups for one length — paper Algorithm 1.
+
+The subsequences of a given length are visited in random order
+(RANDOMIZE-IN-PLACE, i.e. a seeded Fisher-Yates shuffle, removing
+data-order bias). Each subsequence is compared against every current
+representative at once (a vectorized ED against the representative
+matrix); if the closest representative lies within ``sqrt(L) * ST / 2``
+the subsequence joins that group and the running mean updates, otherwise
+the subsequence seeds a new group and becomes its representative.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.group import SimilarityGroup
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId
+from repro.exceptions import IndexConstructionError, ThresholdError
+
+
+class _RepresentativeMatrix:
+    """Growable matrix of current representatives, one row per group.
+
+    Rows are kept in sync with the groups' running means so the
+    vectorized nearest-representative search always sees fresh values.
+    """
+
+    def __init__(self, length: int, capacity: int = 16) -> None:
+        self._matrix = np.empty((capacity, length))
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def view(self) -> np.ndarray:
+        return self._matrix[: self._count]
+
+    def append(self, representative: np.ndarray) -> None:
+        if self._count == self._matrix.shape[0]:
+            grown = np.empty((self._matrix.shape[0] * 2, self._matrix.shape[1]))
+            grown[: self._count] = self._matrix[: self._count]
+            self._matrix = grown
+        self._matrix[self._count] = representative
+        self._count += 1
+
+    def update(self, index: int, representative: np.ndarray) -> None:
+        self._matrix[index] = representative
+
+
+def build_groups_for_length(
+    dataset: Dataset,
+    length: int,
+    st: float,
+    rng: np.random.Generator,
+    start_step: int = 1,
+    envelope_radius: int | None = None,
+) -> list[SimilarityGroup]:
+    """Run Algorithm 1 for one subsequence length.
+
+    Parameters
+    ----------
+    dataset:
+        The (already normalized) dataset to decompose.
+    length:
+        Subsequence length ``L``.
+    st:
+        Similarity threshold on the normalized-ED scale; the raw-ED group
+        admission test is ``ED <= sqrt(L) * st / 2`` (Algorithm 1 line 15).
+    rng:
+        Source of the Fisher-Yates shuffle (lines 3).
+    start_step:
+        Stride over starting positions (1 = every subsequence, as in the
+        paper; larger values trade fidelity for build speed).
+    envelope_radius:
+        LB_Keogh radius stored with each representative; defaults to 10%
+        of the length.
+
+    Returns
+    -------
+    list[SimilarityGroup]
+        Finalized groups covering every enumerated subsequence exactly once.
+    """
+    if st <= 0 or not math.isfinite(st):
+        raise ThresholdError(st)
+    if envelope_radius is None:
+        envelope_radius = max(1, length // 10)
+
+    entries = list(dataset.subsequences(length, start_step=start_step))
+    if not entries:
+        raise IndexConstructionError(
+            f"dataset {dataset.name!r} has no subsequences of length {length}"
+        )
+    # RANDOMIZE-IN-PLACE: visit entries in a seeded Fisher-Yates order.
+    entries = [entries[i] for i in rng.permutation(len(entries))]
+
+    threshold = math.sqrt(length) * st / 2.0
+    groups: list[SimilarityGroup] = []
+    reps = _RepresentativeMatrix(length)
+    membership: list[list[int]] = []  # per group: indices into `entries`
+
+    for entry_index, (ssid, values) in enumerate(entries):
+        if reps.count == 0:
+            groups.append(SimilarityGroup(length, ssid, values))
+            reps.append(values)
+            membership.append([entry_index])
+            continue
+        diff = reps.view() - values
+        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        nearest = int(np.argmin(distances))
+        if distances[nearest] <= threshold:
+            groups[nearest].add(ssid, values)
+            membership[nearest].append(entry_index)
+            reps.update(nearest, groups[nearest].representative)
+        else:
+            groups.append(SimilarityGroup(length, ssid, values))
+            reps.append(values)
+            membership.append([entry_index])
+
+    for group, member_rows in zip(groups, membership):
+        group.finalize(
+            [entries[row][1] for row in member_rows], envelope_radius=envelope_radius
+        )
+    return groups
+
+
+def regroup_members(
+    members: list[tuple[SubsequenceId, np.ndarray]],
+    length: int,
+    st: float,
+    rng: np.random.Generator,
+    envelope_radius: int | None = None,
+) -> list[SimilarityGroup]:
+    """Re-cluster an explicit member list with a (smaller) threshold.
+
+    Used by Algorithm 2.C's *split* case (``ST' < ST``): each existing
+    group's members are re-grouped with the same methodology as the
+    original construction (§5.2 case 2).
+    """
+    if not members:
+        raise IndexConstructionError("cannot regroup an empty member list")
+    if envelope_radius is None:
+        envelope_radius = max(1, length // 10)
+    shuffled = [members[i] for i in rng.permutation(len(members))]
+    threshold = math.sqrt(length) * st / 2.0
+
+    groups: list[SimilarityGroup] = []
+    reps = _RepresentativeMatrix(length)
+    values_per_group: list[list[np.ndarray]] = []
+    for ssid, values in shuffled:
+        if reps.count == 0:
+            groups.append(SimilarityGroup(length, ssid, values))
+            reps.append(values)
+            values_per_group.append([values])
+            continue
+        diff = reps.view() - values
+        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        nearest = int(np.argmin(distances))
+        if distances[nearest] <= threshold:
+            groups[nearest].add(ssid, values)
+            values_per_group[nearest].append(values)
+            reps.update(nearest, groups[nearest].representative)
+        else:
+            groups.append(SimilarityGroup(length, ssid, values))
+            reps.append(values)
+            values_per_group.append([values])
+    for group, values_list in zip(groups, values_per_group):
+        group.finalize(values_list, envelope_radius=envelope_radius)
+    return groups

@@ -1,0 +1,131 @@
+"""Alternative group construction: radius-constrained k-means.
+
+The paper's tech report discusses alternative clustering methods for
+the ONEX base. This module provides the natural candidate: Lloyd's
+k-means over the subsequences of one length, grown (bisecting-style)
+until every cluster satisfies Definition 8's radius requirement —
+``ED(member, centroid) <= sqrt(L) * ST / 2``. The centroid *is* the
+point-wise mean, so the result is a drop-in set of
+:class:`~repro.core.group.SimilarityGroup` objects with exactly the
+paper's representative semantics (Def. 7).
+
+Compared with Algorithm 1's single-pass incremental grouping:
+
+* pro — assignments are globally refined, so groups are rounder and the
+  radius invariant holds *exactly* (no running-mean drift);
+* con — several passes over the data per length, so construction is
+  slower (quantified by ``benchmarks/bench_ablation_grouping.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.group import SimilarityGroup
+from repro.data.dataset import Dataset
+from repro.exceptions import IndexConstructionError, ThresholdError
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid for every point (vectorized)."""
+    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2; the ||p||^2 term is
+    # constant per point and can be dropped for argmin purposes.
+    cross = points @ centroids.T
+    c_norms = np.einsum("ij,ij->i", centroids, centroids)
+    return np.argmin(c_norms[None, :] - 2.0 * cross, axis=1)
+
+
+def _lloyd(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    max_iter: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classic Lloyd iterations; returns (centroids, assignment)."""
+    assignment = _assign(points, centroids)
+    for _ in range(max_iter):
+        updated = []
+        for index in range(centroids.shape[0]):
+            members = points[assignment == index]
+            if members.shape[0] == 0:
+                continue  # drop empty clusters
+            updated.append(members.mean(axis=0))
+        centroids = np.stack(updated)
+        new_assignment = _assign(points, centroids)
+        if np.array_equal(new_assignment, assignment) and centroids.shape[0] == len(
+            updated
+        ):
+            assignment = new_assignment
+            break
+        assignment = new_assignment
+    return centroids, assignment
+
+
+def build_groups_kmeans(
+    dataset: Dataset,
+    length: int,
+    st: float,
+    rng: np.random.Generator,
+    start_step: int = 1,
+    envelope_radius: int | None = None,
+    max_iter: int = 10,
+) -> list[SimilarityGroup]:
+    """Radius-constrained k-means grouping for one subsequence length.
+
+    Starts from a single cluster and repeatedly splits any cluster
+    violating the ``sqrt(L) * ST / 2`` radius (seeding a new centroid at
+    the violating cluster's farthest member) until Definition 8 holds
+    for every group. Terminates because each round adds at least one
+    centroid and ``k`` is bounded by the number of subsequences.
+    """
+    if st <= 0 or not math.isfinite(st):
+        raise ThresholdError(st)
+    if envelope_radius is None:
+        envelope_radius = max(1, length // 10)
+
+    entries = list(dataset.subsequences(length, start_step=start_step))
+    if not entries:
+        raise IndexConstructionError(
+            f"dataset {dataset.name!r} has no subsequences of length {length}"
+        )
+    points = np.stack([values for _, values in entries])
+    threshold = math.sqrt(length) * st / 2.0
+
+    seed = int(rng.integers(0, points.shape[0]))
+    centroids = points[seed : seed + 1].copy()
+    assignment = np.zeros(points.shape[0], dtype=int)
+    for _ in range(points.shape[0]):
+        centroids, assignment = _lloyd(points, centroids, max_iter)
+        distances = np.linalg.norm(points - centroids[assignment], axis=1)
+        fresh: list[np.ndarray] = []
+        for index in range(centroids.shape[0]):
+            mask = assignment == index
+            if not mask.any():
+                continue
+            cluster_distances = np.where(mask, distances, -np.inf)
+            worst = int(np.argmax(cluster_distances))
+            if cluster_distances[worst] > threshold:
+                fresh.append(points[worst].copy())
+        if not fresh:
+            break
+        centroids = np.vstack([centroids, np.stack(fresh)])
+    else:  # pragma: no cover - the split loop is bounded by n
+        raise IndexConstructionError("k-means radius enforcement did not converge")
+
+    groups: list[SimilarityGroup] = []
+    for index in range(centroids.shape[0]):
+        member_rows = np.flatnonzero(assignment == index)
+        if member_rows.size == 0:
+            continue
+        first = int(member_rows[0])
+        group = SimilarityGroup(length, entries[first][0], entries[first][1])
+        for row in member_rows[1:]:
+            ssid, values = entries[int(row)]
+            group.add(ssid, values)
+        group.finalize(
+            [entries[int(row)][1] for row in member_rows],
+            envelope_radius=envelope_radius,
+        )
+        groups.append(group)
+    return groups

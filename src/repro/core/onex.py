@@ -1,0 +1,330 @@
+"""The :class:`OnexIndex` facade: one object for the whole ONEX lifecycle.
+
+``OnexIndex.build`` runs the one-time preprocessing step of the paper:
+normalize the dataset, decompose it into subsequences of the configured
+lengths, construct the similarity groups per length (Algorithm 1),
+assemble the R-Space with its GTI payloads, and compute the SP-Space.
+The resulting object answers the paper's three online query classes:
+
+* :meth:`query` / :meth:`within` — Class I similarity queries (Q1),
+* :meth:`seasonal` — Class II seasonal similarity queries (Q2),
+* :meth:`recommend` — Class III threshold recommendations (Q3),
+
+plus :meth:`with_threshold` (Algorithm 2.C threshold adaptation without
+rebuilding), :meth:`stats` (Table 4's accounting) and save/load.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.grouping import build_groups_for_length
+from repro.core.query_processor import QueryProcessor
+from repro.core.results import BaseStats, Match, SeasonalResult, ThresholdRecommendation
+from repro.core.rspace import LengthBucket, RSpace
+from repro.core.sizing import measure_rspace
+from repro.core.spspace import SimilarityDegree, SPSpace
+from repro.core.threshold import adapt_bucket
+from repro.data.dataset import Dataset
+from repro.data.normalize import min_max_normalize
+from repro.exceptions import QueryError, ThresholdError
+from repro.utils.validation import as_float_array, check_lengths
+
+_DEFAULT_N_LENGTHS = 8
+
+
+def default_length_grid(dataset: Dataset, n_lengths: int = _DEFAULT_N_LENGTHS) -> list[int]:
+    """A practical grid of subsequence lengths for a dataset.
+
+    The paper indexes *all* lengths; for interactive rebuild times this
+    default covers the range ``[max(4, n/8), n]`` with ``n_lengths``
+    evenly spaced values (``n`` = shortest series). Pass
+    ``lengths="all"`` to :meth:`OnexIndex.build` for the paper's full
+    decomposition.
+    """
+    top = dataset.min_length
+    bottom = max(4, top // 8)
+    if top - bottom + 1 <= n_lengths:
+        return list(range(bottom, top + 1))
+    grid = np.linspace(bottom, top, n_lengths).round().astype(int)
+    return sorted(set(int(value) for value in grid))
+
+
+class OnexIndex:
+    """A built ONEX base over one dataset. Use :meth:`build` to create one."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        rspace: RSpace,
+        spspace: SPSpace,
+        st: float,
+        window: int | float | None,
+        start_step: int,
+        value_range: tuple[float, float],
+        build_seconds: float = 0.0,
+        group_search_width: int | None = None,
+    ) -> None:
+        self.dataset = dataset  # normalized
+        self.rspace = rspace
+        self.spspace = spspace
+        self.st = float(st)
+        self.window = window
+        self.start_step = int(start_step)
+        self.value_range = (float(value_range[0]), float(value_range[1]))
+        self.build_seconds = float(build_seconds)
+        self.processor = QueryProcessor(
+            rspace,
+            dataset,
+            st=self.st,
+            window=window,
+            group_search_width=group_search_width,
+        )
+
+    # ------------------------------------------------------------------
+    # Offline construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        st: float = 0.2,
+        lengths: Sequence[int] | str | None = None,
+        start_step: int = 1,
+        window: int | float | None = 0.1,
+        seed: int | None = 0,
+        normalize: bool = True,
+        group_search_width: int | None = None,
+        grouping: str = "incremental",
+    ) -> "OnexIndex":
+        """Run the one-time ONEX preprocessing step (§4.1).
+
+        Parameters
+        ----------
+        dataset:
+            Input time series collection.
+        st:
+            Similarity threshold on the normalized-distance scale
+            (the paper's experiments use ~0.2).
+        lengths:
+            Subsequence lengths to index: an explicit list, the string
+            ``"all"`` for every length from 2 to the shortest series
+            (the paper's full decomposition), or ``None`` for the
+            default grid of :func:`default_length_grid`.
+        start_step:
+            Stride over subsequence starting positions (1 = all).
+        window:
+            DTW band used online (fraction of length, absolute int, or
+            ``None`` for unconstrained).
+        seed:
+            Seed for the construction-order shuffles.
+        normalize:
+            Apply the paper's dataset-global min-max normalization
+            before indexing (§6.1). Disable only if the data is already
+            on a common scale.
+        group_search_width:
+            Online in-group search width (``None`` = exhaustive in the
+            selected group).
+        grouping:
+            Group-construction strategy: ``"incremental"`` (the paper's
+            Algorithm 1, default) or ``"kmeans"`` (radius-constrained
+            k-means; the tech report's alternative-clustering avenue —
+            see :mod:`repro.core.grouping_kmeans`).
+        """
+        if st <= 0 or not math.isfinite(st):
+            raise ThresholdError(st)
+        value_range = dataset.value_range
+        if normalize:
+            minimum, maximum = value_range
+            dataset = dataset.map(
+                lambda values: min_max_normalize(values, minimum, maximum)
+            )
+        if lengths is None:
+            grid = default_length_grid(dataset)
+        elif isinstance(lengths, str):
+            if lengths.lower() != "all":
+                raise QueryError(f"unknown lengths spec {lengths!r}; use 'all'")
+            grid = dataset.default_lengths()
+        else:
+            grid = check_lengths(lengths, dataset.min_length)
+
+        if grouping == "incremental":
+            builder = build_groups_for_length
+        elif grouping == "kmeans":
+            from repro.core.grouping_kmeans import build_groups_kmeans
+
+            builder = build_groups_kmeans
+        else:
+            raise QueryError(
+                f"unknown grouping strategy {grouping!r}; "
+                "use 'incremental' or 'kmeans'"
+            )
+        rng = np.random.default_rng(seed)
+        started = time.perf_counter()
+        buckets: dict[int, LengthBucket] = {}
+        for length in grid:
+            groups = builder(dataset, length, st, rng, start_step=start_step)
+            buckets[length] = LengthBucket(length=length, groups=groups)
+        rspace = RSpace(buckets)
+        spspace = SPSpace(rspace, st)
+        build_seconds = time.perf_counter() - started
+        return cls(
+            dataset=dataset,
+            rspace=rspace,
+            spspace=spspace,
+            st=st,
+            window=window,
+            start_step=start_step,
+            value_range=value_range,
+            build_seconds=build_seconds,
+            group_search_width=group_search_width,
+        )
+
+    # ------------------------------------------------------------------
+    # Query normalization helper
+    # ------------------------------------------------------------------
+    def normalize_query(self, query: np.ndarray) -> np.ndarray:
+        """Map a raw-scale query onto the index's normalized scale."""
+        query = as_float_array(query, "query")
+        minimum, maximum = self.value_range
+        return min_max_normalize(query, minimum, maximum)
+
+    # ------------------------------------------------------------------
+    # Class I: similarity queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: np.ndarray,
+        length: int | None = None,
+        k: int = 1,
+        normalized: bool = True,
+        stop_at_half_st: bool = True,
+    ) -> list[Match]:
+        """Find the best match(es) for a sample sequence (Q1).
+
+        ``length=None`` is ``Match = Any``; an integer is
+        ``Match = Exact(length)``. Set ``normalized=False`` when the
+        query is on the original (pre-normalization) scale.
+        """
+        query = as_float_array(query, "query")
+        if not normalized:
+            query = self.normalize_query(query)
+        return self.processor.best_match(
+            query, length=length, k=k, stop_at_half_st=stop_at_half_st
+        )
+
+    def within(
+        self,
+        query: np.ndarray,
+        st: float | None = None,
+        length: int | None = None,
+        normalized: bool = True,
+        refine: bool = True,
+    ) -> list[Match]:
+        """All subsequences guaranteed within ``st`` of the query (Q1 range form)."""
+        query = as_float_array(query, "query")
+        if not normalized:
+            query = self.normalize_query(query)
+        return self.processor.within_threshold(
+            query, st=st, length=length, refine=refine
+        )
+
+    # ------------------------------------------------------------------
+    # Class II: seasonal similarity
+    # ------------------------------------------------------------------
+    def seasonal(
+        self, length: int, series: int | None = None, min_members: int = 2
+    ) -> SeasonalResult:
+        """Recurring similarity clusters at one length (Q2)."""
+        return self.processor.seasonal(length, series=series, min_members=min_members)
+
+    # ------------------------------------------------------------------
+    # Class III: threshold recommendations
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        degree: SimilarityDegree | str | None = None,
+        length: int | None = None,
+    ) -> list[ThresholdRecommendation]:
+        """Threshold ranges for a similarity degree (Q3); all when ``None``."""
+        if degree is None:
+            return self.spspace.recommend_all(length=length)
+        return [self.spspace.recommend(degree, length=length)]
+
+    def degree_of(self, st: float, length: int | None = None) -> SimilarityDegree:
+        """Classify a threshold value as Strict / Medium / Loose."""
+        return self.spspace.degree_of(st, length=length)
+
+    # ------------------------------------------------------------------
+    # Threshold adaptation (Algorithm 2.C)
+    # ------------------------------------------------------------------
+    def with_threshold(self, st: float, seed: int | None = 0) -> "OnexIndex":
+        """A new index at threshold ``st`` derived without a full rebuild.
+
+        Reuses, splits or merges the precomputed groups per Algorithm
+        2.C. The returned index shares this index's normalized dataset.
+        """
+        if st == self.st:
+            return self
+        rng = np.random.default_rng(seed)
+        buckets = {
+            bucket.length: adapt_bucket(bucket, self.dataset, self.st, st, rng)
+            for bucket in self.rspace
+        }
+        rspace = RSpace(buckets)
+        spspace = SPSpace(rspace, st)
+        return OnexIndex(
+            dataset=self.dataset,
+            rspace=rspace,
+            spspace=spspace,
+            st=st,
+            window=self.window,
+            start_step=self.start_step,
+            value_range=self.value_range,
+            build_seconds=self.build_seconds,
+            group_search_width=self.processor.group_search_width,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection and persistence
+    # ------------------------------------------------------------------
+    def stats(self) -> BaseStats:
+        """Summary statistics (the columns of the paper's Table 4)."""
+        breakdown = measure_rspace(self.rspace)
+        return BaseStats(
+            dataset=self.dataset.name,
+            st=self.st,
+            n_series=len(self.dataset),
+            n_lengths=len(self.rspace),
+            n_groups=self.rspace.n_groups,
+            n_representatives=self.rspace.n_representatives,
+            n_subsequences=self.rspace.n_subsequences,
+            size_mb=breakdown.total_mb,
+            gti_mb=breakdown.gti_mb,
+            lsi_mb=breakdown.lsi_mb,
+            build_seconds=self.build_seconds,
+        )
+
+    def save(self, path: str) -> None:
+        """Persist the index (arrays + JSON manifest inside an ``.npz``)."""
+        from repro.core.persistence import save_index
+
+        save_index(self, path)
+
+    @classmethod
+    def load(cls, path: str) -> "OnexIndex":
+        """Load an index previously written by :meth:`save`."""
+        from repro.core.persistence import load_index
+
+        return load_index(path)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OnexIndex {self.dataset.name!r} ST={self.st} "
+            f"lengths={self.rspace.lengths} groups={self.rspace.n_groups} "
+            f"subsequences={self.rspace.n_subsequences}>"
+        )

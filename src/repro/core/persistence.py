@@ -1,0 +1,178 @@
+"""Saving and loading ONEX indexes.
+
+The on-disk format is a single ``.npz`` archive holding flat NumPy
+arrays plus a JSON manifest — no pickling, so archives are portable and
+safe to load. Layout:
+
+* ``manifest`` — JSON string: format version, dataset name, threshold,
+  window spec, series names/labels, per-length group offsets.
+* ``series_values`` / ``series_offsets`` — the normalized dataset as one
+  concatenated value array with per-series offsets.
+* per length ``L``: ``L<u>_reps`` (group representative matrix),
+  ``L<u>_member_series`` / ``L<u>_member_starts`` / ``L<u>_member_eds``
+  (concatenated member arrays, ED-sorted within each group) and
+  ``L<u>_group_offsets`` (prefix offsets delimiting groups).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.group import SimilarityGroup
+from repro.core.onex import OnexIndex
+from repro.core.rspace import LengthBucket, RSpace
+from repro.core.spspace import SPSpace
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId, TimeSeries
+from repro.exceptions import PersistenceError
+
+_FORMAT_VERSION = 1
+
+
+def _window_to_manifest(window: int | float | None) -> dict:
+    if window is None:
+        return {"kind": "none"}
+    if isinstance(window, float):
+        return {"kind": "fraction", "value": window}
+    return {"kind": "radius", "value": int(window)}
+
+
+def _window_from_manifest(spec: dict) -> int | float | None:
+    kind = spec.get("kind")
+    if kind == "none":
+        return None
+    if kind == "fraction":
+        return float(spec["value"])
+    if kind == "radius":
+        return int(spec["value"])
+    raise PersistenceError(f"unknown window spec {spec!r}")
+
+
+def save_index(index: OnexIndex, path: str | os.PathLike) -> None:
+    """Write ``index`` to ``path`` (``.npz`` appended if missing)."""
+    path = os.fspath(path)
+    arrays: dict[str, np.ndarray] = {}
+
+    series_values = np.concatenate([s.values for s in index.dataset])
+    series_offsets = np.cumsum([0] + [len(s) for s in index.dataset])
+    arrays["series_values"] = series_values
+    arrays["series_offsets"] = series_offsets.astype(np.int64)
+
+    lengths_meta = []
+    for bucket in index.rspace:
+        prefix = f"L{bucket.length}_"
+        arrays[prefix + "reps"] = bucket.rep_matrix
+        member_series: list[int] = []
+        member_starts: list[int] = []
+        member_eds: list[float] = []
+        group_offsets = [0]
+        envelope_radius = bucket.groups[0].rep_envelope.radius
+        for group in bucket.groups:
+            for ssid in group.member_ids:
+                member_series.append(ssid.series)
+                member_starts.append(ssid.start)
+            member_eds.extend(group.ed_to_rep.tolist())
+            group_offsets.append(len(member_series))
+        arrays[prefix + "member_series"] = np.asarray(member_series, dtype=np.int64)
+        arrays[prefix + "member_starts"] = np.asarray(member_starts, dtype=np.int64)
+        arrays[prefix + "member_eds"] = np.asarray(member_eds, dtype=np.float64)
+        arrays[prefix + "group_offsets"] = np.asarray(group_offsets, dtype=np.int64)
+        lengths_meta.append(
+            {"length": bucket.length, "envelope_radius": envelope_radius}
+        )
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "dataset_name": index.dataset.name,
+        "st": index.st,
+        "window": _window_to_manifest(index.window),
+        "start_step": index.start_step,
+        "value_range": list(index.value_range),
+        "build_seconds": index.build_seconds,
+        "group_search_width": index.processor.group_search_width,
+        "series_names": [s.name for s in index.dataset],
+        "series_labels": [s.label for s in index.dataset],
+        "lengths": lengths_meta,
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_index(path: str | os.PathLike) -> OnexIndex:
+    """Load an index written by :func:`save_index`."""
+    path = os.fspath(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise PersistenceError(f"cannot read index archive {path!r}: {exc}") from exc
+    try:
+        manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+    except KeyError as exc:
+        raise PersistenceError(f"{path!r} is not an ONEX index archive") from exc
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported index format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+
+    values = archive["series_values"]
+    offsets = archive["series_offsets"]
+    names = manifest["series_names"]
+    labels = manifest["series_labels"]
+    series = [
+        TimeSeries(
+            values[offsets[i] : offsets[i + 1]], name=names[i], label=labels[i]
+        )
+        for i in range(len(offsets) - 1)
+    ]
+    dataset = Dataset(series, name=manifest["dataset_name"])
+
+    buckets: dict[int, LengthBucket] = {}
+    for entry in manifest["lengths"]:
+        length = int(entry["length"])
+        radius = int(entry["envelope_radius"])
+        prefix = f"L{length}_"
+        reps = archive[prefix + "reps"]
+        member_series = archive[prefix + "member_series"]
+        member_starts = archive[prefix + "member_starts"]
+        member_eds = archive[prefix + "member_eds"]
+        group_offsets = archive[prefix + "group_offsets"]
+        groups = []
+        for g in range(len(group_offsets) - 1):
+            start, stop = int(group_offsets[g]), int(group_offsets[g + 1])
+            ids = [
+                SubsequenceId(int(member_series[i]), int(member_starts[i]), length)
+                for i in range(start, stop)
+            ]
+            groups.append(
+                SimilarityGroup.restore(
+                    length=length,
+                    member_ids=ids,
+                    ed_to_rep=member_eds[start:stop],
+                    representative=reps[g],
+                    envelope_radius=radius,
+                )
+            )
+        buckets[length] = LengthBucket(length=length, groups=groups)
+
+    rspace = RSpace(buckets)
+    spspace = SPSpace(rspace, float(manifest["st"]))
+    width = manifest.get("group_search_width")
+    return OnexIndex(
+        dataset=dataset,
+        rspace=rspace,
+        spspace=spspace,
+        st=float(manifest["st"]),
+        window=_window_from_manifest(manifest["window"]),
+        start_step=int(manifest["start_step"]),
+        value_range=tuple(manifest["value_range"]),
+        build_seconds=float(manifest.get("build_seconds", 0.0)),
+        group_search_width=None if width is None else int(width),
+    )

@@ -1,0 +1,450 @@
+"""The ONEX online query processor — paper Algorithm 2 and §5.3.
+
+Queries never touch the raw subsequences wholesale. A similarity query
+first finds the *best matching representative* (DTW against the compact
+R-Space, pruned by lower bounds and early abandoning), then searches
+inside the selected group in the order induced by the Local Sequence
+Index: members whose stored ED-to-representative is closest to the
+query→representative DTW are tried first (§5.3, last bullet).
+
+The ED–DTW triangle inequality (Lemma 2) is what makes this sound: when
+the representative is within ``ST/2`` of the query, every member of its
+group is within ``ST``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.results import Match, SeasonalGroup, SeasonalResult
+from repro.core.rspace import LengthBucket, RSpace
+from repro.data.dataset import Dataset
+from repro.distances.dtw import dtw, resolve_window
+from repro.distances.lower_bounds import lb_keogh, lb_kim
+from repro.exceptions import QueryError
+from repro.utils.validation import as_float_array
+
+
+@dataclass
+class QueryStats:
+    """Work counters for one query (used by the ablation benches)."""
+
+    reps_examined: int = 0
+    reps_pruned_lb: int = 0
+    reps_abandoned: int = 0
+    rep_dtw_full: int = 0
+    members_examined: int = 0
+    members_abandoned: int = 0
+    lengths_visited: int = 0
+    stopped_at_half_st: bool = False
+
+    @property
+    def rep_prune_rate(self) -> float:
+        if self.reps_examined == 0:
+            return 0.0
+        return (self.reps_pruned_lb + self.reps_abandoned) / self.reps_examined
+
+
+@dataclass(frozen=True)
+class _RepScan:
+    """Outcome of scanning one length's representatives."""
+
+    group_index: int
+    dtw_raw: float
+    dtw_normalized: float
+
+
+class QueryProcessor:
+    """Executes Algorithm 2 over a built R-Space.
+
+    Parameters
+    ----------
+    rspace:
+        The representative space (with GTI payloads) to query.
+    dataset:
+        The normalized dataset the R-Space was built from (used to
+        materialize member subsequences).
+    st:
+        The similarity threshold the base was built with (normalized).
+    window:
+        DTW band spec used for all online DTW computations.
+    group_search_width:
+        Maximum number of member candidates examined inside the selected
+        group; ``None`` examines all members (with early-abandoning DTW).
+        Smaller values trade accuracy for speed (ablation: Fig. 7/8).
+    use_lower_bounds:
+        Toggle LB_Kim / LB_Keogh pruning of representatives (ablation).
+    median_ordering:
+        Scan representatives in the §5.3 median-sum-out order instead of
+        storage order (ablation).
+    n_probe:
+        Extension beyond the paper: search the ``n_probe`` groups with
+        the closest representatives instead of only the single best one.
+        ``1`` (the default) is the paper's behaviour; larger values
+        trade time for accuracy (see ``bench_ablation_nprobe``).
+    """
+
+    def __init__(
+        self,
+        rspace: RSpace,
+        dataset: Dataset,
+        st: float,
+        window: int | float | None = 0.1,
+        group_search_width: int | None = None,
+        use_lower_bounds: bool = True,
+        median_ordering: bool = True,
+        n_probe: int = 1,
+    ) -> None:
+        if n_probe < 1:
+            raise QueryError(f"n_probe must be >= 1, got {n_probe}")
+        self.rspace = rspace
+        self.dataset = dataset
+        self.st = float(st)
+        self.window = window
+        self.group_search_width = group_search_width
+        self.use_lower_bounds = use_lower_bounds
+        self.median_ordering = median_ordering
+        self.n_probe = int(n_probe)
+        self.last_stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # Class I: similarity queries (Algorithm 2.A)
+    # ------------------------------------------------------------------
+    def best_match(
+        self,
+        query: np.ndarray,
+        length: int | None = None,
+        k: int = 1,
+        stop_at_half_st: bool = True,
+    ) -> list[Match]:
+        """Best match(es) for a sample sequence (Q1).
+
+        Parameters
+        ----------
+        query:
+            The sample sequence ``seq`` (already on the dataset's
+            normalized scale).
+        length:
+            ``Match = Exact(L)``: only subsequences of length ``L`` are
+            considered. ``None`` means ``Match = Any``: all indexed
+            lengths, visited in the §5.3 order.
+        k:
+            Number of matches to return (from the selected group).
+        stop_at_half_st:
+            Stop visiting further lengths as soon as a representative
+            within ``ST/2`` is found (§5.3's first bullet); Lemma 2 then
+            already guarantees every member of that group is within ST.
+
+        Returns
+        -------
+        list[Match]
+            Up to ``k`` matches sorted by normalized DTW.
+        """
+        query = as_float_array(query, "query")
+        self.last_stats = QueryStats()
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+
+        if length is not None:
+            bucket = self.rspace.bucket(int(length))
+            self.last_stats.lengths_visited = 1
+            scans = self._scan_representatives(bucket, query, math.inf)
+            if not scans:
+                raise QueryError(
+                    f"no representative of length {length} reachable; "
+                    "widen the DTW window"
+                )
+            return self._search_groups(bucket, scans, query, k)
+
+        best_bucket: LengthBucket | None = None
+        best_scans: list[_RepScan] = []
+        for candidate_length in self.rspace.search_length_order(query.shape[0]):
+            bucket = self.rspace.bucket(candidate_length)
+            self.last_stats.lengths_visited += 1
+            bound = (
+                math.inf if not best_scans else best_scans[0].dtw_normalized
+            )
+            scans = self._scan_representatives(bucket, query, bound)
+            if not scans:
+                continue
+            if (
+                not best_scans
+                or scans[0].dtw_normalized < best_scans[0].dtw_normalized
+            ):
+                best_bucket, best_scans = bucket, scans
+            if stop_at_half_st and scans[0].dtw_normalized <= self.st / 2.0:
+                self.last_stats.stopped_at_half_st = True
+                break
+        if best_bucket is None or not best_scans:
+            raise QueryError("no representative reachable; widen the DTW window")
+        return self._search_groups(best_bucket, best_scans, query, k)
+
+    def within_threshold(
+        self,
+        query: np.ndarray,
+        st: float | None = None,
+        length: int | None = None,
+        refine: bool = True,
+    ) -> list[Match]:
+        """All sequences guaranteed similar to ``query`` within ``st``.
+
+        Returns the members of every group whose representative has
+        normalized DTW to the query at most ``st / 2`` — by Lemma 2 each
+        such member is within ``st`` of the query. With ``refine=True``
+        the actual member DTWs are computed (and members are sorted by
+        them); otherwise the representative's distance is reported for
+        all members, which is faster but coarser.
+        """
+        query = as_float_array(query, "query")
+        st = self.st if st is None else float(st)
+        if st <= 0:
+            raise QueryError(f"similarity threshold must be positive, got {st}")
+        lengths = [int(length)] if length is not None else self.rspace.lengths
+        matches: list[Match] = []
+        for candidate_length in lengths:
+            bucket = self.rspace.bucket(candidate_length)
+            denominator = 2.0 * max(query.shape[0], bucket.length)
+            for group_index, group in enumerate(bucket.groups):
+                rep_distance = (
+                    dtw(
+                        query,
+                        group.representative,
+                        window=self.window,
+                        abandon_above=st / 2.0 * denominator,
+                    )
+                    / denominator
+                )
+                if rep_distance > st / 2.0:
+                    continue
+                for ssid in group.member_ids:
+                    values = self.dataset.subsequence(ssid)
+                    if refine:
+                        raw = dtw(query, values, window=self.window)
+                        normalized = raw / denominator
+                    else:
+                        raw = rep_distance * denominator
+                        normalized = rep_distance
+                    matches.append(
+                        Match(
+                            ssid=ssid,
+                            values=values,
+                            dtw=raw,
+                            dtw_normalized=normalized,
+                            group=(bucket.length, group_index),
+                        )
+                    )
+        matches.sort()
+        return matches
+
+    # ------------------------------------------------------------------
+    # Class II: seasonal similarity queries (Algorithm 2.B)
+    # ------------------------------------------------------------------
+    def seasonal(
+        self,
+        length: int,
+        series: int | None = None,
+        min_members: int = 2,
+    ) -> SeasonalResult:
+        """Recurring similarity at one length (Q2).
+
+        User-driven (``series`` given): clusters of subsequences of that
+        length drawn from the sample series — its internally recurring
+        shapes. Data-driven (``series=None``): every cluster of similar
+        subsequences of that length across the whole dataset.
+        """
+        bucket = self.rspace.bucket(int(length))
+        if min_members < 1:
+            raise QueryError(f"min_members must be >= 1, got {min_members}")
+        if series is not None and not 0 <= series < len(self.dataset):
+            raise QueryError(
+                f"series index {series} out of range for N={len(self.dataset)}"
+            )
+        groups: list[SeasonalGroup] = []
+        for group_index, group in enumerate(bucket.groups):
+            members = (
+                group.member_ids
+                if series is None
+                else group.members_of_series(series)
+            )
+            if len(members) >= min_members:
+                groups.append(
+                    SeasonalGroup(
+                        length=bucket.length,
+                        group_index=group_index,
+                        members=tuple(members),
+                    )
+                )
+        return SeasonalResult(length=bucket.length, series=series, groups=tuple(groups))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rep_order(self, bucket: LengthBucket) -> Iterator[int]:
+        if self.median_ordering:
+            return bucket.median_out_order()
+        return iter(range(bucket.n_groups))
+
+    def _scan_representatives(
+        self, bucket: LengthBucket, query: np.ndarray, bound_normalized: float
+    ) -> list[_RepScan]:
+        """Find the ``n_probe`` representatives closest to the query (§5.2).
+
+        ``bound_normalized`` seeds the best-so-far from previously visited
+        lengths so pruning carries across lengths. Returns the qualifying
+        scans sorted by distance (empty when nothing beats the bound).
+        With ``n_probe == 1`` the pruning threshold is the running best;
+        with more probes it is the running ``n_probe``-th best.
+        """
+        stats = self.last_stats
+        denominator = 2.0 * max(query.shape[0], bucket.length)
+        same_length = query.shape[0] == bucket.length
+        query_radius = resolve_window(query.shape[0], bucket.length, self.window)
+        seed_raw = (
+            math.inf
+            if math.isinf(bound_normalized)
+            else bound_normalized * denominator
+        )
+        # Max-heap (negated) of the n_probe best (raw distance, index).
+        top: list[tuple[float, int]] = []
+
+        def prune_bound() -> float:
+            if len(top) == self.n_probe:
+                return min(seed_raw, -top[0][0])
+            return seed_raw
+
+        for group_index in self._rep_order(bucket):
+            group = bucket.groups[group_index]
+            representative = group.representative
+            stats.reps_examined += 1
+            bound = prune_bound()
+            if self.use_lower_bounds and bound < math.inf:
+                if lb_kim(query, representative) >= bound:
+                    stats.reps_pruned_lb += 1
+                    continue
+                # The stored envelope is only admissible when its radius
+                # covers the band the online DTW uses.
+                env = group.rep_envelope
+                if (
+                    same_length
+                    and env.radius >= query_radius
+                    and lb_keogh(query, env) >= bound
+                ):
+                    stats.reps_pruned_lb += 1
+                    continue
+            distance = dtw(
+                query,
+                representative,
+                window=self.window,
+                abandon_above=bound if bound < math.inf else None,
+            )
+            if distance == math.inf:
+                stats.reps_abandoned += 1
+                continue
+            stats.rep_dtw_full += 1
+            if distance < prune_bound() or len(top) < self.n_probe:
+                if len(top) == self.n_probe:
+                    heapq.heapreplace(top, (-distance, group_index))
+                else:
+                    heapq.heappush(top, (-distance, group_index))
+        scans = [
+            _RepScan(
+                group_index=index,
+                dtw_raw=-negated,
+                dtw_normalized=-negated / denominator,
+            )
+            for negated, index in top
+            if -negated <= seed_raw
+        ]
+        scans.sort(key=lambda scan: scan.dtw_raw)
+        return scans
+
+    def _search_groups(
+        self,
+        bucket: LengthBucket,
+        scans: list[_RepScan],
+        query: np.ndarray,
+        k: int,
+    ) -> list[Match]:
+        """Search every probed group and merge the k best matches."""
+        merged: dict = {}
+        for scan in scans[: self.n_probe]:
+            for match in self._search_group(bucket, scan.group_index, query, k):
+                existing = merged.get(match.ssid)
+                if existing is None or match.dtw_normalized < existing.dtw_normalized:
+                    merged[match.ssid] = match
+        return sorted(merged.values())[:k]
+
+    def _search_group(
+        self, bucket: LengthBucket, group_index: int, query: np.ndarray, k: int
+    ) -> list[Match]:
+        """Find the best member(s) inside the selected group (§5.2 step 3).
+
+        Members are visited outward from the position where the stored
+        (normalized) ED-to-representative equals the query→representative
+        normalized DTW — the §5.3 in-group ordering — with each DTW call
+        early-abandoned at the current k-th best.
+        """
+        group = bucket.groups[group_index]
+        denominator = 2.0 * max(query.shape[0], bucket.length)
+        rep_distance = dtw(query, group.representative, window=self.window)
+        target = rep_distance / denominator
+
+        keys = group.normalized_ed_to_rep()
+        start = bisect.bisect_left(keys.tolist(), target)
+        order = list(_alternate_outward(start, len(keys)))
+        if self.group_search_width is not None:
+            order = order[: max(k, self.group_search_width)]
+
+        heap: list[tuple[float, int]] = []  # max-heap via negated distance
+        results: dict[int, Match] = {}
+        stats = self.last_stats
+        for member_index in order:
+            ssid = group.member_ids[member_index]
+            values = self.dataset.subsequence(ssid)
+            stats.members_examined += 1
+            abandon = -heap[0][0] if len(heap) == k else math.inf
+            raw = dtw(
+                query,
+                values,
+                window=self.window,
+                abandon_above=abandon if math.isfinite(abandon) else None,
+            )
+            if raw == math.inf:
+                stats.members_abandoned += 1
+                continue
+            match = Match(
+                ssid=ssid,
+                values=values,
+                dtw=raw,
+                dtw_normalized=raw / denominator,
+                group=(bucket.length, group_index),
+            )
+            if len(heap) < k:
+                heapq.heappush(heap, (-raw, member_index))
+                results[member_index] = match
+            elif raw < -heap[0][0]:
+                _, evicted = heapq.heapreplace(heap, (-raw, member_index))
+                del results[evicted]
+                results[member_index] = match
+        return sorted(results.values())
+
+
+def _alternate_outward(start: int, n: int) -> Iterator[int]:
+    """Indices ``start, start-1, start+1, start-2, ...`` clipped to [0, n)."""
+    if n <= 0:
+        return
+    start = min(max(start, 0), n - 1)
+    yield start
+    for offset in range(1, n):
+        left = start - offset
+        right = start + offset
+        if left >= 0:
+            yield left
+        if right < n:
+            yield right

@@ -1,0 +1,122 @@
+"""Result value objects returned by the ONEX online query processor."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.timeseries import SubsequenceId
+
+
+@dataclass(frozen=True)
+class Match:
+    """One answer to a similarity query (Q1).
+
+    Attributes
+    ----------
+    ssid:
+        Identity of the matched subsequence within the indexed dataset.
+    values:
+        The matched subsequence's (normalized) values.
+    dtw:
+        Raw DTW distance between query and match.
+    dtw_normalized:
+        ``DTW / 2n`` (paper Def. 6) — the value thresholds compare against.
+    group:
+        ``(length, group_index)`` of the ONEX group the match came from.
+    """
+
+    ssid: SubsequenceId
+    values: np.ndarray
+    dtw: float
+    dtw_normalized: float
+    group: tuple[int, int]
+
+    def __lt__(self, other: "Match") -> bool:
+        return self.dtw_normalized < other.dtw_normalized
+
+
+@dataclass(frozen=True)
+class SeasonalGroup:
+    """One cluster of recurring similar subsequences (Q2).
+
+    ``members`` lists the subsequence ids; they all share ``length`` and
+    pairwise normalized ED within the index's similarity threshold
+    (Lemma 1 of the paper).
+    """
+
+    length: int
+    group_index: int
+    members: tuple[SubsequenceId, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class SeasonalResult:
+    """Answer to a seasonal similarity query: the qualifying clusters."""
+
+    length: int
+    series: int | None  # populated for the user-driven variant
+    groups: tuple[SeasonalGroup, ...]
+
+    @property
+    def n_subsequences(self) -> int:
+        """Total subsequences across all returned clusters."""
+        return sum(len(group) for group in self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+@dataclass(frozen=True)
+class ThresholdRecommendation:
+    """Answer to a threshold recommendation query (Q3).
+
+    A half-open range ``[low, high)`` of similarity thresholds that all
+    produce the requested similarity degree. ``high`` may be ``inf`` for
+    the Loose degree, which has no upper bound.
+    """
+
+    degree: str  # 'S', 'M' or 'L'
+    low: float
+    high: float
+    length: int | None = None  # None = global recommendation
+
+    def contains(self, st: float) -> bool:
+        """Whether ``st`` falls inside the recommended range."""
+        return self.low <= st < self.high or (
+            math.isinf(self.high) and st >= self.low
+        )
+
+
+@dataclass(frozen=True)
+class BaseStats:
+    """Summary statistics of a built ONEX base (Table 4's columns)."""
+
+    dataset: str
+    st: float
+    n_series: int
+    n_lengths: int
+    n_groups: int
+    n_representatives: int
+    n_subsequences: int
+    size_mb: float
+    gti_mb: float
+    lsi_mb: float
+    build_seconds: float = field(default=0.0)
+
+    def as_row(self) -> tuple:
+        """Row for Table 4: representatives, subsequences, size in MB."""
+        return (
+            self.dataset,
+            self.n_representatives,
+            self.n_subsequences,
+            round(self.size_mb, 2),
+        )

@@ -1,0 +1,164 @@
+"""The Representative Space (paper Definition 9) and per-length buckets.
+
+The R-Space collects, for every indexed length, the similarity groups,
+their representatives, and the *Inter-Representative Distances* ``Dc``
+(Definition 10). Each :class:`LengthBucket` also carries the Global Time
+Index payload of §4.3: the group-id vector, the ``Dc`` matrix, the
+sum-of-distances array sorted for the median-out search order of §5.3,
+and (once the SP-Space pass ran) the local ``ST_half`` / ``ST_final``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.group import SimilarityGroup
+from repro.exceptions import IndexConstructionError, QueryError
+
+
+@dataclass
+class LengthBucket:
+    """All groups of one subsequence length plus their GTI entry."""
+
+    length: int
+    groups: list[SimilarityGroup]
+    rep_matrix: np.ndarray = field(init=False)
+    dc: np.ndarray = field(init=False)  # normalized ED between representatives
+    sum_order: np.ndarray = field(init=False)  # group indices sorted by Dc row sums
+    dc_row_sums: np.ndarray = field(init=False)
+    st_half: float | None = None
+    st_final: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise IndexConstructionError(f"length {self.length} has no groups")
+        for group in self.groups:
+            if not group.is_finalized:
+                raise IndexConstructionError("LengthBucket requires finalized groups")
+            if group.length != self.length:
+                raise IndexConstructionError(
+                    f"group of length {group.length} placed in bucket {self.length}"
+                )
+        self.rep_matrix = np.stack([group.representative for group in self.groups])
+        self.dc = self._pairwise_normalized_ed(self.rep_matrix)
+        self.dc_row_sums = self.dc.sum(axis=1)
+        self.sum_order = np.argsort(self.dc_row_sums, kind="stable")
+
+    @staticmethod
+    def _pairwise_normalized_ed(reps: np.ndarray) -> np.ndarray:
+        """Dc matrix: normalized ED between every pair of representatives."""
+        g, length = reps.shape
+        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped against round-off.
+        norms = np.einsum("ij,ij->i", reps, reps)
+        squared = norms[:, None] + norms[None, :] - 2.0 * reps @ reps.T
+        np.clip(squared, 0.0, None, out=squared)
+        return np.sqrt(squared) / math.sqrt(length)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n_subsequences(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    def median_out_order(self) -> Iterator[int]:
+        """Group indices starting from the median Dc-row-sum, fanning out.
+
+        This is the §5.3 representative search order: begin with the
+        "median representative" of the sorted sums array, then alternate
+        between its left and right neighbours until both ends are reached.
+        """
+        order = self.sum_order
+        g = len(order)
+        middle = g // 2
+        yield int(order[middle])
+        for offset in range(1, g):
+            left = middle - offset
+            right = middle + offset
+            if left >= 0:
+                yield int(order[left])
+            if right < g:
+                yield int(order[right])
+
+    def group_of(self, index: int) -> SimilarityGroup:
+        if not 0 <= index < len(self.groups):
+            raise QueryError(
+                f"group index {index} out of range for length {self.length}"
+            )
+        return self.groups[index]
+
+
+class RSpace:
+    """Representative Space: one :class:`LengthBucket` per indexed length."""
+
+    def __init__(self, buckets: dict[int, LengthBucket]) -> None:
+        if not buckets:
+            raise IndexConstructionError("R-Space requires at least one length bucket")
+        self._buckets = dict(sorted(buckets.items()))
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, length: int) -> bool:
+        return length in self._buckets
+
+    def __iter__(self) -> Iterator[LengthBucket]:
+        return iter(self._buckets.values())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def lengths(self) -> list[int]:
+        """Indexed lengths, ascending."""
+        return list(self._buckets)
+
+    def bucket(self, length: int) -> LengthBucket:
+        """GTI lookup: the bucket of one length (constant time, §5.2)."""
+        try:
+            return self._buckets[length]
+        except KeyError:
+            known = ", ".join(map(str, self._buckets))
+            raise QueryError(
+                f"length {length} is not indexed; indexed lengths: {known}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return sum(bucket.n_groups for bucket in self)
+
+    @property
+    def n_representatives(self) -> int:
+        # One representative per group (Def. 8), so the counts coincide;
+        # kept separate because the paper reports "representatives".
+        return self.n_groups
+
+    @property
+    def n_subsequences(self) -> int:
+        return sum(bucket.n_subsequences for bucket in self)
+
+    def search_length_order(self, query_length: int) -> list[int]:
+        """Lengths in the §5.3 search order for a query of ``query_length``.
+
+        Start at the query's own length (or the nearest indexed one),
+        continue with decreasing lengths, then increasing ones.
+        """
+        lengths = self.lengths
+        if query_length in self._buckets:
+            start = lengths.index(query_length)
+        else:
+            start = min(
+                range(len(lengths)), key=lambda i: abs(lengths[i] - query_length)
+            )
+        descending = [lengths[i] for i in range(start, -1, -1)]
+        ascending = [lengths[i] for i in range(start + 1, len(lengths))]
+        return descending + ascending

@@ -1,0 +1,99 @@
+"""Index size accounting, following the paper's §6.3 breakdown.
+
+The paper reports index sizes in MB, decomposed into the Global Time
+Index (group-identifier vectors, inter-representative distance arrays
+and the two critical thresholds per length) and the Local Sequence Index
+(sequence identifiers with their EDs, the representative vectors, and
+the LB_Keogh envelopes). The byte model below mirrors that accounting:
+identifiers are 4-byte integers, all distances/values 8-byte floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rspace import RSpace
+
+_INT = 4  # bytes per identifier (int32, as a C++ implementation would use)
+_FLOAT = 8  # bytes per distance / sample value (double)
+_MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class SizeBreakdown:
+    """Byte counts for each index component (paper §6.3's accounting)."""
+
+    gti_group_ids: int
+    gti_dc_matrix: int
+    gti_sums: int
+    gti_thresholds: int
+    lsi_sequence_ids: int
+    lsi_representatives: int
+    lsi_envelopes: int
+
+    @property
+    def gti_bytes(self) -> int:
+        return (
+            self.gti_group_ids + self.gti_dc_matrix + self.gti_sums + self.gti_thresholds
+        )
+
+    @property
+    def lsi_bytes(self) -> int:
+        return self.lsi_sequence_ids + self.lsi_representatives + self.lsi_envelopes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.gti_bytes + self.lsi_bytes
+
+    @property
+    def gti_mb(self) -> float:
+        return self.gti_bytes / _MB
+
+    @property
+    def lsi_mb(self) -> float:
+        return self.lsi_bytes / _MB
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / _MB
+
+
+def measure_rspace(rspace: RSpace) -> SizeBreakdown:
+    """Compute the §6.3 size breakdown for a built R-Space.
+
+    Per length ``i`` with ``g`` groups, GTI holds: the vector ``V_i(k)``
+    of group identifiers (``g`` ints), the matrix ``D_i(k, j)`` of
+    pairwise Dc values (``g^2`` floats), the sorted sums array
+    ``S_i(k, sum_k)`` (``g`` id/float pairs), and ``ST_half``/``ST_final``
+    (2 floats). Per group with ``m`` members of length ``L``, LSI holds:
+    the array ``ED_k(m, ED_m)`` of member ids — a series id and start
+    offset each — plus their ED (``m * (2 ints + 1 float)``), the
+    representative vector (``L`` floats) and its lower/upper envelope
+    (``2L`` floats).
+    """
+    gti_group_ids = 0
+    gti_dc = 0
+    gti_sums = 0
+    gti_thresholds = 0
+    lsi_ids = 0
+    lsi_reps = 0
+    lsi_envelopes = 0
+    for bucket in rspace:
+        g = bucket.n_groups
+        gti_group_ids += g * _INT
+        gti_dc += g * g * _FLOAT
+        gti_sums += g * (_INT + _FLOAT)
+        gti_thresholds += 2 * _FLOAT
+        for group in bucket.groups:
+            lsi_ids += group.count * (2 * _INT + _FLOAT)
+            lsi_reps += group.length * _FLOAT
+            lsi_envelopes += 2 * group.length * _FLOAT
+    return SizeBreakdown(
+        gti_group_ids=gti_group_ids,
+        gti_dc_matrix=gti_dc,
+        gti_sums=gti_sums,
+        gti_thresholds=gti_thresholds,
+        lsi_sequence_ids=lsi_ids,
+        lsi_representatives=lsi_reps,
+        lsi_envelopes=lsi_envelopes,
+    )

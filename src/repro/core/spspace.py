@@ -1,0 +1,166 @@
+"""The Similarity Parameter Space (paper §4.2, Definition 11).
+
+For each length the SP-Space records the threshold values at which the
+precomputed groups *merge* as the analyst loosens the similarity
+threshold: ``ST_half`` (half the groups have merged away) and
+``ST_final`` (every group has merged into one). Two groups merge for a
+new threshold ``ST'`` when ``ST' >= ST + Dc`` (paper §4.2), so the merge
+heights are exactly ``ST + Dc`` along a single-linkage sweep — computed
+here with Kruskal's algorithm over the Dc matrix and a union-find.
+
+The *global* ``ST_half`` / ``ST_final`` are the maxima of the local
+values across lengths (dashed lines of Fig. 1), and the similarity
+degrees are:
+
+* Strict  (S): ``ST <= ST_half``
+* Medium  (M): ``ST_half <= ST <= ST_final``
+* Loose   (L): ``ST >= ST_final``
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.core.results import ThresholdRecommendation
+from repro.core.rspace import LengthBucket, RSpace
+from repro.exceptions import QueryError
+from repro.utils.unionfind import UnionFind
+
+
+class SimilarityDegree(str, enum.Enum):
+    """The analyst-facing similarity vocabulary of §4.2."""
+
+    STRICT = "S"
+    MEDIUM = "M"
+    LOOSE = "L"
+
+    @classmethod
+    def parse(cls, token: str) -> "SimilarityDegree":
+        token = token.strip().upper()
+        for degree in cls:
+            if token in (degree.value, degree.name):
+                return degree
+        raise QueryError(
+            f"unknown similarity degree {token!r}; expected S, M or L"
+        )
+
+
+def merge_heights(dc: np.ndarray, st: float) -> list[float]:
+    """Thresholds at which successive group merges happen.
+
+    Runs Kruskal over the pairwise Dc matrix: sorting candidate edges by
+    ``Dc`` and unioning in order yields, for each of the ``g - 1``
+    effective merges, the smallest ``ST' = ST + Dc`` triggering it.
+    """
+    g = dc.shape[0]
+    if g <= 1:
+        return []
+    pairs = [(float(dc[i, j]), i, j) for i in range(g) for j in range(i + 1, g)]
+    pairs.sort()
+    uf = UnionFind(g)
+    heights: list[float] = []
+    for distance, i, j in pairs:
+        if uf.union(i, j):
+            heights.append(st + distance)
+            if uf.n_components == 1:
+                break
+    return heights
+
+
+def local_thresholds(bucket: LengthBucket, st: float) -> tuple[float, float]:
+    """Local ``(ST_half, ST_final)`` for one length (Fig. 1's per-length dots).
+
+    ``ST_half`` is the smallest threshold at which at most ``ceil(g/2)``
+    groups remain; ``ST_final`` the smallest at which a single group
+    remains. A single-group length has both equal to ``st`` (nothing can
+    merge further).
+    """
+    g = bucket.n_groups
+    heights = merge_heights(bucket.dc, st)
+    if not heights:
+        return st, st
+    half_target = math.ceil(g / 2)
+    merges_needed_for_half = g - half_target  # each merge removes one group
+    if merges_needed_for_half <= 0:
+        st_half = st
+    else:
+        st_half = heights[min(merges_needed_for_half, len(heights)) - 1]
+    st_final = heights[-1]
+    return st_half, st_final
+
+
+class SPSpace:
+    """Similarity Parameter Space over a whole R-Space."""
+
+    def __init__(self, rspace: RSpace, st: float) -> None:
+        self.st = float(st)
+        self._local: dict[int, tuple[float, float]] = {}
+        for bucket in rspace:
+            st_half, st_final = local_thresholds(bucket, self.st)
+            bucket.st_half = st_half
+            bucket.st_final = st_final
+            self._local[bucket.length] = (st_half, st_final)
+        # Global critical thresholds: maxima of the local values (§4.2).
+        self.st_half = max(pair[0] for pair in self._local.values())
+        self.st_final = max(pair[1] for pair in self._local.values())
+
+    # ------------------------------------------------------------------
+    def local(self, length: int) -> tuple[float, float]:
+        """Local ``(ST_half, ST_final)`` for one length."""
+        try:
+            return self._local[length]
+        except KeyError:
+            known = ", ".join(map(str, self._local))
+            raise QueryError(
+                f"length {length} is not indexed; indexed lengths: {known}"
+            ) from None
+
+    @property
+    def lengths(self) -> list[int]:
+        return list(self._local)
+
+    def degree_of(self, st: float, length: int | None = None) -> SimilarityDegree:
+        """Classify a threshold value into S / M / L."""
+        st_half, st_final = (
+            (self.st_half, self.st_final) if length is None else self.local(length)
+        )
+        if st <= st_half:
+            return SimilarityDegree.STRICT
+        if st <= st_final:
+            return SimilarityDegree.MEDIUM
+        return SimilarityDegree.LOOSE
+
+    def recommend(
+        self,
+        degree: SimilarityDegree | str,
+        length: int | None = None,
+    ) -> ThresholdRecommendation:
+        """Parameter recommendation for a requested similarity degree (Q3).
+
+        Returns the range of thresholds producing that degree; any value
+        inside the range yields qualitatively the same grouping behaviour,
+        saving the analyst trial-and-error runs (§5.1 use case).
+        """
+        if isinstance(degree, str):
+            degree = SimilarityDegree.parse(degree)
+        st_half, st_final = (
+            (self.st_half, self.st_final) if length is None else self.local(length)
+        )
+        if degree is SimilarityDegree.STRICT:
+            low, high = 0.0, st_half
+        elif degree is SimilarityDegree.MEDIUM:
+            low, high = st_half, st_final
+        else:
+            low, high = st_final, math.inf
+        return ThresholdRecommendation(
+            degree=degree.value, low=low, high=high, length=length
+        )
+
+    def recommend_all(
+        self, length: int | None = None
+    ) -> list[ThresholdRecommendation]:
+        """Recommendations for every degree (Q3 with ``simDegree = NULL``)."""
+        return [self.recommend(degree, length=length) for degree in SimilarityDegree]

@@ -1,0 +1,144 @@
+"""Varying similarity thresholds without rebuilding — paper Algorithm 2.C.
+
+Given a base built at threshold ``ST`` and an analyst-supplied ``ST'``:
+
+* ``ST' = ST`` — the precomputed groups are reused as-is;
+* ``ST' < ST`` — every group is *split*: its members are re-clustered
+  with the smaller threshold using the original construction method;
+* ``ST' > ST`` — group pairs whose inter-representative distance
+  satisfies ``ST' - ST >= Dc`` are *merged*, cascading: after each merge
+  the new representative (weighted point-wise mean) and its distances to
+  the remaining groups are recomputed and further merges may trigger.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.group import SimilarityGroup
+from repro.core.grouping import regroup_members
+from repro.core.rspace import LengthBucket
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId
+from repro.exceptions import ThresholdError
+
+
+def _group_members(
+    group: SimilarityGroup, dataset: Dataset
+) -> list[tuple[SubsequenceId, np.ndarray]]:
+    """Materialize (id, values) pairs for every member of a group."""
+    return [(ssid, dataset.subsequence(ssid)) for ssid in group.member_ids]
+
+
+def split_bucket(
+    bucket: LengthBucket,
+    dataset: Dataset,
+    st_new: float,
+    rng: np.random.Generator,
+    envelope_radius: int | None = None,
+) -> LengthBucket:
+    """Algorithm 2.C case ``ST' < ST``: refine each group independently.
+
+    Members similar at ``ST`` stay similar at the smaller ``ST'`` only
+    within tighter clusters, so each precomputed group is re-clustered
+    with the original methodology (§5.2 case 2); no candidate is lost
+    because groups are split, never moved across group boundaries.
+    """
+    new_groups: list[SimilarityGroup] = []
+    for group in bucket.groups:
+        members = _group_members(group, dataset)
+        new_groups.extend(
+            regroup_members(
+                members,
+                bucket.length,
+                st_new,
+                rng,
+                envelope_radius=envelope_radius,
+            )
+        )
+    return LengthBucket(length=bucket.length, groups=new_groups)
+
+
+def merge_bucket(
+    bucket: LengthBucket,
+    dataset: Dataset,
+    st_old: float,
+    st_new: float,
+    envelope_radius: int | None = None,
+) -> LengthBucket:
+    """Algorithm 2.C case ``ST' > ST``: cascaded pairwise merging.
+
+    Implements §5.2 case 3 faithfully: any pair with
+    ``ST' - ST >= Dc`` merges (3.2a); after a merge the combined group's
+    representative and its inter-representative distances are recomputed
+    and the process repeats while the condition holds. Pairs with
+    ``Dc > ST' - ST`` are returned unchanged (cases 3.1 / 3.2b).
+    """
+    margin = st_new - st_old
+    if margin < 0:
+        raise ThresholdError(st_new, reason=f"merge requires ST' >= ST ({st_old})")
+    length = bucket.length
+    if envelope_radius is None:
+        envelope_radius = max(1, length // 10)
+
+    # Working state: per cluster, the member list, running sum and count.
+    clusters: list[list[tuple[SubsequenceId, np.ndarray]]] = []
+    sums: list[np.ndarray] = []
+    for group in bucket.groups:
+        members = _group_members(group, dataset)
+        clusters.append(members)
+        sums.append(group.representative * group.count)
+
+    def normalized_rep_distance(a: int, b: int) -> float:
+        rep_a = sums[a] / len(clusters[a])
+        rep_b = sums[b] / len(clusters[b])
+        return float(np.linalg.norm(rep_a - rep_b)) / math.sqrt(length)
+
+    merged_something = True
+    while merged_something and len(clusters) > 1:
+        merged_something = False
+        n = len(clusters)
+        for a in range(n):
+            for b in range(a + 1, n):
+                if normalized_rep_distance(a, b) <= margin:
+                    clusters[a].extend(clusters[b])
+                    sums[a] = sums[a] + sums[b]
+                    del clusters[b], sums[b]
+                    merged_something = True
+                    break
+            if merged_something:
+                break
+
+    new_groups: list[SimilarityGroup] = []
+    for members in clusters:
+        (seed_id, seed_values), *rest = members
+        group = SimilarityGroup(length, seed_id, seed_values)
+        for ssid, values in rest:
+            group.add(ssid, values)
+        group.finalize([values for _, values in members], envelope_radius)
+        new_groups.append(group)
+    return LengthBucket(length=length, groups=new_groups)
+
+
+def adapt_bucket(
+    bucket: LengthBucket,
+    dataset: Dataset,
+    st_old: float,
+    st_new: float,
+    rng: np.random.Generator,
+    envelope_radius: int | None = None,
+) -> LengthBucket:
+    """Dispatch to reuse / split / merge per Algorithm 2.C."""
+    if st_new <= 0 or not math.isfinite(st_new):
+        raise ThresholdError(st_new)
+    if st_new == st_old:
+        return bucket
+    if st_new < st_old:
+        return split_bucket(
+            bucket, dataset, st_new, rng, envelope_radius=envelope_radius
+        )
+    return merge_bucket(
+        bucket, dataset, st_old, st_new, envelope_radius=envelope_radius
+    )

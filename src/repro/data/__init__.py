@@ -1,0 +1,23 @@
+"""Time-series containers, normalization, loading and synthetic datasets."""
+
+from repro.data.timeseries import TimeSeries, SubsequenceId
+from repro.data.dataset import Dataset
+from repro.data.normalize import (
+    min_max_normalize,
+    min_max_normalize_dataset,
+    z_normalize,
+    z_normalize_dataset,
+)
+from repro.data.loader import load_ucr_file, save_ucr_file
+
+__all__ = [
+    "TimeSeries",
+    "SubsequenceId",
+    "Dataset",
+    "min_max_normalize",
+    "min_max_normalize_dataset",
+    "z_normalize",
+    "z_normalize_dataset",
+    "load_ucr_file",
+    "save_ucr_file",
+]

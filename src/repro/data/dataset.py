@@ -1,0 +1,169 @@
+"""The :class:`Dataset` container: a collection of time series.
+
+A dataset ``D = {X1, ..., XN}`` (paper §2) plus the subsequence
+enumeration used by the ONEX base construction. The paper decomposes
+series into *all* possible lengths and starting positions; real
+deployments (and our benchmarks) bound both through ``lengths`` grids and
+a ``start_step`` stride, which the enumeration here supports directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.timeseries import SubsequenceId, TimeSeries
+from repro.exceptions import DataError
+from repro.utils.validation import check_lengths
+
+
+class Dataset:
+    """An ordered collection of :class:`~repro.data.timeseries.TimeSeries`.
+
+    Parameters
+    ----------
+    series:
+        Iterable of :class:`TimeSeries` (or raw arrays, which are wrapped).
+    name:
+        Dataset label used in reports ("ItalyPower", "ECG", ...).
+    """
+
+    def __init__(self, series: Iterable[Any], name: str = "") -> None:
+        wrapped: list[TimeSeries] = []
+        for index, item in enumerate(series):
+            if isinstance(item, TimeSeries):
+                wrapped.append(item)
+            else:
+                wrapped.append(TimeSeries(item, name=f"series-{index}"))
+        if not wrapped:
+            raise DataError("a dataset requires at least one time series")
+        self._series = wrapped
+        self.name = str(name)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return iter(self._series)
+
+    def __getitem__(self, index: int) -> TimeSeries:
+        return self._series[index]
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return f"<Dataset{name} N={len(self)} lengths={self.min_length}..{self.max_length}>"
+
+    # ------------------------------------------------------------------
+    # Shape statistics
+    # ------------------------------------------------------------------
+    @property
+    def min_length(self) -> int:
+        """Length of the shortest series."""
+        return min(len(series) for series in self._series)
+
+    @property
+    def max_length(self) -> int:
+        """Length of the longest series."""
+        return max(len(series) for series in self._series)
+
+    @property
+    def value_range(self) -> tuple[float, float]:
+        """Global ``(min, max)`` over every point of every series."""
+        minimum = min(float(series.values.min()) for series in self._series)
+        maximum = max(float(series.values.max()) for series in self._series)
+        return minimum, maximum
+
+    def total_points(self) -> int:
+        """Total number of observations across all series."""
+        return sum(len(series) for series in self._series)
+
+    # ------------------------------------------------------------------
+    # Subsequence enumeration (paper Def. 1)
+    # ------------------------------------------------------------------
+    def subsequence(self, ssid: SubsequenceId) -> np.ndarray:
+        """Materialize the values of an identified subsequence."""
+        return self._series[ssid.series].subsequence(ssid.start, ssid.length)
+
+    def subsequences(
+        self, length: int, start_step: int = 1
+    ) -> Iterator[tuple[SubsequenceId, np.ndarray]]:
+        """Yield every ``(id, values)`` pair of the given ``length``.
+
+        ``start_step`` strides the starting positions; ``1`` enumerates all
+        ``n - length + 1`` windows per series exactly as the paper assumes.
+        """
+        if length < 2:
+            raise DataError(f"subsequence length must be >= 2, got {length}")
+        if start_step < 1:
+            raise DataError(f"start_step must be >= 1, got {start_step}")
+        for p, series in enumerate(self._series):
+            values = series.values
+            for j in range(0, len(series) - length + 1, start_step):
+                yield SubsequenceId(p, j, length), values[j : j + length]
+
+    def n_subsequences(self, length: int, start_step: int = 1) -> int:
+        """Count subsequences of ``length`` without materializing them."""
+        return sum(series.n_subsequences(length, start_step) for series in self._series)
+
+    def total_subsequences(
+        self, lengths: Sequence[int] | None = None, start_step: int = 1
+    ) -> int:
+        """Total subsequence count over a grid of lengths.
+
+        With ``lengths=None`` and ``start_step=1`` this equals the paper's
+        ``N * n * (n - 1) / 2`` cardinality for equal-length series.
+        """
+        grid = self.default_lengths() if lengths is None else list(lengths)
+        return sum(self.n_subsequences(length, start_step) for length in grid)
+
+    def default_lengths(self, length_step: int = 1, min_length: int = 2) -> list[int]:
+        """All lengths from ``min_length`` to the shortest series, strided."""
+        top = self.min_length
+        if min_length > top:
+            raise DataError(
+                f"min_length {min_length} exceeds shortest series length {top}"
+            )
+        lengths = list(range(min_length, top + 1, max(1, length_step)))
+        if lengths[-1] != top:
+            lengths.append(top)
+        return check_lengths(lengths, self.max_length)
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def map(self, transform: Any, name: str | None = None) -> "Dataset":
+        """Apply ``transform(values) -> values`` to every series."""
+        return Dataset(
+            [series.with_values(transform(series.values)) for series in self._series],
+            name=self.name if name is None else name,
+        )
+
+    def without_series(self, index: int) -> "Dataset":
+        """Return a copy with series ``index`` removed.
+
+        Used by the "query outside of the dataset" methodology of §6.2.1
+        (a random series is held out and queried against the rest).
+        """
+        if not 0 <= index < len(self):
+            raise DataError(f"series index {index} out of range for N={len(self)}")
+        remaining = [s for i, s in enumerate(self._series) if i != index]
+        if not remaining:
+            raise DataError("cannot remove the only series in a dataset")
+        return Dataset(remaining, name=self.name)
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Dataset":
+        """Return a dataset restricted to the given series indices."""
+        return Dataset(
+            [self._series[i] for i in indices],
+            name=self.name if name is None else name,
+        )
+
+    def to_matrix(self) -> np.ndarray:
+        """Stack equal-length series into a 2-D ``(N, n)`` array."""
+        if self.min_length != self.max_length:
+            raise DataError("to_matrix requires all series to share one length")
+        return np.stack([series.values for series in self._series])

@@ -1,0 +1,65 @@
+"""Normalization schemes.
+
+The paper (§6.1) normalizes *each sequence based on the maximum and
+minimum values in each dataset*: ``x' = (x - min) / (max - min)`` with the
+extrema taken dataset-wide. That scheme is implemented by
+:func:`min_max_normalize_dataset`. Per-series min-max and the more common
+z-normalization are provided as extras (Trillion's native setting is
+z-normalization; our Trillion baseline works on whatever scale the harness
+gives it so all systems see identical data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+def min_max_normalize(values: np.ndarray, minimum: float, maximum: float) -> np.ndarray:
+    """Scale ``values`` by the affine map sending [minimum, maximum] to [0, 1].
+
+    A constant dataset (``maximum == minimum``) maps to all zeros, matching
+    the convention that a flat series carries no shape information.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    span = maximum - minimum
+    if span < 0:
+        raise DataError(f"maximum ({maximum}) must be >= minimum ({minimum})")
+    if span == 0:
+        return np.zeros_like(values)
+    return (values - minimum) / span
+
+
+def min_max_normalize_dataset(dataset: Dataset) -> Dataset:
+    """Normalize with the paper's dataset-global min-max scheme (§6.1)."""
+    minimum, maximum = dataset.value_range
+    return dataset.map(lambda values: min_max_normalize(values, minimum, maximum))
+
+
+def min_max_normalize_per_series(dataset: Dataset) -> Dataset:
+    """Normalize each series independently to [0, 1]."""
+
+    def _scale(values: np.ndarray) -> np.ndarray:
+        return min_max_normalize(values, float(values.min()), float(values.max()))
+
+    return dataset.map(_scale)
+
+
+def z_normalize(values: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Shift/scale ``values`` to zero mean and unit standard deviation.
+
+    Series with (near-)zero variance are returned as all zeros rather than
+    dividing by ~0.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    std = float(values.std())
+    if std < epsilon:
+        return np.zeros_like(values)
+    return (values - values.mean()) / std
+
+
+def z_normalize_dataset(dataset: Dataset) -> Dataset:
+    """Apply per-series z-normalization to a whole dataset."""
+    return dataset.map(z_normalize)

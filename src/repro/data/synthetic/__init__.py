@@ -1,0 +1,30 @@
+"""Seeded synthetic stand-ins for the UCR datasets used in the paper.
+
+The paper evaluates on seven UCR archive datasets (ItalyPower, ECG, Face,
+Wafer, Symbols, TwoPattern, StarLightCurves). The archive is not
+available offline, so each generator here reproduces the documented
+*character* of its dataset — series length, class structure, waveform
+shape, alignment jitter — which is what drives both the ED-based grouping
+and the DTW search cost. See DESIGN.md §5 for the substitution rationale.
+"""
+
+from repro.data.synthetic.italy_power import make_italy_power
+from repro.data.synthetic.ecg import make_ecg
+from repro.data.synthetic.face import make_face
+from repro.data.synthetic.wafer import make_wafer
+from repro.data.synthetic.symbols import make_symbols
+from repro.data.synthetic.two_pattern import make_two_pattern
+from repro.data.synthetic.starlight import make_starlight
+from repro.data.synthetic.registry import DATASET_GENERATORS, make_dataset
+
+__all__ = [
+    "make_italy_power",
+    "make_ecg",
+    "make_face",
+    "make_wafer",
+    "make_symbols",
+    "make_two_pattern",
+    "make_starlight",
+    "make_dataset",
+    "DATASET_GENERATORS",
+]

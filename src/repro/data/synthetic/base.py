@@ -1,0 +1,63 @@
+"""Shared building blocks for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Create a seeded NumPy generator (seed ``None`` draws from entropy)."""
+    return np.random.default_rng(seed)
+
+
+def check_generator_args(n_series: int, length: int) -> None:
+    """Validate the two arguments every generator shares."""
+    if n_series < 1:
+        raise DataError(f"n_series must be >= 1, got {n_series}")
+    if length < 8:
+        raise DataError(f"length must be >= 8 for a meaningful waveform, got {length}")
+
+
+def smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Box-filter smoothing with edge padding; window <= 1 is a no-op."""
+    if window <= 1:
+        return values
+    kernel = np.ones(window) / window
+    padded = np.pad(values, (window // 2, window - 1 - window // 2), mode="edge")
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def time_warp(values: np.ndarray, rng: np.random.Generator, strength: float) -> np.ndarray:
+    """Resample ``values`` along a smoothly perturbed time axis.
+
+    This injects exactly the kind of local misalignment that makes DTW
+    outperform ED, which the paper's datasets all exhibit. ``strength`` is
+    the maximum relative displacement of any time point (e.g. ``0.05`` for
+    5% of the series length).
+    """
+    n = len(values)
+    if strength <= 0 or n < 3:
+        return values.copy()
+    n_knots = max(3, n // 16)
+    knot_positions = np.linspace(0.0, n - 1.0, n_knots)
+    jitter = rng.normal(0.0, strength * n / 3.0, size=n_knots)
+    jitter[0] = jitter[-1] = 0.0
+    warped_knots = np.clip(knot_positions + jitter, 0.0, n - 1.0)
+    warped_knots = np.maximum.accumulate(warped_knots)  # keep time monotone
+    warped_axis = np.interp(np.arange(n), knot_positions, warped_knots)
+    return np.interp(warped_axis, np.arange(n), values)
+
+
+def gaussian_bump(
+    n: int, center: float, width: float, amplitude: float
+) -> np.ndarray:
+    """A Gaussian-shaped bump evaluated on integer time steps ``0..n-1``."""
+    t = np.arange(n, dtype=np.float64)
+    return amplitude * np.exp(-0.5 * ((t - center) / width) ** 2)
+
+
+def random_walk(n: int, rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+    """A zero-anchored Gaussian random walk of length ``n``."""
+    return np.cumsum(rng.normal(0.0, scale, size=n))

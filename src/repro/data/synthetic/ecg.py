@@ -1,0 +1,61 @@
+"""Synthetic ECG.
+
+The UCR *ECG200* dataset contains single heartbeats (96 points) in two
+classes: normal beats and myocardial-infarction beats. A heartbeat is
+classically modelled as a sum of Gaussian deflections — the P wave, the
+QRS complex (Q dip, R spike, S dip) and the T wave. Abnormal beats here
+get a depressed R amplitude, an elevated/inverted T and baseline drift,
+which mirrors the morphology difference between the two UCR classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic.base import check_generator_args, gaussian_bump, make_rng, time_warp
+from repro.data.timeseries import TimeSeries
+
+
+def _heartbeat(length: int, abnormal: bool, rng: np.random.Generator) -> np.ndarray:
+    """One beat built from P, Q, R, S and T deflections."""
+    scale = length / 96.0
+    r_center = length * 0.45 + rng.normal(0.0, 1.5 * scale)
+    p_wave = gaussian_bump(length, r_center - 22 * scale, 4.5 * scale, 0.18)
+    q_dip = gaussian_bump(length, r_center - 4 * scale, 1.6 * scale, -0.25)
+    r_amp = 0.65 if abnormal else 1.0
+    r_spike = gaussian_bump(length, r_center, 2.2 * scale, r_amp)
+    s_dip = gaussian_bump(length, r_center + 4.5 * scale, 2.0 * scale, -0.35)
+    t_amp = -0.25 if abnormal else 0.32
+    t_wave = gaussian_bump(length, r_center + 22 * scale, 7.0 * scale, t_amp)
+    beat = p_wave + q_dip + r_spike + s_dip + t_wave
+    if abnormal:
+        drift = 0.12 * np.sin(np.linspace(0.0, np.pi, length) + rng.uniform(0, np.pi))
+        beat = beat + drift
+    beat = time_warp(beat, rng, strength=0.05)
+    beat += rng.normal(0.0, 0.025, size=length)
+    return beat
+
+
+def make_ecg(n_series: int = 30, length: int = 96, seed: int | None = 11) -> Dataset:
+    """Generate an ECG200-like dataset of single heartbeats.
+
+    Parameters
+    ----------
+    n_series:
+        Number of beats (UCR ECG200: 200).
+    length:
+        Points per beat (UCR: 96).
+    seed:
+        RNG seed.
+    """
+    check_generator_args(n_series, length)
+    rng = make_rng(seed)
+    series = []
+    for index in range(n_series):
+        abnormal = index % 3 == 0  # ~1/3 abnormal, like ECG200's imbalance
+        values = _heartbeat(length, abnormal, rng)
+        series.append(
+            TimeSeries(values, name=f"beat-{index}", label=-1 if abnormal else 1)
+        )
+    return Dataset(series, name="ECG")

@@ -1,0 +1,55 @@
+"""Synthetic ItalyPowerDemand.
+
+The UCR *ItalyPowerDemand* dataset records the hourly electrical power
+demand of Italy: 24-point daily profiles in two classes (October-March
+vs. April-September). Winter days show a pronounced evening peak on top
+of the morning one; summer days are flatter with a midday plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic.base import check_generator_args, gaussian_bump, make_rng, time_warp
+from repro.data.timeseries import TimeSeries
+
+
+def _daily_profile(length: int, season: int, rng: np.random.Generator) -> np.ndarray:
+    """One day of demand: baseline + morning/evening peaks, season-shaped."""
+    hours = np.linspace(0.0, 24.0, length, endpoint=False)
+    base = 0.6 + 0.15 * np.sin((hours - 15.0) * np.pi / 12.0)
+    morning = gaussian_bump(length, center=length * 8.5 / 24.0, width=length / 16.0, amplitude=0.5)
+    if season == 0:  # winter: strong evening peak (lighting + heating)
+        evening = gaussian_bump(length, center=length * 19.0 / 24.0, width=length / 14.0, amplitude=0.8)
+    else:  # summer: midday plateau (cooling), weak evening
+        evening = gaussian_bump(length, center=length * 13.5 / 24.0, width=length / 8.0, amplitude=0.45)
+    night_dip = gaussian_bump(length, center=length * 3.0 / 24.0, width=length / 12.0, amplitude=-0.35)
+    profile = base + morning + evening + night_dip
+    profile = time_warp(profile, rng, strength=0.04)
+    profile += rng.normal(0.0, 0.03, size=length)
+    return profile
+
+
+def make_italy_power(
+    n_series: int = 30, length: int = 24, seed: int | None = 7
+) -> Dataset:
+    """Generate an ItalyPowerDemand-like dataset.
+
+    Parameters
+    ----------
+    n_series:
+        Number of daily profiles (UCR: 1096).
+    length:
+        Points per day (UCR: 24).
+    seed:
+        RNG seed for reproducibility.
+    """
+    check_generator_args(n_series, length)
+    rng = make_rng(seed)
+    series = []
+    for index in range(n_series):
+        season = index % 2
+        values = _daily_profile(length, season, rng)
+        series.append(TimeSeries(values, name=f"day-{index}", label=season + 1))
+    return Dataset(series, name="ItalyPower")

@@ -1,0 +1,49 @@
+"""Name-based access to every synthetic dataset generator."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic.italy_power import make_italy_power
+from repro.data.synthetic.ecg import make_ecg
+from repro.data.synthetic.face import make_face
+from repro.data.synthetic.wafer import make_wafer
+from repro.data.synthetic.symbols import make_symbols
+from repro.data.synthetic.two_pattern import make_two_pattern
+from repro.data.synthetic.starlight import make_starlight
+from repro.exceptions import DataError
+
+DATASET_GENERATORS: dict[str, Callable[..., Dataset]] = {
+    "ItalyPower": make_italy_power,
+    "ECG": make_ecg,
+    "Face": make_face,
+    "Wafer": make_wafer,
+    "Symbols": make_symbols,
+    "TwoPattern": make_two_pattern,
+    "StarLightCurves": make_starlight,
+}
+
+# The six datasets of the paper's main experiments (Figs. 2, 4-8, Tables 1-4),
+# in the order the paper plots them.
+PAPER_DATASETS: tuple[str, ...] = (
+    "ItalyPower",
+    "ECG",
+    "Face",
+    "Wafer",
+    "Symbols",
+    "TwoPattern",
+)
+
+
+def make_dataset(name: str, **kwargs) -> Dataset:
+    """Instantiate a synthetic dataset by its paper name.
+
+    ``kwargs`` are forwarded to the generator (``n_series``, ``length``,
+    ``seed``, ...). Name lookup is case-insensitive.
+    """
+    for known, generator in DATASET_GENERATORS.items():
+        if known.lower() == name.lower():
+            return generator(**kwargs)
+    known_names = ", ".join(sorted(DATASET_GENERATORS))
+    raise DataError(f"unknown dataset {name!r}; known datasets: {known_names}")

@@ -1,0 +1,73 @@
+"""Synthetic StarLightCurves.
+
+The UCR *StarLightCurves* dataset (9236 series of length 1024) contains
+phase-folded brightness curves of variable stars in three classes:
+Cepheids (asymmetric saw-tooth pulsation), eclipsing binaries (two dips
+per period) and RR Lyrae (sharp rise, slow decay). The paper uses it for
+the scalability experiment (Fig. 3) with subsets of series truncated to
+length 100. The generator reproduces the three morphologies with
+per-instance phase shifts and noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic.base import check_generator_args, gaussian_bump, make_rng, time_warp
+from repro.data.timeseries import TimeSeries
+
+
+def _cepheid(length: int, phase: float) -> np.ndarray:
+    """Asymmetric saw-tooth pulsation: fast rise, slow decline."""
+    t = (np.linspace(0.0, 1.0, length) + phase) % 1.0
+    rise = np.clip(t / 0.2, 0.0, 1.0)
+    decline = np.clip((1.0 - t) / 0.8, 0.0, 1.0)
+    return np.minimum(rise, decline)
+
+
+def _eclipsing_binary(length: int, phase: float) -> np.ndarray:
+    """Flat brightness with a deep primary and shallow secondary eclipse."""
+    primary_center = (0.25 + phase) % 1.0 * length
+    secondary_center = (0.75 + phase) % 1.0 * length
+    curve = np.ones(length)
+    curve += gaussian_bump(length, primary_center, length / 24.0, -0.8)
+    curve += gaussian_bump(length, secondary_center, length / 24.0, -0.35)
+    return curve
+
+
+def _rr_lyrae(length: int, phase: float) -> np.ndarray:
+    """Sharp rise then exponential-like decay, repeated once per window."""
+    t = (np.linspace(0.0, 1.0, length) + phase) % 1.0
+    return np.exp(-3.0 * t) * (1.0 - np.exp(-30.0 * t))
+
+
+_MORPHOLOGIES = (_cepheid, _eclipsing_binary, _rr_lyrae)
+
+
+def make_starlight(
+    n_series: int = 30, length: int = 100, seed: int | None = 29
+) -> Dataset:
+    """Generate a StarLightCurves-like dataset.
+
+    Parameters
+    ----------
+    n_series:
+        Number of light curves (UCR: 9236; Fig. 3 uses 1000..5000 subsets).
+    length:
+        Points per curve (UCR: 1024; the paper's Fig. 3 truncates to 100,
+        which is also the default here).
+    seed:
+        RNG seed.
+    """
+    check_generator_args(n_series, length)
+    rng = make_rng(seed)
+    series = []
+    for index in range(n_series):
+        klass = index % len(_MORPHOLOGIES)
+        phase = float(rng.uniform(0.0, 0.1))
+        values = _MORPHOLOGIES[klass](length, phase)
+        values = time_warp(values, rng, strength=0.03)
+        values = values + rng.normal(0.0, 0.02, size=length)
+        series.append(TimeSeries(values, name=f"star-{index}", label=klass + 1))
+    return Dataset(series, name="StarLightCurves")

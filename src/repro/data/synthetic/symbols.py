@@ -1,0 +1,70 @@
+"""Synthetic Symbols.
+
+The UCR *Symbols* dataset captures pen trajectories of people drawing six
+symbol shapes (398 points per trace). Traces of one symbol share a smooth
+low-frequency shape but differ in drawing speed — local stretches and
+compressions of the time axis — making it a canonical DTW workload. We
+synthesize each symbol as a smooth composite of sinusoidal strokes and
+apply per-instance time warping to emulate drawing-speed variation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic.base import check_generator_args, make_rng, smooth, time_warp
+from repro.data.timeseries import TimeSeries
+
+
+def _symbol_template(length: int, symbol: int) -> np.ndarray:
+    """Deterministic smooth template for one of the six symbol classes."""
+    t = np.linspace(0.0, 1.0, length)
+    templates = (
+        np.sin(2 * np.pi * t) + 0.4 * np.sin(6 * np.pi * t),
+        np.cos(2 * np.pi * t) - 0.5 * np.cos(4 * np.pi * t),
+        2.0 * np.abs(2 * t - 1.0) - 1.0 + 0.3 * np.sin(8 * np.pi * t),
+        np.sin(3 * np.pi * t) * (1.0 - t),
+        np.tanh(6 * (t - 0.5)) + 0.25 * np.sin(10 * np.pi * t),
+        np.sin(2 * np.pi * t**2) + 0.2 * np.cos(5 * np.pi * t),
+    )
+    return templates[symbol % len(templates)]
+
+
+def _symbol_instance(
+    length: int, symbol: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One drawing of a symbol: warped, scaled and noisy template."""
+    template = _symbol_template(length, symbol)
+    scale = rng.uniform(0.85, 1.15)
+    offset = rng.normal(0.0, 0.05)
+    values = scale * template + offset
+    values = time_warp(values, rng, strength=0.08)  # drawing-speed variation
+    values = smooth(values, window=max(1, length // 100))
+    values += rng.normal(0.0, 0.02, size=length)
+    return values
+
+
+def make_symbols(
+    n_series: int = 24, length: int = 128, seed: int | None = 19
+) -> Dataset:
+    """Generate a Symbols-like dataset of pen-trajectory traces.
+
+    Parameters
+    ----------
+    n_series:
+        Number of drawings (UCR: 1020 of length 398).
+    length:
+        Points per drawing (UCR: 398; shorter defaults keep pure-Python
+        DTW tractable — pass 398 to match UCR exactly).
+    seed:
+        RNG seed.
+    """
+    check_generator_args(n_series, length)
+    rng = make_rng(seed)
+    series = []
+    for index in range(n_series):
+        symbol = index % 6
+        values = _symbol_instance(length, symbol, rng)
+        series.append(TimeSeries(values, name=f"symbol-{index}", label=symbol + 1))
+    return Dataset(series, name="Symbols")

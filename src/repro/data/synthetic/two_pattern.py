@@ -1,0 +1,68 @@
+"""Synthetic TwoPatterns.
+
+The UCR *TwoPatterns* dataset (128 points, four classes) embeds two
+transient patterns — each either an upward or a downward step pulse —
+at random positions in a noisy baseline. The class is the ordered pair
+of pattern directions: UU, UD, DU, DD. Random pattern positions make the
+classes impossible to separate without time-warping, which is precisely
+why the paper includes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic.base import check_generator_args, make_rng
+from repro.data.timeseries import TimeSeries
+
+_CLASSES = ((1, 1), (1, -1), (-1, 1), (-1, -1))  # (first, second) directions
+
+
+def _step_pulse(length: int, start: int, width: int, direction: int) -> np.ndarray:
+    """A rectangular up-down (or down-up) pulse of the given direction."""
+    pulse = np.zeros(length)
+    half = max(1, width // 2)
+    stop_first = min(length, start + half)
+    stop_second = min(length, start + width)
+    pulse[start:stop_first] = direction * 1.0
+    pulse[stop_first:stop_second] = -direction * 1.0
+    return pulse
+
+
+def _two_pattern_series(
+    length: int, klass: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Noise plus two directed pulses at random non-overlapping positions."""
+    first_dir, second_dir = _CLASSES[klass % len(_CLASSES)]
+    width = max(4, length // 8)
+    first_start = int(rng.integers(0, length // 2 - width))
+    second_start = int(rng.integers(length // 2, length - width))
+    values = rng.normal(0.0, 0.1, size=length)
+    values += _step_pulse(length, first_start, width, first_dir)
+    values += _step_pulse(length, second_start, width, second_dir)
+    return values
+
+
+def make_two_pattern(
+    n_series: int = 24, length: int = 128, seed: int | None = 23
+) -> Dataset:
+    """Generate a TwoPatterns-like dataset.
+
+    Parameters
+    ----------
+    n_series:
+        Number of series (UCR: 5000).
+    length:
+        Points per series (UCR: 128).
+    seed:
+        RNG seed.
+    """
+    check_generator_args(n_series, length)
+    rng = make_rng(seed)
+    series = []
+    for index in range(n_series):
+        klass = index % len(_CLASSES)
+        values = _two_pattern_series(length, klass, rng)
+        series.append(TimeSeries(values, name=f"tp-{index}", label=klass + 1))
+    return Dataset(series, name="TwoPattern")

@@ -1,0 +1,66 @@
+"""Synthetic Wafer.
+
+The UCR *Wafer* dataset holds inline process-control measurements from
+semiconductor fabrication (152 points): largely piecewise-constant traces
+with sharp transitions between process stages, plus a minority class of
+defective wafers whose traces show spikes and level anomalies. The
+generator builds a staged step profile shared by all normal wafers and
+injects spike/level faults into the abnormal minority.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic.base import check_generator_args, make_rng, smooth, time_warp
+from repro.data.timeseries import TimeSeries
+
+_STAGE_LEVELS = (0.1, 0.75, 0.4, 0.9, 0.25, 0.6)
+
+
+def _wafer_trace(length: int, defective: bool, rng: np.random.Generator) -> np.ndarray:
+    """A staged process trace, optionally carrying fault artifacts."""
+    n_stages = len(_STAGE_LEVELS)
+    boundaries = np.linspace(0, length, n_stages + 1).astype(int)
+    trace = np.empty(length)
+    for stage, level in enumerate(_STAGE_LEVELS):
+        start, stop = boundaries[stage], boundaries[stage + 1]
+        wobble = rng.normal(0.0, 0.02)
+        trace[start:stop] = level + wobble
+    trace = smooth(trace, window=max(3, length // 50))
+    if defective:
+        # A fault: one stage drifts and a transient spike appears.
+        stage = int(rng.integers(1, n_stages))
+        start, stop = boundaries[stage], boundaries[stage + 1]
+        trace[start:stop] += rng.choice([-1.0, 1.0]) * rng.uniform(0.15, 0.35)
+        spike_at = int(rng.integers(length // 8, length - length // 8))
+        width = max(1, length // 60)
+        trace[spike_at : spike_at + width] += rng.choice([-1.0, 1.0]) * rng.uniform(0.4, 0.8)
+    trace = time_warp(trace, rng, strength=0.03)
+    trace += rng.normal(0.0, 0.015, size=length)
+    return trace
+
+
+def make_wafer(n_series: int = 30, length: int = 152, seed: int | None = 17) -> Dataset:
+    """Generate a Wafer-like dataset of process-control traces.
+
+    Parameters
+    ----------
+    n_series:
+        Number of wafers (UCR: 7164, ~10% defective).
+    length:
+        Points per trace (UCR: 152).
+    seed:
+        RNG seed.
+    """
+    check_generator_args(n_series, length)
+    rng = make_rng(seed)
+    series = []
+    for index in range(n_series):
+        defective = index % 10 == 0  # ~10% abnormal, like UCR's imbalance
+        values = _wafer_trace(length, defective, rng)
+        series.append(
+            TimeSeries(values, name=f"wafer-{index}", label=-1 if defective else 1)
+        )
+    return Dataset(series, name="Wafer")

@@ -1,0 +1,127 @@
+"""The :class:`TimeSeries` value object and subsequence identifiers.
+
+A time series ``X = (x1, ..., xn)`` is a sequence of real values (paper
+§2). Subsequences are addressed per Definition 1 of the paper: ``(Xp)^i_j``
+is the subsequence of series ``Xp`` of length ``i`` starting at position
+``j`` (0-based here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.validation import as_float_array
+
+
+@dataclass(frozen=True, order=True)
+class SubsequenceId:
+    """Identifies a subsequence ``(Xp)^i_j`` inside a dataset.
+
+    Attributes
+    ----------
+    series:
+        Index ``p`` of the parent series within the dataset.
+    start:
+        0-based starting offset ``j`` within the parent series.
+    length:
+        Length ``i`` of the subsequence.
+    """
+
+    series: int
+    start: int
+    length: int
+
+    def __str__(self) -> str:  # e.g. "(X3)^10_5"
+        return f"(X{self.series})^{self.length}_{self.start}"
+
+    @property
+    def stop(self) -> int:
+        """Exclusive end offset within the parent series."""
+        return self.start + self.length
+
+
+class TimeSeries:
+    """An immutable, named 1-D sequence of real values.
+
+    Parameters
+    ----------
+    values:
+        Anything convertible to a 1-D float array; validated on entry.
+    name:
+        Optional human-readable label (ticker, patient id, ...).
+    label:
+        Optional class label (UCR datasets carry one per series).
+    """
+
+    __slots__ = ("_values", "name", "label")
+
+    def __init__(self, values: Any, name: str = "", label: int | None = None) -> None:
+        # Copy before freezing: np.asarray may share the caller's buffer,
+        # and setflags would otherwise make the *caller's* array read-only.
+        array = as_float_array(values, name="time series values").copy()
+        array.setflags(write=False)
+        self._values = array
+        self.name = str(name)
+        self.label = label
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only ``float64`` array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return self._values.shape[0]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int | slice) -> float | np.ndarray:
+        return self._values[index]
+
+    def __repr__(self) -> str:
+        label = f", label={self.label}" if self.label is not None else ""
+        name = f" {self.name!r}" if self.name else ""
+        return f"<TimeSeries{name} n={len(self)}{label}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            len(self) == len(other)
+            and bool(np.array_equal(self._values, other._values))
+            and self.name == other.name
+            and self.label == other.label
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.label, self._values.tobytes()))
+
+    def subsequence(self, start: int, length: int) -> np.ndarray:
+        """Return the values of subsequence ``(X)^length_start``.
+
+        Raises :class:`~repro.exceptions.DataError` when the requested
+        window does not fit inside the series.
+        """
+        if length < 1:
+            raise DataError(f"subsequence length must be >= 1, got {length}")
+        if start < 0 or start + length > len(self):
+            raise DataError(
+                f"subsequence [{start}, {start + length}) out of bounds "
+                f"for series of length {len(self)}"
+            )
+        return self._values[start : start + length]
+
+    def n_subsequences(self, length: int, start_step: int = 1) -> int:
+        """Number of subsequences of ``length`` with the given start stride."""
+        if length > len(self):
+            return 0
+        n_starts = len(self) - length + 1
+        return (n_starts + start_step - 1) // start_step
+
+    def with_values(self, values: Any) -> "TimeSeries":
+        """Return a copy carrying new values but the same name/label."""
+        return TimeSeries(values, name=self.name, label=self.label)

@@ -1,0 +1,51 @@
+"""Similarity distances: ED, DTW, lower bounds, PAA, LCSS, ERP."""
+
+from repro.distances.euclidean import (
+    euclidean,
+    euclidean_to_many,
+    normalized_euclidean,
+    squared_euclidean,
+)
+from repro.distances.dtw import (
+    dtw,
+    dtw_matrix,
+    dtw_path,
+    normalized_dtw,
+    resolve_window,
+)
+from repro.distances.lower_bounds import (
+    Envelope,
+    CascadePruner,
+    envelope,
+    lb_keogh,
+    lb_kim,
+)
+from repro.distances.paa import paa_distance, paa_transform, pdtw
+from repro.distances.lcss import lcss, lcss_distance
+from repro.distances.erp import erp
+from repro.distances.registry import DISTANCES, get_distance
+
+__all__ = [
+    "euclidean",
+    "euclidean_to_many",
+    "normalized_euclidean",
+    "squared_euclidean",
+    "dtw",
+    "dtw_matrix",
+    "dtw_path",
+    "normalized_dtw",
+    "resolve_window",
+    "Envelope",
+    "CascadePruner",
+    "envelope",
+    "lb_keogh",
+    "lb_kim",
+    "paa_distance",
+    "paa_transform",
+    "pdtw",
+    "lcss",
+    "lcss_distance",
+    "erp",
+    "DISTANCES",
+    "get_distance",
+]

@@ -1,0 +1,60 @@
+"""Edit Distance on Real sequences (EDR).
+
+EDR (Chen et al., SIGMOD 2005) completes the edit-distance family the
+paper's related work surveys next to LCSS and ERP: two points *match*
+(cost 0) when within a tolerance ``epsilon``, and every mismatch,
+insertion or deletion costs exactly 1. Unlike ERP it is robust to
+outliers (a wild value costs at most 1), and unlike LCSS it penalizes
+gaps, which keeps it discriminative on noisy data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DistanceError
+
+
+def edr(x: np.ndarray, y: np.ndarray, epsilon: float = 0.1) -> int:
+    """EDR distance: the minimum number of unit-cost edit operations.
+
+    Parameters
+    ----------
+    x, y:
+        Sequences (possibly different lengths).
+    epsilon:
+        Match tolerance: ``|x_i - y_j| <= epsilon`` costs 0, anything
+        else (substitute / insert / delete) costs 1.
+
+    Returns
+    -------
+    int
+        A value in ``[abs(n - m), max(n, m)]``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1 or x.size == 0 or y.size == 0:
+        raise DistanceError("edr requires two non-empty 1-D sequences")
+    if epsilon < 0:
+        raise DistanceError(f"epsilon must be >= 0, got {epsilon}")
+    n, m = x.shape[0], y.shape[0]
+    previous = list(range(m + 1))  # deleting j prefix elements costs j
+    for i in range(1, n + 1):
+        current = [i] + [0] * m
+        xi = x[i - 1]
+        for j in range(1, m + 1):
+            substitution = 0 if abs(xi - y[j - 1]) <= epsilon else 1
+            current[j] = min(
+                previous[j - 1] + substitution,  # match / substitute
+                previous[j] + 1,  # delete from x
+                current[j - 1] + 1,  # delete from y
+            )
+        previous = current
+    return int(previous[m])
+
+
+def normalized_edr(x: np.ndarray, y: np.ndarray, epsilon: float = 0.1) -> float:
+    """EDR scaled by the longer length, in ``[0, 1]``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    return edr(x, y, epsilon=epsilon) / max(x.shape[0], y.shape[0])

@@ -1,0 +1,71 @@
+"""Euclidean distance and its normalized variant (paper Defs. 2 and 5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import LengthMismatchError
+
+
+def _check_equal_length(x: np.ndarray, y: np.ndarray) -> None:
+    if x.shape[0] != y.shape[0]:
+        raise LengthMismatchError(x.shape[0], y.shape[0], context="Euclidean distance")
+
+
+def squared_euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """Sum of squared point-wise differences (no square root)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    _check_equal_length(x, y)
+    diff = x - y
+    return float(np.dot(diff, diff))
+
+
+def euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """Euclidean distance ``ED(X, Y)`` between equal-length sequences.
+
+    Paper Definition 2: ``sqrt(sum_i (x_i - y_i)^2)``.
+    """
+    return math.sqrt(squared_euclidean(x, y))
+
+
+def normalized_euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """Length-normalized Euclidean distance (paper Definition 5).
+
+    ``ED̄(X, Y) = ED(X, Y) / sqrt(n)`` — the root-mean-square point-wise
+    difference, comparable across lengths.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return euclidean(x, y) / math.sqrt(x.shape[0])
+
+
+def euclidean_to_many(x: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Euclidean distances from ``x`` to every row of ``candidates``.
+
+    Vectorized hot path used by group construction (each incoming
+    subsequence is compared against all current representatives at once).
+
+    Parameters
+    ----------
+    x:
+        Query vector of shape ``(n,)``.
+    candidates:
+        Matrix of shape ``(k, n)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Vector of ``k`` distances.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    if candidates.ndim == 1:
+        candidates = candidates.reshape(1, -1)
+    if candidates.shape[1] != x.shape[0]:
+        raise LengthMismatchError(
+            x.shape[0], candidates.shape[1], context="euclidean_to_many"
+        )
+    diff = candidates - x
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))

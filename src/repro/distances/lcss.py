@@ -1,0 +1,68 @@
+"""Longest Common Subsequence similarity for time series.
+
+LCSS [29] counts the longest chain of point pairs matching within a
+value tolerance ``epsilon`` and a time tolerance ``delta``. It appears in
+the paper's related work as one of the elastic measures ONEX could have
+used; it is included so users can contrast its behaviour with DTW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DistanceError
+
+
+def lcss(
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float = 0.1,
+    delta: int | None = None,
+) -> int:
+    """Length of the longest common subsequence under (epsilon, delta).
+
+    Parameters
+    ----------
+    x, y:
+        Sequences (possibly different lengths).
+    epsilon:
+        Two points match when ``|x_i - y_j| <= epsilon``.
+    delta:
+        Optional time-window: matches require ``|i - j| <= delta``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1 or x.size == 0 or y.size == 0:
+        raise DistanceError("lcss requires two non-empty 1-D sequences")
+    if epsilon < 0:
+        raise DistanceError(f"epsilon must be >= 0, got {epsilon}")
+    n, m = x.shape[0], y.shape[0]
+    if delta is not None and delta < 0:
+        raise DistanceError(f"delta must be >= 0, got {delta}")
+    previous = [0] * (m + 1)
+    for i in range(1, n + 1):
+        current = [0] * (m + 1)
+        xi = x[i - 1]
+        for j in range(1, m + 1):
+            in_window = delta is None or abs(i - j) <= delta
+            if in_window and abs(xi - y[j - 1]) <= epsilon:
+                current[j] = previous[j - 1] + 1
+            else:
+                up = previous[j]
+                left = current[j - 1]
+                current[j] = up if up >= left else left
+        previous = current
+    return previous[m]
+
+
+def lcss_distance(
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float = 0.1,
+    delta: int | None = None,
+) -> float:
+    """LCSS dissimilarity: ``1 - LCSS / min(n, m)`` in [0, 1]."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    shortest = min(x.shape[0], y.shape[0])
+    return 1.0 - lcss(x, y, epsilon=epsilon, delta=delta) / shortest

@@ -1,0 +1,188 @@
+"""Lower bounds for DTW: LB_Kim, LB_Keogh and the UCR-suite cascade.
+
+These are the pruning tools of §5.3 (after Rakthanmanon et al. [22]):
+
+* :func:`lb_kim` — an O(1) bound from the first/last points and global
+  extrema, filtering the cheapest rejections first;
+* :func:`envelope` / :func:`lb_keogh` — the classic Keogh bound: the
+  candidate is compared against a sliding min/max corridor around the
+  query (or vice versa, the "reversed" role of [22]);
+* :class:`CascadePruner` — applies the bounds in increasing cost order
+  and finishes with early-abandoning DTW, keeping per-stage statistics.
+
+Every bound is admissible: ``bound <= DTW`` for equal-length sequences
+whenever the DTW band radius is at least the envelope radius.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distances.dtw import dtw, resolve_window
+from repro.exceptions import DistanceError, LengthMismatchError
+
+
+def lb_kim(x: np.ndarray, y: np.ndarray) -> float:
+    """O(1) lower bound on DTW from boundary points and extrema.
+
+    Any warping path matches the first points to each other and the last
+    points to each other, so ``(x_0-y_0)^2 + (x_end-y_end)^2 <= DTW^2``.
+    Each sequence's maximum must be matched to *some* point of the other,
+    which cannot exceed the other's maximum, so ``|max(x) - max(y)|``
+    (and symmetrically the minima) also bound DTW.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0 or y.size == 0:
+        raise DistanceError("lb_kim requires non-empty sequences")
+    boundary_sq = (x[0] - y[0]) ** 2 + (x[-1] - y[-1]) ** 2
+    max_diff = abs(float(x.max()) - float(y.max()))
+    min_diff = abs(float(x.min()) - float(y.min()))
+    return max(math.sqrt(boundary_sq), max_diff, min_diff)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Sliding min/max corridor around a sequence for LB_Keogh."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    radius: int
+
+    def __len__(self) -> int:
+        return self.lower.shape[0]
+
+
+def envelope(y: np.ndarray, radius: int) -> Envelope:
+    """Build the LB_Keogh envelope of ``y`` with the given band radius.
+
+    ``upper[i] = max(y[i-r .. i+r])`` and ``lower[i]`` its min, with the
+    window clipped at the sequence boundary.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1 or y.size == 0:
+        raise DistanceError("envelope requires a non-empty 1-D sequence")
+    radius = int(radius)
+    if radius < 0:
+        raise DistanceError(f"envelope radius must be >= 0, got {radius}")
+    n = y.shape[0]
+    lower = np.empty(n)
+    upper = np.empty(n)
+    for i in range(n):
+        start = max(0, i - radius)
+        stop = min(n, i + radius + 1)
+        window = y[start:stop]
+        lower[i] = window.min()
+        upper[i] = window.max()
+    return Envelope(lower=lower, upper=upper, radius=radius)
+
+
+def lb_keogh(x: np.ndarray, env: Envelope) -> float:
+    """LB_Keogh lower bound of ``DTW(x, y)`` given ``y``'s envelope.
+
+    Sums the squared excursions of ``x`` outside the corridor. Requires
+    equal lengths (the bound is defined for same-length comparison; the
+    cascade skips it otherwise).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != len(env):
+        raise LengthMismatchError(x.shape[0], len(env), context="LB_Keogh")
+    above = np.maximum(x - env.upper, 0.0)
+    below = np.maximum(env.lower - x, 0.0)
+    return math.sqrt(float(np.dot(above, above) + np.dot(below, below)))
+
+
+@dataclass
+class PruneStats:
+    """Counts of how candidates were disposed of by the cascade."""
+
+    examined: int = 0
+    pruned_kim: int = 0
+    pruned_keogh_query: int = 0
+    pruned_keogh_data: int = 0
+    abandoned_dtw: int = 0
+    full_dtw: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Total candidates rejected before a full DTW finished."""
+        return (
+            self.pruned_kim
+            + self.pruned_keogh_query
+            + self.pruned_keogh_data
+            + self.abandoned_dtw
+        )
+
+
+@dataclass
+class CascadePruner:
+    """UCR-suite-style cascading filter for one query sequence.
+
+    The pruner owns the query's envelope and applies, in order:
+    ``lb_kim`` → ``lb_keogh`` (query envelope vs candidate) →
+    ``lb_keogh`` reversed (candidate envelope vs query) → full DTW with
+    early abandoning at the caller's best-so-far.
+
+    Parameters
+    ----------
+    query:
+        The query sequence.
+    window:
+        DTW band spec (same semantics as :func:`repro.distances.dtw.dtw`).
+    use_kim / use_keogh:
+        Toggles for ablation experiments.
+    """
+
+    query: np.ndarray
+    window: int | float | None = 0.1
+    use_kim: bool = True
+    use_keogh: bool = True
+    stats: PruneStats = field(default_factory=PruneStats)
+
+    def __post_init__(self) -> None:
+        self.query = np.asarray(self.query, dtype=np.float64)
+        self._radius = resolve_window(len(self.query), len(self.query), self.window)
+        self._query_envelope = envelope(self.query, self._radius)
+
+    def distance(
+        self,
+        candidate: np.ndarray,
+        best_so_far: float,
+        candidate_envelope: Envelope | None = None,
+    ) -> float:
+        """DTW(query, candidate), or ``inf`` if provably >= ``best_so_far``.
+
+        ``best_so_far`` is on the raw (unnormalized) DTW scale. Pass a
+        precomputed ``candidate_envelope`` (as the UCR suite does — data
+        envelopes are built once, not per query) to enable the reversed
+        LB_Keogh stage cheaply; without one, that stage builds the
+        envelope on the fly.
+        """
+        self.stats.examined += 1
+        candidate = np.asarray(candidate, dtype=np.float64)
+        same_length = candidate.shape[0] == self.query.shape[0]
+        if self.use_kim and lb_kim(self.query, candidate) >= best_so_far:
+            self.stats.pruned_kim += 1
+            return math.inf
+        if self.use_keogh and same_length:
+            if lb_keogh(candidate, self._query_envelope) >= best_so_far:
+                self.stats.pruned_keogh_query += 1
+                return math.inf
+            data_envelope = (
+                candidate_envelope
+                if candidate_envelope is not None
+                and candidate_envelope.radius >= self._radius
+                else envelope(candidate, self._radius)
+            )
+            if lb_keogh(self.query, data_envelope) >= best_so_far:
+                self.stats.pruned_keogh_data += 1
+                return math.inf
+        result = dtw(self.query, candidate, window=self.window, abandon_above=best_so_far)
+        if result == math.inf:
+            self.stats.abandoned_dtw += 1
+        else:
+            self.stats.full_dtw += 1
+        return result

@@ -1,0 +1,41 @@
+"""Name-based lookup of distance functions (used by the CLI and tests)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.distances.dtw import dtw, normalized_dtw
+from repro.distances.edr import normalized_edr
+from repro.distances.erp import erp
+from repro.distances.euclidean import euclidean, normalized_euclidean
+from repro.distances.lcss import lcss_distance
+from repro.distances.paa import pdtw
+from repro.exceptions import DistanceError
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+DISTANCES: dict[str, DistanceFn] = {
+    "ed": euclidean,
+    "ed_norm": normalized_euclidean,
+    "dtw": dtw,
+    "dtw_norm": normalized_dtw,
+    "pdtw": pdtw,
+    "lcss": lcss_distance,
+    "erp": erp,
+    "edr": normalized_edr,
+}
+
+
+def get_distance(name: str) -> DistanceFn:
+    """Return the distance function registered under ``name``.
+
+    Lookup is case-insensitive; unknown names raise
+    :class:`~repro.exceptions.DistanceError` listing the alternatives.
+    """
+    key = name.strip().lower()
+    if key in DISTANCES:
+        return DISTANCES[key]
+    known = ", ".join(sorted(DISTANCES))
+    raise DistanceError(f"unknown distance {name!r}; known distances: {known}")

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ONEX reproduction.
+
+Every error raised by this package derives from :class:`OnexError`, so
+callers can catch one base class. Subclasses mirror the major subsystems:
+data handling, distance computation, index construction and querying.
+"""
+
+from __future__ import annotations
+
+
+class OnexError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DataError(OnexError):
+    """Invalid time series or dataset input (shape, dtype, emptiness)."""
+
+
+class LengthMismatchError(DataError):
+    """Two sequences were required to have equal length but do not."""
+
+    def __init__(self, n: int, m: int, context: str = "") -> None:
+        detail = f" ({context})" if context else ""
+        super().__init__(f"sequence lengths differ: {n} != {m}{detail}")
+        self.n = n
+        self.m = m
+
+
+class DistanceError(OnexError):
+    """A distance computation received invalid parameters."""
+
+
+class IndexConstructionError(OnexError):
+    """The ONEX base could not be constructed from the given inputs."""
+
+
+class QueryError(OnexError):
+    """An online query was malformed or could not be answered."""
+
+
+class ThresholdError(OnexError):
+    """An invalid similarity threshold was supplied."""
+
+    def __init__(self, st: float, reason: str = "must be positive") -> None:
+        super().__init__(f"invalid similarity threshold {st!r}: {reason}")
+        self.st = st
+
+
+class ParseError(OnexError):
+    """The ONEX query language parser rejected the input text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PersistenceError(OnexError):
+    """An ONEX base could not be saved to or loaded from disk."""

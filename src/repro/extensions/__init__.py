@@ -1,0 +1,34 @@
+"""Extensions beyond the paper's §6 evaluation.
+
+The paper's tech report mentions maintenance of the ONEX base, and its
+related-work section points at classification and motif-style pattern
+discovery as neighbouring problems the index naturally supports. This
+package builds those out on top of the public core API:
+
+* :mod:`repro.extensions.maintenance` — append new series to a built
+  index without a full rebuild (incremental Algorithm 1);
+* :mod:`repro.extensions.classifier` — 1-NN time-series classification
+  answered from the index instead of a full DTW scan;
+* :mod:`repro.extensions.motifs` — top-k recurring-pattern (motif)
+  discovery straight from the similarity groups;
+* :mod:`repro.extensions.anomaly` — discord (anomaly) detection: the
+  most isolated subsequences, ranked index-only.
+
+A fifth extension lives in the core: ``QueryProcessor(n_probe=p)`` /
+``OnexIndex.build(grouping="kmeans")`` — multi-probe search and the
+alternative k-means base constructor.
+"""
+
+from repro.extensions.maintenance import append_series
+from repro.extensions.classifier import OnexKnnClassifier
+from repro.extensions.motifs import Motif, discover_motifs
+from repro.extensions.anomaly import Discord, discover_discords
+
+__all__ = [
+    "append_series",
+    "OnexKnnClassifier",
+    "Motif",
+    "discover_motifs",
+    "Discord",
+    "discover_discords",
+]

@@ -1,0 +1,94 @@
+"""Discord (anomaly) detection from the ONEX base.
+
+The mirror image of motif discovery: where motifs are the densest
+similarity groups, *discords* are the subsequences the grouping could
+not place near anything — members of tiny groups, far from every other
+representative. Classic discord discovery scans all pairs; the ONEX
+base already encodes the needed neighborhood structure, so ranking is
+index-only.
+
+The discord score of a subsequence combines (a) how small its group is
+(a singleton has no similar peer at all) and (b) how far its group's
+representative sits from the nearest other representative of the same
+length (an isolated group is anomalous as a whole).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.onex import OnexIndex
+from repro.data.timeseries import SubsequenceId
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class Discord:
+    """One anomaly candidate: an isolated subsequence."""
+
+    ssid: SubsequenceId
+    values: np.ndarray
+    group_size: int
+    nearest_rep_distance: float  # normalized ED to the nearest other rep
+    score: float
+
+
+def discover_discords(
+    index: OnexIndex,
+    length: int | None = None,
+    top_k: int = 5,
+    max_group_size: int = 2,
+) -> list[Discord]:
+    """Top-k most isolated subsequences in the indexed dataset.
+
+    Parameters
+    ----------
+    index:
+        A built ONEX index.
+    length:
+        Restrict to one subsequence length; ``None`` ranks across all.
+    top_k:
+        Number of discords returned, highest score first.
+    max_group_size:
+        Only members of groups at most this large qualify (discords are
+        by definition patterns without many similar peers).
+    """
+    if top_k < 1:
+        raise QueryError(f"top_k must be >= 1, got {top_k}")
+    if max_group_size < 1:
+        raise QueryError(f"max_group_size must be >= 1, got {max_group_size}")
+    buckets = (
+        [index.rspace.bucket(int(length))]
+        if length is not None
+        else list(index.rspace)
+    )
+    discords: list[Discord] = []
+    for bucket in buckets:
+        if bucket.n_groups < 2:
+            continue  # isolation is undefined with a single group
+        # Distance from each group to its nearest *other* group.
+        dc = bucket.dc.copy()
+        np.fill_diagonal(dc, np.inf)
+        nearest_other = dc.min(axis=1)
+        for group_index, group in enumerate(bucket.groups):
+            if group.count > max_group_size:
+                continue
+            isolation = float(nearest_other[group_index])
+            for ssid in group.member_ids:
+                # Smaller groups and more isolated representatives score
+                # higher; scores are comparable across lengths because
+                # Dc is on the normalized-ED scale.
+                score = isolation * (1.0 + 1.0 / group.count)
+                discords.append(
+                    Discord(
+                        ssid=ssid,
+                        values=index.dataset.subsequence(ssid),
+                        group_size=group.count,
+                        nearest_rep_distance=isolation,
+                        score=score,
+                    )
+                )
+    discords.sort(key=lambda discord: discord.score, reverse=True)
+    return discords[:top_k]

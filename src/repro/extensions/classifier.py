@@ -1,0 +1,136 @@
+"""1-NN time-series classification answered from the ONEX base.
+
+The nearest-neighbor classifier under DTW is the standard yardstick on
+the UCR archive (and the setting of [21] in the paper's related work).
+A classic implementation scans the training set per query; here the
+ONEX index answers the neighbor search instead, so prediction cost
+follows the representative count, not the training-set size.
+
+Only whole-series matches vote: the index is built with the training
+series' full length as its single subsequence length.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.onex import OnexIndex
+from repro.data.dataset import Dataset
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import DataError, QueryError
+
+
+class OnexKnnClassifier:
+    """k-NN classifier over an ONEX base (default k=1, the UCR standard).
+
+    Parameters
+    ----------
+    st:
+        Similarity threshold for the underlying base.
+    k:
+        Number of neighbors voting (majority, ties broken by the
+        closest neighbor's label).
+    window:
+        DTW band used for all comparisons.
+    n_probe:
+        Representative groups probed per query (accuracy/time knob).
+    """
+
+    def __init__(
+        self,
+        st: float = 0.2,
+        k: int = 1,
+        window: int | float | None = 0.1,
+        n_probe: int = 3,
+        seed: int | None = 0,
+    ) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self.st = float(st)
+        self.k = int(k)
+        self.window = window
+        self.n_probe = int(n_probe)
+        self.seed = seed
+        self._index: OnexIndex | None = None
+        self._labels: list[int] = []
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, series: Sequence[Any], labels: Sequence[int]
+    ) -> "OnexKnnClassifier":
+        """Build the ONEX base over the training series.
+
+        All series must share one length (the UCR convention); their
+        labels are attached for voting at prediction time.
+        """
+        if len(series) != len(labels):
+            raise DataError(
+                f"got {len(series)} series but {len(labels)} labels"
+            )
+        if not series:
+            raise DataError("training set must not be empty")
+        wrapped = [
+            values
+            if isinstance(values, TimeSeries)
+            else TimeSeries(values, name=f"train-{i}", label=int(labels[i]))
+            for i, values in enumerate(series)
+        ]
+        dataset = Dataset(wrapped, name="training")
+        if dataset.min_length != dataset.max_length:
+            raise DataError("all training series must share one length")
+        length = dataset.min_length
+        index = OnexIndex.build(
+            dataset,
+            st=self.st,
+            lengths=[length],
+            window=self.window,
+            seed=self.seed,
+        )
+        index.processor.n_probe = self.n_probe
+        self._index = index
+        self._labels = [int(label) for label in labels]
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> OnexIndex:
+        if self._index is None:
+            raise QueryError("classifier is not fitted; call fit() first")
+        return self._index
+
+    def predict_one(self, values: Any) -> int:
+        """Label of the (majority of the) k nearest training series."""
+        index = self.index
+        length = index.rspace.lengths[0]
+        matches = index.query(values, length=length, k=self.k, normalized=False)
+        if not matches:
+            raise QueryError("no neighbor found; widen the DTW window")
+        votes = Counter(self._labels[m.ssid.series] for m in matches)
+        top_count = max(votes.values())
+        tied = {label for label, count in votes.items() if count == top_count}
+        for match in matches:  # matches are distance-sorted
+            label = self._labels[match.ssid.series]
+            if label in tied:
+                return label
+        raise AssertionError("unreachable: some match must carry a tied label")
+
+    def predict(self, series: Sequence[Any]) -> list[int]:
+        """Labels for a batch of query series."""
+        return [self.predict_one(values) for values in series]
+
+    def score(self, series: Sequence[Any], labels: Sequence[int]) -> float:
+        """Classification accuracy in [0, 1] on a labelled test set."""
+        if len(series) != len(labels):
+            raise DataError(
+                f"got {len(series)} series but {len(labels)} labels"
+            )
+        if not series:
+            raise DataError("test set must not be empty")
+        predictions = self.predict(series)
+        hits = sum(
+            1 for got, want in zip(predictions, labels) if got == int(want)
+        )
+        return hits / len(predictions)

@@ -1,0 +1,180 @@
+"""Incremental maintenance of the ONEX base.
+
+The paper builds the base once over a static dataset (its tech report
+defers maintenance). This module implements the natural incremental
+step: when a new time series arrives, its subsequences are pushed
+through the same admission rule as Algorithm 1 — join the nearest
+representative if within ``sqrt(L) * ST / 2``, else seed a new group —
+against the *current* representatives. Touched groups are re-finalized
+(members re-sorted by ED to the updated mean) and the per-length GTI
+payloads (Dc matrix, sum order) and SP-Space are recomputed.
+
+Cost: O(new_subsequences x groups) distance computations plus a
+re-finalization of the touched groups — far below a full rebuild, which
+re-clusters every subsequence of every series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.group import SimilarityGroup
+from repro.core.onex import OnexIndex
+from repro.core.rspace import LengthBucket, RSpace
+from repro.core.spspace import SPSpace
+from repro.data.dataset import Dataset
+from repro.data.normalize import min_max_normalize
+from repro.data.timeseries import SubsequenceId, TimeSeries
+from repro.exceptions import IndexConstructionError
+
+
+def _as_series(values: Any, name: str, index: int) -> TimeSeries:
+    if isinstance(values, TimeSeries):
+        return values
+    return TimeSeries(values, name=name or f"series-{index}")
+
+
+def append_series(
+    index: OnexIndex,
+    series: Any,
+    name: str = "",
+    normalized: bool = False,
+) -> OnexIndex:
+    """Return a new index with ``series`` added, without a full rebuild.
+
+    Parameters
+    ----------
+    index:
+        The existing built index (not modified).
+    series:
+        The new time series (array-like or :class:`TimeSeries`). Must be
+        at least as long as the largest indexed subsequence length.
+    name:
+        Optional name for the new series.
+    normalized:
+        Set when the series is already on the index's normalized scale;
+        otherwise it is min-max scaled with the index's stored range
+        (values outside the original range are clipped by the affine
+        map's extrapolation, mirroring what a production system would
+        log-and-accept).
+
+    Returns
+    -------
+    OnexIndex
+        A new index over ``N + 1`` series sharing no mutable state with
+        the input.
+    """
+    new_index = len(index.dataset)
+    series = _as_series(series, name, new_index)
+    if not normalized:
+        minimum, maximum = index.value_range
+        series = series.with_values(
+            min_max_normalize(series.values, minimum, maximum)
+        )
+    max_length = max(index.rspace.lengths)
+    if len(series) < max_length:
+        raise IndexConstructionError(
+            f"new series of length {len(series)} is shorter than the largest "
+            f"indexed subsequence length ({max_length})"
+        )
+
+    dataset = Dataset(list(index.dataset) + [series], name=index.dataset.name)
+    buckets: dict[int, LengthBucket] = {}
+    for bucket in index.rspace:
+        buckets[bucket.length] = _extend_bucket(
+            bucket, dataset, series, new_index, index.st, index.start_step
+        )
+    rspace = RSpace(buckets)
+    spspace = SPSpace(rspace, index.st)
+    return OnexIndex(
+        dataset=dataset,
+        rspace=rspace,
+        spspace=spspace,
+        st=index.st,
+        window=index.window,
+        start_step=index.start_step,
+        value_range=index.value_range,
+        build_seconds=index.build_seconds,
+        group_search_width=index.processor.group_search_width,
+    )
+
+
+def _extend_bucket(
+    bucket: LengthBucket,
+    dataset: Dataset,
+    series: TimeSeries,
+    series_index: int,
+    st: float,
+    start_step: int,
+) -> LengthBucket:
+    """Insert one series' subsequences of this bucket's length."""
+    length = bucket.length
+    threshold = math.sqrt(length) * st / 2.0
+    envelope_radius = bucket.groups[0].rep_envelope.radius
+
+    # Working state: per group, the member list (materialized lazily
+    # only for groups that actually receive new members).
+    members: list[list[tuple[SubsequenceId, np.ndarray]] | None] = [
+        None for _ in bucket.groups
+    ]
+    reps = [group.representative.copy() for group in bucket.groups]
+    counts = [group.count for group in bucket.groups]
+    new_groups: list[list[tuple[SubsequenceId, np.ndarray]]] = []
+    new_reps: list[np.ndarray] = []
+
+    values = series.values
+    for start in range(0, len(series) - length + 1, start_step):
+        ssid = SubsequenceId(series_index, start, length)
+        window = values[start : start + length]
+        # Nearest representative over existing + freshly created groups.
+        all_reps = reps + new_reps
+        stack = np.stack(all_reps)
+        diff = stack - window
+        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        nearest = int(np.argmin(distances))
+        if distances[nearest] > threshold:
+            new_groups.append([(ssid, window)])
+            new_reps.append(window.astype(np.float64).copy())
+            continue
+        if nearest < len(reps):
+            if members[nearest] is None:
+                group = bucket.groups[nearest]
+                members[nearest] = [
+                    (mid, dataset.subsequence(mid)) for mid in group.member_ids
+                ]
+            members[nearest].append((ssid, window))
+            counts[nearest] += 1
+            reps[nearest] += (window - reps[nearest]) / counts[nearest]
+        else:
+            fresh = nearest - len(reps)
+            new_groups[fresh].append((ssid, window))
+            n = len(new_groups[fresh])
+            new_reps[fresh] += (window - new_reps[fresh]) / n
+
+    rebuilt: list[SimilarityGroup] = []
+    for index_in_bucket, group in enumerate(bucket.groups):
+        if members[index_in_bucket] is None:
+            rebuilt.append(group)  # untouched: reuse as-is
+            continue
+        rebuilt.append(
+            _group_from_members(length, members[index_in_bucket], envelope_radius)
+        )
+    for group_members in new_groups:
+        rebuilt.append(_group_from_members(length, group_members, envelope_radius))
+    return LengthBucket(length=length, groups=rebuilt)
+
+
+def _group_from_members(
+    length: int,
+    members: list[tuple[SubsequenceId, np.ndarray]],
+    envelope_radius: int,
+) -> SimilarityGroup:
+    (seed_id, seed_values), *rest = members
+    group = SimilarityGroup(length, seed_id, seed_values)
+    for ssid, window in rest:
+        group.add(ssid, window)
+    group.finalize([window for _, window in members], envelope_radius)
+    return group

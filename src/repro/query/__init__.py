@@ -1,0 +1,25 @@
+"""The ONEX query language (§5.1): parser and executor for Q1/Q2/Q3."""
+
+from repro.query.tokens import Token, TokenKind, tokenize
+from repro.query.ast import (
+    MatchSpec,
+    Query,
+    SeasonalQuery,
+    SimilarityQuery,
+    ThresholdQuery,
+)
+from repro.query.parser import parse_query
+from repro.query.executor import QueryExecutor
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "MatchSpec",
+    "Query",
+    "SimilarityQuery",
+    "SeasonalQuery",
+    "ThresholdQuery",
+    "parse_query",
+    "QueryExecutor",
+]

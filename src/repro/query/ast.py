@@ -1,0 +1,80 @@
+"""AST nodes for the three ONEX query classes (§5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MatchSpec:
+    """The ``MATCH = Exact(L) | Any`` clause.
+
+    ``length is None`` encodes ``Any``; an integer encodes ``Exact(L)``.
+    """
+
+    length: int | None
+
+    @property
+    def is_any(self) -> bool:
+        return self.length is None
+
+    def __str__(self) -> str:
+        return "Any" if self.length is None else f"Exact({self.length})"
+
+
+@dataclass(frozen=True)
+class SimilarityQuery:
+    """Class I (Q1): best-match / range similarity search.
+
+    Attributes
+    ----------
+    dataset:
+        The ``FROM`` identifier (informational; execution binds to one
+        index).
+    seq:
+        Name of the sample sequence ``seq = q``.
+    threshold:
+        ``Sim <= ST`` range threshold, or ``None`` for ``Sim <= min``
+        (best match).
+    k:
+        Number of matches for the best-match form.
+    match:
+        ``Exact(L)`` or ``Any``.
+    """
+
+    dataset: str
+    seq: str
+    threshold: float | None
+    k: int
+    match: MatchSpec
+
+
+@dataclass(frozen=True)
+class SeasonalQuery:
+    """Class II (Q2): seasonal similarity.
+
+    ``seq`` names the sample series for the user-driven variant or is
+    ``None`` (the paper's ``seq = NULL``) for the data-driven variant.
+    ``match.length`` must be exact — seasonal queries are per-length.
+    """
+
+    dataset: str
+    seq: str | None
+    match: MatchSpec
+
+
+@dataclass(frozen=True)
+class ThresholdQuery:
+    """Class III (Q3): similarity threshold recommendation.
+
+    ``degree`` is ``'S'``, ``'M'``, ``'L'`` or ``None`` (= recommend all
+    degrees); ``match`` selects per-length (Exact) or global (Any)
+    recommendations.
+    """
+
+    dataset: str
+    degree: str | None
+    match: MatchSpec
+
+
+Query = SimilarityQuery | SeasonalQuery | ThresholdQuery

@@ -1,0 +1,131 @@
+"""Binding parsed ONEX queries to a built index.
+
+The executor resolves sequence names against, in order:
+
+1. sequences registered by the analyst (``register_sequence``) — the
+   "designed" sample sequences of the paper's motivating example;
+2. series names in the indexed dataset (the whole series is the sample);
+3. positional references ``X<p>`` (series index ``p``).
+
+For seasonal queries the name must resolve to a dataset series, since
+recurring similarity is defined over a series of the dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.onex import OnexIndex
+from repro.core.results import Match, SeasonalResult, ThresholdRecommendation
+from repro.exceptions import QueryError
+from repro.query.ast import (
+    Query,
+    SeasonalQuery,
+    SimilarityQuery,
+    ThresholdQuery,
+)
+from repro.query.parser import parse_query
+from repro.utils.validation import as_float_array
+
+
+class QueryExecutor:
+    """Executes ONEX-language queries against one :class:`OnexIndex`.
+
+    Parameters
+    ----------
+    index:
+        The built index to query.
+    normalized_inputs:
+        When ``False`` (default), registered sequences are assumed to be
+        on the original data scale and are normalized with the index's
+        stored min/max before searching.
+    """
+
+    def __init__(self, index: OnexIndex, normalized_inputs: bool = False) -> None:
+        self.index = index
+        self.normalized_inputs = normalized_inputs
+        self._registered: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def register_sequence(self, name: str, values: Any) -> None:
+        """Make a sample sequence addressable as ``seq = <name>``."""
+        if not name:
+            raise QueryError("sequence name must not be empty")
+        self._registered[name] = as_float_array(values, name=f"sequence {name!r}")
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: Query | str
+    ) -> list[Match] | SeasonalResult | list[ThresholdRecommendation]:
+        """Run a query (AST node or source text) and return its results."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, SimilarityQuery):
+            return self._execute_similarity(query)
+        if isinstance(query, SeasonalQuery):
+            return self._execute_seasonal(query)
+        if isinstance(query, ThresholdQuery):
+            return self._execute_threshold(query)
+        raise QueryError(f"unsupported query node {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    def _resolve_values(self, name: str) -> np.ndarray:
+        if name in self._registered:
+            values = self._registered[name]
+            if self.normalized_inputs:
+                return values
+            return self.index.normalize_query(values)
+        series_index = self._resolve_series(name, required=False)
+        if series_index is not None:
+            return self.index.dataset[series_index].values
+        raise QueryError(
+            f"unknown sequence {name!r}: register it or use a series name/X<index>"
+        )
+
+    def _resolve_series(self, name: str, required: bool = True) -> int | None:
+        for index, series in enumerate(self.index.dataset):
+            if series.name == name:
+                return index
+        if name.upper().startswith("X") and name[1:].isdigit():
+            candidate = int(name[1:])
+            if 0 <= candidate < len(self.index.dataset):
+                return candidate
+        if required:
+            raise QueryError(
+                f"{name!r} does not name a series of dataset "
+                f"{self.index.dataset.name!r}"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def _execute_similarity(self, query: SimilarityQuery) -> list[Match]:
+        values = self._resolve_values(query.seq)
+        if query.threshold is not None:
+            return self.index.within(
+                values,
+                st=query.threshold,
+                length=query.match.length,
+                normalized=True,
+            )
+        return self.index.query(
+            values,
+            length=query.match.length,
+            k=query.k,
+            normalized=True,
+        )
+
+    def _execute_seasonal(self, query: SeasonalQuery) -> SeasonalResult:
+        assert query.match.length is not None  # enforced by the parser
+        series = (
+            None if query.seq is None else self._resolve_series(query.seq)
+        )
+        return self.index.seasonal(query.match.length, series=series)
+
+    def _execute_threshold(
+        self, query: ThresholdQuery
+    ) -> list[ThresholdRecommendation]:
+        return self.index.recommend(
+            degree=query.degree, length=query.match.length
+        )

@@ -1,0 +1,210 @@
+"""Recursive-descent parser for the ONEX query language (§5.1).
+
+Grammar (keywords case-insensitive)::
+
+    query      := "OUTPUT" target "FROM" IDENT "WHERE" conditions
+                  [ "MATCH" "=" match ]
+    target     := "ST" | "SeasonalSim" | IDENT
+    conditions := condition { "," condition }
+    condition  := "Sim" "<=" ( "min" | NUMBER )
+                | "seq" "=" ( IDENT | "NULL" )
+                | "simDegree" "=" ( "NULL" | "S" | "M" | "L" )
+                | "k" "=" NUMBER
+    match      := "Exact" "(" NUMBER ")" | "Any"
+
+``target = ST`` yields a :class:`ThresholdQuery`; ``SeasonalSim`` a
+:class:`SeasonalQuery`; any other identifier (the paper writes ``Xk``)
+a :class:`SimilarityQuery`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParseError
+from repro.query.ast import (
+    MatchSpec,
+    Query,
+    SeasonalQuery,
+    SimilarityQuery,
+    ThresholdQuery,
+)
+from repro.query.tokens import Token, TokenKind, tokenize
+
+_DEGREES = {"S", "M", "L"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        token = self.current
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {what}, found {token.text or 'end of query'!r}",
+                position=token.position,
+            )
+        return self.advance()
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.current
+        if not token.matches_keyword(keyword):
+            raise ParseError(
+                f"expected {keyword!r}, found {token.text or 'end of query'!r}",
+                position=token.position,
+            )
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect_keyword("OUTPUT")
+        target = self.expect(TokenKind.IDENT, "an output target")
+        # The paper sometimes writes "OUTPUT SeasonalSim {Xp}"; an optional
+        # second identifier after the target is tolerated and ignored.
+        if (
+            self.current.kind is TokenKind.IDENT
+            and not self.current.matches_keyword("FROM")
+        ):
+            self.advance()
+        self.expect_keyword("FROM")
+        dataset = self.expect(TokenKind.IDENT, "a dataset name").text
+        self.expect_keyword("WHERE")
+        conditions = self._parse_conditions()
+        match = self._parse_match()
+        self.expect(TokenKind.END, "end of query")
+        return self._assemble(target, dataset, conditions, match)
+
+    def _parse_conditions(self) -> dict[str, object]:
+        conditions: dict[str, object] = {}
+        while True:
+            self._parse_condition(conditions)
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        return conditions
+
+    def _parse_condition(self, conditions: dict[str, object]) -> None:
+        token = self.expect(TokenKind.IDENT, "a condition (Sim / seq / simDegree / k)")
+        name = token.text.lower()
+        if name == "sim":
+            self.expect(TokenKind.LE, "'<='")
+            value = self.current
+            if value.matches_keyword("min"):
+                self.advance()
+                conditions["threshold"] = None
+            else:
+                number = self.expect(TokenKind.NUMBER, "a threshold number or 'min'")
+                conditions["threshold"] = float(number.text)
+        elif name == "seq":
+            self.expect(TokenKind.EQ, "'='")
+            value = self.expect(TokenKind.IDENT, "a sequence name or NULL")
+            conditions["seq"] = None if value.matches_keyword("NULL") else value.text
+        elif name == "simdegree":
+            self.expect(TokenKind.EQ, "'='")
+            value = self.expect(TokenKind.IDENT, "S, M, L or NULL")
+            if value.matches_keyword("NULL"):
+                conditions["degree"] = None
+            elif value.text.upper() in _DEGREES:
+                conditions["degree"] = value.text.upper()
+            else:
+                raise ParseError(
+                    f"unknown similarity degree {value.text!r}",
+                    position=value.position,
+                )
+        elif name == "k":
+            self.expect(TokenKind.EQ, "'='")
+            number = self.expect(TokenKind.NUMBER, "an integer")
+            k = float(number.text)
+            if k != int(k) or int(k) < 1:
+                raise ParseError(
+                    f"k must be a positive integer, got {number.text}",
+                    position=number.position,
+                )
+            conditions["k"] = int(k)
+        else:
+            raise ParseError(
+                f"unknown condition {token.text!r} "
+                "(expected Sim, seq, simDegree or k)",
+                position=token.position,
+            )
+
+    def _parse_match(self) -> MatchSpec:
+        if self.current.kind is TokenKind.END:
+            return MatchSpec(length=None)
+        self.expect_keyword("MATCH")
+        self.expect(TokenKind.EQ, "'='")
+        token = self.expect(TokenKind.IDENT, "Exact(L) or Any")
+        if token.matches_keyword("Any"):
+            return MatchSpec(length=None)
+        if token.matches_keyword("Exact"):
+            self.expect(TokenKind.LPAREN, "'('")
+            number = self.expect(TokenKind.NUMBER, "a length")
+            self.expect(TokenKind.RPAREN, "')'")
+            length = float(number.text)
+            if length != int(length) or int(length) < 2:
+                raise ParseError(
+                    f"Exact length must be an integer >= 2, got {number.text}",
+                    position=number.position,
+                )
+            return MatchSpec(length=int(length))
+        raise ParseError(
+            f"expected Exact(L) or Any, found {token.text!r}",
+            position=token.position,
+        )
+
+    def _assemble(
+        self,
+        target: Token,
+        dataset: str,
+        conditions: dict[str, object],
+        match: MatchSpec,
+    ) -> Query:
+        if target.matches_keyword("ST"):
+            return ThresholdQuery(
+                dataset=dataset,
+                degree=conditions.get("degree"),  # type: ignore[arg-type]
+                match=match,
+            )
+        if target.matches_keyword("SeasonalSim"):
+            if match.is_any:
+                raise ParseError(
+                    "seasonal queries require MATCH = Exact(L)",
+                    position=target.position,
+                )
+            return SeasonalQuery(
+                dataset=dataset,
+                seq=conditions.get("seq"),  # type: ignore[arg-type]
+                match=match,
+            )
+        seq = conditions.get("seq")
+        if seq is None:
+            raise ParseError(
+                "similarity queries require a 'seq = <name>' condition",
+                position=target.position,
+            )
+        return SimilarityQuery(
+            dataset=dataset,
+            seq=str(seq),
+            threshold=conditions.get("threshold"),  # type: ignore[arg-type]
+            k=int(conditions.get("k", 1)),  # type: ignore[arg-type]
+            match=match,
+        )
+
+
+def parse_query(text: str) -> Query:
+    """Parse one ONEX query string into its AST node."""
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    return _Parser(tokenize(text)).parse()

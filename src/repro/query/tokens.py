@@ -1,0 +1,92 @@
+"""Tokenizer for the ONEX query language.
+
+The paper writes queries in a compact SQL-like syntax (§5.1)::
+
+    OUTPUT Xk FROM D WHERE Sim <= 0.2, seq = q MATCH = Exact(30)
+    OUTPUT SeasonalSim FROM D WHERE seq = NULL MATCH = Exact(30)
+    OUTPUT ST FROM D WHERE simDegree = S MATCH = Any
+
+Tokens are identifiers (case preserved, keyword matching is
+case-insensitive), numbers, and the punctuation ``<= = ( ) ,``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    LE = "<="
+    EQ = "="
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """Case-insensitive keyword check (only for identifiers)."""
+        return self.kind is TokenKind.IDENT and self.text.upper() == keyword.upper()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<le><=)
+  | (?P<eq>=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_GROUP_TO_KIND = {
+    "le": TokenKind.LE,
+    "eq": TokenKind.EQ,
+    "lparen": TokenKind.LPAREN,
+    "rparen": TokenKind.RPAREN,
+    "comma": TokenKind.COMMA,
+    "number": TokenKind.NUMBER,
+    "ident": TokenKind.IDENT,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a query string; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", position=position
+            )
+        if match.lastgroup != "ws":
+            kind = _GROUP_TO_KIND[match.lastgroup]  # type: ignore[index]
+            tokens.append(Token(kind=kind, text=match.group(), position=position))
+        position = match.end()
+    tokens.append(Token(kind=TokenKind.END, text="", position=len(text)))
+    return tokens
+
+
+def iter_significant(tokens: list[Token]) -> Iterator[Token]:
+    """All tokens except the terminating END marker."""
+    for token in tokens:
+        if token.kind is not TokenKind.END:
+            yield token

@@ -1,0 +1,20 @@
+"""Support utilities: union-find, validation helpers and timers."""
+
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import (
+    as_float_array,
+    check_positive,
+    check_probability,
+    require,
+)
+from repro.utils.timing import Timer, timed
+
+__all__ = [
+    "UnionFind",
+    "as_float_array",
+    "check_positive",
+    "check_probability",
+    "require",
+    "Timer",
+    "timed",
+]

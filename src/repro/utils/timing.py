@@ -1,0 +1,58 @@
+"""Small wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    ``Timer`` can time several disjoint spans; :attr:`elapsed` is their sum.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer.span():
+    ...     _ = sum(range(10))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    n_spans: int = field(default=0)
+
+    @contextmanager
+    def span(self) -> Iterator[None]:
+        """Context manager that adds the enclosed duration to the total."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.n_spans += 1
+
+    def reset(self) -> None:
+        """Zero the accumulated time and span count."""
+        self.elapsed = 0.0
+        self.n_spans = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per span (0.0 when nothing was timed)."""
+        if self.n_spans == 0:
+            return 0.0
+        return self.elapsed / self.n_spans
+
+
+def timed(func: Callable[[], T]) -> tuple[T, float]:
+    """Run ``func`` once and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start

@@ -1,0 +1,115 @@
+"""Disjoint-set (union-find) with path compression and union by size.
+
+Used by the SP-Space computation (single-linkage sweep over the
+inter-representative distance matrix) and by the threshold-adaptation
+merge logic of Algorithm 2.C.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class UnionFind:
+    """Union-find over the integers ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of elements. Must be non-negative.
+
+    Examples
+    --------
+    >>> uf = UnionFind(4)
+    >>> uf.union(0, 1)
+    True
+    >>> uf.connected(0, 1)
+    True
+    >>> uf.n_components
+    3
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"number of elements must be >= 0, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._n_components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Number of disjoint components currently tracked."""
+        return self._n_components
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of ``x``'s component."""
+        self._check(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the path at the root.
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the components of ``x`` and ``y``.
+
+        Returns ``True`` if a merge happened, ``False`` if they already
+        shared a component.
+        """
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self._n_components -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        """Return ``True`` when ``x`` and ``y`` are in the same component."""
+        return self.find(x) == self.find(y)
+
+    def component_size(self, x: int) -> int:
+        """Return the size of the component containing ``x``."""
+        return self._size[self.find(x)]
+
+    def components(self) -> list[list[int]]:
+        """Return all components as lists of member indices.
+
+        Components are ordered by their smallest member; members are sorted.
+        """
+        by_root: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            by_root.setdefault(self.find(x), []).append(x)
+        return sorted(by_root.values(), key=lambda members: members[0])
+
+    def add(self) -> int:
+        """Append a fresh singleton element and return its index."""
+        index = len(self._parent)
+        self._parent.append(index)
+        self._size.append(1)
+        self._n_components += 1
+        return index
+
+    def union_all(self, pairs: Iterable[tuple[int, int]]) -> int:
+        """Union every pair in ``pairs``; return the number of merges."""
+        merges = 0
+        for x, y in pairs:
+            if self.union(x, y):
+                merges += 1
+        return merges
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self._parent)))
+
+    def _check(self, x: int) -> None:
+        if not 0 <= x < len(self._parent):
+            raise IndexError(
+                f"element {x} out of range for UnionFind of size {len(self._parent)}"
+            )

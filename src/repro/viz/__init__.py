@@ -1,0 +1,13 @@
+"""Terminal visualization for interactive exploration sessions."""
+
+from repro.viz.ascii import sparkline, line_plot, overlay_plot
+from repro.viz.explain import render_match, render_group, render_warping_path
+
+__all__ = [
+    "sparkline",
+    "line_plot",
+    "overlay_plot",
+    "render_match",
+    "render_group",
+    "render_warping_path",
+]

@@ -1,0 +1,123 @@
+"""ASCII/Unicode plotting primitives for the terminal.
+
+The paper's ONEX is an *interactive* system; in a terminal-only
+environment the closest equivalent of its charts is unicode block
+plotting. These helpers are intentionally dependency-free and are used
+by the examples and the ``render_*`` explainers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.validation import as_float_array
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Pick ``width`` evenly spaced samples (all values if they fit)."""
+    if len(values) <= width:
+        return values
+    positions = np.linspace(0, len(values) - 1, width).round().astype(int)
+    return values[positions]
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line unicode sparkline of a sequence.
+
+    Flat sequences render as a run of the lowest block rather than
+    dividing by a zero range.
+    """
+    values = as_float_array(values, "values")
+    if width < 1:
+        raise DataError(f"width must be >= 1, got {width}")
+    values = _resample(values, width)
+    low, high = float(values.min()), float(values.max())
+    span = high - low
+    if span == 0:
+        return _BLOCKS[0] * len(values)
+    indices = ((values - low) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def line_plot(
+    values: np.ndarray,
+    width: int = 60,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Multi-row ASCII line plot with a value axis.
+
+    Each column shows a ``*`` at the sample's height; the left margin
+    carries the max/min values so magnitudes stay readable.
+    """
+    values = as_float_array(values, "values")
+    if width < 1 or height < 2:
+        raise DataError("width must be >= 1 and height >= 2")
+    sampled = _resample(values, width)
+    low, high = float(sampled.min()), float(sampled.max())
+    span = (high - low) or 1.0
+    rows = [[" "] * len(sampled) for _ in range(height)]
+    for column, value in enumerate(sampled):
+        row = int(round((value - low) / span * (height - 1)))
+        rows[height - 1 - row][column] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for index, row in enumerate(rows):
+        if index == 0:
+            margin = f"{high:8.3f} |"
+        elif index == height - 1:
+            margin = f"{low:8.3f} |"
+        else:
+            margin = " " * 8 + " |"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * len(sampled))
+    return "\n".join(lines)
+
+
+def overlay_plot(
+    first: np.ndarray,
+    second: np.ndarray,
+    width: int = 60,
+    height: int = 10,
+    labels: tuple[str, str] = ("a", "b"),
+) -> str:
+    """Two sequences on one ASCII canvas (``*`` and ``o``, ``@`` overlap).
+
+    Useful for eyeballing a query against its retrieved match; both
+    sequences share one value scale so offsets stay visible.
+    """
+    first = as_float_array(first, "first")
+    second = as_float_array(second, "second")
+    if width < 1 or height < 2:
+        raise DataError("width must be >= 1 and height >= 2")
+    a = _resample(first, width)
+    b = _resample(second, width)
+    columns = max(len(a), len(b))
+    low = min(float(a.min()), float(b.min()))
+    high = max(float(a.max()), float(b.max()))
+    span = (high - low) or 1.0
+    rows = [[" "] * columns for _ in range(height)]
+
+    def paint(values: np.ndarray, glyph: str) -> None:
+        for column, value in enumerate(values):
+            row = height - 1 - int(round((value - low) / span * (height - 1)))
+            current = rows[row][column]
+            rows[row][column] = "@" if current not in (" ", glyph) else glyph
+
+    paint(a, "*")
+    paint(b, "o")
+    lines = [f"*={labels[0]}  o={labels[1]}  @=both"]
+    for index, row in enumerate(rows):
+        if index == 0:
+            margin = f"{high:8.3f} |"
+        elif index == height - 1:
+            margin = f"{low:8.3f} |"
+        else:
+            margin = " " * 8 + " |"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * columns)
+    return "\n".join(lines)

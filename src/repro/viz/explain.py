@@ -1,0 +1,69 @@
+"""Human-readable renderings of ONEX result objects."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.onex import OnexIndex
+from repro.core.results import Match
+from repro.distances.dtw import dtw_path
+from repro.viz.ascii import overlay_plot, sparkline
+
+
+def render_match(query: np.ndarray, match: Match, width: int = 60) -> str:
+    """Query vs retrieved match, overlaid, with the distance header."""
+    header = (
+        f"match {match.ssid} (group G{match.group[0]}.{match.group[1]}): "
+        f"DTW={match.dtw:.4f} DTW/2n={match.dtw_normalized:.5f}"
+    )
+    body = overlay_plot(
+        np.asarray(query, dtype=float),
+        match.values,
+        width=width,
+        labels=("query", "match"),
+    )
+    return header + "\n" + body
+
+
+def render_group(index: OnexIndex, length: int, group_index: int, width: int = 50) -> str:
+    """A similarity group: its representative plus member sparklines."""
+    bucket = index.rspace.bucket(length)
+    group = bucket.group_of(group_index)
+    lines = [
+        f"group G{length}.{group_index}: {group.count} members, "
+        f"max ED to representative {group.ed_to_rep.max():.4f}",
+        f"  rep     {sparkline(group.representative, width)}",
+    ]
+    for ssid in group.member_ids[:8]:
+        values = index.dataset.subsequence(ssid)
+        lines.append(f"  {str(ssid):10} {sparkline(values, width)}")
+    if group.count > 8:
+        lines.append(f"  ... {group.count - 8} more member(s)")
+    return "\n".join(lines)
+
+
+def render_warping_path(
+    x: np.ndarray,
+    y: np.ndarray,
+    window: int | float | None = None,
+    max_size: int = 40,
+) -> str:
+    """The optimal DTW alignment as an ASCII matrix (``#`` on the path).
+
+    Sequences longer than ``max_size`` are rejected rather than silently
+    subsampled — the path of a subsampled pair is not the path of the
+    originals.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) > max_size or len(y) > max_size:
+        raise ValueError(
+            f"sequences longer than {max_size} do not fit an ASCII matrix; "
+            "slice them first"
+        )
+    path = set(dtw_path(x, y, window=window))
+    lines = [f"warping path: x (rows, n={len(x)}) vs y (cols, m={len(y)})"]
+    for i in range(len(x)):
+        row = "".join("#" if (i, j) in path else "." for j in range(len(y)))
+        lines.append(row)
+    return "\n".join(lines)

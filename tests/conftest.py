@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite.
+
+Heavier fixtures (built indexes) are session-scoped: the suite treats
+them as read-only. Tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.onex import OnexIndex
+from repro.data.dataset import Dataset
+from repro.data.normalize import min_max_normalize_dataset
+from repro.data.synthetic import make_dataset
+from repro.data.timeseries import TimeSeries
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """A tiny, normalized ItalyPower-like dataset (12 series x 24 points)."""
+    return min_max_normalize_dataset(
+        make_dataset("ItalyPower", n_series=12, length=24, seed=7)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_index(small_dataset: Dataset) -> OnexIndex:
+    """An index over ``small_dataset`` with a small explicit length grid."""
+    return OnexIndex.build(
+        small_dataset,
+        st=0.2,
+        lengths=[6, 12, 18, 24],
+        normalize=False,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def ecg_dataset() -> Dataset:
+    """A normalized ECG-like dataset with longer series (10 x 64)."""
+    return min_max_normalize_dataset(
+        make_dataset("ECG", n_series=10, length=64, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def ecg_index(ecg_dataset: Dataset) -> OnexIndex:
+    return OnexIndex.build(
+        ecg_dataset,
+        st=0.2,
+        lengths=[16, 32, 48, 64],
+        normalize=False,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    """Four deterministic hand-written series (length 8), unnormalized."""
+    return Dataset(
+        [
+            TimeSeries([0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7], name="ramp"),
+            TimeSeries([0.0, 0.5, 0.0, 0.5, 0.0, 0.5, 0.0, 0.5], name="zigzag"),
+            TimeSeries([0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0], name="fall"),
+            TimeSeries([0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3], name="flat"),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def naive_dtw(x: np.ndarray, y: np.ndarray) -> float:
+    """Obviously correct unconstrained DTW used as the test oracle."""
+    import math
+
+    n, m = len(x), len(y)
+    table = np.full((n, m), np.inf)
+    for i in range(n):
+        for j in range(m):
+            cost = (x[i] - y[j]) ** 2
+            if i == 0 and j == 0:
+                table[i, j] = cost
+                continue
+            best = np.inf
+            if i > 0:
+                best = min(best, table[i - 1, j])
+            if j > 0:
+                best = min(best, table[i, j - 1])
+            if i > 0 and j > 0:
+                best = min(best, table[i - 1, j - 1])
+            table[i, j] = cost + best
+    return math.sqrt(table[n - 1, m - 1])

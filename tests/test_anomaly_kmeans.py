@@ -1,0 +1,127 @@
+"""Tests for discord detection and the k-means grouping alternative."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.grouping_kmeans import build_groups_kmeans
+from repro.core.onex import OnexIndex
+from repro.data.dataset import Dataset
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import QueryError, ThresholdError
+from repro.extensions import discover_discords
+
+
+@pytest.fixture
+def dataset_with_anomaly() -> Dataset:
+    """Twelve near-identical sinusoid series plus one wild outlier."""
+    rng = np.random.default_rng(0)
+    t = np.linspace(0, 2 * np.pi, 24)
+    series = [
+        TimeSeries(
+            0.5 + 0.3 * np.sin(t) + rng.normal(0, 0.01, 24), name=f"normal-{i}"
+        )
+        for i in range(12)
+    ]
+    spike = 0.5 + 0.3 * np.sin(t)
+    spike[10:14] = 0.0  # a dropout no normal series has
+    series.append(TimeSeries(spike, name="anomaly"))
+    return Dataset(series, name="withAnomaly")
+
+
+class TestDiscords:
+    def test_anomalous_series_surfaces_first(self, dataset_with_anomaly):
+        index = OnexIndex.build(
+            dataset_with_anomaly, st=0.1, lengths=[8, 24], normalize=False
+        )
+        discords = discover_discords(index, top_k=3)
+        assert discords
+        top = discords[0]
+        assert dataset_with_anomaly[top.ssid.series].name == "anomaly"
+
+    def test_scores_descending_and_fields(self, small_index):
+        discords = discover_discords(small_index, top_k=10)
+        scores = [d.score for d in discords]
+        assert scores == sorted(scores, reverse=True)
+        for discord in discords:
+            assert discord.group_size >= 1
+            assert discord.nearest_rep_distance >= 0.0
+            assert discord.values.shape == (discord.ssid.length,)
+
+    def test_length_restriction(self, small_index):
+        discords = discover_discords(small_index, length=12, top_k=5)
+        assert all(d.ssid.length == 12 for d in discords)
+
+    def test_max_group_size_filter(self, small_index):
+        strict = discover_discords(small_index, top_k=50, max_group_size=1)
+        assert all(d.group_size == 1 for d in strict)
+
+    def test_bad_parameters(self, small_index):
+        with pytest.raises(QueryError):
+            discover_discords(small_index, top_k=0)
+        with pytest.raises(QueryError):
+            discover_discords(small_index, max_group_size=0)
+
+
+class TestKMeansGrouping:
+    def test_coverage(self, small_dataset):
+        groups = build_groups_kmeans(
+            small_dataset, 12, 0.2, np.random.default_rng(0)
+        )
+        seen = {ssid for g in groups for ssid in g.member_ids}
+        expected = {ssid for ssid, _ in small_dataset.subsequences(12)}
+        assert seen == expected
+
+    def test_radius_invariant_exact(self, small_dataset):
+        """Unlike Algorithm 1 (running-mean drift), the k-means builder
+        enforces Definition 8's radius exactly."""
+        st = 0.2
+        length = 12
+        threshold = math.sqrt(length) * st / 2.0
+        groups = build_groups_kmeans(
+            small_dataset, length, st, np.random.default_rng(0)
+        )
+        for group in groups:
+            assert group.ed_to_rep.max() <= threshold + 1e-9
+
+    def test_representative_is_member_mean(self, small_dataset):
+        groups = build_groups_kmeans(
+            small_dataset, 12, 0.3, np.random.default_rng(1)
+        )
+        group = max(groups, key=lambda g: g.count)
+        values = [small_dataset.subsequence(s) for s in group.member_ids]
+        assert np.allclose(group.representative, np.mean(values, axis=0))
+
+    def test_bad_threshold(self, small_dataset):
+        with pytest.raises(ThresholdError):
+            build_groups_kmeans(small_dataset, 12, 0.0, np.random.default_rng(0))
+
+    def test_index_build_with_kmeans(self, small_dataset):
+        index = OnexIndex.build(
+            small_dataset,
+            st=0.2,
+            lengths=[6, 12],
+            normalize=False,
+            grouping="kmeans",
+        )
+        query = small_dataset[0].values[0:12]
+        match = index.query(query, length=12)[0]
+        assert match.dtw_normalized <= 0.05
+
+    def test_unknown_grouping_rejected(self, small_dataset):
+        with pytest.raises(QueryError, match="grouping"):
+            OnexIndex.build(small_dataset, grouping="magic")
+
+    def test_kmeans_vs_incremental_comparable_group_counts(self, small_dataset):
+        incremental = OnexIndex.build(
+            small_dataset, st=0.2, lengths=[12], normalize=False
+        )
+        kmeans = OnexIndex.build(
+            small_dataset, st=0.2, lengths=[12], normalize=False, grouping="kmeans"
+        )
+        a = incremental.rspace.n_groups
+        b = kmeans.rspace.n_groups
+        assert b <= a * 3 and a <= b * 3  # same order of magnitude

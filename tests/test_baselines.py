@@ -1,0 +1,158 @@
+"""Tests for the three baselines: StandardDTW, PAA and Trillion."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import SearchResult
+from repro.baselines.brute_force import StandardDTW
+from repro.baselines.paa_search import PAASearch
+from repro.baselines.trillion import Trillion
+from repro.distances.dtw import dtw, normalized_dtw
+from repro.exceptions import QueryError
+
+LENGTHS = [6, 12, 18, 24]
+
+
+@pytest.fixture(scope="module")
+def prepared(request):
+    small_dataset = request.getfixturevalue("small_dataset")
+    brute = StandardDTW(window=0.1)
+    paa = PAASearch(window=0.1)
+    trillion = Trillion(window=0.1)
+    trillion_plain = Trillion(window=0.1, z_normalize=False)
+    for method in (brute, paa, trillion, trillion_plain):
+        method.prepare(small_dataset, LENGTHS)
+    return brute, paa, trillion, trillion_plain
+
+
+class TestInterface:
+    def test_query_before_prepare_rejected(self):
+        with pytest.raises(QueryError, match="prepare"):
+            StandardDTW().best_match(np.zeros(6) + 0.5)
+
+    def test_unprepared_length_rejected(self, prepared):
+        brute = prepared[0]
+        with pytest.raises(QueryError, match="not prepared"):
+            brute.best_match(np.zeros(6) + 0.5, length=7)
+
+    def test_search_result_ordering(self):
+        from repro.data.timeseries import SubsequenceId
+
+        a = SearchResult(SubsequenceId(0, 0, 4), np.zeros(4), 1.0, 0.1)
+        b = SearchResult(SubsequenceId(0, 1, 4), np.zeros(4), 2.0, 0.2)
+        assert a < b
+
+
+class TestStandardDTW:
+    def test_exactness_same_length(self, prepared, small_dataset):
+        """Brute force equals a literal full scan (its early abandoning
+        must never change the answer)."""
+        brute = prepared[0]
+        query = small_dataset[0].values[1:13]
+        result = brute.best_match(query, length=12)
+        literal = min(
+            normalized_dtw(query, values, window=0.1)
+            for _, values in small_dataset.subsequences(12)
+        )
+        assert result.dtw_normalized == pytest.approx(literal, abs=1e-12)
+
+    def test_exactness_any_length(self, prepared, small_dataset):
+        brute = prepared[0]
+        query = small_dataset[3].values[0:12]
+        result = brute.best_match(query)
+        literal = min(
+            normalized_dtw(query, values, window=0.1)
+            for length in LENGTHS
+            for _, values in small_dataset.subsequences(length)
+        )
+        assert result.dtw_normalized == pytest.approx(literal, abs=1e-12)
+
+    def test_self_match_found(self, prepared, small_dataset):
+        brute = prepared[0]
+        query = small_dataset[2].values[4:16]
+        result = brute.best_match(query, length=12)
+        assert result.dtw_normalized == pytest.approx(0.0, abs=1e-12)
+        assert result.ssid.series == 2
+        assert result.ssid.start == 4
+
+
+class TestPAA:
+    def test_reports_true_distance_of_choice(self, prepared, small_dataset):
+        paa = prepared[1]
+        query = small_dataset[1].values[0:12]
+        result = paa.best_match(query, length=12)
+        assert result.dtw == pytest.approx(
+            dtw(query, result.values, window=0.1)
+        )
+
+    def test_result_close_to_exact(self, prepared, small_dataset):
+        brute, paa = prepared[0], prepared[1]
+        query = small_dataset[4].values[6:18]
+        exact = brute.best_match(query, length=12)
+        approx = paa.best_match(query, length=12)
+        assert approx.dtw_normalized >= exact.dtw_normalized - 1e-12
+        assert approx.dtw_normalized <= exact.dtw_normalized + 0.05
+
+    def test_bad_segment_size(self):
+        with pytest.raises(QueryError):
+            PAASearch(segment_size=0)
+
+
+class TestTrillion:
+    def test_plain_mode_exact_same_length(self, prepared, small_dataset):
+        """Without z-normalization Trillion must equal brute force."""
+        brute, trillion_plain = prepared[0], prepared[3]
+        for series in range(4):
+            query = small_dataset[series].values[2:14]
+            exact = brute.best_match(query, length=12)
+            got = trillion_plain.best_match(query, length=12)
+            assert got.dtw_normalized == pytest.approx(
+                exact.dtw_normalized, abs=1e-9
+            )
+
+    def test_znorm_mode_still_finds_identical_window(self, prepared, small_dataset):
+        """An in-dataset query's own window has z-distance 0, so even the
+        z-normalized search returns it (paper: 'exact search' when the
+        query is in the dataset)."""
+        trillion = prepared[2]
+        query = small_dataset[5].values[3:15]
+        result = trillion.best_match(query, length=12)
+        assert result.dtw_normalized == pytest.approx(0.0, abs=1e-9)
+
+    def test_any_falls_back_to_own_length(self, prepared, small_dataset):
+        trillion = prepared[2]
+        query = small_dataset[0].values[0:12]
+        result = trillion.best_match(query)  # length=None
+        assert result.ssid.length == 12
+
+    def test_unprepared_own_length_snaps_to_nearest(self, prepared, small_dataset):
+        trillion = prepared[2]
+        query = small_dataset[0].values[0:10]  # length 10 not prepared
+        result = trillion.best_match(query)
+        assert result.ssid.length in LENGTHS
+
+    def test_explicit_unprepared_length_rejected(self, prepared):
+        trillion = prepared[2]
+        with pytest.raises(QueryError):
+            trillion.best_match(np.zeros(12) + 0.5, length=13)
+
+    def test_prune_stats_recorded(self, prepared, small_dataset):
+        trillion = prepared[2]
+        trillion.best_match(small_dataset[0].values[0:12], length=12)
+        stats = trillion.last_prune_stats
+        assert stats is not None
+        assert stats.examined == small_dataset.n_subsequences(12)
+
+    def test_stage_toggles_do_not_change_answer(self, small_dataset):
+        full = Trillion(window=0.1)
+        bare = Trillion(window=0.1, use_kim=False, use_keogh=False)
+        for method in (full, bare):
+            method.prepare(small_dataset, [12])
+        query = small_dataset[1].values[5:17]
+        assert full.best_match(query, length=12).dtw_normalized == pytest.approx(
+            bare.best_match(query, length=12).dtw_normalized
+        )

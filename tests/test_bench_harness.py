@@ -1,0 +1,173 @@
+"""Tests for the benchmark harness: workloads, accuracy, reporting, configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.accuracy import accuracy_percent, retrieval_errors
+from repro.bench.datasets import (
+    BENCH_CONFIGS,
+    STARLIGHT_N_GRID,
+    bench_dataset,
+    starlight_config,
+)
+from repro.bench.reporting import ReportRegistry, format_table
+from repro.bench.workloads import make_workload
+from repro.exceptions import DataError
+
+
+class TestWorkloads:
+    @pytest.fixture(scope="class")
+    def workload(self, request):
+        dataset = bench_dataset(BENCH_CONFIGS["ItalyPower"])
+        return make_workload(dataset, BENCH_CONFIGS["ItalyPower"].lengths, seed=7)
+
+    def test_twenty_queries_split_evenly(self, workload):
+        assert len(workload.queries) == 20
+        assert len(workload.in_queries) == 10
+        assert len(workload.out_queries) == 10
+
+    def test_holdout_removed_from_indexed(self, workload):
+        dataset = bench_dataset(BENCH_CONFIGS["ItalyPower"])
+        assert len(workload.indexed) == len(dataset) - 1
+
+    def test_out_queries_come_from_holdout(self, workload):
+        for query in workload.out_queries:
+            assert query.source_series == workload.holdout_series
+
+    def test_in_queries_match_indexed_values(self, workload):
+        for query in workload.in_queries:
+            series = workload.indexed[query.source_series]
+            expected = series.values[
+                query.source_start : query.source_start + query.length
+            ]
+            assert np.array_equal(query.values, expected)
+
+    def test_lengths_cover_grid_extremes(self, workload):
+        lengths = {query.length for query in workload.queries}
+        grid = BENCH_CONFIGS["ItalyPower"].lengths
+        assert min(grid) in lengths
+        assert max(grid) in lengths
+
+    def test_deterministic_by_seed(self):
+        dataset = bench_dataset(BENCH_CONFIGS["ItalyPower"])
+        a = make_workload(dataset, (8, 12), seed=3)
+        b = make_workload(dataset, (8, 12), seed=3)
+        assert a.holdout_series == b.holdout_series
+        for qa, qb in zip(a.queries, b.queries):
+            assert np.array_equal(qa.values, qb.values)
+
+    def test_requires_two_series(self):
+        from repro.data.dataset import Dataset
+
+        with pytest.raises(DataError):
+            make_workload(Dataset([[0.1] * 10]), (4,))
+
+
+class TestAccuracy:
+    def test_exact_system_scores_100(self):
+        exact = [0.1, 0.2, 0.3]
+        assert accuracy_percent(exact, exact) == 100.0
+
+    def test_positive_error_lowers_accuracy(self):
+        assert accuracy_percent([0.3], [0.1]) == pytest.approx(80.0)
+
+    def test_negative_differences_clipped(self):
+        # System can never beat the exact oracle; tiny negatives are noise.
+        errors = retrieval_errors([0.1 - 1e-15], [0.1])
+        assert errors[0] == 0.0
+
+    def test_query_length_scaling(self):
+        score = accuracy_percent([0.11], [0.10], query_lengths=[50])
+        # error 0.01 * 2 * 50 = 1.0 -> accuracy 0.
+        assert score == pytest.approx(0.0)
+
+    def test_floor_at_zero(self):
+        assert accuracy_percent([10.0], [0.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            accuracy_percent([0.1, 0.2], [0.1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            accuracy_percent([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            accuracy_percent([0.1], [0.1], query_lengths=[1, 2])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rendered = format_table(
+            "My Title", ["name", "value"], [["a", 1.0], ["bbbb", 0.5]]
+        )
+        lines = rendered.splitlines()
+        assert lines[0] == "My Title"
+        assert "name" in lines[2]
+        assert "bbbb" in lines[-1]
+
+    def test_cell_formatting(self):
+        rendered = format_table("t", ["v"], [[1234.5], [0.00012], [7]])
+        assert "1,234" in rendered or "1,235" in rendered
+        assert "0.00012" in rendered
+        assert "7" in rendered
+
+    def test_registry_replaces_by_name(self):
+        registry = ReportRegistry()
+        registry.add_table("x", "Title A", ["h"], [[1]])
+        registry.add_table("x", "Title B", ["h"], [[2]])
+        assert len(registry) == 1
+        lines: list[str] = []
+        registry.render_all(lines.append)
+        assert any("Title B" in line for line in lines)
+        assert not any("Title A" in line for line in lines)
+
+    def test_registry_writes_files(self, tmp_path):
+        registry = ReportRegistry(output_dir=str(tmp_path))
+        registry.add_table("saved", "T", ["h"], [[1]])
+        assert (tmp_path / "saved.txt").exists()
+
+    def test_empty_registry_renders_nothing(self):
+        registry = ReportRegistry()
+        lines: list[str] = []
+        registry.render_all(lines.append)
+        assert lines == []
+
+    def test_clear(self):
+        registry = ReportRegistry()
+        registry.add_table("x", "T", ["h"], [[1]])
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestConfigs:
+    def test_six_paper_datasets(self):
+        assert list(BENCH_CONFIGS) == [
+            "ItalyPower",
+            "ECG",
+            "Face",
+            "Wafer",
+            "Symbols",
+            "TwoPattern",
+        ]
+
+    @pytest.mark.parametrize("name", list(BENCH_CONFIGS))
+    def test_config_lengths_fit_series(self, name):
+        config = BENCH_CONFIGS[name]
+        assert max(config.lengths) <= config.length
+        assert min(config.lengths) >= 4
+
+    @pytest.mark.parametrize("name", list(BENCH_CONFIGS))
+    def test_bench_dataset_normalized(self, name):
+        dataset = bench_dataset(BENCH_CONFIGS[name])
+        low, high = dataset.value_range
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert high == pytest.approx(1.0, abs=1e-12)
+
+    def test_starlight_config_scales(self):
+        config = starlight_config(STARLIGHT_N_GRID[0])
+        assert config.n_series == STARLIGHT_N_GRID[0]
+        assert config.length == 100

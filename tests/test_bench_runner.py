@@ -1,0 +1,106 @@
+"""Tests for the benchmark runner and sweeps on a tiny custom config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import BenchConfig
+from repro.bench.runner import (
+    BenchContext,
+    build_context,
+    clear_context_cache,
+    get_context,
+)
+from repro.bench.sweeps import construction_sweep, tradeoff_sweep
+
+
+@pytest.fixture(scope="module")
+def tiny_context() -> BenchContext:
+    config = BenchConfig(
+        name="ItalyPower",
+        n_series=10,
+        length=24,
+        lengths=(8, 16, 24),
+        seed=77,
+    )
+    return build_context(config)
+
+
+class TestBuildContext:
+    def test_all_systems_share_the_enumeration(self, tiny_context):
+        lengths = tiny_context.config.lengths
+        assert tiny_context.index.rspace.lengths == sorted(lengths)
+        assert tiny_context.brute.lengths == sorted(lengths)
+        assert tiny_context.paa.lengths == sorted(lengths)
+        assert tiny_context.trillion.lengths == sorted(lengths)
+
+    def test_workload_has_twenty_queries(self, tiny_context):
+        assert len(tiny_context.workload.queries) == 20
+
+    def test_ground_truth_cached(self, tiny_context):
+        first = tiny_context.exact_any
+        second = tiny_context.exact_any
+        assert first is second
+        assert len(first) == 20
+        assert all(value >= 0.0 for value in first)
+
+    def test_same_length_truth_at_least_any_truth(self, tiny_context):
+        # The any-length optimum ranges over a superset of candidates.
+        for same, anyl in zip(tiny_context.exact_same, tiny_context.exact_any):
+            assert anyl <= same + 1e-12
+
+    def test_runs_cached_by_key(self, tiny_context):
+        run_a = tiny_context.run_onex()
+        run_b = tiny_context.run_onex()
+        assert run_a is run_b
+        run_s = tiny_context.run_onex(same_length=True)
+        assert run_s is not run_a
+        assert run_s.name == "ONEX-S"
+
+    def test_method_run_statistics(self, tiny_context):
+        run = tiny_context.run_baseline(tiny_context.trillion)
+        assert len(run.distances) == 20
+        assert run.mean_seconds > 0
+        assert run.total_seconds == pytest.approx(
+            sum(run.per_query_seconds)
+        )
+
+    def test_make_processor_overrides(self, tiny_context):
+        processor = tiny_context.make_processor(n_probe=2, median_ordering=False)
+        assert processor.n_probe == 2
+        assert processor.median_ordering is False
+        assert processor.st == tiny_context.index.st
+
+    def test_context_cache_round_trip(self):
+        clear_context_cache()
+        first = get_context("ItalyPower")
+        second = get_context("ItalyPower")
+        assert first is second
+        clear_context_cache()
+        third = get_context("ItalyPower")
+        assert third is not first
+        clear_context_cache()
+
+
+class TestSweeps:
+    def test_construction_sweep_points(self):
+        from repro.bench.sweeps import clear_sweep_caches
+
+        clear_sweep_caches()
+        points = construction_sweep("ItalyPower", st_grid=(0.1, 0.4))
+        assert [point.st for point in points] == [0.1, 0.4]
+        assert points[0].n_representatives >= points[1].n_representatives
+        assert all(point.build_seconds > 0 for point in points)
+        # cached: second call returns the same list object
+        assert construction_sweep("ItalyPower", st_grid=(0.1, 0.4)) is points
+        clear_sweep_caches()
+
+    def test_tradeoff_sweep_points(self):
+        from repro.bench.sweeps import clear_sweep_caches
+
+        clear_sweep_caches()
+        points = tradeoff_sweep("ItalyPower", st_grid=(0.2,))
+        assert len(points) == 1
+        assert 0.0 <= points[0].accuracy <= 100.0
+        assert points[0].mean_query_seconds > 0
+        clear_sweep_caches()

@@ -1,0 +1,121 @@
+"""Tests for the Dataset container and subsequence enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId, TimeSeries
+from repro.exceptions import DataError
+
+
+class TestConstruction:
+    def test_wraps_raw_arrays(self):
+        dataset = Dataset([[1.0, 2.0], [3.0, 4.0]], name="raw")
+        assert len(dataset) == 2
+        assert isinstance(dataset[0], TimeSeries)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            Dataset([])
+
+    def test_repr(self, tiny_dataset):
+        assert "tiny" in repr(tiny_dataset)
+
+
+class TestShapeStats:
+    def test_min_max_length(self):
+        dataset = Dataset([[1.0] * 4, [1.0] * 7])
+        assert dataset.min_length == 4
+        assert dataset.max_length == 7
+
+    def test_value_range(self, tiny_dataset):
+        low, high = tiny_dataset.value_range
+        assert low == 0.0
+        assert high == 0.7
+
+    def test_total_points(self, tiny_dataset):
+        assert tiny_dataset.total_points() == 32
+
+
+class TestSubsequences:
+    def test_enumeration_count_matches_formula(self, tiny_dataset):
+        entries = list(tiny_dataset.subsequences(3))
+        assert len(entries) == 4 * (8 - 3 + 1)
+        assert tiny_dataset.n_subsequences(3) == len(entries)
+
+    def test_values_match_ids(self, tiny_dataset):
+        for ssid, values in tiny_dataset.subsequences(4):
+            expected = tiny_dataset[ssid.series].values[ssid.start : ssid.stop]
+            assert np.array_equal(values, expected)
+            assert ssid.length == 4
+
+    def test_start_step_strides(self, tiny_dataset):
+        strided = list(tiny_dataset.subsequences(3, start_step=2))
+        starts = {ssid.start for ssid, _ in strided}
+        assert starts == {0, 2, 4}
+
+    def test_too_short_length_rejected(self, tiny_dataset):
+        with pytest.raises(DataError):
+            list(tiny_dataset.subsequences(1))
+
+    def test_bad_step_rejected(self, tiny_dataset):
+        with pytest.raises(DataError):
+            list(tiny_dataset.subsequences(3, start_step=0))
+
+    def test_materialize_by_id(self, tiny_dataset):
+        ssid = SubsequenceId(series=1, start=2, length=3)
+        assert tiny_dataset.subsequence(ssid).tolist() == [0.0, 0.5, 0.0]
+
+    def test_total_subsequences_all_lengths(self):
+        dataset = Dataset([[1.0] * 5, [2.0] * 5])
+        # lengths 2..5: per series 4+3+2+1 = 10 -> paper's N*n*(n-1)/2.
+        assert dataset.total_subsequences() == 2 * 5 * 4 / 2
+
+    def test_default_lengths_includes_top(self):
+        dataset = Dataset([[1.0] * 10])
+        lengths = dataset.default_lengths(length_step=3)
+        assert lengths[-1] == 10
+        assert lengths[0] == 2
+
+    def test_default_lengths_min_above_top_rejected(self):
+        dataset = Dataset([[1.0] * 4])
+        with pytest.raises(DataError):
+            dataset.default_lengths(min_length=5)
+
+
+class TestDerivation:
+    def test_map_applies_transform(self, tiny_dataset):
+        doubled = tiny_dataset.map(lambda values: values * 2)
+        assert doubled[0].values[1] == pytest.approx(0.2)
+        assert doubled[0].name == tiny_dataset[0].name
+        assert doubled.name == tiny_dataset.name
+
+    def test_without_series(self, tiny_dataset):
+        reduced = tiny_dataset.without_series(1)
+        assert len(reduced) == 3
+        assert [series.name for series in reduced] == ["ramp", "fall", "flat"]
+
+    def test_without_series_bad_index(self, tiny_dataset):
+        with pytest.raises(DataError):
+            tiny_dataset.without_series(4)
+
+    def test_without_only_series_rejected(self):
+        dataset = Dataset([[1.0, 2.0]])
+        with pytest.raises(DataError):
+            dataset.without_series(0)
+
+    def test_subset(self, tiny_dataset):
+        subset = tiny_dataset.subset([0, 2], name="pair")
+        assert [series.name for series in subset] == ["ramp", "fall"]
+        assert subset.name == "pair"
+
+    def test_to_matrix(self, tiny_dataset):
+        matrix = tiny_dataset.to_matrix()
+        assert matrix.shape == (4, 8)
+
+    def test_to_matrix_requires_equal_lengths(self):
+        dataset = Dataset([[1.0] * 3, [1.0] * 4])
+        with pytest.raises(DataError):
+            dataset.to_matrix()

@@ -1,0 +1,39 @@
+"""Tests for the distance registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances.registry import DISTANCES, get_distance
+from repro.exceptions import DistanceError
+
+
+def test_all_registered_names_resolve():
+    for name in DISTANCES:
+        assert get_distance(name) is DISTANCES[name]
+
+
+def test_lookup_case_insensitive():
+    assert get_distance("DTW") is DISTANCES["dtw"]
+    assert get_distance(" Ed ") is DISTANCES["ed"]
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(DistanceError, match="dtw"):
+        get_distance("nope")
+
+
+@pytest.mark.parametrize("name", sorted(DISTANCES))
+def test_registered_distances_are_callable(name):
+    x = np.array([0.0, 1.0, 2.0, 3.0])
+    y = np.array([0.0, 1.1, 2.1, 2.9])
+    value = get_distance(name)(x, y)
+    assert np.isfinite(value)
+    assert value >= 0.0
+
+
+@pytest.mark.parametrize("name", sorted(DISTANCES))
+def test_registered_distances_zero_on_identical(name):
+    x = np.array([0.5, 0.25, 0.75, 1.0])
+    assert get_distance(name)(x, x) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,176 @@
+"""Tests for DTW (paper Defs. 3 and 6): correctness against a naive
+reference, band semantics, early abandoning and path extraction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distances.dtw import dtw, dtw_matrix, dtw_path, normalized_dtw, resolve_window
+from repro.distances.euclidean import euclidean
+from repro.exceptions import DistanceError
+
+from tests.conftest import naive_dtw
+
+short_vectors = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=14
+)
+
+
+class TestAgainstReference:
+    @given(short_vectors, short_vectors)
+    @settings(max_examples=150, deadline=None)
+    def test_property_matches_naive_dtw(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        assert dtw(x, y) == pytest.approx(naive_dtw(x, y), abs=1e-9)
+
+    @given(short_vectors, short_vectors, st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_property_banded_matches_banded_matrix(self, a, b, window):
+        x, y = np.asarray(a), np.asarray(b)
+        endpoint = dtw_matrix(x, y, window=window)[len(x) - 1, len(y) - 1]
+        assert dtw(x, y, window=window) == pytest.approx(
+            math.sqrt(endpoint), abs=1e-9
+        )
+
+    @given(short_vectors, short_vectors, st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_property_band_never_below_unconstrained(self, a, b, window):
+        x, y = np.asarray(a), np.asarray(b)
+        assert dtw(x, y, window=window) >= dtw(x, y) - 1e-9
+
+
+class TestBasicProperties:
+    @given(short_vectors)
+    def test_property_self_distance_zero(self, values):
+        x = np.asarray(values)
+        assert dtw(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    @given(short_vectors, short_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_property_symmetry_unconstrained(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        assert dtw(x, y) == pytest.approx(dtw(y, x), abs=1e-9)
+
+    @given(short_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_property_bounded_by_euclidean(self, values):
+        """ED's one-to-one alignment is a valid warping path (§2)."""
+        x = np.asarray(values)
+        y = x[::-1].copy()
+        assert dtw(x, y) <= euclidean(x, y) + 1e-9
+
+    def test_known_alignment_beats_euclidean(self):
+        # Classic shifted-pulse case: DTW absorbs the shift, ED cannot.
+        x = np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        y = np.array([0.0, 1.0, 0.0, 0.0, 0.0])
+        assert dtw(x, y) < euclidean(x, y)
+        assert dtw(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_different_lengths_supported(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 1.5, 2.0, 2.5, 3.0])
+        assert math.isfinite(dtw(x, y))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistanceError):
+            dtw(np.array([]), np.array([1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(DistanceError):
+            dtw(np.ones((2, 2)), np.ones(2))
+
+
+class TestEarlyAbandoning:
+    @given(short_vectors, short_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_property_abandon_consistency(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        full = dtw(x, y)
+        # Threshold above the distance: result survives exactly.
+        assert dtw(x, y, abandon_above=full + 1e-6) == pytest.approx(full)
+        # Threshold strictly below: abandoned.
+        if full > 1e-9:
+            assert dtw(x, y, abandon_above=full * 0.99) == math.inf
+
+    def test_zero_threshold_keeps_exact_zero(self):
+        x = np.array([1.0, 2.0])
+        assert dtw(x, x, abandon_above=0.0) == 0.0
+
+
+class TestNormalizedDTW:
+    def test_divides_by_twice_longer_length(self):
+        x = np.arange(4.0)
+        y = np.arange(6.0)
+        assert normalized_dtw(x, y) == pytest.approx(dtw(x, y) / 12.0)
+
+    @given(short_vectors, short_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_normalized_threshold_equivalence(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        full = normalized_dtw(x, y)
+        if full > 1e-9:
+            assert normalized_dtw(x, y, abandon_above=full * 0.99) == math.inf
+        assert normalized_dtw(x, y, abandon_above=full + 1e-6) == pytest.approx(full)
+
+
+class TestResolveWindow:
+    def test_none_means_unconstrained(self):
+        assert resolve_window(10, 10, None) == 10
+
+    def test_fraction_of_longer(self):
+        assert resolve_window(20, 20, 0.1) == 2
+
+    def test_int_radius(self):
+        assert resolve_window(10, 10, 3) == 3
+
+    def test_widened_to_length_difference(self):
+        assert resolve_window(4, 10, 1) == 6
+
+    def test_minimum_radius_one(self):
+        assert resolve_window(5, 5, 0) == 1
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(DistanceError):
+            resolve_window(5, 5, 1.5)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(DistanceError):
+            resolve_window(5, 5, -2)
+
+
+class TestPath:
+    def test_path_endpoints(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 3.0])
+        path = dtw_path(x, y)
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 1)
+
+    def test_path_steps_are_monotone(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=8)
+        path = dtw_path(x, y)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert (i1 - i0, j1 - j0) in {(0, 1), (1, 0), (1, 1)}
+
+    def test_path_cost_equals_dtw(self, rng):
+        x = rng.normal(size=9)
+        y = rng.normal(size=11)
+        path = dtw_path(x, y)
+        cost = math.sqrt(sum((x[i] - y[j]) ** 2 for i, j in path))
+        assert cost == pytest.approx(dtw(x, y), abs=1e-9)
+
+    def test_identical_series_path_is_diagonal(self):
+        x = np.arange(5.0)
+        assert dtw_path(x, x) == [(i, i) for i in range(5)]
+
+    def test_path_length_bound(self, rng):
+        """Paper §2: path length T satisfies n <= T <= n + m - 1."""
+        x = rng.normal(size=7)
+        y = rng.normal(size=5)
+        path = dtw_path(x, y)
+        assert max(len(x), len(y)) <= len(path) <= len(x) + len(y) - 1

@@ -1,0 +1,85 @@
+"""Tests for the EDR distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distances.edr import edr, normalized_edr
+from repro.exceptions import DistanceError
+
+vectors = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=16
+)
+
+
+class TestEDR:
+    def test_identical_sequences_zero(self):
+        x = np.arange(6.0)
+        assert edr(x, x, epsilon=0.0) == 0
+
+    def test_single_substitution(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 9.0, 3.0])
+        assert edr(x, y, epsilon=0.1) == 1
+
+    def test_length_difference_costs_insertions(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 2.0])
+        assert edr(x, y, epsilon=0.1) == 2
+
+    def test_epsilon_widens_matches(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.2, 2.2, 3.2])
+        assert edr(x, y, epsilon=0.1) == 3
+        assert edr(x, y, epsilon=0.5) == 0
+
+    def test_outlier_costs_at_most_one(self):
+        """The robustness EDR is known for: a wild value is one edit."""
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 1_000_000.0, 3.0])
+        assert edr(x, y, epsilon=0.1) == 1
+
+    @given(vectors, vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_property_bounds(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        value = edr(x, y, epsilon=0.5)
+        assert abs(len(x) - len(y)) <= value <= max(len(x), len(y))
+
+    @given(vectors, vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_symmetry(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        assert edr(x, y) == edr(y, x)
+
+    @given(vectors, vectors, vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_property_triangle_with_unit_costs(self, a, b, c):
+        """EDR with epsilon=0 is a true edit distance, hence a metric."""
+        x, y, z = np.asarray(a), np.asarray(b), np.asarray(c)
+        assert edr(x, z, epsilon=0.0) <= edr(x, y, epsilon=0.0) + edr(
+            y, z, epsilon=0.0
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistanceError):
+            edr(np.array([]), np.array([1.0]))
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(DistanceError):
+            edr(np.arange(3.0), np.arange(3.0), epsilon=-0.1)
+
+
+class TestNormalizedEDR:
+    @given(vectors, vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_unit_interval(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        assert 0.0 <= normalized_edr(x, y) <= 1.0
+
+    def test_registry_exposure(self):
+        from repro.distances.registry import get_distance
+
+        assert get_distance("edr")(np.arange(4.0), np.arange(4.0)) == 0.0

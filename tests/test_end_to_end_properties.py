@@ -1,0 +1,123 @@
+"""Hypothesis properties over the whole pipeline on random datasets.
+
+These are the strongest checks in the suite: for arbitrary random
+datasets and thresholds, a built index must cover every subsequence,
+answer near-exactly for indexed queries, and never return anything the
+brute-force oracle would place more than the approximation bound away.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.brute_force import StandardDTW
+from repro.core.onex import OnexIndex
+from repro.data.dataset import Dataset
+
+
+def _random_dataset(seed: int, n_series: int, length: int) -> Dataset:
+    """A smooth-ish random dataset in [0, 1] (normalized by construction)."""
+    rng = np.random.default_rng(seed)
+    series = []
+    for _ in range(n_series):
+        walk = np.cumsum(rng.normal(0.0, 1.0, length))
+        low, high = walk.min(), walk.max()
+        span = (high - low) or 1.0
+        series.append((walk - low) / span)
+    return Dataset(series, name=f"random-{seed}")
+
+
+dataset_params = st.tuples(
+    st.integers(0, 1_000),  # seed
+    st.integers(3, 6),  # n_series
+    st.integers(10, 20),  # series length
+)
+
+
+@given(params=dataset_params, st_value=st.sampled_from([0.1, 0.2, 0.4]))
+@settings(max_examples=25, deadline=None)
+def test_property_index_covers_every_subsequence(params, st_value):
+    seed, n_series, length = params
+    dataset = _random_dataset(seed, n_series, length)
+    lengths = sorted({length // 2, length})
+    index = OnexIndex.build(
+        dataset, st=st_value, lengths=lengths, normalize=False, seed=seed
+    )
+    for sub_length in lengths:
+        expected = {ssid for ssid, _ in dataset.subsequences(sub_length)}
+        indexed = {
+            ssid
+            for group in index.rspace.bucket(sub_length).groups
+            for ssid in group.member_ids
+        }
+        assert indexed == expected
+
+
+@given(params=dataset_params)
+@settings(max_examples=15, deadline=None)
+def test_property_indexed_query_found_with_small_error(params):
+    seed, n_series, length = params
+    dataset = _random_dataset(seed, n_series, length)
+    sub_length = max(4, length // 2)
+    index = OnexIndex.build(
+        dataset, st=0.2, lengths=[sub_length], normalize=False, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    series = int(rng.integers(0, n_series))
+    start = int(rng.integers(0, length - sub_length + 1))
+    query = dataset[series].values[start : start + sub_length]
+    match = index.query(query, length=sub_length)[0]
+    # ONEX may land in a neighbouring group, but an identical window
+    # exists, so the error is bounded by the group diameter ~ ST.
+    assert match.dtw_normalized <= 0.2
+
+
+@given(params=dataset_params)
+@settings(max_examples=10, deadline=None)
+def test_property_onex_error_bounded_vs_oracle(params):
+    seed, n_series, length = params
+    dataset = _random_dataset(seed, n_series, length)
+    sub_length = max(4, length // 2)
+    lengths = [sub_length, length]
+    st_value = 0.2
+    index = OnexIndex.build(
+        dataset, st=st_value, lengths=lengths, normalize=False, seed=seed
+    )
+    oracle = StandardDTW(window=index.window)
+    oracle.prepare(dataset, lengths)
+    rng = np.random.default_rng(seed + 2)
+    query = np.clip(rng.normal(0.5, 0.25, sub_length), 0.0, 1.0)
+    got = index.query(query, stop_at_half_st=False)[0]
+    exact = oracle.best_match(query)
+    assert got.dtw_normalized >= exact.dtw_normalized - 1e-9
+    # Approximation bound: the query's group-selection error is bounded
+    # by the threshold scale (loose but must always hold).
+    assert got.dtw_normalized <= exact.dtw_normalized + st_value
+
+
+@given(params=dataset_params, new_st=st.sampled_from([0.05, 0.3, 0.6]))
+@settings(max_examples=15, deadline=None)
+def test_property_threshold_adaptation_preserves_coverage(params, new_st):
+    seed, n_series, length = params
+    dataset = _random_dataset(seed, n_series, length)
+    sub_length = max(4, length // 2)
+    index = OnexIndex.build(
+        dataset, st=0.2, lengths=[sub_length], normalize=False, seed=seed
+    )
+    adapted = index.with_threshold(new_st)
+    assert adapted.rspace.n_subsequences == index.rspace.n_subsequences
+    before = {
+        ssid
+        for group in index.rspace.bucket(sub_length).groups
+        for ssid in group.member_ids
+    }
+    after = {
+        ssid
+        for group in adapted.rspace.bucket(sub_length).groups
+        for ssid in group.member_ids
+    }
+    assert before == after

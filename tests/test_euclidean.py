@@ -1,0 +1,90 @@
+"""Tests for ED / normalized ED (paper Defs. 2 and 5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.distances.euclidean import (
+    euclidean,
+    euclidean_to_many,
+    normalized_euclidean,
+    squared_euclidean,
+)
+from repro.exceptions import LengthMismatchError
+
+vectors = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=32
+)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_squared_is_square(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([2.0, 0.0])
+        assert squared_euclidean(x, y) == pytest.approx(euclidean(x, y) ** 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            euclidean(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @given(vectors)
+    def test_property_identity(self, values):
+        x = np.asarray(values)
+        assert euclidean(x, x) == 0.0
+
+    @given(vectors, vectors)
+    def test_property_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        x, y = np.asarray(a[:n]), np.asarray(b[:n])
+        assert euclidean(x, y) == pytest.approx(euclidean(y, x))
+
+    @given(vectors, vectors, vectors)
+    def test_property_triangle_inequality(self, a, b, c):
+        n = min(len(a), len(b), len(c))
+        x, y, z = np.asarray(a[:n]), np.asarray(b[:n]), np.asarray(c[:n])
+        assert euclidean(x, z) <= euclidean(x, y) + euclidean(y, z) + 1e-7
+
+    @given(vectors)
+    def test_property_matches_numpy(self, values):
+        x = np.asarray(values)
+        y = x[::-1].copy()
+        assert euclidean(x, y) == pytest.approx(float(np.linalg.norm(x - y)))
+
+
+class TestNormalizedEuclidean:
+    def test_divides_by_sqrt_n(self):
+        x = np.zeros(4)
+        y = np.ones(4)
+        assert normalized_euclidean(x, y) == pytest.approx(euclidean(x, y) / 2.0)
+
+    @given(vectors)
+    def test_property_scale_is_rms(self, values):
+        x = np.asarray(values)
+        y = np.zeros_like(x)
+        rms = math.sqrt(float(np.mean(x**2)))
+        assert normalized_euclidean(x, y) == pytest.approx(rms, abs=1e-9)
+
+
+class TestEuclideanToMany:
+    def test_matches_individual_distances(self, rng):
+        x = rng.normal(size=8)
+        candidates = rng.normal(size=(5, 8))
+        batched = euclidean_to_many(x, candidates)
+        for index in range(5):
+            assert batched[index] == pytest.approx(euclidean(x, candidates[index]))
+
+    def test_single_vector_promoted(self, rng):
+        x = rng.normal(size=4)
+        other = rng.normal(size=4)
+        assert euclidean_to_many(x, other).shape == (1,)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(LengthMismatchError):
+            euclidean_to_many(rng.normal(size=4), rng.normal(size=(3, 5)))

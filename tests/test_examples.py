@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "economic_indicators.py",
+    "stock_explorer.py",
+    "ecg_patterns.py",
+    "motif_discovery.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_cleanly(script):
+    path = os.path.join(_EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_examples_list_is_exhaustive():
+    on_disk = sorted(
+        name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py")
+    )
+    assert on_disk == sorted(EXAMPLES)

@@ -1,0 +1,116 @@
+"""Tests for the query-language executor bound to an index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import Match, SeasonalResult, ThresholdRecommendation
+from repro.exceptions import QueryError
+from repro.query.executor import QueryExecutor
+
+
+@pytest.fixture
+def executor(small_index) -> QueryExecutor:
+    return QueryExecutor(small_index, normalized_inputs=True)
+
+
+class TestSequenceResolution:
+    def test_registered_sequence(self, executor, small_index):
+        executor.register_sequence("probe", small_index.dataset[0].values[0:12])
+        matches = executor.execute("OUTPUT X FROM D WHERE seq = probe MATCH = Exact(12)")
+        assert matches
+        assert isinstance(matches[0], Match)
+
+    def test_series_by_name(self, executor, small_index):
+        name = small_index.dataset[1].name
+        matches = executor.execute(f"OUTPUT X FROM D WHERE seq = {name}")
+        assert matches
+
+    def test_series_by_positional_reference(self, executor):
+        matches = executor.execute("OUTPUT X FROM D WHERE seq = X2")
+        assert matches
+
+    def test_registered_wins_over_series(self, executor, small_index):
+        # Register a sequence whose name collides with a series name.
+        name = small_index.dataset[0].name
+        executor.register_sequence(name, small_index.dataset[3].values[0:6])
+        matches = executor.execute(f"OUTPUT X FROM D WHERE seq = {name}")
+        # Resolved to the registered length-6 sequence, not the series.
+        assert matches[0].ssid.length in small_index.rspace.lengths
+
+    def test_unknown_sequence(self, executor):
+        with pytest.raises(QueryError, match="unknown sequence"):
+            executor.execute("OUTPUT X FROM D WHERE seq = nobody")
+
+    def test_empty_name_rejected(self, executor):
+        with pytest.raises(QueryError):
+            executor.register_sequence("", [1.0, 2.0])
+
+    def test_unnormalized_inputs_are_scaled(self, small_index):
+        executor = QueryExecutor(small_index, normalized_inputs=False)
+        # Register a raw-scale sequence: should be normalized before search.
+        executor.register_sequence("raw", np.linspace(0.0, 1.0, 12))
+        matches = executor.execute("OUTPUT X FROM D WHERE seq = raw MATCH = Exact(12)")
+        assert matches
+
+
+class TestQueryClasses:
+    def test_q1_best_match_with_k(self, executor):
+        matches = executor.execute("OUTPUT X FROM D WHERE seq = X0, k = 3 MATCH = Exact(12)")
+        assert 1 <= len(matches) <= 3
+
+    def test_q1_range_form(self, executor):
+        matches = executor.execute(
+            "OUTPUT X FROM D WHERE Sim <= 0.4, seq = X0 MATCH = Exact(12)"
+        )
+        assert all(isinstance(m, Match) for m in matches)
+
+    def test_q2_user_driven(self, executor):
+        result = executor.execute(
+            "OUTPUT SeasonalSim FROM D WHERE seq = X1 MATCH = Exact(12)"
+        )
+        assert isinstance(result, SeasonalResult)
+        assert result.series == 1
+
+    def test_q2_data_driven(self, executor):
+        result = executor.execute(
+            "OUTPUT SeasonalSim FROM D WHERE seq = NULL MATCH = Exact(12)"
+        )
+        assert result.series is None
+
+    def test_q2_series_by_name(self, executor, small_index):
+        name = small_index.dataset[2].name
+        result = executor.execute(
+            f"OUTPUT SeasonalSim FROM D WHERE seq = {name} MATCH = Exact(12)"
+        )
+        assert result.series == 2
+
+    def test_q2_unknown_series(self, executor):
+        with pytest.raises(QueryError, match="does not name a series"):
+            executor.execute(
+                "OUTPUT SeasonalSim FROM D WHERE seq = ghost MATCH = Exact(12)"
+            )
+
+    def test_q3_single_degree(self, executor):
+        recs = executor.execute("OUTPUT ST FROM D WHERE simDegree = S MATCH = Any")
+        assert len(recs) == 1
+        assert isinstance(recs[0], ThresholdRecommendation)
+        assert recs[0].degree == "S"
+
+    def test_q3_all_degrees(self, executor):
+        recs = executor.execute("OUTPUT ST FROM D WHERE simDegree = NULL MATCH = Any")
+        assert [rec.degree for rec in recs] == ["S", "M", "L"]
+
+    def test_q3_per_length(self, executor):
+        recs = executor.execute(
+            "OUTPUT ST FROM D WHERE simDegree = M MATCH = Exact(12)"
+        )
+        assert recs[0].length == 12
+
+    def test_ast_node_accepted_directly(self, executor):
+        from repro.query.parser import parse_query
+
+        node = parse_query("OUTPUT ST FROM D WHERE simDegree = L")
+        recs = executor.execute(node)
+        assert recs[0].degree == "L"

@@ -1,0 +1,235 @@
+"""Tests for the extensions: maintenance, classifier, motifs, n-probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.onex import OnexIndex
+from repro.core.query_processor import QueryProcessor
+from repro.data.synthetic import make_dataset
+from repro.exceptions import DataError, IndexConstructionError, QueryError
+from repro.extensions import OnexKnnClassifier, append_series, discover_motifs
+
+
+class TestAppendSeries:
+    def test_dataset_grows(self, small_index):
+        new_series = np.clip(
+            small_index.dataset[0].values + 0.01, 0.0, 1.0
+        )
+        grown = append_series(small_index, new_series, normalized=True)
+        assert len(grown.dataset) == len(small_index.dataset) + 1
+        assert len(small_index.dataset) == 12  # original untouched
+
+    def test_every_new_subsequence_indexed(self, small_index):
+        new_series = np.linspace(0.1, 0.9, 24)
+        grown = append_series(small_index, new_series, normalized=True)
+        new_index = len(grown.dataset) - 1
+        for bucket in grown.rspace:
+            expected = 24 - bucket.length + 1
+            found = sum(
+                1
+                for group in bucket.groups
+                for ssid in group.member_ids
+                if ssid.series == new_index
+            )
+            assert found == expected
+
+    def test_membership_of_old_series_preserved(self, small_index):
+        new_series = np.linspace(0.1, 0.9, 24)
+        grown = append_series(small_index, new_series, normalized=True)
+        new_index = len(grown.dataset) - 1
+        for length in small_index.rspace.lengths:
+            before = {
+                ssid
+                for group in small_index.rspace.bucket(length).groups
+                for ssid in group.member_ids
+            }
+            after = {
+                ssid
+                for group in grown.rspace.bucket(length).groups
+                for ssid in group.member_ids
+                if ssid.series != new_index
+            }
+            assert after == before
+
+    def test_queries_find_new_series(self, small_index):
+        new_series = np.clip(np.sin(np.linspace(0, 6, 24)) * 0.4 + 0.5, 0, 1)
+        grown = append_series(small_index, new_series, normalized=True)
+        new_index = len(grown.dataset) - 1
+        query = new_series[3:15]
+        match = grown.query(query, length=12)[0]
+        assert match.dtw_normalized <= 0.02
+        # The best match for a brand-new shape should be the new series
+        # itself (its own window has distance 0).
+        assert match.ssid.series == new_index
+
+    def test_unnormalized_input_scaled(self):
+        dataset = make_dataset("ECG", n_series=6, length=32, seed=1)
+        index = OnexIndex.build(dataset, st=0.2, lengths=[8, 16, 32])
+        raw = dataset[0].values * 1.0  # original scale
+        grown = append_series(index, raw, normalized=False)
+        assert float(grown.dataset[-1].values.max()) <= 1.0 + 1e-9
+
+    def test_too_short_series_rejected(self, small_index):
+        with pytest.raises(IndexConstructionError, match="shorter"):
+            append_series(small_index, np.zeros(10) + 0.5, normalized=True)
+
+    def test_spspace_recomputed(self, small_index):
+        grown = append_series(
+            small_index, np.linspace(0.0, 1.0, 24), normalized=True
+        )
+        assert grown.spspace.st == small_index.st
+        assert grown.spspace.st_final >= grown.spspace.st_half
+
+    def test_chained_appends(self, small_index):
+        index = small_index
+        for offset in (0.0, 0.3):
+            index = append_series(
+                index,
+                np.clip(np.linspace(offset, offset + 0.5, 24), 0, 1),
+                normalized=True,
+            )
+        assert len(index.dataset) == 14
+
+
+class TestNProbe:
+    def test_invalid_n_probe(self, small_index):
+        with pytest.raises(QueryError):
+            QueryProcessor(
+                small_index.rspace, small_index.dataset, st=0.2, n_probe=0
+            )
+
+    def test_probe_one_matches_default(self, small_index):
+        default = QueryProcessor(small_index.rspace, small_index.dataset, st=0.2)
+        single = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, n_probe=1
+        )
+        query = small_index.dataset[3].values[2:14]
+        a = default.best_match(query, length=12)[0]
+        b = single.best_match(query, length=12)[0]
+        assert a.ssid == b.ssid
+
+    def test_more_probes_never_worse(self, small_index):
+        narrow = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, n_probe=1
+        )
+        wide = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, n_probe=4
+        )
+        for series in range(4):
+            query = small_index.dataset[series].values[1:13]
+            a = narrow.best_match(query, length=12, stop_at_half_st=False)[0]
+            b = wide.best_match(query, length=12, stop_at_half_st=False)[0]
+            assert b.dtw_normalized <= a.dtw_normalized + 1e-9
+
+    def test_probe_larger_than_groups(self, small_index):
+        huge = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, n_probe=10_000
+        )
+        query = small_index.dataset[0].values[0:12]
+        assert huge.best_match(query, length=12)
+
+    def test_k_results_merged_across_groups(self, small_index):
+        wide = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, n_probe=3
+        )
+        query = small_index.dataset[0].values[0:12]
+        matches = wide.best_match(query, length=12, k=6)
+        assert len({m.ssid for m in matches}) == len(matches)
+        distances = [m.dtw_normalized for m in matches]
+        assert distances == sorted(distances)
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def trainset(self):
+        dataset = make_dataset("ItalyPower", n_series=40, length=24, seed=21)
+        series = [s.values for s in dataset]
+        labels = [s.label for s in dataset]
+        return series[:28], labels[:28], series[28:], labels[28:]
+
+    def test_fit_predict_accuracy(self, trainset):
+        train_x, train_y, test_x, test_y = trainset
+        classifier = OnexKnnClassifier(st=0.2).fit(train_x, train_y)
+        score = classifier.score(test_x, test_y)
+        # The two ItalyPower classes are well separated; 1-NN should be
+        # clearly better than the 50% coin flip.
+        assert score >= 0.75
+
+    def test_predict_one_returns_known_label(self, trainset):
+        train_x, train_y, test_x, _ = trainset
+        classifier = OnexKnnClassifier(st=0.2).fit(train_x, train_y)
+        assert classifier.predict_one(test_x[0]) in set(train_y)
+
+    def test_k3_majority(self, trainset):
+        train_x, train_y, test_x, test_y = trainset
+        classifier = OnexKnnClassifier(st=0.2, k=3).fit(train_x, train_y)
+        assert classifier.score(test_x, test_y) >= 0.7
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(QueryError, match="not fitted"):
+            OnexKnnClassifier().predict_one(np.zeros(24))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataError):
+            OnexKnnClassifier().fit([np.zeros(10) + 0.5, np.zeros(12) + 0.5], [1, 2])
+
+    def test_labels_length_mismatch(self):
+        with pytest.raises(DataError):
+            OnexKnnClassifier().fit([np.zeros(10) + 0.5], [1, 2])
+
+    def test_empty_training_set(self):
+        with pytest.raises(DataError):
+            OnexKnnClassifier().fit([], [])
+
+    def test_bad_k(self):
+        with pytest.raises(QueryError):
+            OnexKnnClassifier(k=0)
+
+
+class TestMotifs:
+    def test_discovers_cross_series_patterns(self, small_index):
+        motifs = discover_motifs(small_index, top_k=3)
+        assert motifs
+        for motif in motifs:
+            assert len(motif) >= 3
+            assert motif.n_series >= 2
+            assert motif.representative.shape == (motif.length,)
+
+    def test_scores_descending(self, small_index):
+        motifs = discover_motifs(small_index, top_k=10)
+        scores = [motif.score for motif in motifs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_length_restriction(self, small_index):
+        motifs = discover_motifs(small_index, length=12, top_k=5)
+        assert all(motif.length == 12 for motif in motifs)
+
+    def test_min_series_filter(self, small_index):
+        spread = discover_motifs(small_index, top_k=20, min_series=3)
+        assert all(motif.n_series >= 3 for motif in spread)
+
+    def test_min_occurrences_filter(self, small_index):
+        motifs = discover_motifs(small_index, top_k=20, min_occurrences=10)
+        assert all(len(motif) >= 10 for motif in motifs)
+
+    def test_occurrences_mutually_similar(self, small_index):
+        """Motif occurrences inherit Lemma 1's pairwise guarantee."""
+        import math
+
+        motif = discover_motifs(small_index, top_k=1)[0]
+        values = [small_index.dataset.subsequence(s) for s in motif.occurrences]
+        st = small_index.st
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                ned = float(np.linalg.norm(values[i] - values[j])) / math.sqrt(
+                    motif.length
+                )
+                assert ned <= st * 2.0 + 1e-9
+
+    def test_bad_parameters(self, small_index):
+        with pytest.raises(QueryError):
+            discover_motifs(small_index, top_k=0)
+        with pytest.raises(QueryError):
+            discover_motifs(small_index, min_occurrences=1)

@@ -1,0 +1,135 @@
+"""Tests for SimilarityGroup (paper Defs. 7 and 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.group import SimilarityGroup
+from repro.data.timeseries import SubsequenceId
+from repro.exceptions import IndexConstructionError
+
+
+def _ssid(p, j, i=4):
+    return SubsequenceId(p, j, i)
+
+
+@pytest.fixture
+def building_group():
+    group = SimilarityGroup(4, _ssid(0, 0), np.array([0.0, 1.0, 2.0, 3.0]))
+    group.add(_ssid(0, 1), np.array([1.0, 2.0, 3.0, 4.0]))
+    group.add(_ssid(1, 0), np.array([2.0, 3.0, 4.0, 5.0]))
+    return group
+
+
+class TestConstructionPhase:
+    def test_seed_is_first_member(self):
+        group = SimilarityGroup(3, _ssid(0, 0, 3), np.array([1.0, 2.0, 3.0]))
+        assert group.count == 1
+        assert group.representative.tolist() == [1.0, 2.0, 3.0]
+
+    def test_wrong_seed_length_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            SimilarityGroup(5, _ssid(0, 0, 5), np.array([1.0, 2.0]))
+
+    def test_running_mean(self, building_group):
+        assert building_group.count == 3
+        assert building_group.representative.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_len(self, building_group):
+        assert len(building_group) == 3
+
+    def test_repr_reflects_state(self, building_group):
+        assert "building" in repr(building_group)
+
+
+class TestFinalize:
+    def _finalize(self, group):
+        values = [
+            np.array([0.0, 1.0, 2.0, 3.0]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            np.array([2.0, 3.0, 4.0, 5.0]),
+        ]
+        group.finalize(values, envelope_radius=1)
+        return values
+
+    def test_members_sorted_by_ed(self, building_group):
+        self._finalize(building_group)
+        eds = building_group.ed_to_rep
+        assert all(eds[i] <= eds[i + 1] for i in range(len(eds) - 1))
+        # middle member coincides with the mean -> distance 0 first.
+        assert building_group.member_ids[0] == _ssid(0, 1)
+        assert eds[0] == pytest.approx(0.0)
+
+    def test_finalize_freezes_representative(self, building_group):
+        self._finalize(building_group)
+        with pytest.raises(ValueError):
+            building_group.representative[0] = 9.0
+
+    def test_cannot_add_after_finalize(self, building_group):
+        self._finalize(building_group)
+        with pytest.raises(IndexConstructionError):
+            building_group.add(_ssid(2, 0), np.zeros(4))
+
+    def test_cannot_finalize_twice(self, building_group):
+        self._finalize(building_group)
+        with pytest.raises(IndexConstructionError):
+            building_group.finalize([np.zeros(4)] * 3, envelope_radius=1)
+
+    def test_member_count_mismatch_rejected(self, building_group):
+        with pytest.raises(IndexConstructionError):
+            building_group.finalize([np.zeros(4)], envelope_radius=1)
+
+    def test_envelope_available_after_finalize(self, building_group):
+        self._finalize(building_group)
+        env = building_group.rep_envelope
+        assert env.radius == 1
+        assert np.all(env.lower <= building_group.representative)
+
+    def test_envelope_before_finalize_rejected(self, building_group):
+        with pytest.raises(IndexConstructionError):
+            _ = building_group.rep_envelope
+
+    def test_normalized_ed_scaling(self, building_group):
+        self._finalize(building_group)
+        normalized = building_group.normalized_ed_to_rep()
+        assert np.allclose(normalized, building_group.ed_to_rep / 2.0)
+
+    def test_members_of_series(self, building_group):
+        self._finalize(building_group)
+        assert building_group.members_of_series(0) == (_ssid(0, 1), _ssid(0, 0))
+        assert building_group.members_of_series(5) == ()
+
+
+class TestRestore:
+    def test_round_trip_matches_finalized_group(self, building_group):
+        values = [
+            np.array([0.0, 1.0, 2.0, 3.0]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            np.array([2.0, 3.0, 4.0, 5.0]),
+        ]
+        building_group.finalize(values, envelope_radius=1)
+        restored = SimilarityGroup.restore(
+            length=4,
+            member_ids=building_group.member_ids,
+            ed_to_rep=building_group.ed_to_rep,
+            representative=building_group.representative,
+            envelope_radius=1,
+        )
+        assert restored.is_finalized
+        assert restored.member_ids == building_group.member_ids
+        assert np.allclose(restored.ed_to_rep, building_group.ed_to_rep)
+        assert np.allclose(restored.representative, building_group.representative)
+        assert np.allclose(
+            restored.rep_envelope.lower, building_group.rep_envelope.lower
+        )
+
+    def test_restore_rejects_empty(self):
+        with pytest.raises(IndexConstructionError):
+            SimilarityGroup.restore(4, [], np.array([]), np.zeros(4), 1)
+
+    def test_restore_rejects_mismatched_arrays(self):
+        with pytest.raises(IndexConstructionError):
+            SimilarityGroup.restore(
+                4, [_ssid(0, 0)], np.array([0.0, 1.0]), np.zeros(4), 1
+            )

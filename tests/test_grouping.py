@@ -1,0 +1,131 @@
+"""Tests for Algorithm 1: similarity-group construction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import build_groups_for_length, regroup_members
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId
+from repro.exceptions import IndexConstructionError, ThresholdError
+
+
+def _build(dataset, length, st=0.2, seed=0, start_step=1):
+    return build_groups_for_length(
+        dataset, length, st, np.random.default_rng(seed), start_step=start_step
+    )
+
+
+class TestCoverage:
+    def test_every_subsequence_in_exactly_one_group(self, small_dataset):
+        length = 12
+        groups = _build(small_dataset, length)
+        seen: set[SubsequenceId] = set()
+        for group in groups:
+            for ssid in group.member_ids:
+                assert ssid not in seen, "subsequence appears in two groups"
+                seen.add(ssid)
+        expected = {
+            ssid for ssid, _ in small_dataset.subsequences(length)
+        }
+        assert seen == expected
+
+    def test_all_groups_share_the_length(self, small_dataset):
+        for group in _build(small_dataset, 9):
+            assert group.length == 9
+            assert group.is_finalized
+
+    def test_start_step_reduces_coverage(self, small_dataset):
+        full = sum(g.count for g in _build(small_dataset, 12))
+        strided = sum(g.count for g in _build(small_dataset, 12, start_step=3))
+        assert strided < full
+
+
+class TestAdmissionInvariant:
+    def test_members_near_final_representative(self, small_dataset):
+        """Members were admitted within sqrt(L)*ST/2 of the then-current
+        representative; the running mean can drift, but the final spread
+        must stay within a small factor of the admission radius."""
+        st = 0.2
+        length = 12
+        threshold = math.sqrt(length) * st / 2.0
+        for group in _build(small_dataset, length, st=st):
+            assert group.ed_to_rep is not None
+            assert group.ed_to_rep.max() <= threshold * 2.0
+
+    def test_lemma1_holds_on_built_groups(self, small_dataset):
+        """Empirical Lemma 1: pairwise normalized ED within ST inside
+        every group (allowing the documented mean-drift slack)."""
+        st = 0.2
+        length = 12
+        for group in _build(small_dataset, length, st=st):
+            values = [small_dataset.subsequence(s) for s in group.member_ids]
+            for i in range(len(values)):
+                for j in range(i + 1, len(values)):
+                    ned = float(
+                        np.linalg.norm(values[i] - values[j])
+                    ) / math.sqrt(length)
+                    assert ned <= st * 2.0 + 1e-9
+
+    def test_singleton_group_distance_zero(self):
+        dataset = Dataset([[0.0, 0.0, 0.0, 0.0], [9.0, 9.0, 9.0, 9.0]])
+        groups = _build(dataset, 4, st=0.2)
+        assert len(groups) == 2
+        for group in groups:
+            assert group.ed_to_rep.max() == pytest.approx(0.0)
+
+
+class TestThresholdBehaviour:
+    def test_looser_threshold_fewer_groups(self, small_dataset):
+        tight = len(_build(small_dataset, 12, st=0.05))
+        loose = len(_build(small_dataset, 12, st=0.8))
+        assert loose <= tight
+
+    def test_huge_threshold_single_group(self, small_dataset):
+        groups = _build(small_dataset, 12, st=100.0)
+        assert len(groups) == 1
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, float("nan"), float("inf")])
+    def test_invalid_threshold_rejected(self, small_dataset, bad):
+        with pytest.raises(ThresholdError):
+            _build(small_dataset, 12, st=bad)
+
+
+class TestDeterminism:
+    def test_same_seed_same_groups(self, small_dataset):
+        a = _build(small_dataset, 12, seed=5)
+        b = _build(small_dataset, 12, seed=5)
+        assert [g.member_ids for g in a] == [g.member_ids for g in b]
+
+    def test_different_seed_may_differ_but_covers(self, small_dataset):
+        a = _build(small_dataset, 12, seed=1)
+        b = _build(small_dataset, 12, seed=2)
+        assert sum(g.count for g in a) == sum(g.count for g in b)
+
+
+class TestRegroupMembers:
+    def test_partition_preserved(self, small_dataset):
+        groups = _build(small_dataset, 12, st=0.3)
+        biggest = max(groups, key=lambda g: g.count)
+        members = [
+            (ssid, small_dataset.subsequence(ssid)) for ssid in biggest.member_ids
+        ]
+        subgroups = regroup_members(
+            members, 12, st=0.05, rng=np.random.default_rng(0)
+        )
+        regrouped = {s for g in subgroups for s in g.member_ids}
+        assert regrouped == set(biggest.member_ids)
+        assert len(subgroups) >= 1
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            regroup_members([], 4, 0.1, np.random.default_rng(0))
+
+
+class TestErrors:
+    def test_impossible_length(self, small_dataset):
+        with pytest.raises(Exception):
+            _build(small_dataset, 999)

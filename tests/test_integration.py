@@ -1,0 +1,162 @@
+"""End-to-end integration tests across module boundaries.
+
+These replay the paper's whole story on small data: offline
+construction -> online queries of all three classes -> accuracy vs the
+exact baseline -> threshold adaptation -> persistence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import StandardDTW
+from repro.baselines.trillion import Trillion
+from repro.bench.accuracy import accuracy_percent
+from repro.bench.runner import build_context
+from repro.bench.datasets import BenchConfig
+from repro.core.onex import OnexIndex
+from repro.data.normalize import min_max_normalize_dataset
+from repro.data.synthetic import make_dataset
+from repro.query.executor import QueryExecutor
+
+
+@pytest.fixture(scope="module")
+def context():
+    config = BenchConfig(
+        name="ItalyPower",
+        n_series=16,
+        length=24,
+        lengths=(8, 12, 16, 24),
+        seed=5,
+    )
+    return build_context(config)
+
+
+class TestAccuracyAgainstExact:
+    def test_onex_high_accuracy_on_workload(self, context):
+        run = context.run_onex()
+        lengths = [q.length for q in context.workload.queries]
+        score = accuracy_percent(run.distances, context.exact_any, lengths)
+        assert score > 90.0
+
+    def test_onex_answers_never_beat_exact(self, context):
+        run = context.run_onex()
+        for got, exact in zip(run.distances, context.exact_any):
+            assert got >= exact - 1e-9
+
+    def test_in_dataset_queries_found_nearly_exactly(self, context):
+        index = context.index
+        for query in context.workload.in_queries:
+            match = index.query(query.values, length=query.length)[0]
+            assert match.dtw_normalized <= 0.05
+
+    def test_trillion_exact_for_in_dataset_same_length(self, context):
+        for query, exact in zip(
+            context.workload.queries, context.exact_same
+        ):
+            if query.kind != "in":
+                continue
+            result = context.trillion.best_match(query.values, length=query.length)
+            assert result.dtw_normalized == pytest.approx(exact, abs=1e-9)
+
+
+class TestLemma2Guarantee:
+    def test_within_returns_only_similar_sequences(self, context):
+        """The headline guarantee: groups whose representative is within
+        ST/2 contain only sequences within ST (checked with the documented
+        running-mean drift slack)."""
+        index = context.index
+        st = 0.3
+        query = context.workload.queries[0]
+        matches = index.within(query.values, st=st, length=query.length)
+        for match in matches:
+            assert match.dtw_normalized <= st * 1.5
+
+    def test_within_finds_everything_close_to_reps(self, context):
+        """Every subsequence whose group representative is within ST/2
+        must be returned - no false dismissals at the group level."""
+        index = context.index
+        query = context.workload.queries[2]
+        st = 0.4
+        length = query.length
+        matches = {m.ssid for m in index.within(query.values, st=st, length=length)}
+        bucket = index.rspace.bucket(length)
+        from repro.distances.dtw import normalized_dtw
+
+        for group in bucket.groups:
+            rep_distance = normalized_dtw(
+                query.values, group.representative, window=index.window
+            )
+            if rep_distance <= st / 2.0:
+                for ssid in group.member_ids:
+                    assert ssid in matches
+
+
+class TestThresholdLifecycle:
+    def test_adaptation_chain_preserves_data(self, context):
+        index = context.index
+        total = index.rspace.n_subsequences
+        for st in (0.1, 0.35, 0.2):
+            index = index.with_threshold(st)
+            assert index.rspace.n_subsequences == total
+
+    def test_recommended_strict_threshold_behaves_strictly(self, context):
+        index = context.index
+        strict_rec = index.recommend("S")[0]
+        strict_st = max(0.02, strict_rec.high / 2)
+        loose_st = index.recommend("L")[0].low * 1.5
+        strict_index = index.with_threshold(strict_st)
+        loose_index = index.with_threshold(loose_st)
+        assert strict_index.rspace.n_groups >= loose_index.rspace.n_groups
+
+
+class TestFullPipelineViaQueryLanguage:
+    def test_paper_session(self, context, tmp_path):
+        """A full analyst session in the paper's own query syntax."""
+        index = context.index
+        executor = QueryExecutor(index, normalized_inputs=True)
+        executor.register_sequence(
+            "designed", np.clip(np.linspace(0.2, 0.9, 12), 0, 1)
+        )
+
+        best = executor.execute(
+            "OUTPUT X FROM D WHERE seq = designed, k = 2 MATCH = Any"
+        )
+        assert best
+
+        seasonal = executor.execute(
+            "OUTPUT SeasonalSim FROM D WHERE seq = NULL MATCH = Exact(12)"
+        )
+        assert len(seasonal) >= 1
+
+        recs = executor.execute("OUTPUT ST FROM D WHERE simDegree = NULL MATCH = Any")
+        assert len(recs) == 3
+
+        # Persist, reload, and ask the same question again.
+        path = tmp_path / "session.npz"
+        index.save(str(path))
+        reloaded = OnexIndex.load(str(path))
+        again = QueryExecutor(reloaded, normalized_inputs=True)
+        again.register_sequence("designed", np.clip(np.linspace(0.2, 0.9, 12), 0, 1))
+        best2 = again.execute("OUTPUT X FROM D WHERE seq = designed, k = 2 MATCH = Any")
+        assert [m.ssid for m in best2] == [m.ssid for m in best]
+
+
+class TestCrossDataset:
+    @pytest.mark.parametrize("name", ["ECG", "TwoPattern"])
+    def test_other_generators_end_to_end(self, name):
+        dataset = min_max_normalize_dataset(
+            make_dataset(name, n_series=8, length=64, seed=3)
+        )
+        index = OnexIndex.build(
+            dataset, st=0.2, lengths=[16, 32, 64], normalize=False
+        )
+        brute = StandardDTW()
+        brute.prepare(dataset, [16, 32, 64])
+        query = dataset[1].values[10:42]
+        onex_match = index.query(query)[0]
+        exact = brute.best_match(query)
+        assert onex_match.dtw_normalized <= exact.dtw_normalized + 0.05

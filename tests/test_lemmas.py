@@ -1,0 +1,99 @@
+"""Property tests for the paper's theoretical foundation (§3).
+
+Lemma 1: if two sequences are each within ``ST/2`` (normalized ED) of a
+common representative, their pairwise normalized ED is within ``ST``.
+
+Lemma 2 (the ED-DTW triangle inequality): for a group member ``Y'`` with
+``ED̄(Y, Y') <= ST/2`` and a query ``X`` with ``DTW̄(X, Y) <= ST/2``,
+``DTW̄(X, Y') <= ST``. This is the inequality that lets ONEX search
+representatives instead of raw data; we verify it empirically over
+random instances *constructed to satisfy the hypotheses*.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.distances.dtw import dtw, normalized_dtw
+from repro.distances.euclidean import normalized_euclidean
+
+ST = 0.4
+
+lengths = st.integers(min_value=2, max_value=16)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _scale_to_ball(point: np.ndarray, center: np.ndarray, radius_norm: float) -> np.ndarray:
+    """Project ``point`` into the normalized-ED ball around ``center``."""
+    n = len(center)
+    distance = normalized_euclidean(point, center)
+    if distance <= radius_norm or distance == 0.0:
+        return point
+    return center + (point - center) * (radius_norm / distance) * 0.999
+
+
+@given(n=lengths, seed=seeds)
+@settings(max_examples=200, deadline=None)
+def test_lemma1_pairwise_bound(n, seed):
+    rng = np.random.default_rng(seed)
+    representative = rng.normal(size=n)
+    x = _scale_to_ball(rng.normal(size=n), representative, ST / 2)
+    y = _scale_to_ball(rng.normal(size=n), representative, ST / 2)
+    assert normalized_euclidean(x, representative) <= ST / 2 + 1e-9
+    assert normalized_euclidean(y, representative) <= ST / 2 + 1e-9
+    # Lemma 1's conclusion:
+    assert normalized_euclidean(x, y) <= ST + 1e-9
+
+
+@given(n=lengths, seed=seeds)
+@settings(max_examples=200, deadline=None)
+def test_lemma2_same_length(n, seed):
+    """ED̄(Y,Y') <= ST/2 and DTW̄(X,Y) <= ST/2 imply DTW̄(X,Y') <= ST."""
+    rng = np.random.default_rng(seed)
+    representative = rng.normal(size=n)  # Y
+    member = _scale_to_ball(rng.normal(size=n), representative, ST / 2)  # Y'
+    query = rng.normal(size=n)  # X
+    if normalized_dtw(query, representative) > ST / 2:
+        # Shrink the query toward the representative until the DTW
+        # hypothesis holds (DTW is continuous in its arguments).
+        for _ in range(60):
+            query = representative + (query - representative) * 0.8
+            if normalized_dtw(query, representative) <= ST / 2:
+                break
+    assert normalized_dtw(query, representative) <= ST / 2 + 1e-9
+    assert normalized_dtw(query, member) <= ST + 1e-9
+
+
+@given(
+    n=lengths,
+    m=lengths,
+    seed=seeds,
+)
+@settings(max_examples=150, deadline=None)
+def test_lemma2_different_lengths(n, m, seed):
+    """The different-length case of Lemma 2 (proof sketch in §3.2)."""
+    rng = np.random.default_rng(seed)
+    representative = rng.normal(size=n)
+    member = _scale_to_ball(rng.normal(size=n), representative, ST / 2)
+    query = rng.normal(size=m)
+    for _ in range(80):
+        if normalized_dtw(query, representative) <= ST / 2:
+            break
+        anchor = representative[: len(query)] if m <= n else np.resize(representative, m)
+        query = anchor + (query - anchor) * 0.8
+    else:
+        return  # could not construct the hypothesis; vacuous instance
+    assert normalized_dtw(query, member) <= ST + 1e-9
+
+
+@given(n=lengths, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_ed_is_a_dtw_upper_bound(n, seed):
+    """§2: ED's one-to-one alignment is one valid warping path."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    y = rng.normal(size=n)
+    assert dtw(x, y) <= math.sqrt(float(np.sum((x - y) ** 2))) + 1e-9

@@ -1,0 +1,117 @@
+"""Tests for the UCR-format loader/saver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.loader import load_ucr_file, save_ucr_file
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import DataError
+
+
+def test_load_comma_separated(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text("1,0.1,0.2,0.3\n2,0.4,0.5,0.6\n")
+    dataset = load_ucr_file(path)
+    assert len(dataset) == 2
+    assert dataset[0].label == 1
+    assert dataset[0].values.tolist() == [0.1, 0.2, 0.3]
+    assert dataset.name == "data"
+
+
+def test_load_whitespace_separated(tmp_path):
+    path = tmp_path / "ws.txt"
+    path.write_text("1 0.1 0.2\n-1 0.3 0.4\n")
+    dataset = load_ucr_file(path)
+    assert dataset[1].label == -1
+    assert dataset[1].values.tolist() == [0.3, 0.4]
+
+
+def test_load_without_labels(tmp_path):
+    path = tmp_path / "nolabel.txt"
+    path.write_text("0.1,0.2,0.3\n")
+    dataset = load_ucr_file(path, has_labels=False)
+    assert dataset[0].label is None
+    assert len(dataset[0]) == 3
+
+
+def test_load_skips_blank_and_comment_lines(tmp_path):
+    path = tmp_path / "sparse.txt"
+    path.write_text("# header\n\n1,0.5,0.6\n\n")
+    dataset = load_ucr_file(path)
+    assert len(dataset) == 1
+
+
+def test_load_max_series(tmp_path):
+    path = tmp_path / "many.txt"
+    path.write_text("".join(f"1,{i}.0,{i}.5\n" for i in range(10)))
+    dataset = load_ucr_file(path, max_series=3)
+    assert len(dataset) == 3
+
+
+def test_load_scientific_notation_labels(tmp_path):
+    # The 2018 UCR archive writes labels like "1.0000000e+00".
+    path = tmp_path / "sci.txt"
+    path.write_text("1.0000000e+00,0.1,0.2\n")
+    dataset = load_ucr_file(path)
+    assert dataset[0].label == 1
+
+
+def test_load_rejects_short_line(tmp_path):
+    path = tmp_path / "short.txt"
+    path.write_text("1\n")
+    with pytest.raises(DataError, match="expected a label"):
+        load_ucr_file(path)
+
+
+def test_load_rejects_bad_label(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("abc,0.1,0.2\n")
+    with pytest.raises(DataError, match="label"):
+        load_ucr_file(path)
+
+
+def test_load_rejects_bad_value(tmp_path):
+    path = tmp_path / "badval.txt"
+    path.write_text("1,0.1,oops\n")
+    with pytest.raises(DataError, match="non-numeric"):
+        load_ucr_file(path)
+
+
+def test_load_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("# only comments\n")
+    with pytest.raises(DataError, match="no series"):
+        load_ucr_file(path)
+
+
+def test_round_trip_preserves_values_and_labels(tmp_path):
+    original = Dataset(
+        [
+            TimeSeries([0.25, 0.5, 0.75], name="a", label=1),
+            TimeSeries([1.0, 2.0, 3.0], name="b", label=-1),
+        ],
+        name="rt",
+    )
+    path = tmp_path / "rt.txt"
+    save_ucr_file(original, path)
+    loaded = load_ucr_file(path, name="rt")
+    assert len(loaded) == 2
+    for before, after in zip(original, loaded):
+        assert after.values.tolist() == before.values.tolist()
+        assert after.label == before.label
+
+
+def test_save_without_labels(tmp_path):
+    dataset = Dataset([TimeSeries([1.0, 2.0])])
+    path = tmp_path / "plain.txt"
+    save_ucr_file(dataset, path, with_labels=False)
+    assert path.read_text().strip() == "1,2"
+
+
+def test_save_defaults_missing_label_to_zero(tmp_path):
+    dataset = Dataset([TimeSeries([1.0, 2.0])])
+    path = tmp_path / "zero.txt"
+    save_ucr_file(dataset, path)
+    assert path.read_text().startswith("0,")

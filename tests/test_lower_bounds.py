@@ -1,0 +1,187 @@
+"""Tests for LB_Kim, LB_Keogh envelopes and the cascade pruner.
+
+The essential property throughout: every bound must be *admissible* —
+never exceed the true DTW for the matching band — otherwise pruning
+would discard true best matches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distances.dtw import dtw
+from repro.distances.lower_bounds import (
+    CascadePruner,
+    Envelope,
+    envelope,
+    lb_keogh,
+    lb_kim,
+)
+from repro.exceptions import DistanceError, LengthMismatchError
+
+vectors = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=16
+)
+
+
+class TestLBKim:
+    @given(vectors, vectors)
+    @settings(max_examples=120, deadline=None)
+    def test_property_admissible(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        assert lb_kim(x, y) <= dtw(x, y) + 1e-9
+
+    def test_boundary_terms(self):
+        x = np.array([0.0, 5.0, 1.0])
+        y = np.array([3.0, 5.0, 1.0])
+        # first points differ by 3, last by 0 -> bound >= 3.
+        assert lb_kim(x, y) >= 3.0
+
+    def test_extrema_terms(self):
+        x = np.array([0.0, 10.0, 0.0])
+        y = np.array([0.0, 1.0, 0.0])
+        # max(x)=10 vs max(y)=1 -> bound >= 9.
+        assert lb_kim(x, y) >= 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistanceError):
+            lb_kim(np.array([]), np.array([1.0]))
+
+
+class TestEnvelope:
+    def test_contains_the_sequence(self, rng):
+        y = rng.normal(size=20)
+        env = envelope(y, 3)
+        assert np.all(env.lower <= y)
+        assert np.all(env.upper >= y)
+
+    def test_radius_zero_is_tight(self, rng):
+        y = rng.normal(size=10)
+        env = envelope(y, 0)
+        assert np.array_equal(env.lower, y)
+        assert np.array_equal(env.upper, y)
+
+    def test_wider_radius_is_looser(self, rng):
+        y = rng.normal(size=30)
+        narrow = envelope(y, 2)
+        wide = envelope(y, 6)
+        assert np.all(wide.lower <= narrow.lower)
+        assert np.all(wide.upper >= narrow.upper)
+
+    def test_window_values(self):
+        y = np.array([1.0, 5.0, 2.0, 8.0])
+        env = envelope(y, 1)
+        assert env.upper.tolist() == [5.0, 5.0, 8.0, 8.0]
+        assert env.lower.tolist() == [1.0, 1.0, 2.0, 2.0]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(DistanceError):
+            envelope(np.array([1.0, 2.0]), -1)
+
+    def test_len(self):
+        assert len(envelope(np.arange(7.0), 2)) == 7
+
+
+class TestLBKeogh:
+    @given(vectors, st.integers(1, 5))
+    @settings(max_examples=120, deadline=None)
+    def test_property_admissible_for_matching_band(self, values, radius):
+        rng = np.random.default_rng(len(values) + radius)
+        x = np.asarray(values)
+        y = rng.normal(size=len(x))
+        env = envelope(y, radius)
+        assert lb_keogh(x, env) <= dtw(x, y, window=radius) + 1e-9
+
+    def test_zero_when_inside_corridor(self):
+        y = np.array([0.0, 10.0, 0.0, 10.0])
+        env = envelope(y, 1)
+        x = np.array([5.0, 5.0, 5.0, 5.0])  # inside [0, 10] everywhere
+        assert lb_keogh(x, env) == 0.0
+
+    def test_positive_when_outside(self):
+        y = np.zeros(4)
+        env = envelope(y, 1)
+        x = np.array([2.0, 0.0, 0.0, 0.0])
+        assert lb_keogh(x, env) == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        env = envelope(np.zeros(4), 1)
+        with pytest.raises(LengthMismatchError):
+            lb_keogh(np.zeros(5), env)
+
+
+class TestCascadePruner:
+    def test_exact_when_not_pruned(self, rng):
+        query = rng.normal(size=12)
+        candidate = rng.normal(size=12)
+        pruner = CascadePruner(query, window=2)
+        assert pruner.distance(candidate, math.inf) == pytest.approx(
+            dtw(query, candidate, window=2)
+        )
+
+    def test_never_prunes_a_better_candidate(self, rng):
+        """Admissibility end-to-end: the cascade may only reject candidates
+        provably >= best_so_far."""
+        query = rng.normal(size=16)
+        pruner = CascadePruner(query, window=2)
+        candidates = [rng.normal(size=16) for _ in range(40)]
+        true_best = min(dtw(query, c, window=2) for c in candidates)
+        best = math.inf
+        for candidate in candidates:
+            distance = pruner.distance(candidate, best)
+            best = min(best, distance)
+        assert best == pytest.approx(true_best, abs=1e-9)
+
+    def test_prune_statistics_accumulate(self, rng):
+        query = rng.normal(size=16)
+        pruner = CascadePruner(query, window=2)
+        best = math.inf
+        for _ in range(30):
+            best = min(best, pruner.distance(rng.normal(size=16), best))
+        stats = pruner.stats
+        assert stats.examined == 30
+        assert stats.pruned + stats.full_dtw == 30
+        assert 0.0 <= stats.pruned / stats.examined <= 1.0
+
+    def test_different_length_skips_keogh(self, rng):
+        query = rng.normal(size=10)
+        pruner = CascadePruner(query, window=2)
+        candidate = rng.normal(size=14)
+        distance = pruner.distance(candidate, math.inf)
+        assert distance == pytest.approx(dtw(query, candidate, window=2))
+        assert pruner.stats.pruned_keogh_query == 0
+
+    def test_stage_toggles(self, rng):
+        query = rng.normal(size=12)
+        pruner = CascadePruner(query, window=2, use_kim=False, use_keogh=False)
+        best = 1e-6  # absurdly tight: everything abandons in DTW
+        for _ in range(10):
+            pruner.distance(rng.normal(size=12) + 50.0, best)
+        assert pruner.stats.pruned_kim == 0
+        assert pruner.stats.pruned_keogh_query == 0
+        assert pruner.stats.abandoned_dtw == 10
+
+    def test_precomputed_envelope_used_when_admissible(self, rng):
+        query = rng.normal(size=12)
+        pruner = CascadePruner(query, window=2)
+        candidate = rng.normal(size=12)
+        wide_env = envelope(candidate, 5)  # wider than needed: admissible
+        out = pruner.distance(candidate, math.inf, candidate_envelope=wide_env)
+        assert out == pytest.approx(dtw(query, candidate, window=2))
+
+    def test_too_narrow_envelope_is_rebuilt(self, rng):
+        """A narrower-than-band envelope would be inadmissible; the pruner
+        must ignore it rather than overprune."""
+        query = rng.normal(size=12)
+        pruner = CascadePruner(query, window=4)
+        candidates = [rng.normal(size=12) for _ in range(20)]
+        best = math.inf
+        for candidate in candidates:
+            narrow = envelope(candidate, 1)
+            best = min(best, pruner.distance(candidate, best, candidate_envelope=narrow))
+        true_best = min(dtw(query, c, window=4) for c in candidates)
+        assert best == pytest.approx(true_best, abs=1e-9)

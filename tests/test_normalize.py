@@ -1,0 +1,93 @@
+"""Tests for the normalization schemes (paper §6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.normalize import (
+    min_max_normalize,
+    min_max_normalize_dataset,
+    min_max_normalize_per_series,
+    z_normalize,
+    z_normalize_dataset,
+)
+from repro.exceptions import DataError
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMinMax:
+    def test_maps_extremes_to_unit_interval(self):
+        out = min_max_normalize(np.array([2.0, 4.0, 6.0]), 2.0, 6.0)
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_constant_range_maps_to_zero(self):
+        out = min_max_normalize(np.array([3.0, 3.0]), 3.0, 3.0)
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(DataError):
+            min_max_normalize(np.array([1.0]), 2.0, 1.0)
+
+    def test_dataset_level_uses_global_extrema(self):
+        dataset = Dataset([[0.0, 5.0], [10.0, 5.0]])
+        normalized = min_max_normalize_dataset(dataset)
+        # Global min 0, max 10: series keep their relative offsets.
+        assert normalized[0].values.tolist() == [0.0, 0.5]
+        assert normalized[1].values.tolist() == [1.0, 0.5]
+
+    def test_per_series_rescales_each(self):
+        dataset = Dataset([[0.0, 5.0], [10.0, 20.0]])
+        normalized = min_max_normalize_per_series(dataset)
+        assert normalized[0].values.tolist() == [0.0, 1.0]
+        assert normalized[1].values.tolist() == [0.0, 1.0]
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_property_output_in_unit_interval(self, values):
+        dataset = Dataset([values])
+        out = min_max_normalize_dataset(dataset)[0].values
+        assert np.all(out >= -1e-12)
+        assert np.all(out <= 1.0 + 1e-12)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_property_monotone(self, values):
+        """The affine map never inverts an ordering (ties may appear when
+        values differ by less than float precision of the scaled range)."""
+        array = np.asarray(values)
+        out = min_max_normalize(array, float(array.min()), float(array.max()))
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if array[i] < array[j]:
+                    assert out[i] <= out[j] + 1e-12
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self):
+        out = z_normalize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert abs(out.mean()) < 1e-12
+        assert abs(out.std() - 1.0) < 1e-12
+
+    def test_constant_series_becomes_zero(self):
+        out = z_normalize(np.array([5.0, 5.0, 5.0]))
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+    def test_dataset_level(self):
+        dataset = Dataset([[1.0, 3.0], [10.0, 30.0]])
+        normalized = z_normalize_dataset(dataset)
+        for series in normalized:
+            assert abs(series.values.mean()) < 1e-12
+
+    @given(st.lists(finite_floats, min_size=3, max_size=30))
+    def test_property_shift_and_scale_invariant(self, values):
+        array = np.asarray(values)
+        base = z_normalize(array)
+        shifted = z_normalize(array + 123.0)
+        assert np.allclose(base, shifted, atol=1e-8)
+        scaled = z_normalize(array * 7.0)
+        if array.std() > 1e-9:  # degenerate series stay all-zero
+            assert np.allclose(base, scaled, atol=1e-6)

@@ -1,0 +1,151 @@
+"""Tests for the OnexIndex facade (build / query / adapt / stats)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.onex import OnexIndex, default_length_grid
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_dataset
+from repro.exceptions import QueryError, ThresholdError
+
+
+class TestDefaultLengthGrid:
+    def test_covers_bottom_to_top(self, small_dataset):
+        grid = default_length_grid(small_dataset)
+        assert grid[0] >= 4
+        assert grid[-1] == small_dataset.min_length
+        assert grid == sorted(set(grid))
+
+    def test_short_series_enumerates_all(self):
+        dataset = Dataset([[0.1] * 8, [0.2] * 8])
+        grid = default_length_grid(dataset)
+        assert grid == list(range(4, 9))
+
+
+class TestBuild:
+    def test_build_with_default_grid(self, small_dataset):
+        index = OnexIndex.build(small_dataset, st=0.2, normalize=False)
+        assert index.rspace.lengths == default_length_grid(small_dataset)
+        assert index.build_seconds > 0
+
+    def test_build_all_lengths(self):
+        dataset = make_dataset("ItalyPower", n_series=6, length=12, seed=0)
+        index = OnexIndex.build(dataset, st=0.2, lengths="all")
+        assert index.rspace.lengths == list(range(2, 13))
+
+    def test_build_unknown_lengths_spec(self, small_dataset):
+        with pytest.raises(QueryError):
+            OnexIndex.build(small_dataset, lengths="everything")
+
+    def test_build_normalizes_by_default(self):
+        dataset = make_dataset("ECG", n_series=6, length=32, seed=1)
+        index = OnexIndex.build(dataset, st=0.2)
+        low = min(float(s.values.min()) for s in index.dataset)
+        high = max(float(s.values.max()) for s in index.dataset)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert high == pytest.approx(1.0, abs=1e-12)
+        assert index.value_range != (0.0, 1.0)  # original range remembered
+
+    @pytest.mark.parametrize("bad", [0.0, -0.2, float("nan")])
+    def test_build_bad_threshold(self, small_dataset, bad):
+        with pytest.raises(ThresholdError):
+            OnexIndex.build(small_dataset, st=bad)
+
+    def test_build_deterministic(self, small_dataset):
+        a = OnexIndex.build(small_dataset, st=0.2, seed=3, normalize=False)
+        b = OnexIndex.build(small_dataset, st=0.2, seed=3, normalize=False)
+        assert a.rspace.n_groups == b.rspace.n_groups
+
+    def test_repr(self, small_index):
+        text = repr(small_index)
+        assert "ItalyPower" in text
+        assert "ST=0.2" in text
+
+
+class TestQueryFacade:
+    def test_query_any_and_exact(self, small_index):
+        query = small_index.dataset[1].values[0:12]
+        any_match = small_index.query(query)[0]
+        exact_match = small_index.query(query, length=12)[0]
+        assert any_match.dtw_normalized <= 0.05
+        assert exact_match.ssid.length == 12
+
+    def test_query_unnormalized_input(self):
+        dataset = make_dataset("ECG", n_series=8, length=32, seed=1)
+        index = OnexIndex.build(dataset, st=0.2, lengths=[8, 16, 32])
+        raw_query = dataset[0].values[0:16]  # original scale
+        match = index.query(raw_query, normalized=False)[0]
+        assert match.dtw_normalized <= 0.05
+
+    def test_normalize_query_uses_stored_range(self):
+        dataset = Dataset([[0.0, 10.0, 5.0, 2.0, 8.0, 1.0, 9.0, 4.0]])
+        dataset = Dataset([dataset[0], dataset[0].with_values(
+            [1.0, 9.0, 4.0, 3.0, 7.0, 2.0, 8.0, 5.0])])
+        index = OnexIndex.build(dataset, st=0.2, lengths=[4, 8])
+        normalized = index.normalize_query(np.array([0.0, 10.0]))
+        assert normalized.tolist() == [0.0, 1.0]
+
+    def test_within_facade(self, small_index):
+        query = small_index.dataset[0].values[0:12]
+        matches = small_index.within(query, st=0.4, length=12)
+        assert matches
+
+    def test_seasonal_facade(self, small_index):
+        result = small_index.seasonal(12, series=1)
+        assert result.length == 12
+
+    def test_recommend_facade(self, small_index):
+        all_recs = small_index.recommend()
+        assert len(all_recs) == 3
+        strict = small_index.recommend("S")
+        assert len(strict) == 1
+        assert strict[0].degree == "S"
+
+    def test_degree_of_facade(self, small_index):
+        degree = small_index.degree_of(0.01)
+        assert degree.value == "S"
+
+
+class TestWithThreshold:
+    def test_same_threshold_is_identity(self, small_index):
+        assert small_index.with_threshold(small_index.st) is small_index
+
+    def test_adapted_index_queries(self, small_index):
+        adapted = small_index.with_threshold(0.4)
+        assert adapted.st == 0.4
+        query = small_index.dataset[2].values[0:12]
+        assert adapted.query(query, length=12)
+
+    def test_adapted_membership_preserved(self, small_index):
+        adapted = small_index.with_threshold(0.5)
+        assert adapted.rspace.n_subsequences == small_index.rspace.n_subsequences
+
+    def test_adapted_spspace_recomputed(self, small_index):
+        adapted = small_index.with_threshold(0.4)
+        assert adapted.spspace.st == 0.4
+
+    def test_split_then_merge_roundtrip_counts(self, small_index):
+        split = small_index.with_threshold(0.1)
+        merged = split.with_threshold(0.4)
+        assert split.rspace.n_groups >= small_index.rspace.n_groups
+        assert merged.rspace.n_groups <= split.rspace.n_groups
+
+
+class TestStats:
+    def test_stats_fields(self, small_index, small_dataset):
+        stats = small_index.stats()
+        assert stats.dataset == small_dataset.name
+        assert stats.n_series == len(small_dataset)
+        assert stats.n_lengths == len(small_index.rspace)
+        assert stats.n_groups == small_index.rspace.n_groups
+        assert stats.n_subsequences == small_index.rspace.n_subsequences
+        assert stats.size_mb == pytest.approx(stats.gti_mb + stats.lsi_mb)
+
+    def test_table4_row(self, small_index):
+        row = small_index.stats().as_row()
+        assert row[0] == small_index.dataset.name
+        assert row[1] == small_index.rspace.n_representatives

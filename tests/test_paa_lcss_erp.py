@@ -1,0 +1,164 @@
+"""Tests for PAA/PDTW, LCSS and ERP distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distances.dtw import dtw
+from repro.distances.erp import erp
+from repro.distances.euclidean import euclidean
+from repro.distances.lcss import lcss, lcss_distance
+from repro.distances.paa import paa_distance, paa_transform, pdtw
+from repro.exceptions import DistanceError
+
+vectors = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=4, max_size=24
+)
+
+
+class TestPAATransform:
+    def test_means_per_segment(self):
+        x = np.array([1.0, 3.0, 5.0, 7.0])
+        assert paa_transform(x, 2).tolist() == [2.0, 6.0]
+
+    def test_full_resolution_is_identity(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert paa_transform(x, 3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_non_divisible_lengths(self):
+        x = np.arange(7.0)
+        reduced = paa_transform(x, 3)
+        assert reduced.shape == (3,)
+        # segment boundaries 0..2, 2..4, 4..7
+        assert reduced.tolist() == [0.5, 2.5, 5.0]
+
+    def test_single_segment_is_mean(self):
+        x = np.array([2.0, 4.0, 9.0])
+        assert paa_transform(x, 1).tolist() == [5.0]
+
+    @pytest.mark.parametrize("bad", [0, 5])
+    def test_bad_segment_count(self, bad):
+        with pytest.raises(DistanceError):
+            paa_transform(np.arange(4.0), bad)
+
+    @given(vectors, st.integers(1, 8))
+    def test_property_mean_preserved(self, values, n_segments):
+        x = np.asarray(values)
+        n_segments = min(n_segments, len(x))
+        reduced = paa_transform(x, n_segments)
+        # Equal segment sizes only when divisible; weight accordingly.
+        boundaries = (np.arange(n_segments + 1) * len(x)) // n_segments
+        weights = np.diff(boundaries)
+        assert float(np.dot(reduced, weights) / len(x)) == pytest.approx(
+            float(x.mean()), abs=1e-9
+        )
+
+
+class TestPAADistance:
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_property_lower_bounds_euclidean(self, values):
+        x = np.asarray(values)
+        rng = np.random.default_rng(len(values))
+        y = rng.normal(size=len(x))
+        for n_segments in (1, 2, max(1, len(x) // 2)):
+            assert paa_distance(x, y, n_segments) <= euclidean(x, y) + 1e-7
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(DistanceError):
+            paa_distance(np.arange(4.0), np.arange(6.0), 2)
+
+
+class TestPDTW:
+    def test_reduces_to_dtw_for_segment_one(self, rng):
+        x = rng.normal(size=12)
+        y = rng.normal(size=10)
+        assert pdtw(x, y, segment_size=1) == pytest.approx(dtw(x, y))
+
+    def test_approximation_tracks_dtw_ordering(self, rng):
+        """PDTW is coarse in absolute value but must preserve the gross
+        ordering: a near match scores far below a structural mismatch."""
+        t = np.linspace(0, 6.28, 64)
+        x = np.sin(t)
+        near = np.sin(t + 0.2)
+        far = np.cos(3 * t) + 1.5
+        assert pdtw(x, near, segment_size=4) < pdtw(x, far, segment_size=4)
+        assert pdtw(x, near, segment_size=4) < dtw(x, far)
+
+    def test_short_sequence_keeps_one_segment(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([1.5, 2.5])
+        assert np.isfinite(pdtw(x, y, segment_size=8))
+
+    def test_bad_segment_size(self):
+        with pytest.raises(DistanceError):
+            pdtw(np.arange(4.0), np.arange(4.0), segment_size=0)
+
+
+class TestLCSS:
+    def test_identical_sequences_full_match(self):
+        x = np.arange(5.0)
+        assert lcss(x, x, epsilon=0.0) == 5
+        assert lcss_distance(x, x) == 0.0
+
+    def test_disjoint_sequences_no_match(self):
+        x = np.zeros(4)
+        y = np.ones(4) * 100
+        assert lcss(x, y, epsilon=0.5) == 0
+        assert lcss_distance(x, y, epsilon=0.5) == 1.0
+
+    def test_partial_match(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([1.0, 2.0, 9.0, 9.0])
+        assert lcss(x, y, epsilon=0.01) == 2
+
+    def test_delta_window_restricts_matches(self):
+        x = np.array([1.0, 0.0, 0.0, 0.0])
+        y = np.array([0.0, 0.0, 0.0, 1.0])
+        assert lcss(x, y, epsilon=0.01, delta=None) >= 3
+        assert lcss(x, y, epsilon=0.01, delta=1) <= 3
+
+    @given(vectors, vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_distance_in_unit_interval(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        assert 0.0 <= lcss_distance(x, y, epsilon=0.5) <= 1.0
+
+    def test_bad_epsilon(self):
+        with pytest.raises(DistanceError):
+            lcss(np.arange(3.0), np.arange(3.0), epsilon=-1)
+
+    def test_bad_delta(self):
+        with pytest.raises(DistanceError):
+            lcss(np.arange(3.0), np.arange(3.0), delta=-1)
+
+
+class TestERP:
+    def test_identical_sequences(self):
+        x = np.arange(5.0)
+        assert erp(x, x) == pytest.approx(0.0)
+
+    def test_known_gap_cost(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([1.0])
+        # Best alignment: match 1-1, delete 2 against g=0 -> cost 2.
+        assert erp(x, y, g=0.0) == pytest.approx(2.0)
+
+    @given(vectors, vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_symmetry(self, a, b):
+        x, y = np.asarray(a), np.asarray(b)
+        assert erp(x, y) == pytest.approx(erp(y, x), abs=1e-9)
+
+    @given(vectors, vectors, vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_property_triangle_inequality(self, a, b, c):
+        """ERP is a metric [6] - the property DTW lacks."""
+        x, y, z = np.asarray(a), np.asarray(b), np.asarray(c)
+        assert erp(x, z) <= erp(x, y) + erp(y, z) + 1e-7
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistanceError):
+            erp(np.array([]), np.array([1.0]))

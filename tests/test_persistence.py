@@ -1,0 +1,107 @@
+"""Tests for index save/load (npz + JSON manifest, no pickle)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.onex import OnexIndex
+from repro.core.persistence import load_index, save_index
+from repro.exceptions import PersistenceError
+
+
+@pytest.fixture
+def saved_path(small_index, tmp_path):
+    path = tmp_path / "index.npz"
+    save_index(small_index, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_dataset_restored(self, small_index, saved_path):
+        loaded = load_index(saved_path)
+        assert len(loaded.dataset) == len(small_index.dataset)
+        assert loaded.dataset.name == small_index.dataset.name
+        for before, after in zip(small_index.dataset, loaded.dataset):
+            assert np.allclose(before.values, after.values)
+            assert before.name == after.name
+            assert before.label == after.label
+
+    def test_structure_restored(self, small_index, saved_path):
+        loaded = load_index(saved_path)
+        assert loaded.rspace.lengths == small_index.rspace.lengths
+        assert loaded.rspace.n_groups == small_index.rspace.n_groups
+        assert loaded.rspace.n_subsequences == small_index.rspace.n_subsequences
+        for length in loaded.rspace.lengths:
+            before = small_index.rspace.bucket(length)
+            after = loaded.rspace.bucket(length)
+            assert np.allclose(before.rep_matrix, after.rep_matrix)
+            assert np.allclose(before.dc, after.dc)
+            for group_before, group_after in zip(before.groups, after.groups):
+                assert group_before.member_ids == group_after.member_ids
+                assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
+
+    def test_parameters_restored(self, small_index, saved_path):
+        loaded = load_index(saved_path)
+        assert loaded.st == small_index.st
+        assert loaded.window == small_index.window
+        assert loaded.start_step == small_index.start_step
+        assert loaded.value_range == small_index.value_range
+
+    def test_spspace_recomputed_identically(self, small_index, saved_path):
+        loaded = load_index(saved_path)
+        assert loaded.spspace.st_half == pytest.approx(small_index.spspace.st_half)
+        assert loaded.spspace.st_final == pytest.approx(small_index.spspace.st_final)
+
+    def test_queries_identical_after_reload(self, small_index, saved_path):
+        loaded = load_index(saved_path)
+        for series in range(3):
+            query = small_index.dataset[series].values[2:14]
+            before = small_index.query(query, length=12)[0]
+            after = loaded.query(query, length=12)[0]
+            assert before.ssid == after.ssid
+            assert before.dtw_normalized == pytest.approx(after.dtw_normalized)
+
+    def test_facade_save_load(self, small_index, tmp_path):
+        path = tmp_path / "facade.npz"
+        small_index.save(str(path))
+        loaded = OnexIndex.load(str(path))
+        assert loaded.rspace.n_groups == small_index.rspace.n_groups
+
+    def test_extension_appended_when_missing(self, small_index, tmp_path):
+        bare = tmp_path / "noext"
+        save_index(small_index, bare)  # numpy appends .npz on save
+        loaded = load_index(bare)  # loader finds the .npz variant
+        assert loaded.rspace.n_groups == small_index.rspace.n_groups
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_index(tmp_path / "absent.npz")
+
+    def test_not_an_index_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(PersistenceError, match="not an ONEX index"):
+            load_index(path)
+
+    def test_wrong_format_version(self, small_index, tmp_path, saved_path):
+        archive = dict(np.load(saved_path))
+        manifest = json.loads(bytes(archive["manifest"]).decode())
+        manifest["format_version"] = 99
+        archive["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, **archive)
+        with pytest.raises(PersistenceError, match="version"):
+            load_index(bad)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(PersistenceError):
+            load_index(path)

@@ -1,0 +1,182 @@
+"""Tests for the ONEX query language: tokenizer, parser and AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.query.ast import MatchSpec, SeasonalQuery, SimilarityQuery, ThresholdQuery
+from repro.query.parser import parse_query
+from repro.query.tokens import TokenKind, tokenize
+
+
+class TestTokenizer:
+    def test_symbols_and_numbers(self):
+        tokens = tokenize("Sim <= 0.25, k = 3 (30)")
+        kinds = [token.kind for token in tokens]
+        assert kinds == [
+            TokenKind.IDENT,
+            TokenKind.LE,
+            TokenKind.NUMBER,
+            TokenKind.COMMA,
+            TokenKind.IDENT,
+            TokenKind.EQ,
+            TokenKind.NUMBER,
+            TokenKind.LPAREN,
+            TokenKind.NUMBER,
+            TokenKind.RPAREN,
+            TokenKind.END,
+        ]
+
+    def test_identifier_charset(self):
+        tokens = tokenize("state-03 my_seq data.v2")
+        assert [token.text for token in tokens[:-1]] == [
+            "state-03",
+            "my_seq",
+            "data.v2",
+        ]
+
+    def test_number_forms(self):
+        tokens = tokenize("1 2.5 .75")
+        assert [token.text for token in tokens[:-1]] == ["1", "2.5", ".75"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("OUTPUT X")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("OUTPUT ? FROM D")
+
+    def test_keyword_matching_case_insensitive(self):
+        token = tokenize("output")[0]
+        assert token.matches_keyword("OUTPUT")
+        assert not token.matches_keyword("FROM")
+
+
+class TestParserQ1:
+    def test_paper_example(self):
+        query = parse_query(
+            "OUTPUT Xk FROM D WHERE Sim <= 0.2, seq = q MATCH = Exact(30)"
+        )
+        assert isinstance(query, SimilarityQuery)
+        assert query.dataset == "D"
+        assert query.seq == "q"
+        assert query.threshold == 0.2
+        assert query.match == MatchSpec(length=30)
+
+    def test_sim_min_is_best_match(self):
+        query = parse_query("OUTPUT X FROM D WHERE Sim <= min, seq = q MATCH = Any")
+        assert query.threshold is None
+        assert query.match.is_any
+
+    def test_k_condition(self):
+        query = parse_query("OUTPUT X FROM D WHERE seq = q, k = 5")
+        assert query.k == 5
+
+    def test_default_match_is_any(self):
+        query = parse_query("OUTPUT X FROM D WHERE seq = q")
+        assert query.match.is_any
+
+    def test_missing_seq_rejected(self):
+        with pytest.raises(ParseError, match="seq"):
+            parse_query("OUTPUT X FROM D WHERE Sim <= 0.1")
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ParseError, match="positive integer"):
+            parse_query("OUTPUT X FROM D WHERE seq = q, k = 0")
+        with pytest.raises(ParseError):
+            parse_query("OUTPUT X FROM D WHERE seq = q, k = 2.5")
+
+
+class TestParserQ2:
+    def test_user_driven(self):
+        query = parse_query(
+            "OUTPUT SeasonalSim FROM D WHERE seq = AAPL MATCH = Exact(30)"
+        )
+        assert isinstance(query, SeasonalQuery)
+        assert query.seq == "AAPL"
+        assert query.match.length == 30
+
+    def test_data_driven_null_seq(self):
+        query = parse_query(
+            "OUTPUT SeasonalSim FROM D WHERE seq = NULL MATCH = Exact(30)"
+        )
+        assert query.seq is None
+
+    def test_paper_braces_variant_tolerated(self):
+        # The paper writes "OUTPUT SeasonalSim {Xp}"; the extra target
+        # identifier is tolerated.
+        query = parse_query(
+            "OUTPUT SeasonalSim Xp FROM D WHERE seq = Xp MATCH = Exact(12)"
+        )
+        assert isinstance(query, SeasonalQuery)
+
+    def test_any_match_rejected(self):
+        with pytest.raises(ParseError, match="Exact"):
+            parse_query("OUTPUT SeasonalSim FROM D WHERE seq = NULL MATCH = Any")
+
+
+class TestParserQ3:
+    def test_degree_query(self):
+        query = parse_query("OUTPUT ST FROM D WHERE simDegree = S MATCH = Any")
+        assert isinstance(query, ThresholdQuery)
+        assert query.degree == "S"
+        assert query.match.is_any
+
+    def test_null_degree(self):
+        query = parse_query("OUTPUT ST FROM D WHERE simDegree = NULL MATCH = Exact(30)")
+        assert query.degree is None
+        assert query.match.length == 30
+
+    @pytest.mark.parametrize("degree", ["S", "M", "L", "s", "m", "l"])
+    def test_all_degrees(self, degree):
+        query = parse_query(f"OUTPUT ST FROM D WHERE simDegree = {degree}")
+        assert query.degree == degree.upper()
+
+    def test_unknown_degree(self):
+        with pytest.raises(ParseError, match="similarity degree"):
+            parse_query("OUTPUT ST FROM D WHERE simDegree = Q")
+
+
+class TestParserErrors:
+    def test_empty_query(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_query("   ")
+
+    def test_missing_output(self):
+        with pytest.raises(ParseError, match="OUTPUT"):
+            parse_query("SELECT X FROM D WHERE seq = q")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse_query("OUTPUT X WHERE seq = q")
+
+    def test_unknown_condition(self):
+        with pytest.raises(ParseError, match="unknown condition"):
+            parse_query("OUTPUT X FROM D WHERE foo = 1")
+
+    def test_bad_match_clause(self):
+        with pytest.raises(ParseError, match="Exact"):
+            parse_query("OUTPUT X FROM D WHERE seq = q MATCH = Sometimes")
+
+    def test_exact_length_must_be_integer(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_query("OUTPUT X FROM D WHERE seq = q MATCH = Exact(2.5)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("OUTPUT X FROM D WHERE seq = q MATCH = Any extra")
+
+    def test_error_carries_position(self):
+        try:
+            parse_query("OUTPUT X FROM D WHERE foo = 1")
+        except ParseError as exc:
+            assert exc.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("output x from d where seq = q match = any")
+        assert isinstance(query, SimilarityQuery)

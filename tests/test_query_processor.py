@@ -1,0 +1,221 @@
+"""Tests for the online query processor (Algorithm 2 + §5.3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.query_processor import QueryProcessor, _alternate_outward
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def processor(small_index) -> QueryProcessor:
+    return QueryProcessor(
+        small_index.rspace,
+        small_index.dataset,
+        st=small_index.st,
+        window=small_index.window,
+    )
+
+
+class TestBestMatchExact:
+    def test_indexed_subsequence_found_nearly_exactly(self, processor, small_index):
+        query = small_index.dataset[2].values[3:15]  # an indexed subsequence
+        matches = processor.best_match(query, length=12)
+        assert len(matches) == 1
+        assert matches[0].dtw_normalized <= 0.02
+
+    def test_match_values_consistent_with_ssid(self, processor, small_index):
+        query = small_index.dataset[0].values[0:12]
+        match = processor.best_match(query, length=12)[0]
+        expected = small_index.dataset.subsequence(match.ssid)
+        assert np.array_equal(match.values, expected)
+        assert match.group[0] == 12
+
+    def test_reported_distance_is_true_dtw(self, processor, small_index):
+        from repro.distances.dtw import dtw
+
+        query = small_index.dataset[1].values[2:14]
+        match = processor.best_match(query, length=12)[0]
+        assert match.dtw == pytest.approx(
+            dtw(query, match.values, window=processor.window)
+        )
+        assert match.dtw_normalized == pytest.approx(match.dtw / 24.0)
+
+    def test_k_results_sorted_and_distinct(self, processor, small_index):
+        query = small_index.dataset[4].values[6:18]
+        matches = processor.best_match(query, length=12, k=5)
+        assert 1 <= len(matches) <= 5
+        distances = [m.dtw_normalized for m in matches]
+        assert distances == sorted(distances)
+        assert len({m.ssid for m in matches}) == len(matches)
+
+    def test_unindexed_length_raises(self, processor):
+        with pytest.raises(QueryError, match="not indexed"):
+            processor.best_match(np.zeros(10) + 0.5, length=10)
+
+    def test_bad_k(self, processor):
+        with pytest.raises(QueryError):
+            processor.best_match(np.zeros(12) + 0.5, length=12, k=0)
+
+
+class TestBestMatchAny:
+    def test_any_covers_all_lengths(self, processor, small_index):
+        query = small_index.dataset[3].values[0:12]
+        matches = processor.best_match(query, stop_at_half_st=False)
+        assert matches
+        assert processor.last_stats.lengths_visited == len(
+            small_index.rspace.lengths
+        )
+
+    def test_stop_at_half_st_stops_early(self, processor, small_index):
+        query = small_index.dataset[3].values[0:12]
+        processor.best_match(query, stop_at_half_st=True)
+        early = processor.last_stats
+        # For an in-dataset query the first (own-length) bucket already
+        # has a representative within ST/2, so the scan stops there.
+        assert early.stopped_at_half_st
+        assert early.lengths_visited == 1
+
+    def test_any_close_to_exact_length_result(self, processor, small_index):
+        """Match=Any picks the globally best representative's group; its
+        answer may come from a different length, so it is not strictly
+        better than the exact-length answer — but for an in-dataset
+        query both must land very close to zero."""
+        query = small_index.dataset[5].values[6:18]
+        exact = processor.best_match(query, length=12)[0]
+        anym = processor.best_match(query, stop_at_half_st=False)[0]
+        assert anym.dtw_normalized <= exact.dtw_normalized + 0.02
+
+    def test_query_of_unindexed_length_works(self, processor):
+        query = np.linspace(0.2, 0.8, 10)  # length 10 not indexed
+        matches = processor.best_match(query)
+        assert matches
+
+
+class TestWithinThreshold:
+    def test_all_returned_within_threshold(self, processor, small_index):
+        query = small_index.dataset[0].values[0:12]
+        st = 0.3
+        matches = processor.within_threshold(query, st=st, length=12)
+        assert matches
+        for match in matches:
+            # Lemma 2 guarantee (with the documented mean-drift slack).
+            assert match.dtw_normalized <= st * 1.5
+
+    def test_results_sorted(self, processor, small_index):
+        query = small_index.dataset[0].values[0:12]
+        matches = processor.within_threshold(query, st=0.4, length=12)
+        distances = [m.dtw_normalized for m in matches]
+        assert distances == sorted(distances)
+
+    def test_refine_false_uses_rep_distance(self, processor, small_index):
+        query = small_index.dataset[0].values[0:12]
+        coarse = processor.within_threshold(query, st=0.4, length=12, refine=False)
+        refined = processor.within_threshold(query, st=0.4, length=12, refine=True)
+        assert {m.ssid for m in coarse} == {m.ssid for m in refined}
+
+    def test_tighter_threshold_returns_subset(self, processor, small_index):
+        query = small_index.dataset[0].values[0:12]
+        tight = {m.ssid for m in processor.within_threshold(query, st=0.1, length=12)}
+        loose = {m.ssid for m in processor.within_threshold(query, st=0.5, length=12)}
+        assert tight <= loose
+
+    def test_bad_threshold(self, processor):
+        with pytest.raises(QueryError):
+            processor.within_threshold(np.zeros(12) + 0.5, st=-0.1)
+
+
+class TestSeasonal:
+    def test_data_driven_clusters_have_min_members(self, processor):
+        result = processor.seasonal(12)
+        assert result.series is None
+        for cluster in result:
+            assert len(cluster) >= 2
+            assert cluster.length == 12
+
+    def test_user_driven_only_sample_series(self, processor):
+        result = processor.seasonal(12, series=0)
+        assert result.series == 0
+        for cluster in result:
+            assert all(ssid.series == 0 for ssid in cluster.members)
+
+    def test_min_members_filter(self, processor):
+        all_clusters = processor.seasonal(12, min_members=1)
+        filtered = processor.seasonal(12, min_members=3)
+        assert len(filtered) <= len(all_clusters)
+        for cluster in filtered:
+            assert len(cluster) >= 3
+
+    def test_bad_series_index(self, processor):
+        with pytest.raises(QueryError):
+            processor.seasonal(12, series=99)
+
+    def test_bad_min_members(self, processor):
+        with pytest.raises(QueryError):
+            processor.seasonal(12, min_members=0)
+
+    def test_n_subsequences_aggregates(self, processor):
+        result = processor.seasonal(12)
+        assert result.n_subsequences == sum(len(c) for c in result)
+
+
+class TestOptimizationToggles:
+    def test_lower_bounds_do_not_change_answers(self, small_index):
+        with_lb = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, use_lower_bounds=True
+        )
+        without_lb = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, use_lower_bounds=False
+        )
+        for series in range(3):
+            query = small_index.dataset[series].values[1:13]
+            a = with_lb.best_match(query, length=12)[0]
+            b = without_lb.best_match(query, length=12)[0]
+            assert a.dtw_normalized == pytest.approx(b.dtw_normalized)
+
+    def test_ordering_does_not_change_answers(self, small_index):
+        median = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, median_ordering=True
+        )
+        linear = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, median_ordering=False
+        )
+        for series in range(3):
+            query = small_index.dataset[series].values[4:16]
+            a = median.best_match(query, length=12)[0]
+            b = linear.best_match(query, length=12)[0]
+            assert a.dtw_normalized == pytest.approx(b.dtw_normalized)
+
+    def test_group_width_one_still_answers(self, small_index):
+        narrow = QueryProcessor(
+            small_index.rspace, small_index.dataset, st=0.2, group_search_width=1
+        )
+        query = small_index.dataset[2].values[0:12]
+        assert narrow.best_match(query, length=12)
+
+    def test_stats_populated(self, processor, small_index):
+        query = small_index.dataset[0].values[0:12]
+        processor.best_match(query, length=12)
+        stats = processor.last_stats
+        assert stats.reps_examined > 0
+        assert stats.members_examined > 0
+        assert 0.0 <= stats.rep_prune_rate <= 1.0
+
+
+class TestAlternateOutward:
+    def test_full_permutation(self):
+        assert sorted(_alternate_outward(2, 5)) == [0, 1, 2, 3, 4]
+
+    def test_order_fans_out(self):
+        assert list(_alternate_outward(2, 5)) == [2, 1, 3, 0, 4]
+
+    def test_start_clipped(self):
+        assert list(_alternate_outward(99, 3)) == [2, 1, 0]
+        assert list(_alternate_outward(-5, 3)) == [0, 1, 2]
+
+    def test_empty(self):
+        assert list(_alternate_outward(0, 0)) == []

@@ -1,0 +1,127 @@
+"""Tests for LengthBucket / RSpace (paper Defs. 9-10, §4.3 GTI payload)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import build_groups_for_length
+from repro.core.rspace import LengthBucket, RSpace
+from repro.distances.euclidean import normalized_euclidean
+from repro.exceptions import IndexConstructionError, QueryError
+
+
+@pytest.fixture
+def bucket(small_dataset) -> LengthBucket:
+    groups = build_groups_for_length(
+        small_dataset, 12, 0.2, np.random.default_rng(0)
+    )
+    return LengthBucket(length=12, groups=groups)
+
+
+@pytest.fixture
+def rspace(small_index) -> RSpace:
+    return small_index.rspace
+
+
+class TestLengthBucket:
+    def test_rep_matrix_rows_match_groups(self, bucket):
+        assert bucket.rep_matrix.shape == (bucket.n_groups, 12)
+        for row, group in zip(bucket.rep_matrix, bucket.groups):
+            assert np.allclose(row, group.representative)
+
+    def test_dc_matches_pairwise_normalized_ed(self, bucket):
+        for i in range(min(5, bucket.n_groups)):
+            for j in range(min(5, bucket.n_groups)):
+                expected = normalized_euclidean(
+                    bucket.groups[i].representative,
+                    bucket.groups[j].representative,
+                )
+                # The bucket computes Dc via the expanded-norm formula,
+                # which loses ~1e-8 near zero to cancellation.
+                assert bucket.dc[i, j] == pytest.approx(expected, abs=1e-6)
+
+    def test_dc_symmetric_zero_diagonal(self, bucket):
+        assert np.allclose(bucket.dc, bucket.dc.T)
+        assert np.allclose(np.diag(bucket.dc), 0.0)
+
+    def test_sum_order_sorted(self, bucket):
+        sums = bucket.dc_row_sums[bucket.sum_order]
+        assert all(sums[i] <= sums[i + 1] for i in range(len(sums) - 1))
+
+    def test_median_out_order_is_permutation(self, bucket):
+        order = list(bucket.median_out_order())
+        assert sorted(order) == list(range(bucket.n_groups))
+
+    def test_median_out_starts_at_median(self, bucket):
+        order = list(bucket.median_out_order())
+        expected_first = int(bucket.sum_order[bucket.n_groups // 2])
+        assert order[0] == expected_first
+
+    def test_group_of_bounds(self, bucket):
+        assert bucket.group_of(0) is bucket.groups[0]
+        with pytest.raises(QueryError):
+            bucket.group_of(bucket.n_groups)
+
+    def test_requires_finalized_groups(self, small_dataset):
+        from repro.core.group import SimilarityGroup
+        from repro.data.timeseries import SubsequenceId
+
+        raw = SimilarityGroup(4, SubsequenceId(0, 0, 4), np.zeros(4))
+        with pytest.raises(IndexConstructionError):
+            LengthBucket(length=4, groups=[raw])
+
+    def test_rejects_wrong_length_group(self, bucket):
+        with pytest.raises(IndexConstructionError):
+            LengthBucket(length=13, groups=bucket.groups)
+
+    def test_rejects_empty(self):
+        with pytest.raises(IndexConstructionError):
+            LengthBucket(length=4, groups=[])
+
+    def test_n_subsequences(self, bucket):
+        assert bucket.n_subsequences == sum(g.count for g in bucket.groups)
+
+
+class TestRSpace:
+    def test_lengths_sorted(self, rspace):
+        assert rspace.lengths == sorted(rspace.lengths)
+
+    def test_contains_and_lookup(self, rspace):
+        length = rspace.lengths[0]
+        assert length in rspace
+        assert rspace.bucket(length).length == length
+
+    def test_unknown_length_raises(self, rspace):
+        with pytest.raises(QueryError, match="not indexed"):
+            rspace.bucket(9999)
+
+    def test_counts_aggregate(self, rspace):
+        assert rspace.n_groups == sum(bucket.n_groups for bucket in rspace)
+        assert rspace.n_representatives == rspace.n_groups
+        assert rspace.n_subsequences == sum(
+            bucket.n_subsequences for bucket in rspace
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(IndexConstructionError):
+            RSpace({})
+
+    def test_search_length_order_exact(self, rspace):
+        lengths = rspace.lengths  # [6, 12, 18, 24]
+        order = rspace.search_length_order(18)
+        # Own length first, then decreasing, then increasing (§5.3).
+        assert order == [18, 12, 6, 24]
+
+    def test_search_length_order_unindexed_starts_nearest(self, rspace):
+        order = rspace.search_length_order(13)
+        assert order[0] == 12
+        assert sorted(order) == rspace.lengths
+
+    def test_search_length_order_extremes(self, rspace):
+        assert rspace.search_length_order(6)[0] == 6
+        assert rspace.search_length_order(24)[0] == 24
+        assert rspace.search_length_order(1)[0] == 6
+        assert rspace.search_length_order(10_000)[0] == 24

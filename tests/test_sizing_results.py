@@ -1,0 +1,121 @@
+"""Tests for the size accounting (§6.3) and result value objects."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.results import (
+    BaseStats,
+    Match,
+    SeasonalGroup,
+    SeasonalResult,
+    ThresholdRecommendation,
+)
+from repro.core.sizing import SizeBreakdown, measure_rspace
+from repro.data.timeseries import SubsequenceId
+
+
+class TestSizeBreakdown:
+    def test_totals_add_up(self):
+        breakdown = SizeBreakdown(
+            gti_group_ids=10,
+            gti_dc_matrix=20,
+            gti_sums=30,
+            gti_thresholds=40,
+            lsi_sequence_ids=50,
+            lsi_representatives=60,
+            lsi_envelopes=70,
+        )
+        assert breakdown.gti_bytes == 100
+        assert breakdown.lsi_bytes == 180
+        assert breakdown.total_bytes == 280
+        assert breakdown.total_mb == pytest.approx(280 / 1024 / 1024)
+
+    def test_measure_matches_formula(self, small_index):
+        breakdown = measure_rspace(small_index.rspace)
+        expected_group_ids = sum(b.n_groups * 4 for b in small_index.rspace)
+        expected_dc = sum(b.n_groups**2 * 8 for b in small_index.rspace)
+        assert breakdown.gti_group_ids == expected_group_ids
+        assert breakdown.gti_dc_matrix == expected_dc
+        expected_ids = sum(
+            g.count * (2 * 4 + 8) for b in small_index.rspace for g in b.groups
+        )
+        assert breakdown.lsi_sequence_ids == expected_ids
+        expected_reps = sum(
+            g.length * 8 for b in small_index.rspace for g in b.groups
+        )
+        assert breakdown.lsi_representatives == expected_reps
+        assert breakdown.lsi_envelopes == 2 * expected_reps
+
+    def test_thresholds_counted_per_length(self, small_index):
+        breakdown = measure_rspace(small_index.rspace)
+        assert breakdown.gti_thresholds == 2 * 8 * len(small_index.rspace)
+
+
+class TestMatch:
+    def _match(self, norm):
+        return Match(
+            ssid=SubsequenceId(0, 0, 4),
+            values=np.zeros(4),
+            dtw=norm * 8,
+            dtw_normalized=norm,
+            group=(4, 0),
+        )
+
+    def test_ordering_by_normalized_dtw(self):
+        assert self._match(0.1) < self._match(0.2)
+        assert sorted([self._match(0.3), self._match(0.1)])[0].dtw_normalized == 0.1
+
+
+class TestSeasonal:
+    def test_group_len(self):
+        group = SeasonalGroup(
+            length=4,
+            group_index=0,
+            members=(SubsequenceId(0, 0, 4), SubsequenceId(0, 2, 4)),
+        )
+        assert len(group) == 2
+
+    def test_result_aggregation(self):
+        groups = (
+            SeasonalGroup(4, 0, (SubsequenceId(0, 0, 4), SubsequenceId(0, 1, 4))),
+            SeasonalGroup(4, 1, (SubsequenceId(1, 0, 4),) * 3),
+        )
+        result = SeasonalResult(length=4, series=None, groups=groups)
+        assert len(result) == 2
+        assert result.n_subsequences == 5
+        assert list(result) == list(groups)
+
+
+class TestThresholdRecommendation:
+    def test_contains_half_open(self):
+        rec = ThresholdRecommendation(degree="S", low=0.0, high=0.5)
+        assert rec.contains(0.0)
+        assert rec.contains(0.49)
+        assert not rec.contains(0.5)
+
+    def test_contains_unbounded(self):
+        rec = ThresholdRecommendation(degree="L", low=0.5, high=math.inf)
+        assert rec.contains(0.5)
+        assert rec.contains(100.0)
+        assert not rec.contains(0.4)
+
+
+class TestBaseStats:
+    def test_as_row_rounds_size(self):
+        stats = BaseStats(
+            dataset="D",
+            st=0.2,
+            n_series=5,
+            n_lengths=3,
+            n_groups=10,
+            n_representatives=10,
+            n_subsequences=100,
+            size_mb=1.23456,
+            gti_mb=0.5,
+            lsi_mb=0.73456,
+        )
+        assert stats.as_row() == ("D", 10, 100, 1.23)

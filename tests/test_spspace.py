@@ -1,0 +1,162 @@
+"""Tests for the SP-Space (paper §4.2): merge heights, ST_half/ST_final,
+similarity degrees and recommendations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import build_groups_for_length
+from repro.core.rspace import LengthBucket, RSpace
+from repro.core.spspace import (
+    SimilarityDegree,
+    SPSpace,
+    local_thresholds,
+    merge_heights,
+)
+from repro.exceptions import QueryError
+from repro.utils.unionfind import UnionFind
+
+
+class TestMergeHeights:
+    def test_single_group_no_heights(self):
+        assert merge_heights(np.zeros((1, 1)), st=0.2) == []
+
+    def test_two_groups_one_height(self):
+        dc = np.array([[0.0, 0.3], [0.3, 0.0]])
+        assert merge_heights(dc, st=0.2) == [pytest.approx(0.5)]
+
+    def test_heights_monotone_nondecreasing(self, small_index):
+        for bucket in small_index.rspace:
+            heights = merge_heights(bucket.dc, st=small_index.st)
+            assert heights == sorted(heights)
+            assert len(heights) == bucket.n_groups - 1
+
+    def test_heights_reflect_single_linkage(self):
+        # Chain 0-1 (0.1), 1-2 (0.2); direct 0-2 is far (0.9): single
+        # linkage merges through the chain, never paying 0.9.
+        dc = np.array(
+            [[0.0, 0.1, 0.9], [0.1, 0.0, 0.2], [0.9, 0.2, 0.0]]
+        )
+        heights = merge_heights(dc, st=0.0)
+        assert heights == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+class TestLocalThresholds:
+    def test_half_at_most_final(self, small_index):
+        for bucket in small_index.rspace:
+            st_half, st_final = local_thresholds(bucket, small_index.st)
+            assert small_index.st <= st_half <= st_final
+
+    def test_single_group_bucket(self, small_dataset):
+        groups = build_groups_for_length(
+            small_dataset, 12, 100.0, np.random.default_rng(0)
+        )
+        bucket = LengthBucket(length=12, groups=groups)
+        assert bucket.n_groups == 1
+        st_half, st_final = local_thresholds(bucket, 100.0)
+        assert st_half == st_final == 100.0
+
+    def test_final_merges_everything(self, small_index):
+        """At ST' = ST_final every pair must be connected through edges
+        with Dc <= ST_final - ST (the definition of 'all groups merge')."""
+        st = small_index.st
+        for bucket in small_index.rspace:
+            _, st_final = local_thresholds(bucket, st)
+            margin = st_final - st
+            g = bucket.n_groups
+            uf = UnionFind(g)
+            for i in range(g):
+                for j in range(i + 1, g):
+                    if bucket.dc[i, j] <= margin + 1e-12:
+                        uf.union(i, j)
+            assert uf.n_components == 1
+
+    def test_half_leaves_at_most_half(self, small_index):
+        st = small_index.st
+        for bucket in small_index.rspace:
+            st_half, _ = local_thresholds(bucket, st)
+            margin = st_half - st
+            g = bucket.n_groups
+            uf = UnionFind(g)
+            for i in range(g):
+                for j in range(i + 1, g):
+                    if bucket.dc[i, j] <= margin + 1e-12:
+                        uf.union(i, j)
+            assert uf.n_components <= math.ceil(g / 2)
+
+
+class TestSPSpace:
+    def test_globals_are_maxima_of_locals(self, small_index):
+        sp = small_index.spspace
+        halves = [sp.local(length)[0] for length in sp.lengths]
+        finals = [sp.local(length)[1] for length in sp.lengths]
+        assert sp.st_half == pytest.approx(max(halves))
+        assert sp.st_final == pytest.approx(max(finals))
+
+    def test_local_written_back_to_buckets(self, small_index):
+        for bucket in small_index.rspace:
+            assert bucket.st_half is not None
+            assert bucket.st_final is not None
+
+    def test_unknown_length(self, small_index):
+        with pytest.raises(QueryError):
+            small_index.spspace.local(555)
+
+    def test_degree_classification_boundaries(self, small_index):
+        sp = small_index.spspace
+        assert sp.degree_of(sp.st_half * 0.5) is SimilarityDegree.STRICT
+        assert sp.degree_of(sp.st_half) is SimilarityDegree.STRICT
+        between = (sp.st_half + sp.st_final) / 2
+        if sp.st_half < sp.st_final:
+            assert sp.degree_of(between) is SimilarityDegree.MEDIUM
+        assert sp.degree_of(sp.st_final * 1.5) is SimilarityDegree.LOOSE
+
+    def test_recommend_ranges_partition_the_axis(self, small_index):
+        sp = small_index.spspace
+        strict = sp.recommend("S")
+        medium = sp.recommend("M")
+        loose = sp.recommend("L")
+        assert strict.low == 0.0
+        assert strict.high == pytest.approx(medium.low)
+        assert medium.high == pytest.approx(loose.low)
+        assert math.isinf(loose.high)
+
+    def test_recommend_contains_consistent_with_degree(self, small_index):
+        sp = small_index.spspace
+        for degree in SimilarityDegree:
+            rec = sp.recommend(degree)
+            if rec.high <= rec.low:  # degenerate (st_half == st_final)
+                continue
+            probe = rec.low + (min(rec.high, rec.low + 1.0) - rec.low) / 2
+            assert rec.contains(probe)
+
+    def test_recommend_all_returns_three(self, small_index):
+        recs = small_index.spspace.recommend_all()
+        assert [rec.degree for rec in recs] == ["S", "M", "L"]
+
+    def test_recommend_per_length(self, small_index):
+        length = small_index.rspace.lengths[0]
+        rec = small_index.spspace.recommend("S", length=length)
+        assert rec.length == length
+        assert rec.high == pytest.approx(small_index.spspace.local(length)[0])
+
+
+class TestSimilarityDegreeParse:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("S", SimilarityDegree.STRICT),
+            ("m", SimilarityDegree.MEDIUM),
+            (" L ", SimilarityDegree.LOOSE),
+            ("strict", SimilarityDegree.STRICT),
+        ],
+    )
+    def test_accepted_tokens(self, token, expected):
+        assert SimilarityDegree.parse(token) is expected
+
+    def test_unknown_token(self):
+        with pytest.raises(QueryError):
+            SimilarityDegree.parse("X")

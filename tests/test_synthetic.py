@@ -1,0 +1,137 @@
+"""Tests for the synthetic UCR-substitute dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import DATASET_GENERATORS, make_dataset
+from repro.data.synthetic.base import (
+    check_generator_args,
+    gaussian_bump,
+    make_rng,
+    random_walk,
+    smooth,
+    time_warp,
+)
+from repro.data.synthetic.registry import PAPER_DATASETS
+from repro.exceptions import DataError
+
+ALL_NAMES = list(DATASET_GENERATORS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_generator_basic_shape(name):
+    dataset = make_dataset(name, n_series=6, seed=1)
+    assert dataset.name.lower().startswith(name.lower()[:4])
+    assert len(dataset) == 6
+    assert dataset.min_length == dataset.max_length  # UCR style: equal lengths
+    for series in dataset:
+        assert np.all(np.isfinite(series.values))
+        assert series.label is not None
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_generator_deterministic_by_seed(name):
+    a = make_dataset(name, n_series=4, seed=42)
+    b = make_dataset(name, n_series=4, seed=42)
+    for series_a, series_b in zip(a, b):
+        assert np.array_equal(series_a.values, series_b.values)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_generator_seed_changes_data(name):
+    a = make_dataset(name, n_series=4, seed=1)
+    b = make_dataset(name, n_series=4, seed=2)
+    assert any(
+        not np.array_equal(sa.values, sb.values) for sa, sb in zip(a, b)
+    )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_generator_respects_length(name):
+    dataset = make_dataset(name, n_series=3, length=48, seed=0)
+    assert dataset.min_length == 48
+
+
+def test_paper_datasets_subset_of_generators():
+    assert set(PAPER_DATASETS) <= set(DATASET_GENERATORS)
+    assert len(PAPER_DATASETS) == 6
+
+
+def test_make_dataset_case_insensitive():
+    dataset = make_dataset("italypower", n_series=3)
+    assert dataset.name == "ItalyPower"
+
+
+def test_make_dataset_unknown_name():
+    with pytest.raises(DataError, match="unknown dataset"):
+        make_dataset("NotADataset")
+
+
+def test_classes_are_separable_within_dataset():
+    """Same-class series should be closer than cross-class, on average."""
+    dataset = make_dataset("ItalyPower", n_series=20, seed=3)
+    by_label: dict[int, list[np.ndarray]] = {}
+    for series in dataset:
+        by_label.setdefault(series.label, []).append(series.values)
+    labels = sorted(by_label)
+    within = np.mean(
+        [
+            np.linalg.norm(a - b)
+            for values in by_label.values()
+            for i, a in enumerate(values)
+            for b in values[i + 1 :]
+        ]
+    )
+    across = np.mean(
+        [
+            np.linalg.norm(a - b)
+            for a in by_label[labels[0]]
+            for b in by_label[labels[1]]
+        ]
+    )
+    assert within < across
+
+
+class TestBaseHelpers:
+    def test_check_generator_args_rejects_bad(self):
+        with pytest.raises(DataError):
+            check_generator_args(0, 24)
+        with pytest.raises(DataError):
+            check_generator_args(5, 4)
+
+    def test_smooth_noop_for_small_window(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert smooth(values, 1) is values
+
+    def test_smooth_preserves_length_and_reduces_variance(self):
+        rng = make_rng(0)
+        noisy = rng.normal(size=100)
+        smoothed = smooth(noisy, 5)
+        assert smoothed.shape == noisy.shape
+        assert smoothed.std() < noisy.std()
+
+    def test_time_warp_preserves_length_and_range(self):
+        rng = make_rng(1)
+        values = np.sin(np.linspace(0, 6.28, 64))
+        warped = time_warp(values, rng, strength=0.05)
+        assert warped.shape == values.shape
+        assert warped.min() >= values.min() - 1e-9
+        assert warped.max() <= values.max() + 1e-9
+
+    def test_time_warp_zero_strength_is_copy(self):
+        rng = make_rng(2)
+        values = np.arange(10.0)
+        warped = time_warp(values, rng, strength=0.0)
+        assert np.array_equal(warped, values)
+        assert warped is not values
+
+    def test_gaussian_bump_peak_at_center(self):
+        bump = gaussian_bump(21, center=10.0, width=2.0, amplitude=3.0)
+        assert np.argmax(bump) == 10
+        assert bump.max() == pytest.approx(3.0)
+
+    def test_random_walk_length(self):
+        walk = random_walk(50, make_rng(3))
+        assert walk.shape == (50,)

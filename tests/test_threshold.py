@@ -1,0 +1,125 @@
+"""Tests for Algorithm 2.C: threshold adaptation without rebuilding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import adapt_bucket, merge_bucket, split_bucket
+from repro.exceptions import ThresholdError
+
+
+def _membership(bucket):
+    return sorted(ssid for group in bucket.groups for ssid in group.member_ids)
+
+
+@pytest.fixture
+def bucket(small_index):
+    return small_index.rspace.bucket(12)
+
+
+class TestDispatch:
+    def test_same_threshold_returns_same_object(self, small_index, bucket):
+        out = adapt_bucket(
+            bucket, small_index.dataset, 0.2, 0.2, np.random.default_rng(0)
+        )
+        assert out is bucket
+
+    def test_smaller_threshold_splits(self, small_index, bucket):
+        out = adapt_bucket(
+            bucket, small_index.dataset, 0.2, 0.05, np.random.default_rng(0)
+        )
+        assert out.n_groups >= bucket.n_groups
+
+    def test_larger_threshold_merges(self, small_index, bucket):
+        out = adapt_bucket(
+            bucket, small_index.dataset, 0.2, 0.6, np.random.default_rng(0)
+        )
+        assert out.n_groups <= bucket.n_groups
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_threshold(self, small_index, bucket, bad):
+        with pytest.raises(ThresholdError):
+            adapt_bucket(
+                bucket, small_index.dataset, 0.2, bad, np.random.default_rng(0)
+            )
+
+
+class TestSplit:
+    def test_membership_preserved(self, small_index, bucket):
+        out = split_bucket(
+            bucket, small_index.dataset, 0.05, np.random.default_rng(0)
+        )
+        assert _membership(out) == _membership(bucket)
+
+    def test_groups_only_split_never_cross(self, small_index, bucket):
+        """Every new group's members all come from one original group."""
+        out = split_bucket(
+            bucket, small_index.dataset, 0.05, np.random.default_rng(0)
+        )
+        origin = {
+            ssid: index
+            for index, group in enumerate(bucket.groups)
+            for ssid in group.member_ids
+        }
+        for group in out.groups:
+            origins = {origin[ssid] for ssid in group.member_ids}
+            assert len(origins) == 1
+
+    def test_length_preserved(self, small_index, bucket):
+        out = split_bucket(
+            bucket, small_index.dataset, 0.05, np.random.default_rng(0)
+        )
+        assert out.length == bucket.length
+
+
+class TestMerge:
+    def test_membership_preserved(self, small_index, bucket):
+        out = merge_bucket(bucket, small_index.dataset, 0.2, 0.5)
+        assert _membership(out) == _membership(bucket)
+
+    def test_huge_threshold_merges_to_one(self, small_index, bucket):
+        out = merge_bucket(bucket, small_index.dataset, 0.2, 50.0)
+        assert out.n_groups == 1
+
+    def test_margin_zero_merges_only_identical_reps(self, small_index, bucket):
+        out = merge_bucket(bucket, small_index.dataset, 0.2, 0.2)
+        # Margin 0: only groups with Dc == 0 may merge.
+        assert out.n_groups <= bucket.n_groups
+
+    def test_cascading_transitive_merges(self, small_index):
+        """Groups A-B close and B-C close (after merge) must all unite even
+        if A-C alone would not have qualified."""
+        from repro.core.group import SimilarityGroup
+        from repro.core.rspace import LengthBucket
+        from repro.data.dataset import Dataset
+        from repro.data.timeseries import SubsequenceId
+
+        # Three singleton groups at positions 0, 1, 2 on a flat line.
+        values = [np.full(4, 0.0), np.full(4, 1.0), np.full(4, 2.0)]
+        dataset = Dataset([np.concatenate([v, v]) for v in values])
+        groups = []
+        for p, v in enumerate(values):
+            group = SimilarityGroup(4, SubsequenceId(p, 0, 4), v)
+            group.finalize([v], envelope_radius=1)
+            groups.append(group)
+        bucket = LengthBucket(length=4, groups=groups)
+        # Dc(0,1) = Dc(1,2) = 1.0 normalized; Dc(0,2) = 2.0.
+        # Margin 1.2 merges 0-1; merged rep at 0.5 is 1.5 from group 2 —
+        # still > 1.2, so the cascade correctly stops at two groups.
+        out = merge_bucket(bucket, dataset, st_old=0.0, st_new=1.2)
+        assert out.n_groups == 2
+        # Margin 1.6: after merging 0-1 (rep 0.5), group 2 at distance
+        # 1.5 <= 1.6 cascades in.
+        out = merge_bucket(bucket, dataset, st_old=0.0, st_new=1.6)
+        assert out.n_groups == 1
+
+    def test_merge_requires_nondecreasing_threshold(self, small_index, bucket):
+        with pytest.raises(ThresholdError):
+            merge_bucket(bucket, small_index.dataset, 0.2, 0.1)
+
+    def test_merged_representative_is_weighted_mean(self, small_index, bucket):
+        out = merge_bucket(bucket, small_index.dataset, 0.2, 50.0)
+        merged = out.groups[0]
+        values = [small_index.dataset.subsequence(s) for s in merged.member_ids]
+        assert np.allclose(merged.representative, np.mean(values, axis=0))

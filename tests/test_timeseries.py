@@ -1,0 +1,103 @@
+"""Tests for TimeSeries and SubsequenceId."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import SubsequenceId, TimeSeries
+from repro.exceptions import DataError
+
+
+class TestSubsequenceId:
+    def test_str_follows_paper_notation(self):
+        assert str(SubsequenceId(series=3, start=5, length=10)) == "(X3)^10_5"
+
+    def test_stop(self):
+        assert SubsequenceId(0, 5, 10).stop == 15
+
+    def test_ordering_and_equality(self):
+        a = SubsequenceId(0, 1, 4)
+        b = SubsequenceId(0, 1, 4)
+        c = SubsequenceId(1, 0, 4)
+        assert a == b
+        assert a < c
+        assert len({a, b, c}) == 2
+
+
+class TestTimeSeries:
+    def test_basic_construction(self):
+        series = TimeSeries([1.0, 2.0, 3.0], name="abc", label=2)
+        assert len(series) == 3
+        assert series.name == "abc"
+        assert series.label == 2
+
+    def test_values_are_read_only(self):
+        series = TimeSeries([1.0, 2.0])
+        with pytest.raises(ValueError):
+            series.values[0] = 9.0
+
+    def test_iteration_and_indexing(self):
+        series = TimeSeries([1.0, 2.0, 3.0])
+        assert list(series) == [1.0, 2.0, 3.0]
+        assert series[1] == 2.0
+        assert series[1:].tolist() == [2.0, 3.0]
+
+    def test_equality_includes_metadata(self):
+        a = TimeSeries([1.0, 2.0], name="x", label=1)
+        b = TimeSeries([1.0, 2.0], name="x", label=1)
+        c = TimeSeries([1.0, 2.0], name="y", label=1)
+        assert a == b
+        assert a != c
+        assert a != "not a series"
+        assert hash(a) == hash(b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries([1.0, float("nan")])
+
+    def test_repr_mentions_name_and_length(self):
+        series = TimeSeries([1.0] * 5, name="demo", label=3)
+        text = repr(series)
+        assert "demo" in text
+        assert "n=5" in text
+
+    def test_subsequence_extraction(self):
+        series = TimeSeries([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert series.subsequence(1, 3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_subsequence_out_of_bounds(self):
+        series = TimeSeries([0.0, 1.0, 2.0])
+        with pytest.raises(DataError):
+            series.subsequence(2, 2)
+        with pytest.raises(DataError):
+            series.subsequence(-1, 2)
+        with pytest.raises(DataError):
+            series.subsequence(0, 0)
+
+    @pytest.mark.parametrize(
+        "length,step,expected",
+        [(2, 1, 4), (5, 1, 1), (6, 1, 0), (2, 2, 2), (3, 2, 2)],
+    )
+    def test_n_subsequences(self, length, step, expected):
+        series = TimeSeries([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert series.n_subsequences(length, start_step=step) == expected
+
+    def test_with_values_preserves_metadata(self):
+        series = TimeSeries([1.0, 2.0], name="keep", label=7)
+        replaced = series.with_values([3.0, 4.0, 5.0])
+        assert replaced.name == "keep"
+        assert replaced.label == 7
+        assert replaced.values.tolist() == [3.0, 4.0, 5.0]
+
+    def test_values_copied_on_construction(self):
+        source = np.array([1.0, 2.0])
+        series = TimeSeries(source)
+        source[0] = 99.0  # mutating the caller's array must not leak in
+        assert series.values.tolist() == [1.0, 2.0]
+        assert series.values.flags.writeable is False
+        assert source.flags.writeable is True  # caller's array untouched

@@ -1,0 +1,61 @@
+"""Tests for the timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Timer, timed
+
+
+class TestTimer:
+    def test_starts_at_zero(self):
+        timer = Timer()
+        assert timer.elapsed == 0.0
+        assert timer.n_spans == 0
+        assert timer.mean == 0.0
+
+    def test_span_accumulates(self):
+        timer = Timer()
+        with timer.span():
+            time.sleep(0.002)
+        assert timer.elapsed >= 0.002
+        assert timer.n_spans == 1
+
+    def test_multiple_spans_sum(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.span():
+                time.sleep(0.001)
+        assert timer.n_spans == 3
+        assert timer.elapsed >= 0.003
+        assert timer.mean >= 0.001
+
+    def test_span_records_on_exception(self):
+        timer = Timer()
+        try:
+            with timer.span():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.n_spans == 1
+        assert timer.elapsed >= 0.0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.span():
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.n_spans == 0
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_duration_scales(self):
+        _, fast = timed(lambda: None)
+        _, slow = timed(lambda: time.sleep(0.005))
+        assert slow > fast

@@ -1,0 +1,124 @@
+"""Unit and property tests for the union-find structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert len(uf) == 5
+
+    def test_empty_is_allowed(self):
+        uf = UnionFind(0)
+        assert uf.n_components == 0
+        assert len(uf) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1) is True
+        assert uf.n_components == 3
+
+    def test_union_same_component_is_noop(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.n_components == 3
+
+    def test_connected_reflexive(self):
+        uf = UnionFind(3)
+        assert uf.connected(2, 2)
+
+    def test_connected_after_chain(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_find_out_of_range(self):
+        uf = UnionFind(3)
+        with pytest.raises(IndexError):
+            uf.find(3)
+        with pytest.raises(IndexError):
+            uf.find(-1)
+
+    def test_component_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(0) == 3
+        assert uf.component_size(4) == 1
+
+    def test_components_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 3)
+        uf.union(1, 4)
+        components = uf.components()
+        flattened = sorted(x for component in components for x in component)
+        assert flattened == list(range(6))
+        assert components[0][0] == 0  # ordered by smallest member
+
+    def test_add_creates_singleton(self):
+        uf = UnionFind(2)
+        index = uf.add()
+        assert index == 2
+        assert uf.n_components == 3
+        assert uf.component_size(index) == 1
+
+    def test_union_all_counts_merges(self):
+        uf = UnionFind(4)
+        merges = uf.union_all([(0, 1), (1, 0), (2, 3)])
+        assert merges == 2
+        assert uf.n_components == 2
+
+    def test_iteration_yields_all_elements(self):
+        uf = UnionFind(4)
+        assert list(uf) == [0, 1, 2, 3]
+
+
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    pairs=st.lists(
+        st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=80
+    ),
+)
+def test_property_components_match_reference(n, pairs):
+    """Union-find agrees with a naive reachability reference."""
+    pairs = [(a % n, b % n) for a, b in pairs]
+    uf = UnionFind(n)
+    uf.union_all(pairs)
+
+    # Naive reference: repeated merging of sets.
+    sets = [{i} for i in range(n)]
+    for a, b in pairs:
+        set_a = next(s for s in sets if a in s)
+        set_b = next(s for s in sets if b in s)
+        if set_a is not set_b:
+            set_a |= set_b
+            sets.remove(set_b)
+    assert uf.n_components == len(sets)
+    for group in sets:
+        members = sorted(group)
+        for member in members[1:]:
+            assert uf.connected(members[0], member)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    pairs=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_property_component_sizes_sum_to_n(n, pairs):
+    uf = UnionFind(n)
+    uf.union_all([(a % n, b % n) for a, b in pairs])
+    roots = {uf.find(i) for i in range(n)}
+    assert sum(uf.component_size(root) for root in roots) == n

@@ -1,0 +1,97 @@
+"""Tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.utils.validation import (
+    as_float_array,
+    check_lengths,
+    check_positive,
+    check_probability,
+    require,
+)
+
+
+class TestAsFloatArray:
+    def test_list_coerced(self):
+        out = as_float_array([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_ndarray_passthrough_values(self):
+        original = np.array([0.5, 1.5])
+        assert as_float_array(original).tolist() == [0.5, 1.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError, match="empty"):
+            as_float_array([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataError, match="1-dimensional"):
+            as_float_array([[1.0, 2.0]])
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError, match="NaN"):
+            as_float_array([1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(DataError):
+            as_float_array([1.0, float("inf")])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(DataError, match="not numeric"):
+            as_float_array(["a", "b"])
+
+    def test_name_appears_in_error(self):
+        with pytest.raises(DataError, match="my_field"):
+            as_float_array([], name="my_field")
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(DataError, match="broken"):
+            require(False, "broken")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(DataError):
+            check_positive(bad)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(DataError):
+            check_probability(bad)
+
+
+class TestCheckLengths:
+    def test_sorted_and_deduplicated(self):
+        assert check_lengths([8, 4, 8, 2], max_length=10) == [2, 4, 8]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            check_lengths([], max_length=10)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DataError, match=">= 2"):
+            check_lengths([1, 4], max_length=10)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(DataError, match="exceeds"):
+            check_lengths([4, 11], max_length=10)

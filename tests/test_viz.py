@@ -1,0 +1,117 @@
+"""Tests for the terminal visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.viz.ascii import line_plot, overlay_plot, sparkline
+from repro.viz.explain import render_group, render_match, render_warping_path
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        out = sparkline(np.arange(200.0), width=50)
+        assert len(out) == 50
+
+    def test_short_input_kept_whole(self):
+        out = sparkline(np.arange(5.0), width=50)
+        assert len(out) == 5
+
+    def test_monotone_input_monotone_blocks(self):
+        out = sparkline(np.arange(8.0))
+        assert list(out) == sorted(out)
+
+    def test_flat_input(self):
+        out = sparkline(np.full(6, 3.0))
+        assert out == out[0] * 6
+
+    def test_extremes_use_extreme_blocks(self):
+        out = sparkline(np.array([0.0, 1.0]))
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+
+    def test_bad_width(self):
+        with pytest.raises(DataError):
+            sparkline(np.arange(3.0), width=0)
+
+
+class TestLinePlot:
+    def test_dimensions(self):
+        out = line_plot(np.sin(np.linspace(0, 6, 30)), width=30, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 9  # height rows + axis
+        assert all("|" in line for line in lines[:-1])
+
+    def test_one_star_per_column(self):
+        out = line_plot(np.arange(10.0), width=10, height=5)
+        grid = [line.split("|", 1)[1] for line in out.splitlines()[:-1]]
+        for column in range(10):
+            assert sum(1 for row in grid if row[column] == "*") == 1
+
+    def test_label_prepended(self):
+        out = line_plot(np.arange(4.0), label="demo")
+        assert out.splitlines()[0] == "demo"
+
+    def test_margins_carry_extremes(self):
+        out = line_plot(np.array([2.0, 8.0]))
+        assert "8.000" in out
+        assert "2.000" in out
+
+    def test_bad_height(self):
+        with pytest.raises(DataError):
+            line_plot(np.arange(4.0), height=1)
+
+
+class TestOverlayPlot:
+    def test_contains_both_glyph_kinds(self):
+        a = np.zeros(20)
+        b = np.ones(20)
+        out = overlay_plot(a, b, width=20, height=6)
+        assert "*" in out
+        assert "o" in out
+
+    def test_overlap_marked(self):
+        a = np.arange(10.0)
+        out = overlay_plot(a, a, width=10, height=5)
+        assert "@" in out
+        assert "*" not in out.splitlines()[1]  # fully overlapped
+
+    def test_legend_line(self):
+        out = overlay_plot(np.arange(4.0), np.arange(4.0), labels=("q", "m"))
+        assert out.splitlines()[0] == "*=q  o=m  @=both"
+
+
+class TestExplainRenderers:
+    def test_render_match(self, small_index):
+        query = small_index.dataset[0].values[0:12]
+        match = small_index.query(query, length=12)[0]
+        out = render_match(query, match)
+        assert str(match.ssid) in out
+        assert "DTW=" in out
+
+    def test_render_group(self, small_index):
+        out = render_group(small_index, 12, 0)
+        assert "group G12.0" in out
+        assert "rep" in out
+
+    def test_render_group_truncates(self, small_index):
+        bucket = small_index.rspace.bucket(12)
+        big = max(range(bucket.n_groups), key=lambda i: bucket.groups[i].count)
+        if bucket.groups[big].count > 8:
+            out = render_group(small_index, 12, big)
+            assert "more member(s)" in out
+
+    def test_render_warping_path(self):
+        x = np.array([0.0, 0.0, 1.0, 0.0])
+        y = np.array([0.0, 1.0, 0.0, 0.0])
+        out = render_warping_path(x, y)
+        lines = out.splitlines()[1:]
+        assert len(lines) == 4
+        assert lines[0][0] == "#"  # path starts at (0, 0)
+        assert lines[-1][-1] == "#"  # ... and ends at (n-1, m-1)
+
+    def test_render_warping_path_rejects_long_input(self):
+        with pytest.raises(ValueError):
+            render_warping_path(np.zeros(100), np.zeros(100))
