@@ -24,7 +24,11 @@ _rows: dict[tuple[str, str], list[object]] = {}
 
 def _run(dataset: str, median_ordering: bool) -> list[object]:
     context = get_context(dataset)
-    processor = context.make_processor(median_ordering=median_ordering)
+    # Scalar path: with batch kernels + lower bounds the scan is
+    # lower-bound-ordered, which would mask the ordering ablation.
+    processor = context.make_processor(
+        median_ordering=median_ordering, use_batch_kernels=False
+    )
     durations = []
     full_dtw = 0
     examined = 0
@@ -63,7 +67,9 @@ def test_ablation_rep_ordering(benchmark, dataset: str, ordering: str) -> None:
     _register_table()
 
     context = get_context(dataset)
-    processor = context.make_processor(median_ordering=median)
+    processor = context.make_processor(
+        median_ordering=median, use_batch_kernels=False
+    )
     query = context.workload.queries[0]
     benchmark.pedantic(
         lambda: processor.best_match(query.values, length=query.length),

@@ -10,8 +10,10 @@ Public API quick tour::
     clusters = index.seasonal(length=12)            # Q2 seasonal similarity
     ranges = index.recommend("S")                   # Q3 threshold guidance
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured results.
+See DESIGN.md for the system inventory (including the vectorized batch
+kernel layer) and the tables under ``benchmarks/results/`` — produced
+by running the ``benchmarks/`` suite — for the paper-versus-measured
+results.
 """
 
 from repro.core.onex import OnexIndex, default_length_grid

@@ -18,19 +18,30 @@ import numpy as np
 from repro.baselines.base import SearchMethod, SearchResult
 from repro.data.dataset import Dataset
 from repro.data.timeseries import SubsequenceId
-from repro.distances.dtw import dtw
+from repro.distances.batch import chunk_sizes, dtw_batch
+from repro.distances.dtw import dtw, resolve_window
 from repro.exceptions import QueryError
 from repro.utils.validation import as_float_array
 
 
 class StandardDTW(SearchMethod):
-    """Exact exhaustive DTW search over all subsequences."""
+    """Exact exhaustive DTW search over all subsequences.
+
+    With ``use_batch_kernels`` (default) the per-length candidate stacks
+    go through the vectorized :func:`repro.distances.batch.dtw_batch`
+    in chunks, the shared early-abandon bound tightening between chunks;
+    the result is identical to the scalar sweep.
+    """
 
     name = "StandardDTW"
 
-    def __init__(self, window: int | float | None = 0.1) -> None:
+    def __init__(
+        self, window: int | float | None = 0.1, use_batch_kernels: bool = True
+    ) -> None:
         super().__init__(window=window)
+        self.use_batch_kernels = use_batch_kernels
         self._candidates: dict[int, list[tuple[SubsequenceId, np.ndarray]]] = {}
+        self._stacks: dict[int, np.ndarray] = {}
 
     def prepare(
         self, dataset: Dataset, lengths: Sequence[int], start_step: int = 1
@@ -40,6 +51,44 @@ class StandardDTW(SearchMethod):
             length: list(dataset.subsequences(length, start_step=start_step))
             for length in self._lengths
         }
+        # The stacked copies only serve the batch path; the scalar
+        # reference sweep reads the per-candidate arrays directly.
+        self._stacks = (
+            {
+                length: np.stack([values for _, values in entries])
+                for length, entries in self._candidates.items()
+                if entries
+            }
+            if self.use_batch_kernels
+            else {}
+        )
+
+    def _best_of_length_batch(
+        self, query: np.ndarray, candidate_length: int, raw_bound: float
+    ) -> tuple[int, float]:
+        """Index and distance of the best candidate under ``raw_bound``."""
+        stack = self._stacks.get(candidate_length)
+        if stack is None:
+            return -1, math.inf
+        radius = resolve_window(query.shape[0], candidate_length, self.window)
+        best_index, best_raw = -1, math.inf
+        start = 0
+        # A small opening chunk establishes the abandon bound before the
+        # full-size chunks sweep against it.
+        for size in chunk_sizes(stack.shape[0]):
+            bound = min(raw_bound, best_raw)
+            distances = dtw_batch(
+                query,
+                stack[start : start + size],
+                radius,
+                abandon_above=bound if math.isfinite(bound) else None,
+            )
+            offset = int(np.argmin(distances))
+            if distances[offset] < best_raw:
+                best_raw = float(distances[offset])
+                best_index = start + offset
+            start += size
+        return best_index, best_raw
 
     def best_match(
         self, query: np.ndarray, length: int | None = None
@@ -50,6 +99,20 @@ class StandardDTW(SearchMethod):
         for candidate_length in self._candidate_lengths(length):
             denominator = 2.0 * max(query.shape[0], candidate_length)
             raw_bound = best_norm * denominator
+            if self.use_batch_kernels:
+                index, distance = self._best_of_length_batch(
+                    query, candidate_length, raw_bound
+                )
+                if index >= 0 and distance / denominator < best_norm:
+                    ssid, values = self._candidates[candidate_length][index]
+                    best_norm = distance / denominator
+                    best = SearchResult(
+                        ssid=ssid,
+                        values=values,
+                        dtw=distance,
+                        dtw_normalized=best_norm,
+                    )
+                continue
             for ssid, values in self._candidates[candidate_length]:
                 distance = dtw(
                     query,

@@ -35,6 +35,7 @@ from repro.baselines.base import SearchMethod, SearchResult
 from repro.data.dataset import Dataset
 from repro.data.normalize import z_normalize
 from repro.data.timeseries import SubsequenceId
+from repro.distances.batch import EnvelopeStack, chunk_sizes, envelope_matrix
 from repro.distances.dtw import dtw
 from repro.distances.lower_bounds import CascadePruner, Envelope, PruneStats, envelope
 from repro.distances.dtw import resolve_window
@@ -55,6 +56,12 @@ class Trillion(SearchMethod):
         Search on z-normalized windows like the real UCR suite
         (default). The reported :class:`SearchResult` distances are
         always on the data's shared scale for comparability.
+    use_batch_kernels:
+        Run the cascade through the vectorized batch kernels (default):
+        candidate windows are stacked per length, data envelopes are
+        built in one vectorized pass, and the cascade sweeps the stack
+        in chunks through :meth:`CascadePruner.distance_batch`. Exact —
+        identical answers to the scalar sweep.
     """
 
     name = "Trillion"
@@ -65,14 +72,18 @@ class Trillion(SearchMethod):
         use_kim: bool = True,
         use_keogh: bool = True,
         z_normalize: bool = True,
+        use_batch_kernels: bool = True,
     ) -> None:
         super().__init__(window=window)
         self.use_kim = use_kim
         self.use_keogh = use_keogh
         self.z_normalize = z_normalize
+        self.use_batch_kernels = use_batch_kernels
         self._candidates: dict[int, list[tuple[SubsequenceId, np.ndarray]]] = {}
         self._search_values: dict[int, list[np.ndarray]] = {}
         self._envelopes: dict[int, list[Envelope]] = {}
+        self._stacks: dict[int, np.ndarray] = {}
+        self._envelope_stacks: dict[int, EnvelopeStack] = {}
         self.last_prune_stats: PruneStats | None = None
 
     def prepare(
@@ -94,13 +105,32 @@ class Trillion(SearchMethod):
         }
         # Data envelopes are part of the offline pass in the UCR suite;
         # they enable the reversed LB_Keogh stage without per-query cost.
-        self._envelopes = {
-            length: [
-                envelope(values, resolve_window(length, length, self.window))
-                for values in search_values
-            ]
-            for length, search_values in self._search_values.items()
-        }
+        # The batch path stacks the candidates and builds all envelopes
+        # of one length in a single vectorized pass; the scalar path
+        # keeps per-candidate arrays and skips the (duplicate) stacks.
+        if self.use_batch_kernels:
+            self._stacks = {
+                length: np.stack(search_values)
+                for length, search_values in self._search_values.items()
+                if search_values
+            }
+            self._envelope_stacks = {
+                length: envelope_matrix(
+                    stack, resolve_window(length, length, self.window)
+                )
+                for length, stack in self._stacks.items()
+            }
+            self._envelopes = {}
+        else:
+            self._stacks = {}
+            self._envelope_stacks = {}
+            self._envelopes = {
+                length: [
+                    envelope(values, resolve_window(length, length, self.window))
+                    for values in search_values
+                ]
+                for length, search_values in self._search_values.items()
+            }
 
     def _search_length(self, query: np.ndarray, length: int) -> SearchResult | None:
         search_query = z_normalize(query) if self.z_normalize else query
@@ -114,14 +144,41 @@ class Trillion(SearchMethod):
         best_index = -1
         best_raw = math.inf
         entries = self._candidates[length]
-        envelopes = self._envelopes[length]
-        for index, search_values in enumerate(self._search_values[length]):
-            distance = pruner.distance(
-                search_values, best_raw, candidate_envelope=envelopes[index]
-            )
-            if distance < best_raw:
-                best_raw = distance
-                best_index = index
+        if self.use_batch_kernels:
+            stack = self._stacks.get(length)
+            stack_envelopes = self._envelope_stacks.get(length)
+            n_candidates = 0 if stack is None else stack.shape[0]
+            start = 0
+            # A small opening chunk establishes the abandon bound before
+            # the full-size chunks run the cascade against it.
+            for size in chunk_sizes(n_candidates):
+                stop = start + size
+                chunk_envelopes = (
+                    None
+                    if stack_envelopes is None
+                    else EnvelopeStack(
+                        lower=stack_envelopes.lower[start:stop],
+                        upper=stack_envelopes.upper[start:stop],
+                        radius=stack_envelopes.radius,
+                    )
+                )
+                distances = pruner.distance_batch(
+                    stack[start:stop], best_raw, candidate_envelopes=chunk_envelopes
+                )
+                offset = int(np.argmin(distances))
+                if distances[offset] < best_raw:
+                    best_raw = float(distances[offset])
+                    best_index = start + offset
+                start = stop
+        else:
+            envelopes = self._envelopes[length]
+            for index, search_values in enumerate(self._search_values[length]):
+                distance = pruner.distance(
+                    search_values, best_raw, candidate_envelope=envelopes[index]
+                )
+                if distance < best_raw:
+                    best_raw = distance
+                    best_index = index
         self.last_prune_stats = pruner.stats
         if best_index < 0:
             return None

@@ -6,12 +6,15 @@ lengths, construct the similarity groups per length (Algorithm 1),
 assemble the R-Space with its GTI payloads, and compute the SP-Space.
 The resulting object answers the paper's three online query classes:
 
-* :meth:`query` / :meth:`within` — Class I similarity queries (Q1),
+* :meth:`query` / :meth:`query_batch` / :meth:`within` — Class I
+  similarity queries (Q1),
 * :meth:`seasonal` — Class II seasonal similarity queries (Q2),
 * :meth:`recommend` — Class III threshold recommendations (Q3),
 
 plus :meth:`with_threshold` (Algorithm 2.C threshold adaptation without
-rebuilding), :meth:`stats` (Table 4's accounting) and save/load.
+rebuilding), :meth:`stats` (Table 4's accounting) and save/load. The
+module inventory, including the vectorized batch-kernel layer the query
+path runs on, is documented in ``DESIGN.md`` at the repository root.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.core.spspace import SimilarityDegree, SPSpace
 from repro.core.threshold import adapt_bucket
 from repro.data.dataset import Dataset
 from repro.data.normalize import min_max_normalize
+from repro.distances.dtw import resolve_window
 from repro.exceptions import QueryError, ThresholdError
 from repro.utils.validation import as_float_array, check_lengths
 
@@ -68,6 +72,7 @@ class OnexIndex:
         value_range: tuple[float, float],
         build_seconds: float = 0.0,
         group_search_width: int | None = None,
+        use_batch_kernels: bool = True,
     ) -> None:
         self.dataset = dataset  # normalized
         self.rspace = rspace
@@ -83,6 +88,7 @@ class OnexIndex:
             st=self.st,
             window=window,
             group_search_width=group_search_width,
+            use_batch_kernels=use_batch_kernels,
         )
 
     # ------------------------------------------------------------------
@@ -100,6 +106,7 @@ class OnexIndex:
         normalize: bool = True,
         group_search_width: int | None = None,
         grouping: str = "incremental",
+        use_batch_kernels: bool = True,
     ) -> "OnexIndex":
         """Run the one-time ONEX preprocessing step (§4.1).
 
@@ -134,9 +141,18 @@ class OnexIndex:
             Algorithm 1, default) or ``"kmeans"`` (radius-constrained
             k-means; the tech report's alternative-clustering avenue —
             see :mod:`repro.core.grouping_kmeans`).
+        use_batch_kernels:
+            Answer queries through the vectorized batch distance
+            kernels (default; see :mod:`repro.distances.batch`). The
+            batch path is exact — disable only for the scalar reference
+            path.
         """
         if st <= 0 or not math.isfinite(st):
             raise ThresholdError(st)
+        # Validate the window spec now: it is only *used* online, and a
+        # bad spec (e.g. the fraction 0.0) would otherwise surface as an
+        # error on the first query against an already-built base.
+        resolve_window(dataset.min_length, dataset.min_length, window)
         value_range = dataset.value_range
         if normalize:
             minimum, maximum = value_range
@@ -182,6 +198,7 @@ class OnexIndex:
             value_range=value_range,
             build_seconds=build_seconds,
             group_search_width=group_search_width,
+            use_batch_kernels=use_batch_kernels,
         )
 
     # ------------------------------------------------------------------
@@ -216,6 +233,34 @@ class OnexIndex:
         return self.processor.best_match(
             query, length=length, k=k, stop_at_half_st=stop_at_half_st
         )
+
+    def query_batch(
+        self,
+        queries: Sequence[np.ndarray],
+        length: int | None = None,
+        k: int = 1,
+        normalized: bool = True,
+        stop_at_half_st: bool = True,
+    ) -> list[list[Match]]:
+        """Answer a batch of Q1 queries; one match list per query.
+
+        Equivalent to calling :meth:`query` once per element (same
+        matches, same order), but the batch-kernel payloads the online
+        path runs on — stacked member matrices and representative
+        envelope stacks, built lazily per :class:`LengthBucket` — are
+        constructed by the first query that needs them and amortized
+        across the rest of the batch.
+        """
+        return [
+            self.query(
+                query,
+                length=length,
+                k=k,
+                normalized=normalized,
+                stop_at_half_st=stop_at_half_st,
+            )
+            for query in queries
+        ]
 
     def within(
         self,
@@ -287,6 +332,7 @@ class OnexIndex:
             value_range=self.value_range,
             build_seconds=self.build_seconds,
             group_search_width=self.processor.group_search_width,
+            use_batch_kernels=self.processor.use_batch_kernels,
         )
 
     # ------------------------------------------------------------------

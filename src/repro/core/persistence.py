@@ -93,6 +93,7 @@ def save_index(index: OnexIndex, path: str | os.PathLike) -> None:
         "value_range": list(index.value_range),
         "build_seconds": index.build_seconds,
         "group_search_width": index.processor.group_search_width,
+        "use_batch_kernels": index.processor.use_batch_kernels,
         "series_names": [s.name for s in index.dataset],
         "series_labels": [s.label for s in index.dataset],
         "lengths": lengths_meta,
@@ -175,4 +176,6 @@ def load_index(path: str | os.PathLike) -> OnexIndex:
         value_range=tuple(manifest["value_range"]),
         build_seconds=float(manifest.get("build_seconds", 0.0)),
         group_search_width=None if width is None else int(width),
+        # Absent in pre-batch-kernel saves: default to the batch path.
+        use_batch_kernels=bool(manifest.get("use_batch_kernels", True)),
     )

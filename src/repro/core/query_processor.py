@@ -25,6 +25,15 @@ import numpy as np
 from repro.core.results import Match, SeasonalGroup, SeasonalResult
 from repro.core.rspace import LengthBucket, RSpace
 from repro.data.dataset import Dataset
+from repro.distances.batch import (
+    BATCH_CHUNK,
+    chunk_sizes,
+    dtw_batch,
+    lb_keogh_batch,
+    lb_keogh_reverse_batch,
+    lb_kim_batch,
+    sliding_minmax,
+)
 from repro.distances.dtw import dtw, resolve_window
 from repro.distances.lower_bounds import lb_keogh, lb_kim
 from repro.exceptions import QueryError
@@ -40,6 +49,7 @@ class QueryStats:
     reps_abandoned: int = 0
     rep_dtw_full: int = 0
     members_examined: int = 0
+    members_pruned_lb: int = 0  # batch path only: LB-rejected before any DP
     members_abandoned: int = 0
     lengths_visited: int = 0
     stopped_at_half_st: bool = False
@@ -88,6 +98,17 @@ class QueryProcessor:
         the closest representatives instead of only the single best one.
         ``1`` (the default) is the paper's behaviour; larger values
         trade time for accuracy (see ``bench_ablation_nprobe``).
+    use_batch_kernels:
+        Run the representative scan and in-group search through the
+        vectorized batch kernels of :mod:`repro.distances.batch`
+        (default). The batch cascade is exact — it returns the same
+        matches as the scalar path — and is what makes the scan fast on
+        wide buckets; disable for the scalar reference path (ablation
+        and ``bench_batch_kernels``). Note that with lower bounds
+        enabled the batch scan orders candidates by their lower bound,
+        superseding ``median_ordering``; the median-ordering ablation
+        therefore requires either ``use_lower_bounds=False`` or the
+        scalar path.
     """
 
     def __init__(
@@ -100,6 +121,7 @@ class QueryProcessor:
         use_lower_bounds: bool = True,
         median_ordering: bool = True,
         n_probe: int = 1,
+        use_batch_kernels: bool = True,
     ) -> None:
         if n_probe < 1:
             raise QueryError(f"n_probe must be >= 1, got {n_probe}")
@@ -111,6 +133,7 @@ class QueryProcessor:
         self.use_lower_bounds = use_lower_bounds
         self.median_ordering = median_ordering
         self.n_probe = int(n_probe)
+        self.use_batch_kernels = bool(use_batch_kernels)
         self.last_stats = QueryStats()
 
     # ------------------------------------------------------------------
@@ -301,6 +324,8 @@ class QueryProcessor:
         With ``n_probe == 1`` the pruning threshold is the running best;
         with more probes it is the running ``n_probe``-th best.
         """
+        if self.use_batch_kernels:
+            return self._scan_representatives_batch(bucket, query, bound_normalized)
         stats = self.last_stats
         denominator = 2.0 * max(query.shape[0], bucket.length)
         same_length = query.shape[0] == bucket.length
@@ -364,6 +389,103 @@ class QueryProcessor:
         scans.sort(key=lambda scan: scan.dtw_raw)
         return scans
 
+    def _scan_representatives_batch(
+        self, bucket: LengthBucket, query: np.ndarray, bound_normalized: float
+    ) -> list[_RepScan]:
+        """Batch-kernel twin of :meth:`_scan_representatives`.
+
+        The whole representative stack goes through the vectorized
+        cascade at once: LB_Kim and (same-length) reversed LB_Keogh over
+        the full stack, then chunked batch DTW over the survivors in
+        ascending lower-bound order so early chunks tighten the shared
+        early-abandon bound for later ones. Exact: returns the same
+        probes as the scalar scan.
+        """
+        stats = self.last_stats
+        denominator = 2.0 * max(query.shape[0], bucket.length)
+        same_length = query.shape[0] == bucket.length
+        radius = resolve_window(query.shape[0], bucket.length, self.window)
+        seed_raw = (
+            math.inf
+            if math.isinf(bound_normalized)
+            else bound_normalized * denominator
+        )
+        reps = bucket.representatives_matrix
+        n_groups = reps.shape[0]
+        stats.reps_examined += n_groups
+
+        if self.use_lower_bounds:
+            # Admissible per-representative lower bound: LB_Kim, maxed
+            # with the reversed LB_Keogh (query vs representative
+            # envelope) when the lengths match. Sorting by it puts
+            # likely-best representatives in the opening chunk, which
+            # supersedes the scalar path's median-out ordering.
+            lower_bounds = lb_kim_batch(query, reps)
+            if same_length:
+                stack = bucket.rep_envelope_stack(radius)
+                lower_bounds = np.maximum(
+                    lower_bounds, lb_keogh_reverse_batch(query, stack)
+                )
+            candidates = np.argsort(lower_bounds, kind="stable")
+            if math.isfinite(seed_raw):
+                keep = lower_bounds[candidates] < seed_raw
+                stats.reps_pruned_lb += int(n_groups - keep.sum())
+                candidates = candidates[keep]
+        else:
+            # Lower bounds disabled (ablation): keep the scalar path's
+            # scan order so median_ordering stays meaningful here too.
+            lower_bounds = None
+            candidates = np.fromiter(
+                self._rep_order(bucket), dtype=np.intp, count=n_groups
+            )
+
+        # Max-heap (negated) of the n_probe best (raw distance, index).
+        top: list[tuple[float, int]] = []
+
+        def prune_bound() -> float:
+            if len(top) == self.n_probe:
+                return min(seed_raw, -top[0][0])
+            return seed_raw
+
+        start = 0
+        for size in chunk_sizes(len(candidates)):
+            chunk = candidates[start : start + size]
+            start += size
+            bound = prune_bound()
+            if lower_bounds is not None and math.isfinite(bound):
+                keep = lower_bounds[chunk] < bound
+                stats.reps_pruned_lb += int(len(chunk) - keep.sum())
+                chunk = chunk[keep]
+                if not len(chunk):
+                    continue
+            distances = dtw_batch(
+                query,
+                reps[chunk],
+                radius,
+                abandon_above=bound if math.isfinite(bound) else None,
+            )
+            for group_index, distance in zip(chunk.tolist(), distances.tolist()):
+                if distance == math.inf:
+                    stats.reps_abandoned += 1
+                    continue
+                stats.rep_dtw_full += 1
+                if distance < prune_bound() or len(top) < self.n_probe:
+                    if len(top) == self.n_probe:
+                        heapq.heapreplace(top, (-distance, group_index))
+                    else:
+                        heapq.heappush(top, (-distance, group_index))
+        scans = [
+            _RepScan(
+                group_index=index,
+                dtw_raw=-negated,
+                dtw_normalized=-negated / denominator,
+            )
+            for negated, index in top
+            if -negated <= seed_raw
+        ]
+        scans.sort(key=lambda scan: scan.dtw_raw)
+        return scans
+
     def _search_groups(
         self,
         bucket: LengthBucket,
@@ -374,26 +496,28 @@ class QueryProcessor:
         """Search every probed group and merge the k best matches."""
         merged: dict = {}
         for scan in scans[: self.n_probe]:
-            for match in self._search_group(bucket, scan.group_index, query, k):
+            for match in self._search_group(bucket, scan, query, k):
                 existing = merged.get(match.ssid)
                 if existing is None or match.dtw_normalized < existing.dtw_normalized:
                     merged[match.ssid] = match
         return sorted(merged.values())[:k]
 
     def _search_group(
-        self, bucket: LengthBucket, group_index: int, query: np.ndarray, k: int
+        self, bucket: LengthBucket, scan: _RepScan, query: np.ndarray, k: int
     ) -> list[Match]:
         """Find the best member(s) inside the selected group (§5.2 step 3).
 
         Members are visited outward from the position where the stored
         (normalized) ED-to-representative equals the query→representative
         normalized DTW — the §5.3 in-group ordering — with each DTW call
-        early-abandoned at the current k-th best.
+        early-abandoned at the current k-th best. The representative
+        distance is the one the scan already computed (``scan.dtw_raw``),
+        not a fresh DTW.
         """
+        group_index = scan.group_index
         group = bucket.groups[group_index]
         denominator = 2.0 * max(query.shape[0], bucket.length)
-        rep_distance = dtw(query, group.representative, window=self.window)
-        target = rep_distance / denominator
+        target = scan.dtw_raw / denominator
 
         keys = group.normalized_ed_to_rep()
         start = bisect.bisect_left(keys.tolist(), target)
@@ -404,22 +528,10 @@ class QueryProcessor:
         heap: list[tuple[float, int]] = []  # max-heap via negated distance
         results: dict[int, Match] = {}
         stats = self.last_stats
-        for member_index in order:
-            ssid = group.member_ids[member_index]
-            values = self.dataset.subsequence(ssid)
-            stats.members_examined += 1
-            abandon = -heap[0][0] if len(heap) == k else math.inf
-            raw = dtw(
-                query,
-                values,
-                window=self.window,
-                abandon_above=abandon if math.isfinite(abandon) else None,
-            )
-            if raw == math.inf:
-                stats.members_abandoned += 1
-                continue
+
+        def admit(member_index: int, raw: float, values: np.ndarray) -> None:
             match = Match(
-                ssid=ssid,
+                ssid=group.member_ids[member_index],
                 values=values,
                 dtw=raw,
                 dtw_normalized=raw / denominator,
@@ -432,6 +544,82 @@ class QueryProcessor:
                 _, evicted = heapq.heapreplace(heap, (-raw, member_index))
                 del results[evicted]
                 results[member_index] = match
+
+        if self.use_batch_kernels:
+            radius = resolve_window(query.shape[0], bucket.length, self.window)
+            order_array = np.asarray(order, dtype=np.intp)
+            if len(order) < group.count:
+                # group_search_width truncated the visit list: gather
+                # only the needed rows instead of materializing (and
+                # caching) the whole group's member matrix.
+                ordered_values = np.stack(
+                    [
+                        self.dataset.subsequence(group.member_ids[index])
+                        for index in order
+                    ]
+                )
+            else:
+                members = bucket.member_matrix(group_index, self.dataset)
+                ordered_values = members[order_array]
+            # The LSI outward order puts likely-best members in the first
+            # chunk, so later chunks run against a tight k-th-best bound.
+            # For those chunks, admissible per-member lower bounds
+            # (LB_Kim maxed with LB_Keogh against the query envelope when
+            # lengths match) prune without touching the DP; computing
+            # them is only worth it when a second chunk exists.
+            member_bounds = None
+            if self.use_lower_bounds and order_array.size > BATCH_CHUNK:
+                tail = ordered_values[BATCH_CHUNK:]
+                tail_bounds = lb_kim_batch(query, tail)
+                if query.shape[0] == bucket.length:
+                    env_lower, env_upper = sliding_minmax(query, radius)
+                    tail_bounds = np.maximum(
+                        tail_bounds, lb_keogh_batch(tail, env_lower, env_upper)
+                    )
+                member_bounds = np.concatenate(
+                    [np.zeros(BATCH_CHUNK), tail_bounds]
+                )
+            for start in range(0, order_array.size, BATCH_CHUNK):
+                positions = np.arange(
+                    start, min(start + BATCH_CHUNK, order_array.size)
+                )
+                stats.members_examined += positions.size
+                abandon = -heap[0][0] if len(heap) == k else math.inf
+                if member_bounds is not None and math.isfinite(abandon):
+                    keep = member_bounds[positions] < abandon
+                    stats.members_pruned_lb += int(positions.size - keep.sum())
+                    positions = positions[keep]
+                    if not positions.size:
+                        continue
+                distances = dtw_batch(
+                    query,
+                    ordered_values[positions],
+                    radius,
+                    abandon_above=abandon if math.isfinite(abandon) else None,
+                )
+                for position, raw in zip(positions.tolist(), distances.tolist()):
+                    if raw == math.inf:
+                        stats.members_abandoned += 1
+                        continue
+                    admit(
+                        int(order_array[position]), raw, ordered_values[position]
+                    )
+            return sorted(results.values())
+
+        for member_index in order:
+            values = self.dataset.subsequence(group.member_ids[member_index])
+            stats.members_examined += 1
+            abandon = -heap[0][0] if len(heap) == k else math.inf
+            raw = dtw(
+                query,
+                values,
+                window=self.window,
+                abandon_above=abandon if math.isfinite(abandon) else None,
+            )
+            if raw == math.inf:
+                stats.members_abandoned += 1
+                continue
+            admit(member_index, raw, values)
         return sorted(results.values())
 
 

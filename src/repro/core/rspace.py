@@ -17,6 +17,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.group import SimilarityGroup
+from repro.distances.batch import EnvelopeStack, envelope_matrix
 from repro.exceptions import IndexConstructionError, QueryError
 
 
@@ -32,6 +33,16 @@ class LengthBucket:
     dc_row_sums: np.ndarray = field(init=False)
     st_half: float | None = None
     st_final: float | None = None
+    # Lazy batch-kernel payloads: stacked member matrices per group and
+    # representative envelope stacks per band radius (built on first use
+    # by the batch query path, then reused across queries).
+    _member_matrices: dict[int, np.ndarray] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    _member_matrix_source: object = field(init=False, repr=False, default=None)
+    _rep_envelope_stacks: dict[int, EnvelopeStack] = field(
+        init=False, repr=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -92,6 +103,51 @@ class LengthBucket:
                 f"group index {index} out of range for length {self.length}"
             )
         return self.groups[index]
+
+    # ------------------------------------------------------------------
+    # Batch-kernel payloads (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def representatives_matrix(self) -> np.ndarray:
+        """Contiguous ``(n_groups, length)`` stack of representatives."""
+        return self.rep_matrix
+
+    def rep_envelope_stack(self, radius: int) -> EnvelopeStack:
+        """Envelopes of every representative at ``radius``, built once.
+
+        Backs the reversed LB_Keogh stage of the batch representative
+        scan; cached per radius because different query lengths resolve
+        to different band radii.
+        """
+        radius = int(radius)
+        stack = self._rep_envelope_stacks.get(radius)
+        if stack is None:
+            stack = envelope_matrix(self.rep_matrix, radius)
+            self._rep_envelope_stacks[radius] = stack
+        return stack
+
+    def member_matrix(self, group_index: int, dataset) -> np.ndarray:
+        """Stacked member subsequences of one group, in LSI order.
+
+        Rows align with ``groups[group_index].member_ids``. Built lazily
+        from ``dataset`` (the normalized dataset this R-Space was built
+        from) and cached, so repeated queries into the same group pay
+        the gather once. The cache is invalidated when a different
+        dataset object is passed, and is bounded by the bucket's total
+        subsequence storage (worst case one materialized copy of every
+        member, reached only if every group gets queried).
+        """
+        if self._member_matrix_source is not dataset:
+            self._member_matrices.clear()
+            self._member_matrix_source = dataset
+        matrix = self._member_matrices.get(group_index)
+        if matrix is None:
+            group = self.group_of(group_index)
+            matrix = np.stack(
+                [dataset.subsequence(ssid) for ssid in group.member_ids]
+            )
+            self._member_matrices[group_index] = matrix
+        return matrix
 
 
 class RSpace:

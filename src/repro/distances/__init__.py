@@ -1,4 +1,5 @@
-"""Similarity distances: ED, DTW, lower bounds, PAA, LCSS, ERP."""
+"""Similarity distances: ED, DTW, lower bounds (scalar and vectorized
+batch kernels), PAA, LCSS, ERP."""
 
 from repro.distances.euclidean import (
     euclidean,
@@ -7,11 +8,21 @@ from repro.distances.euclidean import (
     squared_euclidean,
 )
 from repro.distances.dtw import (
+    band_bounds,
     dtw,
     dtw_matrix,
     dtw_path,
     normalized_dtw,
     resolve_window,
+)
+from repro.distances.batch import (
+    EnvelopeStack,
+    dtw_batch,
+    envelope_matrix,
+    lb_keogh_batch,
+    lb_keogh_reverse_batch,
+    lb_kim_batch,
+    sliding_minmax,
 )
 from repro.distances.lower_bounds import (
     Envelope,
@@ -30,11 +41,19 @@ __all__ = [
     "euclidean_to_many",
     "normalized_euclidean",
     "squared_euclidean",
+    "band_bounds",
     "dtw",
     "dtw_matrix",
     "dtw_path",
     "normalized_dtw",
     "resolve_window",
+    "EnvelopeStack",
+    "dtw_batch",
+    "envelope_matrix",
+    "lb_keogh_batch",
+    "lb_keogh_reverse_batch",
+    "lb_kim_batch",
+    "sliding_minmax",
     "Envelope",
     "CascadePruner",
     "envelope",

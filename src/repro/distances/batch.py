@@ -1,0 +1,285 @@
+"""Vectorized batch distance kernels over stacks of equal-length candidates.
+
+The UCR-suite cascade of [22] (LB_Kim → LB_Keogh → early-abandoning DTW)
+is embarrassingly data-parallel across candidates: every stage applies
+the same arithmetic to every candidate of one length. The scalar kernels
+in :mod:`repro.distances.dtw` and :mod:`repro.distances.lower_bounds`
+pay a Python-interpreter round trip per candidate; the kernels here pay
+it once per *row* and let NumPy sweep the whole candidate stack:
+
+* :func:`sliding_minmax` / :func:`envelope_matrix` — the LB_Keogh
+  envelope as a windowed min/max without the per-position Python loop
+  (one ``sliding_window_view`` reduction, boundary-clipped exactly like
+  the scalar :func:`repro.distances.lower_bounds.envelope`);
+* :func:`lb_kim_batch` — LB_Kim for all candidates in five reductions;
+* :func:`lb_keogh_batch` / :func:`lb_keogh_reverse_batch` — LB_Keogh of
+  each candidate against one envelope, and of one query against each
+  candidate's envelope (the role reversal of [22]);
+* :func:`dtw_batch` — the banded DP advanced one row at a time across
+  *all* surviving candidates simultaneously, with a shared
+  early-abandon bound: candidates whose entire DP row exceeds the bound
+  are compacted out mid-flight.
+
+All batch kernels agree with their scalar counterparts to floating-point
+tolerance (see ``tests/test_batch_kernels.py``); the cascade stays exact
+because every stage is admissible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.distances.dtw import band_bounds
+from repro.exceptions import DistanceError, LengthMismatchError
+
+_INF = math.inf
+
+#: Candidates per vectorized DTW call. Chunking lets a shared
+#: early-abandon bound tighten between calls (as a scalar sweep's
+#: running best does) while each call still amortizes the Python-level
+#: DP loop over a stack of candidates.
+BATCH_CHUNK = 128
+
+#: Size of the opening chunk when no abandon bound exists yet. Callers
+#: order candidates so likely-best ones come first (lower-bound sort,
+#: LSI outward order), so a small opening chunk establishes a tight
+#: bound cheaply and lets the full-size chunks that follow be
+#: lower-bound-pruned and early-abandoned.
+FIRST_CHUNK = 8
+
+
+def chunk_sizes(total: int) -> Iterator[int]:
+    """Chunk schedule for a bounded sweep: one small bound-setting
+    chunk, then full :data:`BATCH_CHUNK` chunks."""
+    if total <= 0:
+        return
+    yield min(FIRST_CHUNK, total)
+    remaining = total - FIRST_CHUNK
+    while remaining > 0:
+        yield min(BATCH_CHUNK, remaining)
+        remaining -= BATCH_CHUNK
+
+
+@dataclass(frozen=True)
+class EnvelopeStack:
+    """LB_Keogh envelopes of a candidate stack, one row per candidate."""
+
+    lower: np.ndarray  # shape (k, n)
+    upper: np.ndarray  # shape (k, n)
+    radius: int
+
+    @property
+    def n_candidates(self) -> int:
+        return self.lower.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.lower.shape[1]
+
+
+def _as_matrix(candidates: np.ndarray, context: str) -> np.ndarray:
+    matrix = np.asarray(candidates, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DistanceError(f"{context} requires a 2-D candidate stack")
+    if matrix.shape[1] == 0:
+        raise DistanceError(f"{context} requires non-empty candidates")
+    return matrix
+
+
+def sliding_minmax(values: np.ndarray, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """Boundary-clipped sliding ``(min, max)`` of a 1-D sequence.
+
+    ``lower[i] = min(values[i-r .. i+r])`` and ``upper[i]`` its max, the
+    window clipped at the edges — identical to the scalar envelope but
+    computed as one windowed reduction over a padded view.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise DistanceError("sliding_minmax requires a non-empty 1-D sequence")
+    radius = int(radius)
+    if radius < 0:
+        raise DistanceError(f"sliding radius must be >= 0, got {radius}")
+    if radius == 0:
+        return values.copy(), values.copy()
+    window = 2 * radius + 1
+    lower = sliding_window_view(
+        np.pad(values, radius, constant_values=_INF), window
+    ).min(axis=-1)
+    upper = sliding_window_view(
+        np.pad(values, radius, constant_values=-_INF), window
+    ).max(axis=-1)
+    return lower, upper
+
+
+def envelope_matrix(candidates: np.ndarray, radius: int) -> EnvelopeStack:
+    """Envelopes of every row of a ``(k, n)`` candidate stack at once."""
+    matrix = _as_matrix(candidates, "envelope_matrix")
+    radius = int(radius)
+    if radius < 0:
+        raise DistanceError(f"envelope radius must be >= 0, got {radius}")
+    if radius == 0:
+        return EnvelopeStack(lower=matrix.copy(), upper=matrix.copy(), radius=0)
+    window = 2 * radius + 1
+    pad = ((0, 0), (radius, radius))
+    lower = sliding_window_view(
+        np.pad(matrix, pad, constant_values=_INF), window, axis=1
+    ).min(axis=-1)
+    upper = sliding_window_view(
+        np.pad(matrix, pad, constant_values=-_INF), window, axis=1
+    ).max(axis=-1)
+    return EnvelopeStack(lower=lower, upper=upper, radius=radius)
+
+
+def lb_kim_batch(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """LB_Kim of the query against every row of a candidate stack.
+
+    Vectorized twin of :func:`repro.distances.lower_bounds.lb_kim`:
+    boundary-point cost plus global-extrema differences, reduced across
+    the stack in a handful of NumPy passes.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    if query.ndim != 1 or query.size == 0:
+        raise DistanceError("lb_kim_batch requires a non-empty 1-D query")
+    matrix = _as_matrix(candidates, "lb_kim_batch")
+    boundary = np.sqrt(
+        (matrix[:, 0] - query[0]) ** 2 + (matrix[:, -1] - query[-1]) ** 2
+    )
+    max_diff = np.abs(matrix.max(axis=1) - query.max())
+    min_diff = np.abs(matrix.min(axis=1) - query.min())
+    return np.maximum(boundary, np.maximum(max_diff, min_diff))
+
+
+def lb_keogh_batch(
+    candidates: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> np.ndarray:
+    """LB_Keogh of every candidate row against one (query) envelope."""
+    matrix = _as_matrix(candidates, "lb_keogh_batch")
+    if matrix.shape[1] != lower.shape[0]:
+        raise LengthMismatchError(
+            matrix.shape[1], lower.shape[0], context="LB_Keogh batch"
+        )
+    above = np.maximum(matrix - upper[None, :], 0.0)
+    below = np.maximum(lower[None, :] - matrix, 0.0)
+    return np.sqrt(
+        np.einsum("ij,ij->i", above, above) + np.einsum("ij,ij->i", below, below)
+    )
+
+
+def lb_keogh_reverse_batch(query: np.ndarray, stack: EnvelopeStack) -> np.ndarray:
+    """Reversed LB_Keogh: the query against each candidate's envelope."""
+    query = np.asarray(query, dtype=np.float64)
+    if query.shape[0] != stack.length:
+        raise LengthMismatchError(
+            query.shape[0], stack.length, context="reversed LB_Keogh batch"
+        )
+    above = np.maximum(query[None, :] - stack.upper, 0.0)
+    below = np.maximum(stack.lower - query[None, :], 0.0)
+    return np.sqrt(
+        np.einsum("ij,ij->i", above, above) + np.einsum("ij,ij->i", below, below)
+    )
+
+
+def dtw_batch(
+    query: np.ndarray,
+    candidates: np.ndarray,
+    radius: int,
+    abandon_above: float | None = None,
+) -> np.ndarray:
+    """Banded DTW of the query against every row of a candidate stack.
+
+    One DP row advances across all surviving candidates at a time: the
+    band columns are shared (all candidates have equal length), so each
+    band cell costs one vectorized min/add over the stack instead of a
+    Python-level iteration per candidate. ``abandon_above`` is a shared
+    early-abandon bound on the *distance*: a candidate whose entire DP
+    row exceeds it can never finish below the bound (the DP is
+    monotone), so it is compacted out of the stack mid-flight; its
+    result is ``inf``, exactly like the scalar kernel's.
+
+    Returns the per-candidate DTW distances (``inf`` where abandoned or
+    where the band leaves the final cell unreachable).
+    """
+    query = np.asarray(query, dtype=np.float64)
+    if query.ndim != 1 or query.size == 0:
+        raise DistanceError("dtw_batch requires a non-empty 1-D query")
+    matrix = _as_matrix(candidates, "dtw_batch")
+    radius = int(radius)
+    if radius < 0:
+        raise DistanceError(f"band radius must be >= 0, got {radius}")
+    k, m = matrix.shape
+    n = query.shape[0]
+    out = np.full(k, _INF)
+    if k == 0:
+        return out
+    bound_sq = _INF if abandon_above is None else float(abandon_above) ** 2
+    bounded = bound_sq < _INF
+
+    # Column-major DP layout: row ``j`` of the ``(m+1, k)`` arrays is the
+    # DP column ``j`` across all candidates, contiguous in memory. Per DP
+    # row, the local squared costs and the min of the two previous-row
+    # predecessors are computed for the whole band in three vector ops;
+    # the remaining per-cell work is two allocation-free vector ops (the
+    # ``left`` same-row dependency forces that serialization). The
+    # ``left`` neighbor needs no separate buffer: the row is re-filled
+    # with inf, so ``current[j-1]`` already reads as the freshly written
+    # in-band neighbor and +inf at the band's edge.
+    columns = np.ascontiguousarray(matrix.T)  # (m, k)
+    alive = np.arange(k)
+    previous = np.full((m + 1, k), _INF)
+    previous[0] = 0.0
+    current = np.full((m + 1, k), _INF)
+    width = min(2 * radius + 1, m)
+    best = np.empty(k)
+    cost = np.empty((width, k))
+    shifted = np.empty((width, k))
+    row_min = np.empty(k)
+    for i in range(1, n + 1):
+        j_start, j_stop = band_bounds(i, n, m, radius)
+        # No full re-fill needed: the band's center is non-decreasing in
+        # ``i``, so any column right of this row's band was never written
+        # in either buffer (still inf from init) and any column left of
+        # ``j_start - 1`` is never read again. Only the left edge may
+        # hold a stale value from two rows ago.
+        current[j_start - 1].fill(_INF)
+        w = j_stop - j_start + 1
+        band_cost = cost[:w]
+        np.subtract(columns[j_start - 1 : j_stop], query[i - 1], out=band_cost)
+        np.multiply(band_cost, band_cost, out=band_cost)
+        band_shifted = shifted[:w]
+        np.minimum(
+            previous[j_start - 1 : j_stop],
+            previous[j_start : j_stop + 1],
+            out=band_shifted,
+        )
+        for t in range(w):
+            j = j_start + t
+            np.minimum(band_shifted[t], current[j - 1], out=best)
+            np.add(best, band_cost[t], out=current[j])
+        if bounded:
+            np.minimum.reduce(current[j_start : j_stop + 1], axis=0, out=row_min)
+            keep = row_min <= bound_sq
+            survivors = int(keep.sum())
+            if survivors == 0:
+                return out
+            # Compacting the stack costs a copy of every array; only
+            # worth it when enough candidates died at once.
+            if survivors <= alive.shape[0] // 2:
+                alive = alive[keep]
+                columns = np.ascontiguousarray(columns[:, keep])
+                current = np.ascontiguousarray(current[:, keep])
+                previous = np.ascontiguousarray(previous[:, keep])
+                size = alive.shape[0]
+                best = np.empty(size)
+                cost = np.empty((width, size))
+                shifted = np.empty((width, size))
+                row_min = np.empty(size)
+        previous, current = current, previous
+    finished = previous[m]
+    done = finished <= bound_sq
+    out[alive[done]] = np.sqrt(finished[done])
+    return out

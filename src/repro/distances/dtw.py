@@ -33,7 +33,11 @@ def resolve_window(n: int, m: int, window: int | float | None) -> int:
 
     ``None`` means unconstrained; a float in (0, 1] is a fraction of the
     longer length; an int is an absolute radius. The radius is widened to
-    at least ``|n - m|`` so that a valid path always exists.
+    at least ``|n - m|`` so that a valid path always exists — which also
+    means an explicit ``window=0`` with unequal lengths resolves to
+    ``|n - m|``, the narrowest feasible band. With equal lengths,
+    ``window=0`` is honored exactly: the path is pinned to the diagonal
+    (point-wise matching, so DTW degenerates to the Euclidean distance).
     """
     longer = max(n, m)
     if window is None:
@@ -46,7 +50,20 @@ def resolve_window(n: int, m: int, window: int | float | None) -> int:
         radius = int(window)
         if radius < 0:
             raise DistanceError(f"window radius must be >= 0, got {radius}")
-    return max(radius, abs(n - m), 1)
+    return max(radius, abs(n - m))
+
+
+def band_bounds(i: int, n: int, m: int, radius: int) -> tuple[int, int]:
+    """Column range (1-based, inclusive) of DP row ``i`` inside the band.
+
+    The Sakoe-Chiba corridor is centered on the length-scaled diagonal
+    ``center = (i * m) // n`` for the 1-based row ``i``. Every banded
+    kernel (:func:`dtw`, :func:`dtw_matrix`, the batch DP in
+    :mod:`repro.distances.batch`) derives its band from here, so the
+    geometry cannot drift between implementations.
+    """
+    center = (i * m) // n
+    return max(1, center - radius), min(m, center + radius)
 
 
 def _dtw_squared(
@@ -64,9 +81,7 @@ def _dtw_squared(
     previous = [_INF] * (m + 1)
     previous[0] = 0.0
     for i in range(1, n + 1):
-        center = (i * m) // n  # integer arithmetic: stable band placement
-        j_start = max(1, center - radius)
-        j_stop = min(m, center + radius)
+        j_start, j_stop = band_bounds(i, n, m, radius)
         current = [_INF] * (m + 1)
         xi = xs[i - 1]
         row_min = _INF
@@ -168,10 +183,10 @@ def dtw_matrix(
     radius = resolve_window(n, m, window)
     cost = np.full((n, m), np.inf)
     for i in range(n):
-        center = ((i + 1) * m) // n
-        j_start = max(0, center - radius - 1)
-        j_stop = min(m - 1, center + radius - 1)
-        for j in range(j_start, j_stop + 1):
+        # Same band as the rolling DP, shifted to this matrix's 0-based
+        # indexing (band_bounds speaks 1-based rows/columns).
+        j_start, j_stop = band_bounds(i + 1, n, m, radius)
+        for j in range(j_start - 1, j_stop):
             local = (x[i] - y[j]) ** 2
             if i == 0 and j == 0:
                 best = 0.0

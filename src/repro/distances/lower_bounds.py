@@ -24,6 +24,18 @@ import numpy as np
 from repro.distances.dtw import dtw, resolve_window
 from repro.exceptions import DistanceError, LengthMismatchError
 
+# NOTE: repro.distances.batch imports only from repro.distances.dtw, so
+# this import cannot form a cycle.
+from repro.distances.batch import (
+    EnvelopeStack,
+    dtw_batch,
+    envelope_matrix,
+    lb_keogh_batch,
+    lb_keogh_reverse_batch,
+    lb_kim_batch,
+    sliding_minmax,
+)
+
 
 def lb_kim(x: np.ndarray, y: np.ndarray) -> float:
     """O(1) lower bound on DTW from boundary points and extrema.
@@ -68,15 +80,7 @@ def envelope(y: np.ndarray, radius: int) -> Envelope:
     radius = int(radius)
     if radius < 0:
         raise DistanceError(f"envelope radius must be >= 0, got {radius}")
-    n = y.shape[0]
-    lower = np.empty(n)
-    upper = np.empty(n)
-    for i in range(n):
-        start = max(0, i - radius)
-        stop = min(n, i + radius + 1)
-        window = y[start:stop]
-        lower[i] = window.min()
-        upper[i] = window.max()
+    lower, upper = sliding_minmax(y, radius)
     return Envelope(lower=lower, upper=upper, radius=radius)
 
 
@@ -186,3 +190,74 @@ class CascadePruner:
         else:
             self.stats.full_dtw += 1
         return result
+
+    def distance_batch(
+        self,
+        candidates: np.ndarray,
+        best_so_far: float,
+        candidate_envelopes: EnvelopeStack | None = None,
+    ) -> np.ndarray:
+        """Batch cascade: ``DTW(query, row)`` or ``inf`` for each stack row.
+
+        Vectorized counterpart of :meth:`distance`: the same stages run
+        over the whole ``(k, n)`` candidate stack at once, sharing one
+        ``best_so_far`` bound. Exactness is preserved — a candidate is
+        dropped only when an admissible bound proves it cannot beat the
+        bound, so finite entries of the result are true DTW distances.
+        Pass a precomputed :class:`~repro.distances.batch.EnvelopeStack`
+        (rows aligned with ``candidates``) to run the reversed LB_Keogh
+        stage without rebuilding envelopes.
+        """
+        matrix = np.asarray(candidates, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DistanceError("distance_batch requires a 2-D candidate stack")
+        k = matrix.shape[0]
+        self.stats.examined += k
+        results = np.full(k, math.inf)
+        if k == 0:
+            return results
+        same_length = matrix.shape[1] == self.query.shape[0]
+        bounded = math.isfinite(best_so_far)
+        alive = np.arange(k)
+        if self.use_kim and bounded:
+            keep = lb_kim_batch(self.query, matrix) < best_so_far
+            self.stats.pruned_kim += int(k - keep.sum())
+            alive, matrix = alive[keep], matrix[keep]
+        if self.use_keogh and same_length and bounded and alive.size:
+            keep = (
+                lb_keogh_batch(
+                    matrix, self._query_envelope.lower, self._query_envelope.upper
+                )
+                < best_so_far
+            )
+            self.stats.pruned_keogh_query += int(alive.size - keep.sum())
+            alive, matrix = alive[keep], matrix[keep]
+            if alive.size:
+                if (
+                    candidate_envelopes is not None
+                    and candidate_envelopes.radius >= self._radius
+                ):
+                    stack = EnvelopeStack(
+                        lower=candidate_envelopes.lower[alive],
+                        upper=candidate_envelopes.upper[alive],
+                        radius=candidate_envelopes.radius,
+                    )
+                else:
+                    stack = envelope_matrix(matrix, self._radius)
+                keep = lb_keogh_reverse_batch(self.query, stack) < best_so_far
+                self.stats.pruned_keogh_data += int(alive.size - keep.sum())
+                alive, matrix = alive[keep], matrix[keep]
+        if not alive.size:
+            return results
+        radius = resolve_window(self.query.shape[0], matrix.shape[1], self.window)
+        distances = dtw_batch(
+            self.query,
+            matrix,
+            radius,
+            abandon_above=best_so_far if bounded else None,
+        )
+        finite = np.isfinite(distances)
+        self.stats.full_dtw += int(finite.sum())
+        self.stats.abandoned_dtw += int(alive.size - finite.sum())
+        results[alive] = distances
+        return results

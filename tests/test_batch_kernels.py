@@ -1,0 +1,275 @@
+"""Batch kernels vs scalar kernels: agreement to fp tolerance.
+
+The contract of :mod:`repro.distances.batch` is exactness — every
+vectorized kernel must agree with its scalar counterpart, and the batch
+query path must return the same matches as the scalar one. These are
+the property tests the ISSUE's cascade refactor leans on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.brute_force import StandardDTW
+from repro.baselines.trillion import Trillion
+from repro.core.query_processor import QueryProcessor
+from repro.distances.batch import (
+    EnvelopeStack,
+    dtw_batch,
+    envelope_matrix,
+    lb_keogh_batch,
+    lb_keogh_reverse_batch,
+    lb_kim_batch,
+    sliding_minmax,
+)
+from repro.distances.dtw import dtw, resolve_window
+from repro.distances.lower_bounds import CascadePruner, envelope, lb_keogh, lb_kim
+from repro.exceptions import DistanceError
+
+values_strategy = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+def stacks(min_length=1, max_length=12, max_rows=6):
+    """Strategy: a (k, n) candidate stack as a list of equal-length lists."""
+    return st.integers(min_length, max_length).flatmap(
+        lambda n: st.lists(
+            st.lists(values_strategy, min_size=n, max_size=n),
+            min_size=1,
+            max_size=max_rows,
+        )
+    )
+
+
+class TestEnvelopeKernels:
+    @given(
+        st.lists(values_strategy, min_size=1, max_size=20), st.integers(0, 6)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_sliding_minmax_matches_scalar_envelope(self, values, radius):
+        y = np.asarray(values)
+        lower, upper = sliding_minmax(y, radius)
+        reference = envelope(y, radius)
+        np.testing.assert_allclose(lower, reference.lower)
+        np.testing.assert_allclose(upper, reference.upper)
+
+    @given(stacks(), st.integers(0, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_property_envelope_matrix_matches_per_row(self, rows, radius):
+        stack = np.asarray(rows)
+        batched = envelope_matrix(stack, radius)
+        assert batched.radius == radius
+        for row in range(stack.shape[0]):
+            reference = envelope(stack[row], radius)
+            np.testing.assert_allclose(batched.lower[row], reference.lower)
+            np.testing.assert_allclose(batched.upper[row], reference.upper)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DistanceError):
+            sliding_minmax(np.array([]), 1)
+        with pytest.raises(DistanceError):
+            sliding_minmax(np.arange(4.0), -1)
+        with pytest.raises(DistanceError):
+            envelope_matrix(np.arange(4.0), 1)  # 1-D, not a stack
+
+
+class TestLowerBoundKernels:
+    @given(st.lists(values_strategy, min_size=1, max_size=12), stacks())
+    @settings(max_examples=100, deadline=None)
+    def test_property_lb_kim_batch_matches_scalar(self, query, rows):
+        q = np.asarray(query)
+        stack = np.asarray(rows)
+        batched = lb_kim_batch(q, stack)
+        expected = [lb_kim(q, stack[i]) for i in range(stack.shape[0])]
+        np.testing.assert_allclose(batched, expected, atol=1e-12)
+
+    @given(stacks(min_length=2), st.integers(0, 4), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_property_lb_keogh_batch_matches_scalar(self, rows, radius, data):
+        stack = np.asarray(rows)
+        n = stack.shape[1]
+        query = np.asarray(
+            data.draw(st.lists(values_strategy, min_size=n, max_size=n))
+        )
+        query_env = envelope(query, radius)
+        batched = lb_keogh_batch(stack, query_env.lower, query_env.upper)
+        expected = [lb_keogh(stack[i], query_env) for i in range(stack.shape[0])]
+        np.testing.assert_allclose(batched, expected, atol=1e-9)
+
+        reversed_batch = lb_keogh_reverse_batch(query, envelope_matrix(stack, radius))
+        reversed_expected = [
+            lb_keogh(query, envelope(stack[i], radius))
+            for i in range(stack.shape[0])
+        ]
+        np.testing.assert_allclose(reversed_batch, reversed_expected, atol=1e-9)
+
+
+class TestDtwBatch:
+    @given(
+        st.lists(values_strategy, min_size=1, max_size=12),
+        stacks(),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_scalar_dtw(self, query, rows, window):
+        q = np.asarray(query)
+        stack = np.asarray(rows)
+        radius = resolve_window(q.shape[0], stack.shape[1], window)
+        batched = dtw_batch(q, stack, radius)
+        expected = [dtw(q, stack[i], window=window) for i in range(stack.shape[0])]
+        np.testing.assert_allclose(batched, expected, atol=1e-9)
+
+    @given(
+        st.lists(values_strategy, min_size=2, max_size=12),
+        stacks(min_length=2),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_shared_abandon_is_consistent(self, query, rows, window):
+        """With a shared bound, surviving distances are exact and every
+        abandoned candidate is provably above the bound."""
+        q = np.asarray(query)
+        stack = np.asarray(rows)
+        radius = resolve_window(q.shape[0], stack.shape[1], window)
+        exact = np.asarray(
+            [dtw(q, stack[i], window=window) for i in range(stack.shape[0])]
+        )
+        finite = exact[np.isfinite(exact)]
+        bound = float(np.median(finite)) if finite.size else 1.0
+        bounded = dtw_batch(q, stack, radius, abandon_above=bound)
+        for got, reference in zip(bounded, exact):
+            if math.isfinite(got):
+                assert got == pytest.approx(reference, abs=1e-9)
+            else:
+                assert reference >= bound - 1e-9
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(DistanceError):
+            dtw_batch(np.arange(3.0), np.empty((2, 0)), 1)
+
+
+class TestCascadePrunerBatch:
+    @given(stacks(min_length=2, max_length=10, max_rows=8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_property_batch_cascade_exact_under_bound(self, rows, data):
+        stack = np.asarray(rows)
+        n = stack.shape[1]
+        query = np.asarray(
+            data.draw(st.lists(values_strategy, min_size=n, max_size=n))
+        )
+        exact = np.asarray([dtw(query, stack[i], window=1) for i in range(len(stack))])
+        bound = float(np.max(exact[np.isfinite(exact)], initial=1.0)) + 0.5
+        pruner = CascadePruner(query, window=1)
+        batched = pruner.distance_batch(
+            stack, bound, candidate_envelopes=envelope_matrix(stack, pruner._radius)
+        )
+        np.testing.assert_allclose(batched, exact, atol=1e-9)
+        assert pruner.stats.examined == len(stack)
+
+
+class TestQueryPathParity:
+    def _processors(self, small_index, **kwargs):
+        shared = dict(st=small_index.st, window=small_index.window, **kwargs)
+        scalar = QueryProcessor(
+            small_index.rspace, small_index.dataset, use_batch_kernels=False, **shared
+        )
+        batch = QueryProcessor(
+            small_index.rspace, small_index.dataset, use_batch_kernels=True, **shared
+        )
+        return scalar, batch
+
+    def test_best_match_parity_exact_length(self, small_index):
+        scalar, batch = self._processors(small_index)
+        for series in range(6):
+            query = small_index.dataset[series].values[2:14]
+            a = scalar.best_match(query, length=12, k=3)
+            b = batch.best_match(query, length=12, k=3)
+            assert [m.ssid for m in a] == [m.ssid for m in b]
+            for am, bm in zip(a, b):
+                assert am.dtw == pytest.approx(bm.dtw, abs=1e-9)
+
+    def test_best_match_parity_any_length(self, small_index):
+        scalar, batch = self._processors(small_index)
+        for series in range(4):
+            query = small_index.dataset[series].values[1:13]
+            a = scalar.best_match(query, stop_at_half_st=False)
+            b = batch.best_match(query, stop_at_half_st=False)
+            assert [m.ssid for m in a] == [m.ssid for m in b]
+            assert a[0].dtw_normalized == pytest.approx(
+                b[0].dtw_normalized, abs=1e-9
+            )
+
+    def test_best_match_parity_n_probe(self, small_index):
+        scalar, batch = self._processors(small_index, n_probe=3)
+        query = small_index.dataset[7].values[4:16]
+        a = scalar.best_match(query, length=12, k=4)
+        b = batch.best_match(query, length=12, k=4)
+        assert [m.ssid for m in a] == [m.ssid for m in b]
+
+    def test_query_batch_matches_per_query(self, small_index):
+        queries = [
+            small_index.dataset[series].values[0:12] for series in range(5)
+        ]
+        batched = small_index.query_batch(queries, length=12, k=2)
+        assert len(batched) == len(queries)
+        for query, matches in zip(queries, batched):
+            singles = small_index.query(query, length=12, k=2)
+            assert [m.ssid for m in matches] == [m.ssid for m in singles]
+            for bm, sm in zip(matches, singles):
+                assert bm.dtw == pytest.approx(sm.dtw, abs=1e-9)
+
+    def test_search_group_uses_scan_distance(self, small_index, monkeypatch):
+        """Bugfix regression: the in-group search must not recompute the
+        query→representative DTW the scan already produced."""
+        processor = QueryProcessor(
+            small_index.rspace,
+            small_index.dataset,
+            st=small_index.st,
+            window=small_index.window,
+            use_batch_kernels=False,
+        )
+        query = small_index.dataset[2].values[3:15]
+        bucket = small_index.rspace.bucket(12)
+        representatives = [
+            group.representative.tobytes() for group in bucket.groups
+        ]
+
+        import repro.core.query_processor as qp
+
+        rep_dtw_calls = 0
+        original_dtw = qp.dtw
+
+        def counting_dtw(x, y, *args, **kwargs):
+            nonlocal rep_dtw_calls
+            if np.asarray(y).tobytes() in representatives:
+                rep_dtw_calls += 1
+            return original_dtw(x, y, *args, **kwargs)
+
+        monkeypatch.setattr(qp, "dtw", counting_dtw)
+        processor.best_match(query, length=12)
+        # The scan DTWs each (unpruned) representative at most once; the
+        # group search must not add a second computation for the probed
+        # group's representative.
+        assert rep_dtw_calls <= len(bucket.groups)
+
+    def test_baseline_parity(self, small_dataset):
+        lengths = [12, 24]
+        scalar_brute = StandardDTW(use_batch_kernels=False)
+        batch_brute = StandardDTW(use_batch_kernels=True)
+        scalar_trillion = Trillion(use_batch_kernels=False)
+        batch_trillion = Trillion(use_batch_kernels=True)
+        for method in (scalar_brute, batch_brute, scalar_trillion, batch_trillion):
+            method.prepare(small_dataset, lengths)
+        for series in range(4):
+            query = small_dataset[series].values[6:18]
+            a = scalar_brute.best_match(query, length=12)
+            b = batch_brute.best_match(query, length=12)
+            assert a.ssid == b.ssid
+            assert a.dtw == pytest.approx(b.dtw, abs=1e-9)
+            c = scalar_trillion.best_match(query, length=12)
+            d = batch_trillion.best_match(query, length=12)
+            assert c.ssid == d.ssid
+            assert c.dtw == pytest.approx(d.dtw, abs=1e-9)

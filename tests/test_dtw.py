@@ -27,9 +27,15 @@ class TestAgainstReference:
         x, y = np.asarray(a), np.asarray(b)
         assert dtw(x, y) == pytest.approx(naive_dtw(x, y), abs=1e-9)
 
-    @given(short_vectors, short_vectors, st.integers(1, 6))
+    @given(short_vectors, short_vectors, st.integers(0, 6))
     @settings(max_examples=100, deadline=None)
     def test_property_banded_matches_banded_matrix(self, a, b, window):
+        """Regression: dtw() and dtw_matrix() share one band geometry.
+
+        Both kernels derive their corridor from ``band_bounds``; for any
+        window (including the radius-0 diagonal) the matrix's endpoint
+        must be exactly the rolling DP's squared distance.
+        """
         x, y = np.asarray(a), np.asarray(b)
         endpoint = dtw_matrix(x, y, window=window)[len(x) - 1, len(y) - 1]
         assert dtw(x, y, window=window) == pytest.approx(
@@ -130,8 +136,22 @@ class TestResolveWindow:
     def test_widened_to_length_difference(self):
         assert resolve_window(4, 10, 1) == 6
 
-    def test_minimum_radius_one(self):
-        assert resolve_window(5, 5, 0) == 1
+    def test_zero_radius_honored_for_equal_lengths(self):
+        assert resolve_window(5, 5, 0) == 0
+
+    def test_zero_radius_widened_to_length_difference(self):
+        # The documented behavior for unequal lengths: the narrowest
+        # band with a feasible path has radius |n - m|.
+        assert resolve_window(4, 10, 0) == 6
+
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=14))
+    @settings(max_examples=60, deadline=None)
+    def test_property_zero_window_is_pointwise_path(self, values):
+        """Radius 0 pins the path to the diagonal: DTW becomes ED."""
+        x = np.asarray(values)
+        y = x[::-1].copy()
+        pointwise = math.sqrt(float(np.sum((x - y) ** 2)))
+        assert dtw(x, y, window=0) == pytest.approx(pointwise, abs=1e-9)
 
     def test_bad_fraction_rejected(self):
         with pytest.raises(DistanceError):

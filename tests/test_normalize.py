@@ -86,8 +86,12 @@ class TestZNormalize:
     def test_property_shift_and_scale_invariant(self, values):
         array = np.asarray(values)
         base = z_normalize(array)
-        shifted = z_normalize(array + 123.0)
-        assert np.allclose(base, shifted, atol=1e-8)
+        if array.std() > 1e-5:
+            # A near-degenerate spread (std within a few ulps of the
+            # shift magnitude) is destroyed by catastrophic cancellation
+            # when 123.0 is added, so invariance only holds above it.
+            shifted = z_normalize(array + 123.0)
+            assert np.allclose(base, shifted, atol=1e-8)
         scaled = z_normalize(array * 7.0)
         if array.std() > 1e-9:  # degenerate series stay all-zero
             assert np.allclose(base, scaled, atol=1e-6)

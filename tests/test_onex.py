@@ -55,6 +55,14 @@ class TestBuild:
         with pytest.raises(ThresholdError):
             OnexIndex.build(small_dataset, st=bad)
 
+    @pytest.mark.parametrize("bad", [0.0, 1.5, -1])
+    def test_build_bad_window_rejected_at_build_time(self, small_dataset, bad):
+        """A bad window spec must fail the build, not the first query."""
+        from repro.exceptions import DistanceError
+
+        with pytest.raises(DistanceError):
+            OnexIndex.build(small_dataset, st=0.2, window=bad, normalize=False)
+
     def test_build_deterministic(self, small_dataset):
         a = OnexIndex.build(small_dataset, st=0.2, seed=3, normalize=False)
         b = OnexIndex.build(small_dataset, st=0.2, seed=3, normalize=False)
