@@ -110,6 +110,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     lengths: object = None
     if args.all_lengths:
         lengths = "all"
+
+    def progress(length: int, n_subsequences: int, seconds: float) -> None:
+        rate = n_subsequences / seconds if seconds > 0 else float("inf")
+        print(
+            f"  length {length}: {n_subsequences} subsequences in "
+            f"{seconds:.2f}s ({rate:,.0f}/s)"
+        )
+
     index = OnexIndex.build(
         dataset,
         st=args.st,
@@ -117,6 +125,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         start_step=args.start_step,
         window=args.window,
         seed=args.seed,
+        assign_mode=args.assign_mode,
+        progress=progress,
     )
     index.save(args.out)
     stats = index.stats()
@@ -140,7 +150,18 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"representatives: {stats.n_representatives}")
     print(f"subsequences:    {stats.n_subsequences}")
     print(f"index size:      {stats.size_mb:.3f} MB "
-          f"(GTI {stats.gti_mb:.3f} + LSI {stats.lsi_mb:.3f})")
+          f"(GTI {stats.gti_mb:.3f} + LSI {stats.lsi_mb:.3f} "
+          f"+ store {stats.store_mb:.3f})")
+    print(f"assign mode:     {index.assign_mode}")
+    if index.build_profile:
+        print("build profile:")
+        for entry in index.build_profile:
+            seconds = entry["seconds"]
+            rate = entry["n_subsequences"] / seconds if seconds > 0 else float("inf")
+            print(
+                f"  length {entry['length']}: {entry['n_subsequences']} "
+                f"subsequences in {seconds:.2f}s ({rate:,.0f}/s)"
+            )
     print(f"ST_half/ST_final (global): {index.spspace.st_half:.4f} / "
           f"{index.spspace.st_final:.4f}")
     return 0
@@ -215,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=float, default=0.1, help="DTW band as fraction of length"
     )
     p_build.add_argument("--start-step", type=int, default=1)
+    p_build.add_argument(
+        "--assign-mode",
+        choices=["sequential", "minibatch"],
+        default="sequential",
+        help="construction engine: sequential (Algorithm 1, exact) or "
+        "minibatch (chunked BLAS assignment for large builds)",
+    )
     p_build.add_argument(
         "--all-lengths",
         action="store_true",

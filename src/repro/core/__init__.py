@@ -1,7 +1,12 @@
 """The ONEX core: similarity groups, R-Space, indexes and query processing."""
 
 from repro.core.group import SimilarityGroup
-from repro.core.grouping import build_groups_for_length
+from repro.core.grouping import (
+    GroupBuilder,
+    RepresentativeSet,
+    build_groups_for_length,
+    reference_build_groups_for_length,
+)
 from repro.core.rspace import LengthBucket, RSpace
 from repro.core.spspace import SPSpace, SimilarityDegree
 from repro.core.results import (
@@ -15,7 +20,10 @@ from repro.core.onex import OnexIndex
 
 __all__ = [
     "SimilarityGroup",
+    "GroupBuilder",
+    "RepresentativeSet",
     "build_groups_for_length",
+    "reference_build_groups_for_length",
     "LengthBucket",
     "RSpace",
     "SPSpace",

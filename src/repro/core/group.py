@@ -41,9 +41,11 @@ class SimilarityGroup:
         "_sum",
         "_finalized",
         "member_ids",
+        "member_rows",
         "ed_to_rep",
         "_representative",
         "_envelope",
+        "envelope_radius",
     )
 
     def __init__(
@@ -59,9 +61,11 @@ class SimilarityGroup:
         self._finalized = False
         # Populated by finalize():
         self.member_ids: tuple[SubsequenceId, ...] = ()
+        self.member_rows: np.ndarray | None = None  # rows into a LengthView
         self.ed_to_rep: np.ndarray | None = None
         self._representative: np.ndarray | None = None
         self._envelope: Envelope | None = None
+        self.envelope_radius: int | None = None
 
     # ------------------------------------------------------------------
     # Construction phase
@@ -92,38 +96,89 @@ class SimilarityGroup:
     # ------------------------------------------------------------------
     # Finalization: freeze and build the LSI payload
     # ------------------------------------------------------------------
-    def finalize(self, member_values: Sequence[np.ndarray], envelope_radius: int) -> None:
+    def finalize(
+        self,
+        member_values: Sequence[np.ndarray] | np.ndarray,
+        envelope_radius: int,
+        member_rows: np.ndarray | None = None,
+    ) -> None:
         """Freeze the group and index its members.
 
         Parameters
         ----------
         member_values:
-            Values of each member in the same order as they were added.
+            A stacked ``(count, length)`` member matrix (one row per
+            member, in the order they were added). A sequence of 1-D
+            arrays is accepted and stacked.
         envelope_radius:
             LB_Keogh band radius for the representative's envelope (§4.3:
             LSI stores "envelopes around each representative").
+        member_rows:
+            Optional row indices of the members in a columnar
+            :class:`~repro.data.store.LengthView`, aligned with
+            ``member_values``; stored in LSI (ED-sorted) order so buckets
+            can gather member values with one fancy-index.
         """
         if self._finalized:
             raise IndexConstructionError("group is already finalized")
-        if len(member_values) != self.count:
+        matrix = np.asarray(member_values, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self.count:
             raise IndexConstructionError(
-                f"got {len(member_values)} member value arrays for {self.count} members"
+                f"got member matrix of shape {matrix.shape} for "
+                f"{self.count} members of length {self.length}"
             )
         representative = self._sum / self.count
-        distances = np.array(
-            [float(np.linalg.norm(values - representative)) for values in member_values]
-        )
+        # All member->representative EDs in one vectorized norm.
+        diff = matrix - representative
+        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
         order = np.argsort(distances, kind="stable")
         self.member_ids = tuple(self._ids[i] for i in order)
+        if member_rows is not None:
+            self.member_rows = np.asarray(member_rows, dtype=np.int64)[order]
         self.ed_to_rep = distances[order]
         self._representative = representative
         self._representative.setflags(write=False)
-        self._envelope = envelope(representative, envelope_radius)
+        # The LB_Keogh envelope is built lazily on first access: the
+        # batch query path reads bucket-level envelope stacks instead,
+        # so eager per-group construction would tax every build for a
+        # payload many groups never serve.
+        self.envelope_radius = int(envelope_radius)
         self._finalized = True
 
     @property
     def is_finalized(self) -> bool:
         return self._finalized
+
+    @classmethod
+    def from_members(
+        cls,
+        length: int,
+        member_ids: Sequence[SubsequenceId],
+        member_sum: np.ndarray,
+        member_matrix: np.ndarray,
+        envelope_radius: int,
+        member_rows: np.ndarray | None = None,
+    ) -> "SimilarityGroup":
+        """Build a finalized group directly from accumulated engine state.
+
+        ``member_sum`` is the running point-wise sum the construction
+        engine accumulated (the same quantity :meth:`add` maintains), so
+        the representative is bit-identical to the streaming path.
+        """
+        if len(member_ids) == 0:
+            raise IndexConstructionError("cannot build an empty group")
+        group = cls.__new__(cls)
+        group.length = int(length)
+        group._ids = list(member_ids)
+        group._sum = np.asarray(member_sum, dtype=np.float64)
+        group._finalized = False
+        group.member_ids = ()
+        group.member_rows = None
+        group.ed_to_rep = None
+        group._representative = None
+        group._envelope = None
+        group.finalize(member_matrix, envelope_radius, member_rows=member_rows)
+        return group
 
     @classmethod
     def restore(
@@ -133,6 +188,7 @@ class SimilarityGroup:
         ed_to_rep: np.ndarray,
         representative: np.ndarray,
         envelope_radius: int,
+        member_rows: np.ndarray | None = None,
     ) -> "SimilarityGroup":
         """Rebuild a finalized group from persisted arrays.
 
@@ -151,19 +207,26 @@ class SimilarityGroup:
         group._ids = list(member_ids)
         group._sum = representative * len(member_ids)
         group.member_ids = tuple(member_ids)
+        group.member_rows = (
+            None if member_rows is None else np.asarray(member_rows, dtype=np.int64)
+        )
         group.ed_to_rep = np.asarray(ed_to_rep, dtype=np.float64)
         rep_copy = representative.copy()
         rep_copy.setflags(write=False)
         group._representative = rep_copy
-        group._envelope = envelope(rep_copy, envelope_radius)
+        group._envelope = None
+        group.envelope_radius = int(envelope_radius)
         group._finalized = True
         return group
 
     @property
     def rep_envelope(self) -> Envelope:
-        """The representative's LB_Keogh envelope (available once finalized)."""
-        if self._envelope is None:
+        """The representative's LB_Keogh envelope (built lazily, cached)."""
+        if not self._finalized:
             raise IndexConstructionError("group has not been finalized")
+        if self._envelope is None:
+            assert self._representative is not None and self.envelope_radius is not None
+            self._envelope = envelope(self._representative, self.envelope_radius)
         return self._envelope
 
     # ------------------------------------------------------------------

@@ -24,17 +24,15 @@ import math
 import numpy as np
 
 from repro.core.group import SimilarityGroup
+from repro.core.grouping import assign_to_nearest
 from repro.data.dataset import Dataset
+from repro.data.store import LengthView, SubsequenceStore
 from repro.exceptions import IndexConstructionError, ThresholdError
 
 
 def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    """Index of the nearest centroid for every point (vectorized)."""
-    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2; the ||p||^2 term is
-    # constant per point and can be dropped for argmin purposes.
-    cross = points @ centroids.T
-    c_norms = np.einsum("ij,ij->i", centroids, centroids)
-    return np.argmin(c_norms[None, :] - 2.0 * cross, axis=1)
+    """Index of the nearest centroid for every point (shared assigner)."""
+    return assign_to_nearest(points, centroids)[0]
 
 
 def _lloyd(
@@ -70,6 +68,7 @@ def build_groups_kmeans(
     start_step: int = 1,
     envelope_radius: int | None = None,
     max_iter: int = 10,
+    view: LengthView | None = None,
 ) -> list[SimilarityGroup]:
     """Radius-constrained k-means grouping for one subsequence length.
 
@@ -84,12 +83,13 @@ def build_groups_kmeans(
     if envelope_radius is None:
         envelope_radius = max(1, length // 10)
 
-    entries = list(dataset.subsequences(length, start_step=start_step))
-    if not entries:
+    if view is None:
+        view = SubsequenceStore(dataset, start_step=start_step).view(length)
+    if view.n_rows == 0:
         raise IndexConstructionError(
             f"dataset {dataset.name!r} has no subsequences of length {length}"
         )
-    points = np.stack([values for _, values in entries])
+    points = view.values()
     threshold = math.sqrt(length) * st / 2.0
 
     seed = int(rng.integers(0, points.shape[0]))
@@ -118,14 +118,15 @@ def build_groups_kmeans(
         member_rows = np.flatnonzero(assignment == index)
         if member_rows.size == 0:
             continue
-        first = int(member_rows[0])
-        group = SimilarityGroup(length, entries[first][0], entries[first][1])
-        for row in member_rows[1:]:
-            ssid, values = entries[int(row)]
-            group.add(ssid, values)
-        group.finalize(
-            [entries[int(row)][1] for row in member_rows],
-            envelope_radius=envelope_radius,
+        matrix = points[member_rows]
+        groups.append(
+            SimilarityGroup.from_members(
+                length,
+                view.ids(member_rows),
+                matrix.sum(axis=0),
+                matrix,
+                envelope_radius,
+                member_rows=member_rows.astype(np.int64),
+            )
         )
-        groups.append(group)
     return groups

@@ -25,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.grouping import build_groups_for_length
+from repro.core.grouping import ASSIGN_MODES, GroupBuilder
 from repro.core.query_processor import QueryProcessor
 from repro.core.results import BaseStats, Match, SeasonalResult, ThresholdRecommendation
 from repro.core.rspace import LengthBucket, RSpace
@@ -34,6 +34,7 @@ from repro.core.spspace import SimilarityDegree, SPSpace
 from repro.core.threshold import adapt_bucket
 from repro.data.dataset import Dataset
 from repro.data.normalize import min_max_normalize
+from repro.data.store import SubsequenceStore
 from repro.distances.dtw import resolve_window
 from repro.exceptions import QueryError, ThresholdError
 from repro.utils.validation import as_float_array, check_lengths
@@ -73,6 +74,8 @@ class OnexIndex:
         build_seconds: float = 0.0,
         group_search_width: int | None = None,
         use_batch_kernels: bool = True,
+        assign_mode: str = "sequential",
+        build_profile: list[dict] | None = None,
     ) -> None:
         self.dataset = dataset  # normalized
         self.rspace = rspace
@@ -82,6 +85,10 @@ class OnexIndex:
         self.start_step = int(start_step)
         self.value_range = (float(value_range[0]), float(value_range[1]))
         self.build_seconds = float(build_seconds)
+        self.assign_mode = assign_mode
+        # Per-length construction throughput: list of dicts with keys
+        # length / n_subsequences / seconds (shown by ``onex info``).
+        self.build_profile = list(build_profile or [])
         self.processor = QueryProcessor(
             rspace,
             dataset,
@@ -107,6 +114,8 @@ class OnexIndex:
         group_search_width: int | None = None,
         grouping: str = "incremental",
         use_batch_kernels: bool = True,
+        assign_mode: str = "sequential",
+        progress: "callable | None" = None,
     ) -> "OnexIndex":
         """Run the one-time ONEX preprocessing step (§4.1).
 
@@ -146,6 +155,15 @@ class OnexIndex:
             kernels (default; see :mod:`repro.distances.batch`). The
             batch path is exact — disable only for the scalar reference
             path.
+        assign_mode:
+            Construction-engine assignment strategy:  ``"sequential"``
+            (bit-identical to Algorithm 1, default) or ``"minibatch"``
+            (chunked BLAS assignment for large builds; documented
+            deviation — see :class:`~repro.core.grouping.GroupBuilder`).
+        progress:
+            Optional callable ``progress(length, n_subsequences,
+            seconds)`` invoked after each length's groups are built
+            (drives the CLI's per-length throughput line).
         """
         if st <= 0 or not math.isfinite(st):
             raise ThresholdError(st)
@@ -168,23 +186,46 @@ class OnexIndex:
         else:
             grid = check_lengths(lengths, dataset.min_length)
 
-        if grouping == "incremental":
-            builder = build_groups_for_length
-        elif grouping == "kmeans":
+        if assign_mode not in ASSIGN_MODES:
+            raise QueryError(
+                f"unknown assign_mode {assign_mode!r}; use one of {ASSIGN_MODES}"
+            )
+        if grouping == "kmeans":
             from repro.core.grouping_kmeans import build_groups_kmeans
-
-            builder = build_groups_kmeans
-        else:
+        elif grouping != "incremental":
             raise QueryError(
                 f"unknown grouping strategy {grouping!r}; "
                 "use 'incremental' or 'kmeans'"
             )
         rng = np.random.default_rng(seed)
         started = time.perf_counter()
+        store = SubsequenceStore(dataset, start_step=start_step)
         buckets: dict[int, LengthBucket] = {}
+        build_profile: list[dict] = []
         for length in grid:
-            groups = builder(dataset, length, st, rng, start_step=start_step)
-            buckets[length] = LengthBucket(length=length, groups=groups)
+            length_started = time.perf_counter()
+            view = store.view(length)
+            if grouping == "kmeans":
+                groups = build_groups_kmeans(
+                    dataset, length, st, rng, start_step=start_step, view=view
+                )
+            else:
+                groups = GroupBuilder(length, st, assign_mode=assign_mode).build(
+                    view, rng
+                )
+            buckets[length] = LengthBucket(
+                length=length, groups=groups, store_view=view
+            )
+            seconds = time.perf_counter() - length_started
+            build_profile.append(
+                {
+                    "length": length,
+                    "n_subsequences": view.n_rows,
+                    "seconds": seconds,
+                }
+            )
+            if progress is not None:
+                progress(length, view.n_rows, seconds)
         rspace = RSpace(buckets)
         spspace = SPSpace(rspace, st)
         build_seconds = time.perf_counter() - started
@@ -199,6 +240,8 @@ class OnexIndex:
             build_seconds=build_seconds,
             group_search_width=group_search_width,
             use_batch_kernels=use_batch_kernels,
+            assign_mode=assign_mode,
+            build_profile=build_profile,
         )
 
     # ------------------------------------------------------------------
@@ -333,6 +376,8 @@ class OnexIndex:
             build_seconds=self.build_seconds,
             group_search_width=self.processor.group_search_width,
             use_batch_kernels=self.processor.use_batch_kernels,
+            assign_mode=self.assign_mode,
+            build_profile=self.build_profile,
         )
 
     # ------------------------------------------------------------------
@@ -352,6 +397,7 @@ class OnexIndex:
             size_mb=breakdown.total_mb,
             gti_mb=breakdown.gti_mb,
             lsi_mb=breakdown.lsi_mb,
+            store_mb=breakdown.store_mb,
             build_seconds=self.build_seconds,
         )
 

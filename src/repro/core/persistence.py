@@ -2,16 +2,27 @@
 
 The on-disk format is a single ``.npz`` archive holding flat NumPy
 arrays plus a JSON manifest — no pickling, so archives are portable and
-safe to load. Layout:
+safe to load. Format version 2 layout:
 
 * ``manifest`` — JSON string: format version, dataset name, threshold,
-  window spec, series names/labels, per-length group offsets.
+  window spec, series names/labels, assign mode, build profile.
 * ``series_values`` / ``series_offsets`` — the normalized dataset as one
-  concatenated value array with per-series offsets.
+  concatenated value array with per-series offsets (the same flat array
+  the in-memory :class:`~repro.data.store.SubsequenceStore` windows
+  over).
 * per length ``L``: ``L<u>_reps`` (group representative matrix),
-  ``L<u>_member_series`` / ``L<u>_member_starts`` / ``L<u>_member_eds``
-  (concatenated member arrays, ED-sorted within each group) and
-  ``L<u>_group_offsets`` (prefix offsets delimiting groups).
+  ``L<u>_member_rows`` (concatenated store row indices, ED-sorted
+  within each group), ``L<u>_member_eds`` and ``L<u>_group_offsets``
+  (prefix offsets delimiting groups).
+
+Members are stored **columnar**: one row index into the per-length
+store view instead of materialized ``(series, start)`` pairs, and
+loading rebuilds store-backed groups with a vectorized gather — no
+per-member value copies. Version-1 archives (explicit
+``member_series`` / ``member_starts`` arrays) load transparently; their
+groups are re-attached to the store by the inverse row lookup. Saves
+fall back to the id encoding (``member_encoding: "ids"``) for the rare
+index whose member ids do not address enumerable store rows.
 """
 
 from __future__ import annotations
@@ -26,10 +37,12 @@ from repro.core.onex import OnexIndex
 from repro.core.rspace import LengthBucket, RSpace
 from repro.core.spspace import SPSpace
 from repro.data.dataset import Dataset
+from repro.data.store import SubsequenceStore
 from repro.data.timeseries import SubsequenceId, TimeSeries
-from repro.exceptions import PersistenceError
+from repro.exceptions import DataError, PersistenceError
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _window_to_manifest(window: int | float | None) -> dict:
@@ -51,6 +64,28 @@ def _window_from_manifest(spec: dict) -> int | float | None:
     raise PersistenceError(f"unknown window spec {spec!r}")
 
 
+def _bucket_member_rows(
+    bucket: LengthBucket, store: SubsequenceStore
+) -> np.ndarray | None:
+    """Concatenated per-group store rows, or ``None`` if unaddressable."""
+    view = store.view(bucket.length)
+    per_group: list[np.ndarray] = []
+    for group in bucket.groups:
+        if group.member_rows is not None:
+            per_group.append(np.asarray(group.member_rows, dtype=np.int64))
+            continue
+        try:
+            per_group.append(
+                view.rows_of(
+                    np.array([ssid.series for ssid in group.member_ids]),
+                    np.array([ssid.start for ssid in group.member_ids]),
+                )
+            )
+        except DataError:
+            return None
+    return np.concatenate(per_group) if per_group else np.empty(0, dtype=np.int64)
+
+
 def save_index(index: OnexIndex, path: str | os.PathLike) -> None:
     """Write ``index`` to ``path`` (``.npz`` appended if missing)."""
     path = os.fspath(path)
@@ -61,27 +96,43 @@ def save_index(index: OnexIndex, path: str | os.PathLike) -> None:
     arrays["series_values"] = series_values
     arrays["series_offsets"] = series_offsets.astype(np.int64)
 
+    store = SubsequenceStore(index.dataset, start_step=index.start_step)
     lengths_meta = []
     for bucket in index.rspace:
         prefix = f"L{bucket.length}_"
         arrays[prefix + "reps"] = bucket.rep_matrix
-        member_series: list[int] = []
-        member_starts: list[int] = []
-        member_eds: list[float] = []
+        member_eds: list[np.ndarray] = []
         group_offsets = [0]
-        envelope_radius = bucket.groups[0].rep_envelope.radius
+        envelope_radius = bucket.groups[0].envelope_radius
+        total = 0
         for group in bucket.groups:
-            for ssid in group.member_ids:
-                member_series.append(ssid.series)
-                member_starts.append(ssid.start)
-            member_eds.extend(group.ed_to_rep.tolist())
-            group_offsets.append(len(member_series))
-        arrays[prefix + "member_series"] = np.asarray(member_series, dtype=np.int64)
-        arrays[prefix + "member_starts"] = np.asarray(member_starts, dtype=np.int64)
-        arrays[prefix + "member_eds"] = np.asarray(member_eds, dtype=np.float64)
+            member_eds.append(group.ed_to_rep)
+            total += group.count
+            group_offsets.append(total)
+        member_rows = _bucket_member_rows(bucket, store)
+        if member_rows is not None:
+            encoding = "rows"
+            arrays[prefix + "member_rows"] = member_rows
+        else:
+            # Fallback: ids that do not address enumerable store rows
+            # (e.g. a foreign start_step) are written explicitly.
+            encoding = "ids"
+            arrays[prefix + "member_series"] = np.asarray(
+                [s.series for g in bucket.groups for s in g.member_ids],
+                dtype=np.int64,
+            )
+            arrays[prefix + "member_starts"] = np.asarray(
+                [s.start for g in bucket.groups for s in g.member_ids],
+                dtype=np.int64,
+            )
+        arrays[prefix + "member_eds"] = np.concatenate(member_eds)
         arrays[prefix + "group_offsets"] = np.asarray(group_offsets, dtype=np.int64)
         lengths_meta.append(
-            {"length": bucket.length, "envelope_radius": envelope_radius}
+            {
+                "length": bucket.length,
+                "envelope_radius": envelope_radius,
+                "member_encoding": encoding,
+            }
         )
 
     manifest = {
@@ -94,6 +145,8 @@ def save_index(index: OnexIndex, path: str | os.PathLike) -> None:
         "build_seconds": index.build_seconds,
         "group_search_width": index.processor.group_search_width,
         "use_batch_kernels": index.processor.use_batch_kernels,
+        "assign_mode": index.assign_mode,
+        "build_profile": index.build_profile,
         "series_names": [s.name for s in index.dataset],
         "series_labels": [s.label for s in index.dataset],
         "lengths": lengths_meta,
@@ -102,6 +155,30 @@ def save_index(index: OnexIndex, path: str | os.PathLike) -> None:
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
     np.savez_compressed(path, **arrays)
+
+
+def _load_member_columns(
+    archive, entry: dict, length: int, store: SubsequenceStore
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+    """Resolve ``(member_rows, member_series, member_starts)`` per length.
+
+    v2 ``rows`` encoding reads the row column and derives ids from the
+    store's id columns; v1 (and the ``ids`` fallback) reads explicit id
+    arrays and re-attaches rows through the vectorized inverse lookup
+    where possible.
+    """
+    prefix = f"L{length}_"
+    view = store.view(length)
+    if entry.get("member_encoding", "ids") == "rows":
+        rows = archive[prefix + "member_rows"]
+        return rows, view.series[rows], view.starts[rows]
+    member_series = archive[prefix + "member_series"]
+    member_starts = archive[prefix + "member_starts"]
+    try:
+        rows = view.rows_of(member_series, member_starts)
+    except DataError:
+        rows = None
+    return rows, member_series, member_starts
 
 
 def load_index(path: str | os.PathLike) -> OnexIndex:
@@ -118,9 +195,10 @@ def load_index(path: str | os.PathLike) -> OnexIndex:
     except KeyError as exc:
         raise PersistenceError(f"{path!r} is not an ONEX index archive") from exc
     version = manifest.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise PersistenceError(
-            f"unsupported index format version {version!r} (expected {_FORMAT_VERSION})"
+            f"unsupported index format version {version!r} "
+            f"(readable: {_READABLE_VERSIONS})"
         )
 
     values = archive["series_values"]
@@ -134,6 +212,8 @@ def load_index(path: str | os.PathLike) -> OnexIndex:
         for i in range(len(offsets) - 1)
     ]
     dataset = Dataset(series, name=manifest["dataset_name"])
+    start_step = int(manifest["start_step"])
+    store = SubsequenceStore(dataset, start_step=start_step)
 
     buckets: dict[int, LengthBucket] = {}
     for entry in manifest["lengths"]:
@@ -141,10 +221,11 @@ def load_index(path: str | os.PathLike) -> OnexIndex:
         radius = int(entry["envelope_radius"])
         prefix = f"L{length}_"
         reps = archive[prefix + "reps"]
-        member_series = archive[prefix + "member_series"]
-        member_starts = archive[prefix + "member_starts"]
         member_eds = archive[prefix + "member_eds"]
         group_offsets = archive[prefix + "group_offsets"]
+        rows, member_series, member_starts = _load_member_columns(
+            archive, entry, length, store
+        )
         groups = []
         for g in range(len(group_offsets) - 1):
             start, stop = int(group_offsets[g]), int(group_offsets[g + 1])
@@ -159,9 +240,14 @@ def load_index(path: str | os.PathLike) -> OnexIndex:
                     ed_to_rep=member_eds[start:stop],
                     representative=reps[g],
                     envelope_radius=radius,
+                    member_rows=None if rows is None else rows[start:stop],
                 )
             )
-        buckets[length] = LengthBucket(length=length, groups=groups)
+        buckets[length] = LengthBucket(
+            length=length,
+            groups=groups,
+            store_view=None if rows is None else store.view(length),
+        )
 
     rspace = RSpace(buckets)
     spspace = SPSpace(rspace, float(manifest["st"]))
@@ -172,10 +258,12 @@ def load_index(path: str | os.PathLike) -> OnexIndex:
         spspace=spspace,
         st=float(manifest["st"]),
         window=_window_from_manifest(manifest["window"]),
-        start_step=int(manifest["start_step"]),
+        start_step=start_step,
         value_range=tuple(manifest["value_range"]),
         build_seconds=float(manifest.get("build_seconds", 0.0)),
         group_search_width=None if width is None else int(width),
         # Absent in pre-batch-kernel saves: default to the batch path.
         use_batch_kernels=bool(manifest.get("use_batch_kernels", True)),
+        assign_mode=str(manifest.get("assign_mode", "sequential")),
+        build_profile=manifest.get("build_profile") or [],
     )

@@ -550,14 +550,18 @@ class QueryProcessor:
             order_array = np.asarray(order, dtype=np.intp)
             if len(order) < group.count:
                 # group_search_width truncated the visit list: gather
-                # only the needed rows instead of materializing (and
-                # caching) the whole group's member matrix.
-                ordered_values = np.stack(
-                    [
-                        self.dataset.subsequence(group.member_ids[index])
-                        for index in order
-                    ]
-                )
+                # only the needed rows.
+                if group.member_rows is not None and bucket.store_view is not None:
+                    ordered_values = bucket.store_view.values(
+                        group.member_rows[order_array]
+                    )
+                else:
+                    ordered_values = np.stack(
+                        [
+                            self.dataset.subsequence(group.member_ids[index])
+                            for index in order
+                        ]
+                    )
             else:
                 members = bucket.member_matrix(group_index, self.dataset)
                 ordered_values = members[order_array]

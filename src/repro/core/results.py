@@ -110,6 +110,7 @@ class BaseStats:
     size_mb: float
     gti_mb: float
     lsi_mb: float
+    store_mb: float = field(default=0.0)
     build_seconds: float = field(default=0.0)
 
     def as_row(self) -> tuple:

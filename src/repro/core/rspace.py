@@ -23,23 +23,25 @@ from repro.exceptions import IndexConstructionError, QueryError
 
 @dataclass
 class LengthBucket:
-    """All groups of one subsequence length plus their GTI entry."""
+    """All groups of one subsequence length plus their GTI entry.
+
+    When built over a columnar subsequence store, ``store_view`` holds
+    the per-length :class:`~repro.data.store.LengthView` and groups carry
+    ``member_rows`` index arrays into it, so member matrices are one
+    fancy-index gather instead of per-member materialization.
+    """
 
     length: int
     groups: list[SimilarityGroup]
+    store_view: object = None  # LengthView | None
     rep_matrix: np.ndarray = field(init=False)
     dc: np.ndarray = field(init=False)  # normalized ED between representatives
     sum_order: np.ndarray = field(init=False)  # group indices sorted by Dc row sums
     dc_row_sums: np.ndarray = field(init=False)
     st_half: float | None = None
     st_final: float | None = None
-    # Lazy batch-kernel payloads: stacked member matrices per group and
-    # representative envelope stacks per band radius (built on first use
-    # by the batch query path, then reused across queries).
-    _member_matrices: dict[int, np.ndarray] = field(
-        init=False, repr=False, default_factory=dict
-    )
-    _member_matrix_source: object = field(init=False, repr=False, default=None)
+    # Lazy batch-kernel payload: representative envelope stacks per band
+    # radius (built on first use by the batch query path, then reused).
     _rep_envelope_stacks: dict[int, EnvelopeStack] = field(
         init=False, repr=False, default_factory=dict
     )
@@ -129,25 +131,17 @@ class LengthBucket:
     def member_matrix(self, group_index: int, dataset) -> np.ndarray:
         """Stacked member subsequences of one group, in LSI order.
 
-        Rows align with ``groups[group_index].member_ids``. Built lazily
+        Rows align with ``groups[group_index].member_ids``. For
+        store-backed groups this is a single fancy-index into the
+        columnar store's zero-copy window matrix; groups without store
+        rows (hand-built or legacy archives) fall back to materializing
         from ``dataset`` (the normalized dataset this R-Space was built
-        from) and cached, so repeated queries into the same group pay
-        the gather once. The cache is invalidated when a different
-        dataset object is passed, and is bounded by the bucket's total
-        subsequence storage (worst case one materialized copy of every
-        member, reached only if every group gets queried).
+        from) one member at a time.
         """
-        if self._member_matrix_source is not dataset:
-            self._member_matrices.clear()
-            self._member_matrix_source = dataset
-        matrix = self._member_matrices.get(group_index)
-        if matrix is None:
-            group = self.group_of(group_index)
-            matrix = np.stack(
-                [dataset.subsequence(ssid) for ssid in group.member_ids]
-            )
-            self._member_matrices[group_index] = matrix
-        return matrix
+        group = self.group_of(group_index)
+        if group.member_rows is not None and self.store_view is not None:
+            return self.store_view.values(group.member_rows)
+        return np.stack([dataset.subsequence(ssid) for ssid in group.member_ids])
 
 
 class RSpace:

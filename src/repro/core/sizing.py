@@ -3,9 +3,16 @@
 The paper reports index sizes in MB, decomposed into the Global Time
 Index (group-identifier vectors, inter-representative distance arrays
 and the two critical thresholds per length) and the Local Sequence Index
-(sequence identifiers with their EDs, the representative vectors, and
-the LB_Keogh envelopes). The byte model below mirrors that accounting:
-identifiers are 4-byte integers, all distances/values 8-byte floats.
+(sequence references with their EDs, the representative vectors, and
+the LB_Keogh envelopes). The byte model below mirrors that accounting
+for the **store-backed layout**: groups reference members as row
+indices into the per-length columnar store view (one 4-byte index per
+member instead of a materialized ``(series, start)`` pair per group
+copy), and the store's own id columns — the ``series`` / ``starts``
+arrays each view carries once per length — are counted separately as
+``store_columns``. Identifiers/indices are 4-byte integers, all
+distances/values 8-byte floats. The window matrix itself is zero-copy
+over the dataset's values and therefore free.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.rspace import RSpace
 
-_INT = 4  # bytes per identifier (int32, as a C++ implementation would use)
+_INT = 4  # bytes per identifier / row index (int32, as a C++ impl would use)
 _FLOAT = 8  # bytes per distance / sample value (double)
 _MB = 1024.0 * 1024.0
 
@@ -27,9 +34,10 @@ class SizeBreakdown:
     gti_dc_matrix: int
     gti_sums: int
     gti_thresholds: int
-    lsi_sequence_ids: int
+    lsi_member_rows: int
     lsi_representatives: int
     lsi_envelopes: int
+    store_columns: int
 
     @property
     def gti_bytes(self) -> int:
@@ -39,11 +47,15 @@ class SizeBreakdown:
 
     @property
     def lsi_bytes(self) -> int:
-        return self.lsi_sequence_ids + self.lsi_representatives + self.lsi_envelopes
+        return self.lsi_member_rows + self.lsi_representatives + self.lsi_envelopes
+
+    @property
+    def store_bytes(self) -> int:
+        return self.store_columns
 
     @property
     def total_bytes(self) -> int:
-        return self.gti_bytes + self.lsi_bytes
+        return self.gti_bytes + self.lsi_bytes + self.store_bytes
 
     @property
     def gti_mb(self) -> float:
@@ -52,6 +64,10 @@ class SizeBreakdown:
     @property
     def lsi_mb(self) -> float:
         return self.lsi_bytes / _MB
+
+    @property
+    def store_mb(self) -> float:
+        return self.store_bytes / _MB
 
     @property
     def total_mb(self) -> float:
@@ -66,26 +82,33 @@ def measure_rspace(rspace: RSpace) -> SizeBreakdown:
     pairwise Dc values (``g^2`` floats), the sorted sums array
     ``S_i(k, sum_k)`` (``g`` id/float pairs), and ``ST_half``/``ST_final``
     (2 floats). Per group with ``m`` members of length ``L``, LSI holds:
-    the array ``ED_k(m, ED_m)`` of member ids — a series id and start
-    offset each — plus their ED (``m * (2 ints + 1 float)``), the
+    the array ``ED_k(m, ED_m)`` of member references — one store row
+    index each — plus their ED (``m * (1 int + 1 float)``), the
     representative vector (``L`` floats) and its lower/upper envelope
-    (``2L`` floats).
+    (``2L`` floats). Per length, the store contributes its id columns:
+    ``rows * 2`` ints (series index and start offset per enumerated
+    row); groups hold no member value copies — the window matrix is a
+    zero-copy view over the dataset.
     """
     gti_group_ids = 0
     gti_dc = 0
     gti_sums = 0
     gti_thresholds = 0
-    lsi_ids = 0
+    lsi_rows = 0
     lsi_reps = 0
     lsi_envelopes = 0
+    store_columns = 0
     for bucket in rspace:
         g = bucket.n_groups
         gti_group_ids += g * _INT
         gti_dc += g * g * _FLOAT
         gti_sums += g * (_INT + _FLOAT)
         gti_thresholds += 2 * _FLOAT
+        view = bucket.store_view
+        n_rows = view.n_rows if view is not None else bucket.n_subsequences
+        store_columns += n_rows * 2 * _INT
         for group in bucket.groups:
-            lsi_ids += group.count * (2 * _INT + _FLOAT)
+            lsi_rows += group.count * (_INT + _FLOAT)
             lsi_reps += group.length * _FLOAT
             lsi_envelopes += 2 * group.length * _FLOAT
     return SizeBreakdown(
@@ -93,7 +116,8 @@ def measure_rspace(rspace: RSpace) -> SizeBreakdown:
         gti_dc_matrix=gti_dc,
         gti_sums=gti_sums,
         gti_thresholds=gti_thresholds,
-        lsi_sequence_ids=lsi_ids,
+        lsi_member_rows=lsi_rows,
         lsi_representatives=lsi_reps,
         lsi_envelopes=lsi_envelopes,
+        store_columns=store_columns,
     )

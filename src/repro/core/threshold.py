@@ -26,9 +26,16 @@ from repro.exceptions import ThresholdError
 
 
 def _group_members(
-    group: SimilarityGroup, dataset: Dataset
+    group: SimilarityGroup, bucket: LengthBucket, dataset: Dataset
 ) -> list[tuple[SubsequenceId, np.ndarray]]:
-    """Materialize (id, values) pairs for every member of a group."""
+    """Materialize (id, values) pairs for every member of a group.
+
+    Store-backed groups gather all member rows with one fancy-index;
+    others fall back to per-member materialization from ``dataset``.
+    """
+    if group.member_rows is not None and bucket.store_view is not None:
+        matrix = bucket.store_view.values(group.member_rows)
+        return list(zip(group.member_ids, matrix))
     return [(ssid, dataset.subsequence(ssid)) for ssid in group.member_ids]
 
 
@@ -48,7 +55,7 @@ def split_bucket(
     """
     new_groups: list[SimilarityGroup] = []
     for group in bucket.groups:
-        members = _group_members(group, dataset)
+        members = _group_members(group, bucket, dataset)
         new_groups.extend(
             regroup_members(
                 members,
@@ -56,9 +63,14 @@ def split_bucket(
                 st_new,
                 rng,
                 envelope_radius=envelope_radius,
+                member_rows=(
+                    group.member_rows if bucket.store_view is not None else None
+                ),
             )
         )
-    return LengthBucket(length=bucket.length, groups=new_groups)
+    return LengthBucket(
+        length=bucket.length, groups=new_groups, store_view=bucket.store_view
+    )
 
 
 def merge_bucket(
@@ -83,43 +95,73 @@ def merge_bucket(
     if envelope_radius is None:
         envelope_radius = max(1, length // 10)
 
-    # Working state: per cluster, the member list, running sum and count.
-    clusters: list[list[tuple[SubsequenceId, np.ndarray]]] = []
+    # Working state: per cluster, the member ids, store rows (when every
+    # source group is store-backed), running sum and count.
+    store_backed = bucket.store_view is not None and all(
+        group.member_rows is not None for group in bucket.groups
+    )
+    ids: list[list[SubsequenceId]] = []
+    rows: list[np.ndarray] = []
+    values: list[np.ndarray | None] = []  # materialized only off-store
     sums: list[np.ndarray] = []
     for group in bucket.groups:
-        members = _group_members(group, dataset)
-        clusters.append(members)
+        ids.append(list(group.member_ids))
+        if store_backed:
+            rows.append(group.member_rows)
+            values.append(None)
+        else:
+            rows.append(np.empty(0, dtype=np.int64))
+            values.append(
+                np.stack([dataset.subsequence(ssid) for ssid in group.member_ids])
+            )
         sums.append(group.representative * group.count)
 
     def normalized_rep_distance(a: int, b: int) -> float:
-        rep_a = sums[a] / len(clusters[a])
-        rep_b = sums[b] / len(clusters[b])
+        rep_a = sums[a] / len(ids[a])
+        rep_b = sums[b] / len(ids[b])
         return float(np.linalg.norm(rep_a - rep_b)) / math.sqrt(length)
 
     merged_something = True
-    while merged_something and len(clusters) > 1:
+    while merged_something and len(ids) > 1:
         merged_something = False
-        n = len(clusters)
+        n = len(ids)
         for a in range(n):
             for b in range(a + 1, n):
                 if normalized_rep_distance(a, b) <= margin:
-                    clusters[a].extend(clusters[b])
+                    ids[a].extend(ids[b])
+                    rows[a] = np.concatenate([rows[a], rows[b]])
+                    if not store_backed:
+                        values[a] = np.vstack([values[a], values[b]])
                     sums[a] = sums[a] + sums[b]
-                    del clusters[b], sums[b]
+                    del ids[b], rows[b], values[b], sums[b]
                     merged_something = True
                     break
             if merged_something:
                 break
 
     new_groups: list[SimilarityGroup] = []
-    for members in clusters:
-        (seed_id, seed_values), *rest = members
-        group = SimilarityGroup(length, seed_id, seed_values)
-        for ssid, values in rest:
-            group.add(ssid, values)
-        group.finalize([values for _, values in members], envelope_radius)
-        new_groups.append(group)
-    return LengthBucket(length=length, groups=new_groups)
+    for cluster, cluster_rows, cluster_values, cluster_sum in zip(
+        ids, rows, values, sums
+    ):
+        if store_backed:
+            matrix = bucket.store_view.values(cluster_rows)
+            member_rows = cluster_rows
+        else:
+            matrix = cluster_values
+            member_rows = None
+        new_groups.append(
+            SimilarityGroup.from_members(
+                length,
+                cluster,
+                cluster_sum,
+                matrix,
+                envelope_radius,
+                member_rows=member_rows,
+            )
+        )
+    return LengthBucket(
+        length=length, groups=new_groups, store_view=bucket.store_view
+    )
 
 
 def adapt_bucket(

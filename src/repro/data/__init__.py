@@ -9,11 +9,14 @@ from repro.data.normalize import (
     z_normalize_dataset,
 )
 from repro.data.loader import load_ucr_file, save_ucr_file
+from repro.data.store import LengthView, SubsequenceStore
 
 __all__ = [
     "TimeSeries",
     "SubsequenceId",
     "Dataset",
+    "SubsequenceStore",
+    "LengthView",
     "min_max_normalize",
     "min_max_normalize_dataset",
     "z_normalize",

@@ -1,0 +1,219 @@
+"""Columnar subsequence storage: zero-copy windows over concatenated series.
+
+The paper's base construction enumerates every subsequence of every
+length — materializing each one as its own array is what made the seed
+implementation allocation-bound. The :class:`SubsequenceStore` instead
+concatenates all series values into one flat array and exposes, per
+length ``L``, a :class:`LengthView`: a zero-copy
+``sliding_window_view`` window matrix plus parallel ``series`` /
+``starts`` id columns, so a subsequence is just a **row index**. Groups
+and buckets hold row-index arrays; values are gathered on demand with
+one fancy-index instead of per-member Python loops.
+
+Row order within a view is identical to
+:meth:`repro.data.dataset.Dataset.subsequences`: series-major, starting
+positions ascending (strided by ``start_step``). Windows that would
+cross a series boundary are never enumerated — the flat window matrix
+contains them, but no valid row maps to one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.data.dataset import Dataset
+from repro.data.timeseries import SubsequenceId
+from repro.exceptions import DataError
+
+
+class LengthView:
+    """All subsequences of one length as columns over the flat store.
+
+    Attributes
+    ----------
+    length, start_step:
+        The enumeration parameters.
+    series, starts:
+        Per-row parent series index and starting offset (``int32``).
+    window_rows:
+        Per-row index into the zero-copy sliding-window matrix.
+    """
+
+    __slots__ = (
+        "length",
+        "start_step",
+        "series",
+        "starts",
+        "window_rows",
+        "_windows",
+        "_row_offsets",
+        "_sq_norms",
+    )
+
+    def __init__(self, store: "SubsequenceStore", length: int) -> None:
+        if length < 2:
+            raise DataError(f"subsequence length must be >= 2, got {length}")
+        if length > store.flat_values.shape[0]:
+            raise DataError(
+                f"subsequence length {length} exceeds the store's "
+                f"{store.flat_values.shape[0]} total points"
+            )
+        step = store.start_step
+        self.length = int(length)
+        self.start_step = step
+        # Zero-copy: one strided view over the concatenated values.
+        self._windows = sliding_window_view(store.flat_values, length)
+
+        counts = np.maximum(store.series_lengths - length + 1, 0)
+        counts = -(-counts // step)  # ceil-div: strided start positions
+        self._row_offsets = np.concatenate([[0], np.cumsum(counts)])
+        self.series = np.repeat(
+            np.arange(len(counts), dtype=np.int32), counts
+        )
+        self.starts = (
+            np.arange(self.n_rows, dtype=np.int64)
+            - self._row_offsets[self.series]
+        ).astype(np.int32) * step
+        self.window_rows = store.series_offsets[self.series] + self.starts
+        self._sq_norms: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return int(self._row_offsets[-1])
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def values(self, rows: np.ndarray | slice | None = None) -> np.ndarray:
+        """Gather the window matrix for ``rows`` (all rows when ``None``).
+
+        A single row index returns a zero-copy view into the flat value
+        array; index arrays materialize the gathered rows (one
+        vectorized fancy-index, no per-member Python loop).
+        """
+        if rows is None:
+            rows = slice(None)
+        return self._windows[self.window_rows[rows]]
+
+    def row_values(self, row: int) -> np.ndarray:
+        """Zero-copy view of one subsequence's values."""
+        return self._windows[self.window_rows[row]]
+
+    def sq_norms(self, rows: np.ndarray | None = None) -> np.ndarray:
+        """Cached squared ED norms ``||s||^2`` per row.
+
+        Computed once per view directly over the strided window matrix
+        (no materialization); backs the norm-difference lower bound of
+        the construction engine.
+        """
+        if self._sq_norms is None:
+            if 2 * self.n_rows >= self._windows.shape[0]:
+                # Dense enumeration: reduce over the strided view (no
+                # materialization) and gather the enumerated rows.
+                all_norms = np.einsum("ij,ij->i", self._windows, self._windows)
+                self._sq_norms = all_norms[self.window_rows]
+            else:
+                # Sparse (start_step-strided) enumeration: reducing every
+                # flat window would do ~start_step times the needed work.
+                gathered = self._windows[self.window_rows]
+                self._sq_norms = np.einsum("ij,ij->i", gathered, gathered)
+        if rows is None:
+            return self._sq_norms
+        return self._sq_norms[rows]
+
+    # ------------------------------------------------------------------
+    def ssid(self, row: int) -> SubsequenceId:
+        """The :class:`SubsequenceId` addressed by one row."""
+        return SubsequenceId(
+            int(self.series[row]), int(self.starts[row]), self.length
+        )
+
+    def ids(self, rows: np.ndarray) -> list[SubsequenceId]:
+        """Materialize :class:`SubsequenceId` objects for an index array."""
+        length = self.length
+        return [
+            SubsequenceId(int(p), int(j), length)
+            for p, j in zip(self.series[rows].tolist(), self.starts[rows].tolist())
+        ]
+
+    def rows_of(
+        self, series: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        """Row indices of ``(series, start)`` pairs (vectorized inverse).
+
+        Raises :class:`~repro.exceptions.DataError` when a pair does not
+        address an enumerated row (out of range, or a start that is not
+        a multiple of ``start_step``).
+        """
+        series = np.asarray(series, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        if series.size and (
+            series.min() < 0 or series.max() >= len(self._row_offsets) - 1
+        ):
+            raise DataError("series index out of range for this store")
+        quotient, remainder = np.divmod(starts, self.start_step)
+        rows = self._row_offsets[series] + quotient
+        valid = (
+            (remainder == 0)
+            & (starts >= 0)
+            & (rows < self._row_offsets[series + 1])
+        )
+        if not bool(valid.all()):
+            bad = int(np.flatnonzero(~valid)[0])
+            raise DataError(
+                f"({int(series[bad])}, {int(starts[bad])}) does not address "
+                f"an enumerated subsequence of length {self.length} "
+                f"(start_step={self.start_step})"
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"<LengthView L={self.length} rows={self.n_rows} "
+            f"step={self.start_step}>"
+        )
+
+
+class SubsequenceStore:
+    """Columnar storage of a dataset's subsequences, one view per length.
+
+    Parameters
+    ----------
+    dataset:
+        The (already normalized) dataset to decompose. The store keeps a
+        reference; series values are concatenated once into a flat array
+        every :class:`LengthView` windows over.
+    start_step:
+        Stride over starting positions shared by every view.
+    """
+
+    def __init__(self, dataset: Dataset, start_step: int = 1) -> None:
+        if start_step < 1:
+            raise DataError(f"start_step must be >= 1, got {start_step}")
+        self.dataset = dataset
+        self.start_step = int(start_step)
+        self.flat_values = np.concatenate([s.values for s in dataset])
+        lengths = np.array([len(s) for s in dataset], dtype=np.int64)
+        self.series_lengths = lengths
+        self.series_offsets = np.concatenate([[0], np.cumsum(lengths)])[:-1]
+        self._views: dict[int, LengthView] = {}
+
+    def view(self, length: int) -> LengthView:
+        """The (cached) per-length view of every subsequence."""
+        view = self._views.get(length)
+        if view is None:
+            view = LengthView(self, length)
+            self._views[length] = view
+        return view
+
+    @property
+    def total_points(self) -> int:
+        return int(self.flat_values.shape[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"<SubsequenceStore N={len(self.dataset)} "
+            f"points={self.total_points} step={self.start_step}>"
+        )

@@ -9,7 +9,19 @@ against the *current* representatives. Touched groups are re-finalized
 (members re-sorted by ED to the updated mean) and the per-length GTI
 payloads (Dc matrix, sum order) and SP-Space are recomputed.
 
-Cost: O(new_subsequences x groups) distance computations plus a
+The assignment runs on the same construction engine as the offline
+build (:class:`~repro.core.grouping.RepresentativeSet`, seeded from the
+existing groups): the representative matrix is hoisted **once** per
+bucket and updated row-wise in place, instead of the seed
+implementation's ``np.stack`` of every representative for every
+appended window — an O(groups x length) allocation per subsequence —
+and the norm-difference lower bound prunes hopeless representatives.
+Rebuilt buckets are store-backed over the extended dataset's columnar
+:class:`~repro.data.store.SubsequenceStore` (row indices of the old
+series are stable under appending, so untouched groups keep their row
+arrays).
+
+Cost: O(new_subsequences x surviving_reps) distance computations plus a
 re-finalization of the touched groups — far below a full rebuild, which
 re-clusters every subsequence of every series.
 """
@@ -22,12 +34,14 @@ from typing import Any
 import numpy as np
 
 from repro.core.group import SimilarityGroup
+from repro.core.grouping import RepresentativeSet
 from repro.core.onex import OnexIndex
 from repro.core.rspace import LengthBucket, RSpace
 from repro.core.spspace import SPSpace
 from repro.data.dataset import Dataset
 from repro.data.normalize import min_max_normalize
-from repro.data.timeseries import SubsequenceId, TimeSeries
+from repro.data.store import LengthView, SubsequenceStore
+from repro.data.timeseries import TimeSeries
 from repro.exceptions import IndexConstructionError
 
 
@@ -82,10 +96,11 @@ def append_series(
         )
 
     dataset = Dataset(list(index.dataset) + [series], name=index.dataset.name)
+    store = SubsequenceStore(dataset, start_step=index.start_step)
     buckets: dict[int, LengthBucket] = {}
     for bucket in index.rspace:
         buckets[bucket.length] = _extend_bucket(
-            bucket, dataset, series, new_index, index.st, index.start_step
+            bucket, store.view(bucket.length), new_index, index.st
         )
     rspace = RSpace(buckets)
     spspace = SPSpace(rspace, index.st)
@@ -100,82 +115,91 @@ def append_series(
         build_seconds=index.build_seconds,
         group_search_width=index.processor.group_search_width,
         use_batch_kernels=index.processor.use_batch_kernels,
+        assign_mode=index.assign_mode,
+        build_profile=index.build_profile,
+    )
+
+
+def _existing_rows(
+    group: SimilarityGroup, view: LengthView
+) -> np.ndarray:
+    """Store rows of a group's members in the extended view.
+
+    Store-backed groups keep their row arrays (appending a series only
+    adds rows at the end, existing numbering is stable); legacy groups
+    resolve their ids through the vectorized inverse lookup.
+    """
+    if group.member_rows is not None:
+        return group.member_rows
+    return view.rows_of(
+        np.array([ssid.series for ssid in group.member_ids]),
+        np.array([ssid.start for ssid in group.member_ids]),
     )
 
 
 def _extend_bucket(
     bucket: LengthBucket,
-    dataset: Dataset,
-    series: TimeSeries,
+    view: LengthView,
     series_index: int,
     st: float,
-    start_step: int,
 ) -> LengthBucket:
     """Insert one series' subsequences of this bucket's length."""
     length = bucket.length
     threshold = math.sqrt(length) * st / 2.0
-    envelope_radius = bucket.groups[0].rep_envelope.radius
+    envelope_radius = bucket.groups[0].envelope_radius
 
-    # Working state: per group, the member list (materialized lazily
-    # only for groups that actually receive new members).
-    members: list[list[tuple[SubsequenceId, np.ndarray]] | None] = [
-        None for _ in bucket.groups
-    ]
-    reps = [group.representative.copy() for group in bucket.groups]
-    counts = [group.count for group in bucket.groups]
-    new_groups: list[list[tuple[SubsequenceId, np.ndarray]]] = []
-    new_reps: list[np.ndarray] = []
+    # Engine state seeded from the existing groups: the representative
+    # matrix is stacked once and updated row-wise in place.
+    reps = RepresentativeSet.from_groups(
+        length,
+        np.stack([group.representative for group in bucket.groups]),
+        np.array([group.count for group in bucket.groups]),
+    )
+    n_existing = len(bucket.groups)
+    added: dict[int, list[int]] = {}  # group index -> appended store rows
 
-    values = series.values
-    for start in range(0, len(series) - length + 1, start_step):
-        ssid = SubsequenceId(series_index, start, length)
-        window = values[start : start + length]
-        # Nearest representative over existing + freshly created groups.
-        all_reps = reps + new_reps
-        stack = np.stack(all_reps)
-        diff = stack - window
-        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        nearest = int(np.argmin(distances))
-        if distances[nearest] > threshold:
-            new_groups.append([(ssid, window)])
-            new_reps.append(window.astype(np.float64).copy())
-            continue
-        if nearest < len(reps):
-            if members[nearest] is None:
-                group = bucket.groups[nearest]
-                members[nearest] = [
-                    (mid, dataset.subsequence(mid)) for mid in group.member_ids
-                ]
-            members[nearest].append((ssid, window))
-            counts[nearest] += 1
-            reps[nearest] += (window - reps[nearest]) / counts[nearest]
+    new_rows = np.flatnonzero(view.series == series_index)
+    sq_norms = view.sq_norms(new_rows)
+    for position, row in enumerate(new_rows.tolist()):
+        window = view.row_values(row)  # zero-copy
+        nearest, _ = reps.nearest_sequential(
+            window, float(sq_norms[position]), threshold
+        )
+        if nearest < 0:
+            nearest = reps.new_group(window)
         else:
-            fresh = nearest - len(reps)
-            new_groups[fresh].append((ssid, window))
-            n = len(new_groups[fresh])
-            new_reps[fresh] += (window - new_reps[fresh]) / n
+            reps.admit(nearest, window)
+        added.setdefault(nearest, []).append(row)
 
     rebuilt: list[SimilarityGroup] = []
-    for index_in_bucket, group in enumerate(bucket.groups):
-        if members[index_in_bucket] is None:
+    for g, group in enumerate(bucket.groups):
+        rows = added.get(g)
+        if rows is None:
             rebuilt.append(group)  # untouched: reuse as-is
             continue
-        rebuilt.append(
-            _group_from_members(length, members[index_in_bucket], envelope_radius)
+        member_rows = np.concatenate(
+            [_existing_rows(group, view), np.asarray(rows, dtype=np.int64)]
         )
-    for group_members in new_groups:
-        rebuilt.append(_group_from_members(length, group_members, envelope_radius))
-    return LengthBucket(length=length, groups=rebuilt)
-
-
-def _group_from_members(
-    length: int,
-    members: list[tuple[SubsequenceId, np.ndarray]],
-    envelope_radius: int,
-) -> SimilarityGroup:
-    (seed_id, seed_values), *rest = members
-    group = SimilarityGroup(length, seed_id, seed_values)
-    for ssid, window in rest:
-        group.add(ssid, window)
-    group.finalize([window for _, window in members], envelope_radius)
-    return group
+        rebuilt.append(
+            SimilarityGroup.from_members(
+                length,
+                list(group.member_ids) + view.ids(np.asarray(rows, dtype=np.int64)),
+                reps.member_sum(g),
+                view.values(member_rows),
+                envelope_radius,
+                member_rows=member_rows,
+            )
+        )
+    for g in range(n_existing, reps.count):
+        rows = np.asarray(added[g], dtype=np.int64)
+        rebuilt.append(
+            SimilarityGroup.from_members(
+                length,
+                view.ids(rows),
+                reps.member_sum(g),
+                view.values(rows),
+                envelope_radius,
+                member_rows=rows,
+            )
+        )
+    return LengthBucket(length=length, groups=rebuilt, store_view=view)

@@ -62,6 +62,53 @@ class TestBuild:
         assert code == 0
         assert out_path.exists()
 
+    def test_build_reports_progress(self, index_path, capsys, tmp_path):
+        path = tmp_path / "progress.npz"
+        code = main(
+            [
+                "build",
+                "--dataset",
+                "ItalyPower",
+                "--n-series",
+                "6",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subsequences in" in out  # per-length throughput line
+        assert "/s)" in out
+
+    def test_build_minibatch_mode(self, tmp_path, capsys):
+        path = tmp_path / "minibatch.npz"
+        code = main(
+            [
+                "build",
+                "--dataset",
+                "ItalyPower",
+                "--n-series",
+                "6",
+                "--assign-mode",
+                "minibatch",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "assign mode:     minibatch" in out
+        assert "build profile:" in out
+
+    def test_info_shows_build_profile(self, index_path, capsys):
+        assert main(["info", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "assign mode:     sequential" in out
+        assert "build profile:" in out
+        assert "store" in out  # size line includes the store component
+
 
 class TestQuery:
     def test_query_by_series_reference(self, index_path, capsys):

@@ -151,7 +151,9 @@ class TestStats:
         assert stats.n_lengths == len(small_index.rspace)
         assert stats.n_groups == small_index.rspace.n_groups
         assert stats.n_subsequences == small_index.rspace.n_subsequences
-        assert stats.size_mb == pytest.approx(stats.gti_mb + stats.lsi_mb)
+        assert stats.size_mb == pytest.approx(
+            stats.gti_mb + stats.lsi_mb + stats.store_mb
+        )
 
     def test_table4_row(self, small_index):
         row = small_index.stats().as_row()

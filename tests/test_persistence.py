@@ -77,6 +77,124 @@ class TestRoundTrip:
         assert loaded.rspace.n_groups == small_index.rspace.n_groups
 
 
+class TestStoreBackedFormat:
+    def test_v2_groups_reattach_to_store(self, saved_path):
+        loaded = load_index(saved_path)
+        for bucket in loaded.rspace:
+            assert bucket.store_view is not None
+            for group in bucket.groups:
+                assert group.member_rows is not None
+                assert bucket.store_view.ids(group.member_rows) == list(
+                    group.member_ids
+                )
+
+    def test_v2_archives_are_columnar(self, saved_path):
+        archive = np.load(saved_path)
+        manifest = json.loads(bytes(archive["manifest"]).decode())
+        assert manifest["format_version"] == 2
+        assert manifest["assign_mode"] == "sequential"
+        for entry in manifest["lengths"]:
+            assert entry["member_encoding"] == "rows"
+            prefix = f"L{entry['length']}_"
+            assert prefix + "member_rows" in archive
+            assert prefix + "member_series" not in archive
+
+    def test_build_profile_round_trips(self, small_index, saved_path):
+        loaded = load_index(saved_path)
+        assert loaded.build_profile == small_index.build_profile
+        assert loaded.assign_mode == small_index.assign_mode
+
+    def _write_v1(self, index, path):
+        """Re-create the legacy format 1 archive layout."""
+        arrays = {}
+        arrays["series_values"] = np.concatenate(
+            [s.values for s in index.dataset]
+        )
+        arrays["series_offsets"] = np.cumsum(
+            [0] + [len(s) for s in index.dataset]
+        ).astype(np.int64)
+        lengths_meta = []
+        for bucket in index.rspace:
+            prefix = f"L{bucket.length}_"
+            arrays[prefix + "reps"] = bucket.rep_matrix
+            member_series, member_starts, member_eds = [], [], []
+            group_offsets = [0]
+            for group in bucket.groups:
+                for ssid in group.member_ids:
+                    member_series.append(ssid.series)
+                    member_starts.append(ssid.start)
+                member_eds.extend(group.ed_to_rep.tolist())
+                group_offsets.append(len(member_series))
+            arrays[prefix + "member_series"] = np.asarray(
+                member_series, dtype=np.int64
+            )
+            arrays[prefix + "member_starts"] = np.asarray(
+                member_starts, dtype=np.int64
+            )
+            arrays[prefix + "member_eds"] = np.asarray(
+                member_eds, dtype=np.float64
+            )
+            arrays[prefix + "group_offsets"] = np.asarray(
+                group_offsets, dtype=np.int64
+            )
+            lengths_meta.append(
+                {
+                    "length": bucket.length,
+                    "envelope_radius": bucket.groups[0].envelope_radius,
+                }
+            )
+        manifest = {
+            "format_version": 1,
+            "dataset_name": index.dataset.name,
+            "st": index.st,
+            "window": {"kind": "fraction", "value": index.window},
+            "start_step": index.start_step,
+            "value_range": list(index.value_range),
+            "build_seconds": index.build_seconds,
+            "group_search_width": None,
+            "use_batch_kernels": True,
+            "series_names": [s.name for s in index.dataset],
+            "series_labels": [s.label for s in index.dataset],
+            "lengths": lengths_meta,
+        }
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+
+    def test_v1_archives_still_load(self, small_index, tmp_path):
+        path = tmp_path / "legacy.npz"
+        self._write_v1(small_index, path)
+        loaded = load_index(path)
+        assert loaded.rspace.n_groups == small_index.rspace.n_groups
+        for length in loaded.rspace.lengths:
+            before = small_index.rspace.bucket(length)
+            after = loaded.rspace.bucket(length)
+            for group_before, group_after in zip(before.groups, after.groups):
+                assert group_before.member_ids == group_after.member_ids
+                assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
+
+    def test_v1_groups_reattach_to_store(self, small_index, tmp_path):
+        path = tmp_path / "legacy.npz"
+        self._write_v1(small_index, path)
+        loaded = load_index(path)
+        for bucket in loaded.rspace:
+            assert bucket.store_view is not None
+            for group in bucket.groups:
+                assert group.member_rows is not None
+
+    def test_v1_queries_match_v2(self, small_index, tmp_path, saved_path):
+        legacy = tmp_path / "legacy.npz"
+        self._write_v1(small_index, legacy)
+        from_v1 = load_index(legacy)
+        from_v2 = load_index(saved_path)
+        query = small_index.dataset[1].values[4:16]
+        a = from_v1.query(query, length=12)[0]
+        b = from_v2.query(query, length=12)[0]
+        assert a.ssid == b.ssid
+        assert a.dtw == pytest.approx(b.dtw, abs=1e-12)
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(PersistenceError):

@@ -25,14 +25,16 @@ class TestSizeBreakdown:
             gti_dc_matrix=20,
             gti_sums=30,
             gti_thresholds=40,
-            lsi_sequence_ids=50,
+            lsi_member_rows=50,
             lsi_representatives=60,
             lsi_envelopes=70,
+            store_columns=90,
         )
         assert breakdown.gti_bytes == 100
         assert breakdown.lsi_bytes == 180
-        assert breakdown.total_bytes == 280
-        assert breakdown.total_mb == pytest.approx(280 / 1024 / 1024)
+        assert breakdown.store_bytes == 90
+        assert breakdown.total_bytes == 370
+        assert breakdown.total_mb == pytest.approx(370 / 1024 / 1024)
 
     def test_measure_matches_formula(self, small_index):
         breakdown = measure_rspace(small_index.rspace)
@@ -40,19 +42,57 @@ class TestSizeBreakdown:
         expected_dc = sum(b.n_groups**2 * 8 for b in small_index.rspace)
         assert breakdown.gti_group_ids == expected_group_ids
         assert breakdown.gti_dc_matrix == expected_dc
-        expected_ids = sum(
-            g.count * (2 * 4 + 8) for b in small_index.rspace for g in b.groups
+        # Store-backed layout: one 4-byte row index + one 8-byte ED per
+        # member (no materialized (series, start) pairs per group).
+        expected_rows = sum(
+            g.count * (4 + 8) for b in small_index.rspace for g in b.groups
         )
-        assert breakdown.lsi_sequence_ids == expected_ids
+        assert breakdown.lsi_member_rows == expected_rows
         expected_reps = sum(
             g.length * 8 for b in small_index.rspace for g in b.groups
         )
         assert breakdown.lsi_representatives == expected_reps
         assert breakdown.lsi_envelopes == 2 * expected_reps
+        # The store's id columns are counted once per length, not per
+        # group: series + start (2 ints) per enumerated row.
+        expected_store = sum(
+            b.store_view.n_rows * 2 * 4 for b in small_index.rspace
+        )
+        assert breakdown.store_columns == expected_store
 
     def test_thresholds_counted_per_length(self, small_index):
         breakdown = measure_rspace(small_index.rspace)
         assert breakdown.gti_thresholds == 2 * 8 * len(small_index.rspace)
+
+    def test_pinned_breakdown_on_fixture(self):
+        """Pin the §6.3 byte accounting on a deterministic tiny base.
+
+        3 series x 10 points, lengths [4, 6], start_step 2. Enumerated
+        rows: length 4 -> 4 starts/series = 12 rows; length 6 -> 3
+        starts/series = 9 rows. A huge ST gives exactly one group per
+        length, so every component is hand-computable.
+        """
+        from repro.core.onex import OnexIndex
+        from repro.data.dataset import Dataset
+
+        rng = np.random.default_rng(0)
+        dataset = Dataset([rng.normal(size=10) for _ in range(3)], name="pin")
+        index = OnexIndex.build(
+            dataset, st=100.0, lengths=[4, 6], start_step=2, seed=0
+        )
+        assert [b.n_groups for b in index.rspace] == [1, 1]
+        breakdown = measure_rspace(index.rspace)
+        assert breakdown.gti_group_ids == 2 * 1 * 4
+        assert breakdown.gti_dc_matrix == 2 * 1 * 1 * 8
+        assert breakdown.gti_sums == 2 * 1 * (4 + 8)
+        assert breakdown.gti_thresholds == 2 * 2 * 8
+        assert breakdown.lsi_member_rows == (12 + 9) * (4 + 8)
+        assert breakdown.lsi_representatives == (4 + 6) * 8
+        assert breakdown.lsi_envelopes == 2 * (4 + 6) * 8
+        assert breakdown.store_columns == (12 + 9) * 2 * 4
+        assert breakdown.total_bytes == (
+            breakdown.gti_bytes + breakdown.lsi_bytes + breakdown.store_bytes
+        )
 
 
 class TestMatch:

@@ -1,0 +1,112 @@
+"""Tests for the columnar subsequence store (zero-copy window views)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.store import SubsequenceStore
+from repro.exceptions import DataError
+
+
+@pytest.mark.parametrize("start_step", [1, 2, 3])
+class TestEnumerationParity:
+    """Row order and values must match ``Dataset.subsequences`` exactly."""
+
+    def test_ids_match(self, small_dataset, start_step):
+        view = SubsequenceStore(small_dataset, start_step=start_step).view(12)
+        expected = [ssid for ssid, _ in small_dataset.subsequences(12, start_step)]
+        assert view.ids(np.arange(view.n_rows)) == expected
+        assert view.n_rows == len(expected)
+
+    def test_values_match(self, small_dataset, start_step):
+        view = SubsequenceStore(small_dataset, start_step=start_step).view(12)
+        expected = np.stack(
+            [values for _, values in small_dataset.subsequences(12, start_step)]
+        )
+        assert np.array_equal(view.values(), expected)
+
+    def test_single_row_round_trip(self, small_dataset, start_step):
+        view = SubsequenceStore(small_dataset, start_step=start_step).view(9)
+        for row in (0, view.n_rows // 2, view.n_rows - 1):
+            ssid = view.ssid(row)
+            assert np.array_equal(
+                view.row_values(row), small_dataset.subsequence(ssid)
+            )
+
+
+class TestZeroCopy:
+    def test_row_values_share_memory(self, small_dataset):
+        store = SubsequenceStore(small_dataset)
+        view = store.view(12)
+        assert np.shares_memory(view.row_values(0), store.flat_values)
+
+    def test_fancy_index_gather(self, small_dataset):
+        view = SubsequenceStore(small_dataset).view(12)
+        rows = np.array([5, 0, 17], dtype=np.int64)
+        gathered = view.values(rows)
+        for position, row in enumerate(rows):
+            assert np.array_equal(gathered[position], view.row_values(int(row)))
+
+
+class TestNorms:
+    def test_sq_norms_match_explicit(self, small_dataset):
+        view = SubsequenceStore(small_dataset).view(12)
+        explicit = np.einsum("ij,ij->i", view.values(), view.values())
+        assert np.allclose(view.sq_norms(), explicit, atol=1e-12)
+
+    def test_subset_indexing(self, small_dataset):
+        view = SubsequenceStore(small_dataset).view(12)
+        rows = np.array([3, 11])
+        assert np.array_equal(view.sq_norms(rows), view.sq_norms()[rows])
+
+
+class TestRowsOf:
+    def test_inverse_lookup_round_trip(self, small_dataset):
+        view = SubsequenceStore(small_dataset, start_step=2).view(12)
+        rows = np.arange(view.n_rows)
+        recovered = view.rows_of(view.series[rows], view.starts[rows])
+        assert np.array_equal(recovered, rows)
+
+    def test_misaligned_start_rejected(self, small_dataset):
+        view = SubsequenceStore(small_dataset, start_step=2).view(12)
+        with pytest.raises(DataError):
+            view.rows_of(np.array([0]), np.array([1]))  # not a multiple of 2
+
+    def test_out_of_range_rejected(self, small_dataset):
+        view = SubsequenceStore(small_dataset).view(12)
+        with pytest.raises(DataError):
+            view.rows_of(np.array([99]), np.array([0]))
+        with pytest.raises(DataError):
+            view.rows_of(np.array([0]), np.array([999]))
+
+
+class TestBoundaries:
+    def test_windows_never_cross_series(self):
+        # Two constant series with distinct levels: any window mixing
+        # them would contain both values.
+        dataset = Dataset([np.zeros(8), np.ones(8)])
+        view = SubsequenceStore(dataset).view(4)
+        matrix = view.values()
+        assert view.n_rows == 2 * (8 - 4 + 1)
+        assert np.all((matrix == 0.0).all(axis=1) | (matrix == 1.0).all(axis=1))
+
+    def test_short_series_contribute_nothing(self):
+        dataset = Dataset([np.arange(10.0), np.arange(3.0)])
+        view = SubsequenceStore(dataset).view(5)
+        assert view.n_rows == 10 - 5 + 1
+        assert set(view.series.tolist()) == {0}
+
+    def test_guards(self, small_dataset):
+        with pytest.raises(DataError):
+            SubsequenceStore(small_dataset, start_step=0)
+        store = SubsequenceStore(small_dataset)
+        with pytest.raises(DataError):
+            store.view(1)
+        with pytest.raises(DataError):
+            store.view(10_000)
+
+    def test_views_cached(self, small_dataset):
+        store = SubsequenceStore(small_dataset)
+        assert store.view(12) is store.view(12)
