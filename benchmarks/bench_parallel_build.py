@@ -1,0 +1,227 @@
+"""Process-parallel sharded build vs sequential + v2/v3 load latency.
+
+The ISSUE-3 tentpole claims:
+
+* The sharded construction engine — every length's Algorithm-1 pass as
+  an independent worker shard over a shared mmap of the subsequence
+  store — is at least 2x faster wall-clock at ``n_jobs=4`` than the
+  same engine run sequentially, while producing **bit-identical**
+  groups. The speedup is measured engine-vs-engine over identical
+  pre-drawn visit permutations (pool startup, the flat-array dump and
+  result unpickling all count against the sharded side); the
+  end-to-end ``OnexIndex.build`` wall times are reported alongside
+  (they include the serial R-Space/SP-Space assembly both paths
+  share). The identity contract is asserted unconditionally; the
+  wall-clock contract needs >= 4 usable cores, so on smaller machines
+  the speedup is reported but not enforced (CI's ubuntu runners
+  provide 4).
+* Loading the memory-mapped v3 directory format is O(manifest): its
+  latency is measured against the legacy v2 ``.npz`` archive (which
+  decompresses and hydrates every group eagerly) and reported; with the
+  full configuration v3 must win.
+
+Set ``ONEX_BENCH_QUICK=1`` for the CI smoke run (smaller dataset; both
+parity contracts still hold).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import registry
+from repro.core.grouping import GroupBuilder
+from repro.core.onex import OnexIndex
+from repro.core.parallel import build_shards_parallel
+from repro.core.persistence import load_index, save_index
+from repro.data.normalize import min_max_normalize_dataset
+from repro.data.store import SubsequenceStore
+from repro.data.synthetic import make_dataset
+
+QUICK = os.environ.get("ONEX_BENCH_QUICK", "") not in ("", "0")
+N_SERIES = 96 if QUICK else 144
+SERIES_LENGTH = 192 if QUICK else 224
+N_LENGTHS = 8
+ST = 0.12
+N_JOBS = 4
+MIN_SPEEDUP = 2.0
+N_REPEATS = 1 if QUICK else 2
+_CORES = os.cpu_count() or 1
+
+_rows: dict[str, list[object]] = {}
+_load_rows: dict[str, list[object]] = {}
+
+
+def _register() -> None:
+    if _rows:
+        registry.add_table(
+            "parallel_build",
+            f"Sharded construction engine vs sequential (ECG-style, "
+            f"{N_SERIES} series x {SERIES_LENGTH}, {N_LENGTHS} lengths, "
+            f"ST={ST}, {_CORES} cores)",
+            ["phase", "seconds", "vs sequential", "groups"],
+            [_rows[key] for key in sorted(_rows)],
+        )
+    if _load_rows:
+        registry.add_table(
+            "load_latency",
+            "Index load latency: v2 .npz (eager) vs v3 directory (mmap, lazy)",
+            ["format", "load seconds", "vs v2", "hydrated buckets at load"],
+            [_load_rows[key] for key in sorted(_load_rows)],
+        )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return min_max_normalize_dataset(
+        make_dataset("ECG", n_series=N_SERIES, length=SERIES_LENGTH, seed=3)
+    )
+
+
+def _grid() -> list[int]:
+    grid = np.linspace(SERIES_LENGTH // 6, SERIES_LENGTH, N_LENGTHS)
+    return sorted(set(int(v) for v in grid.round()))
+
+
+def _best_time(run, repeats=N_REPEATS):
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    return best_seconds, result
+
+
+def _assert_groups_identical(a, b) -> None:
+    assert len(a) == len(b)
+    for group_a, group_b in zip(a, b):
+        assert group_a.member_ids == group_b.member_ids
+        assert np.array_equal(group_a.ed_to_rep, group_b.ed_to_rep)
+        assert np.array_equal(group_a.representative, group_b.representative)
+        assert np.array_equal(group_a.member_rows, group_b.member_rows)
+
+
+def test_sharded_engine_speedup_and_identity(dataset) -> None:
+    grid = _grid()
+    store = SubsequenceStore(dataset)
+    rng = np.random.default_rng(0)
+    # The identical pre-drawn permutations OnexIndex.build would use.
+    orders = {
+        length: rng.permutation(store.view(length).n_rows) for length in grid
+    }
+
+    def run_sequential():
+        return {
+            length: GroupBuilder(length, ST).build(
+                store.view(length), order=orders[length]
+            )
+            for length in grid
+        }
+
+    def run_sharded():
+        shards = build_shards_parallel(
+            store, grid, orders, st=ST, n_jobs=N_JOBS
+        )
+        return {length: shards[length].groups for length in grid}
+
+    sequential_seconds, sequential = _best_time(run_sequential)
+    sharded_seconds, sharded = _best_time(run_sharded)
+    speedup = sequential_seconds / sharded_seconds
+
+    # Identity contract: bit-identical groups regardless of job count.
+    n_groups = 0
+    for length in grid:
+        _assert_groups_identical(sequential[length], sharded[length])
+        n_groups += len(sequential[length])
+
+    _rows["a_engine_seq"] = [
+        "engine sequential", sequential_seconds, 1.0, n_groups
+    ]
+    _rows["b_engine_par"] = [
+        f"engine sharded (n_jobs={N_JOBS})", sharded_seconds, speedup, n_groups
+    ]
+    _register()
+
+    # Wall-clock contract: 4 shards need 4 cores to overlap; a 1-core
+    # container can verify identity but not concurrency.
+    if _CORES >= N_JOBS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"sharded engine only {speedup:.2f}x faster than sequential "
+            f"(required >= {MIN_SPEEDUP}x at n_jobs={N_JOBS})"
+        )
+
+
+def test_end_to_end_build_identity(dataset) -> None:
+    """Whole-index builds (including the serial R/SP-Space assembly)."""
+
+    def build(n_jobs):
+        return OnexIndex.build(
+            dataset, st=ST, lengths=_grid(), normalize=False, seed=0,
+            n_jobs=n_jobs,
+        )
+
+    sequential_seconds, sequential = _best_time(lambda: build(1), repeats=1)
+    parallel_seconds, parallel = _best_time(lambda: build(N_JOBS), repeats=1)
+
+    assert sequential.rspace.lengths == parallel.rspace.lengths
+    for length in sequential.rspace.lengths:
+        _assert_groups_identical(
+            sequential.rspace.bucket(length).groups,
+            parallel.rspace.bucket(length).groups,
+        )
+
+    _rows["c_full_seq"] = [
+        "full build (n_jobs=1)",
+        sequential_seconds,
+        1.0,
+        sequential.rspace.n_groups,
+    ]
+    _rows["d_full_par"] = [
+        f"full build (n_jobs={N_JOBS})",
+        parallel_seconds,
+        sequential_seconds / parallel_seconds,
+        parallel.rspace.n_groups,
+    ]
+    _register()
+
+
+def test_load_latency_v2_vs_v3(dataset, tmp_path) -> None:
+    index = OnexIndex.build(
+        dataset, st=ST, lengths=_grid(), normalize=False, seed=0
+    )
+    v2_path = tmp_path / "index.npz"
+    v3_path = tmp_path / "index.onex"
+    save_index(index, v2_path)
+    save_index(index, v3_path)
+
+    v2_seconds, from_v2 = _best_time(lambda: load_index(v2_path), repeats=3)
+    v3_seconds, from_v3 = _best_time(lambda: load_index(v3_path), repeats=3)
+
+    # v3 is lazy: nothing hydrates until the first query needs it.
+    hydrated_v3 = len(load_index(v3_path).rspace.hydrated_lengths)
+    assert hydrated_v3 == 0
+
+    _load_rows["a_v2"] = [
+        "v2 .npz", v2_seconds, 1.0, len(from_v2.rspace.hydrated_lengths)
+    ]
+    _load_rows["b_v3"] = [
+        "v3 directory", v3_seconds, v2_seconds / v3_seconds, hydrated_v3
+    ]
+    _register()
+
+    # Both formats answer identically once queried.
+    query = dataset[0].values[: _grid()[0]]
+    match_v2 = from_v2.query(query, length=_grid()[0])[0]
+    match_v3 = from_v3.query(query, length=_grid()[0])[0]
+    assert match_v2.ssid == match_v3.ssid
+    assert match_v2.dtw == pytest.approx(match_v3.dtw, abs=1e-12)
+
+    if not QUICK:
+        assert v3_seconds < v2_seconds, (
+            f"v3 mmap load ({v3_seconds:.4f}s) should beat the eager v2 "
+            f"archive ({v2_seconds:.4f}s)"
+        )

@@ -59,6 +59,14 @@ def main() -> None:
         f"{index.rspace.n_groups} groups -> {looser.rspace.n_groups} groups"
     )
 
+    # 7. Scaling up from here: `OnexIndex.build(..., n_jobs=4)` (CLI:
+    #    `onex build --jobs 4`) shards construction across worker
+    #    processes over a shared mmap of the subsequence store — the
+    #    result is bit-identical to the sequential build — and saving to
+    #    a path without an .npz suffix (e.g. `index.save("base.onex")`)
+    #    writes the memory-mapped v3 directory format, which loads in
+    #    O(manifest) and hydrates each length bucket on first query.
+
 
 if __name__ == "__main__":
     main()

@@ -3,15 +3,41 @@
 Benchmarks register their result tables with the module-level
 :data:`registry`; the ``benchmarks/conftest.py`` hook prints everything
 in the pytest terminal summary (which is never swallowed by output
-capture) and also writes ``benchmarks/results/<name>.txt`` so the rows
-survive the run.
+capture) and also writes ``benchmarks/results/<name>.txt`` plus a
+machine-readable ``<name>.json`` (title/headers/rows) so the rows
+survive the run and CI can upload them as artifacts for the perf
+trajectory.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+
+
+def _json_cell(value: object) -> object:
+    """Coerce a table cell to a *strictly valid* JSON value.
+
+    NumPy scalars expose ``item()``; non-finite floats become strings
+    (``json.dump`` would otherwise emit bare ``NaN``/``Infinity``
+    tokens that strict parsers reject); anything else non-primitive
+    falls back to its string form.
+    """
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            value = item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, float) and (value != value or value in (
+        float("inf"), float("-inf")
+    )):
+        return str(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 
 def _format_cell(value: object) -> str:
@@ -66,6 +92,15 @@ class ReportRegistry:
             path = os.path.join(self.output_dir, f"{name}.txt")
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(rendered + "\n")
+            payload = {
+                "name": name,
+                "title": title,
+                "headers": list(headers),
+                "rows": [[_json_cell(cell) for cell in row] for row in rows],
+            }
+            json_path = os.path.join(self.output_dir, f"{name}.json")
+            with open(json_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, allow_nan=False)
         return rendered
 
     def render_all(self, write_line: Callable[[str], None]) -> None:

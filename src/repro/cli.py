@@ -126,6 +126,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         window=args.window,
         seed=args.seed,
         assign_mode=args.assign_mode,
+        n_jobs=args.jobs,
         progress=progress,
     )
     index.save(args.out)
@@ -248,8 +249,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="index every length (the paper's full decomposition)",
     )
+    p_build.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for construction: each indexed length is an "
+        "independent shard over a shared mmap of the subsequence store; "
+        "the result is bit-identical for every job count (-1 = all cores)",
+    )
     p_build.add_argument("--seed", type=int, default=0)
-    p_build.add_argument("--out", required=True, help="output .npz path")
+    p_build.add_argument(
+        "--out",
+        required=True,
+        help="output path: '.npz' writes the legacy single-archive v2 "
+        "format; any other path writes the memory-mappable v3 directory "
+        "(loaded lazily, bucket by bucket)",
+    )
     p_build.set_defaults(handler=_cmd_build)
 
     p_info = sub.add_parser("info", help="describe a saved index")

@@ -319,9 +319,21 @@ class GroupBuilder:
     # Store-backed construction
     # ------------------------------------------------------------------
     def build(
-        self, view: LengthView, rng: np.random.Generator
+        self,
+        view: LengthView,
+        rng: np.random.Generator | None = None,
+        *,
+        order: np.ndarray | None = None,
     ) -> list[SimilarityGroup]:
-        """Group every row of ``view``; returns finalized groups."""
+        """Group every row of ``view``; returns finalized groups.
+
+        The visit order is either drawn here from ``rng``
+        (RANDOMIZE-IN-PLACE: a seeded Fisher-Yates permutation) or
+        supplied explicitly via ``order`` — the process-parallel build
+        pre-draws every length's permutation in grid order in the parent
+        so worker shards make bit-identical decisions to the sequential
+        build regardless of job count.
+        """
         if view.length != self.length:
             raise IndexConstructionError(
                 f"view of length {view.length} passed to builder of length "
@@ -331,8 +343,19 @@ class GroupBuilder:
             raise IndexConstructionError(
                 f"store has no subsequences of length {self.length}"
             )
-        # RANDOMIZE-IN-PLACE: visit rows in a seeded Fisher-Yates order.
-        order = rng.permutation(view.n_rows)
+        if order is None:
+            if rng is None:
+                raise IndexConstructionError(
+                    "GroupBuilder.build needs either an rng or an explicit order"
+                )
+            order = rng.permutation(view.n_rows)
+        else:
+            order = np.asarray(order, dtype=np.int64)
+            if order.shape != (view.n_rows,):
+                raise IndexConstructionError(
+                    f"visit order has shape {order.shape}; expected "
+                    f"({view.n_rows},) for length {self.length}"
+                )
         reps = RepresentativeSet(self.length)
         if self.assign_mode == "minibatch":
             membership = self._assign_minibatch(view, order, reps)

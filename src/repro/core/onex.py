@@ -20,12 +20,14 @@ path runs on, is documented in ``DESIGN.md`` at the repository root.
 from __future__ import annotations
 
 import math
+import os
 import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.grouping import ASSIGN_MODES, GroupBuilder
+from repro.core.parallel import build_shards_parallel, resolve_n_jobs
 from repro.core.query_processor import QueryProcessor
 from repro.core.results import BaseStats, Match, SeasonalResult, ThresholdRecommendation
 from repro.core.rspace import LengthBucket, RSpace
@@ -115,6 +117,7 @@ class OnexIndex:
         grouping: str = "incremental",
         use_batch_kernels: bool = True,
         assign_mode: str = "sequential",
+        n_jobs: int | None = None,
         progress: "callable | None" = None,
     ) -> "OnexIndex":
         """Run the one-time ONEX preprocessing step (§4.1).
@@ -160,6 +163,14 @@ class OnexIndex:
             (bit-identical to Algorithm 1, default) or ``"minibatch"``
             (chunked BLAS assignment for large builds; documented
             deviation — see :class:`~repro.core.grouping.GroupBuilder`).
+        n_jobs:
+            Worker processes for the construction step. ``None``/``1``
+            builds in-process; larger values partition the length grid
+            across a process pool whose shards window a shared mmap of
+            the subsequence store (see :mod:`repro.core.parallel`);
+            negative counts back from the core count (``-1`` = all).
+            The produced index is **bit-identical** for every job count.
+            Only the ``"incremental"`` grouping strategy shards.
         progress:
             Optional callable ``progress(length, n_subsequences,
             seconds)`` invoked after each length's groups are built
@@ -197,26 +208,24 @@ class OnexIndex:
                 f"unknown grouping strategy {grouping!r}; "
                 "use 'incremental' or 'kmeans'"
             )
+        jobs = resolve_n_jobs(n_jobs)
+        if jobs > 1 and grouping != "incremental":
+            raise QueryError(
+                "parallel construction (n_jobs > 1) requires "
+                "grouping='incremental'"
+            )
         rng = np.random.default_rng(seed)
         started = time.perf_counter()
         store = SubsequenceStore(dataset, start_step=start_step)
         buckets: dict[int, LengthBucket] = {}
         build_profile: list[dict] = []
-        for length in grid:
-            length_started = time.perf_counter()
+
+        def record(length, groups, seconds, notify=True):
+            """Shared per-length bookkeeping for every construction path."""
             view = store.view(length)
-            if grouping == "kmeans":
-                groups = build_groups_kmeans(
-                    dataset, length, st, rng, start_step=start_step, view=view
-                )
-            else:
-                groups = GroupBuilder(length, st, assign_mode=assign_mode).build(
-                    view, rng
-                )
             buckets[length] = LengthBucket(
                 length=length, groups=groups, store_view=view
             )
-            seconds = time.perf_counter() - length_started
             build_profile.append(
                 {
                     "length": length,
@@ -224,8 +233,54 @@ class OnexIndex:
                     "seconds": seconds,
                 }
             )
-            if progress is not None:
+            if notify and progress is not None:
                 progress(length, view.n_rows, seconds)
+
+        if grouping == "kmeans":
+            for length in grid:
+                length_started = time.perf_counter()
+                groups = build_groups_kmeans(
+                    dataset,
+                    length,
+                    st,
+                    rng,
+                    start_step=start_step,
+                    view=store.view(length),
+                )
+                record(length, groups, time.perf_counter() - length_started)
+        elif jobs > 1:
+            views = {length: store.view(length) for length in grid}
+            # Pre-draw every length's visit permutation in grid order:
+            # the rng consumption is exactly the sequential loop's, so
+            # sharded builds make bit-identical decisions (see
+            # repro.core.parallel).
+            orders = {
+                length: rng.permutation(views[length].n_rows)
+                for length in grid
+            }
+            shards = build_shards_parallel(
+                store,
+                grid,
+                orders,
+                st=st,
+                assign_mode=assign_mode,
+                n_jobs=jobs,
+                progress=progress,  # invoked as shards complete
+            )
+            for length in grid:
+                record(
+                    length,
+                    shards[length].groups,
+                    shards[length].seconds,
+                    notify=False,
+                )
+        else:
+            for length in grid:
+                length_started = time.perf_counter()
+                groups = GroupBuilder(length, st, assign_mode=assign_mode).build(
+                    store.view(length), rng
+                )
+                record(length, groups, time.perf_counter() - length_started)
         rspace = RSpace(buckets)
         spspace = SPSpace(rspace, st)
         build_seconds = time.perf_counter() - started
@@ -401,15 +456,30 @@ class OnexIndex:
             build_seconds=self.build_seconds,
         )
 
-    def save(self, path: str) -> None:
-        """Persist the index (arrays + JSON manifest inside an ``.npz``)."""
+    def save(
+        self, path: str | os.PathLike, version: int | None = None
+    ) -> None:
+        """Persist the index.
+
+        ``version=None`` infers the format from the path: an ``.npz``
+        suffix writes the legacy single-archive v2; anything else
+        writes the memory-mappable v3 directory (raw ``.npy`` arrays
+        plus ``manifest.json``). Both write temp-then-rename, so a
+        reader never observes a partially written index (see
+        :func:`repro.core.persistence.save_index` for the exact v3
+        crash-window semantics).
+        """
         from repro.core.persistence import save_index
 
-        save_index(self, path)
+        save_index(self, path, version=version)
 
     @classmethod
-    def load(cls, path: str) -> "OnexIndex":
-        """Load an index previously written by :meth:`save`."""
+    def load(cls, path: str | os.PathLike) -> "OnexIndex":
+        """Load an index previously written by :meth:`save`.
+
+        v3 directories open lazily: the manifest and mmap handles load
+        now; each length bucket hydrates on first access.
+        """
         from repro.core.persistence import load_index
 
         return load_index(path)

@@ -1,0 +1,166 @@
+"""Process-parallel sharded construction: one worker shard per length.
+
+ONEX construction (Algorithm 1 per indexed length) is embarrassingly
+parallel across the length grid: each length's grouping reads only that
+length's :class:`~repro.data.store.LengthView` and writes only its own
+groups. This module partitions the grid across a
+``ProcessPoolExecutor`` while keeping two hard guarantees:
+
+* **No window pickling.** The parent dumps the store's flat value array
+  to a temporary ``.npy`` file once; every worker reattaches through
+  ``np.load(..., mmap_mode="r")`` and rebuilds an equivalent
+  :class:`~repro.data.store.SubsequenceStore` with
+  :meth:`~repro.data.store.SubsequenceStore.from_flat`, so the window
+  matrices are OS-page-shared views of one file. Task payloads carry
+  only a visit-order index array; results carry finalized
+  :class:`~repro.core.group.SimilarityGroup` objects (representatives,
+  sorted EDs, store row indices — never raw member matrices).
+* **Bit-identical output.** The parent pre-draws every length's
+  Fisher-Yates permutation from the build rng *in grid order* — exactly
+  the draws the sequential loop would make — and ships each permutation
+  to its shard. Given the same visit order the
+  :class:`~repro.core.grouping.GroupBuilder` is deterministic (in both
+  ``sequential`` and ``minibatch`` assign modes), so the produced groups
+  match the ``n_jobs=1`` build bit for bit regardless of job count or
+  shard completion order.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grouping import GroupBuilder
+from repro.core.group import SimilarityGroup
+from repro.data.store import SubsequenceStore
+from repro.exceptions import IndexConstructionError
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` spec to a concrete worker count.
+
+    ``None`` means sequential (1). Negative values count back from the
+    machine: ``-1`` is every core, ``-2`` all but one, and so on.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        raise IndexConstructionError(
+            "n_jobs must be >= 1, or negative to count back from the "
+            "core count (-1 = all cores)"
+        )
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+@dataclass
+class ShardResult:
+    """One length shard's finalized groups plus its build accounting."""
+
+    length: int
+    groups: list[SimilarityGroup]
+    n_rows: int
+    seconds: float
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+# One store per worker process, attached once by the pool initializer and
+# reused by every shard the worker runs.
+_WORKER_STORE: SubsequenceStore | None = None
+
+
+def _init_worker(
+    flat_path: str, series_lengths: np.ndarray, start_step: int
+) -> None:
+    global _WORKER_STORE
+    values = np.load(flat_path, mmap_mode="r")
+    _WORKER_STORE = SubsequenceStore.from_flat(
+        values, series_lengths, start_step=start_step
+    )
+
+
+def _build_shard(
+    length: int,
+    order: np.ndarray,
+    st: float,
+    assign_mode: str,
+    envelope_radius: int | None,
+) -> ShardResult:
+    if _WORKER_STORE is None:  # pragma: no cover - initializer always ran
+        raise IndexConstructionError("worker store was never initialized")
+    started = time.perf_counter()
+    view = _WORKER_STORE.view(length)
+    builder = GroupBuilder(
+        length, st, assign_mode=assign_mode, envelope_radius=envelope_radius
+    )
+    groups = builder.build(view, order=order)
+    return ShardResult(
+        length=length,
+        groups=groups,
+        n_rows=view.n_rows,
+        seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def build_shards_parallel(
+    store: SubsequenceStore,
+    grid: list[int],
+    orders: dict[int, np.ndarray],
+    st: float,
+    assign_mode: str = "sequential",
+    envelope_radius: int | None = None,
+    n_jobs: int = 2,
+    progress: "callable | None" = None,
+) -> dict[int, ShardResult]:
+    """Build every length's groups across a process pool.
+
+    ``orders`` maps each length to its pre-drawn visit permutation (see
+    the module docstring for why the parent draws them). ``progress`` is
+    invoked as shards *complete* (completion order is nondeterministic;
+    the returned mapping is assembled per length and is not).
+    """
+    if not grid:
+        raise IndexConstructionError("cannot build an empty length grid")
+    shard_dir = tempfile.mkdtemp(prefix="onex-shards-")
+    flat_path = os.path.join(shard_dir, "flat_values.npy")
+    results: dict[int, ShardResult] = {}
+    try:
+        np.save(flat_path, np.ascontiguousarray(store.flat_values))
+        max_workers = max(1, min(int(n_jobs), len(grid)))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(flat_path, store.series_lengths, store.start_step),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _build_shard,
+                    length,
+                    orders[length],
+                    st,
+                    assign_mode,
+                    envelope_radius,
+                ): length
+                for length in grid
+            }
+            for future in as_completed(futures):
+                shard = future.result()
+                results[shard.length] = shard
+                if progress is not None:
+                    progress(shard.length, shard.n_rows, shard.seconds)
+    finally:
+        shutil.rmtree(shard_dir, ignore_errors=True)
+    return results

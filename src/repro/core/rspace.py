@@ -145,39 +145,66 @@ class LengthBucket:
 
 
 class RSpace:
-    """Representative Space: one :class:`LengthBucket` per indexed length."""
+    """Representative Space: one :class:`LengthBucket` per indexed length.
 
-    def __init__(self, buckets: dict[int, LengthBucket]) -> None:
-        if not buckets:
+    Buckets are either materialized up front (``buckets``) or supplied
+    as zero-argument ``loaders`` that hydrate on first access — the v3
+    persistence format registers one loader per length so ``load`` is
+    O(manifest) and a bucket's groups (and mmap pages) are only touched
+    by the first query that needs that length.
+    """
+
+    def __init__(
+        self,
+        buckets: dict[int, LengthBucket],
+        loaders: "dict[int, callable] | None" = None,
+    ) -> None:
+        loaders = dict(loaders or {})
+        if not buckets and not loaders:
             raise IndexConstructionError("R-Space requires at least one length bucket")
         self._buckets = dict(sorted(buckets.items()))
+        self._loaders = loaders
+        self._lengths = sorted(set(self._buckets) | set(loaders))
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
     def __contains__(self, length: int) -> bool:
-        return length in self._buckets
+        return length in self._buckets or length in self._loaders
 
     def __iter__(self) -> Iterator[LengthBucket]:
-        return iter(self._buckets.values())
+        return (self.bucket(length) for length in self._lengths)
 
     def __len__(self) -> int:
-        return len(self._buckets)
+        return len(self._lengths)
 
     @property
     def lengths(self) -> list[int]:
         """Indexed lengths, ascending."""
-        return list(self._buckets)
+        return list(self._lengths)
+
+    @property
+    def hydrated_lengths(self) -> list[int]:
+        """Lengths whose bucket is materialized (all, unless lazily loaded)."""
+        return [length for length in self._lengths if length in self._buckets]
 
     def bucket(self, length: int) -> LengthBucket:
-        """GTI lookup: the bucket of one length (constant time, §5.2)."""
-        try:
-            return self._buckets[length]
-        except KeyError:
-            known = ", ".join(map(str, self._buckets))
+        """GTI lookup: the bucket of one length (constant time, §5.2).
+
+        Lazily registered buckets hydrate here, once, on first access.
+        """
+        bucket = self._buckets.get(length)
+        if bucket is not None:
+            return bucket
+        loader = self._loaders.get(length)
+        if loader is None:
+            known = ", ".join(map(str, self._lengths))
             raise QueryError(
                 f"length {length} is not indexed; indexed lengths: {known}"
             ) from None
+        bucket = loader()
+        self._buckets[length] = bucket
+        return bucket
 
     # ------------------------------------------------------------------
     # Statistics
@@ -203,7 +230,7 @@ class RSpace:
         continue with decreasing lengths, then increasing ones.
         """
         lengths = self.lengths
-        if query_length in self._buckets:
+        if query_length in self:
             start = lengths.index(query_length)
         else:
             start = min(

@@ -107,6 +107,30 @@ class SPSpace:
         self.st_half = max(pair[0] for pair in self._local.values())
         self.st_final = max(pair[1] for pair in self._local.values())
 
+    @classmethod
+    def restore(
+        cls, st: float, local: dict[int, tuple[float, float]]
+    ) -> "SPSpace":
+        """Rebuild an SP-Space from persisted per-length thresholds.
+
+        The v3 index manifest stores each length's ``(ST_half,
+        ST_final)``, so loading skips the Kruskal sweep entirely (and,
+        with lazily hydrated buckets, never touches the Dc matrices).
+        The caller is responsible for stamping the thresholds onto
+        buckets as they hydrate.
+        """
+        if not local:
+            raise QueryError("cannot restore an SP-Space with no lengths")
+        space = cls.__new__(cls)
+        space.st = float(st)
+        space._local = {
+            int(length): (float(half), float(final))
+            for length, (half, final) in sorted(local.items())
+        }
+        space.st_half = max(pair[0] for pair in space._local.values())
+        space.st_final = max(pair[1] for pair in space._local.values())
+        return space
+
     # ------------------------------------------------------------------
     def local(self, length: int) -> tuple[float, float]:
         """Local ``(ST_half, ST_final)`` for one length."""

@@ -200,6 +200,46 @@ class SubsequenceStore:
         self.series_offsets = np.concatenate([[0], np.cumsum(lengths)])[:-1]
         self._views: dict[int, LengthView] = {}
 
+    @classmethod
+    def from_flat(
+        cls,
+        flat_values: np.ndarray,
+        series_lengths: np.ndarray,
+        start_step: int = 1,
+        dataset: Dataset | None = None,
+    ) -> "SubsequenceStore":
+        """A store over an existing flat value array, without re-copying.
+
+        ``flat_values`` may be a read-only buffer — in particular a
+        ``numpy.memmap`` over an on-disk ``.npy`` file (the v3
+        persistence format and the process-parallel build workers both
+        window directly over such a mapping, so subsequence values are
+        paged in on demand and never pickled or duplicated per process).
+        ``series_lengths`` delimits the concatenated series. ``dataset``
+        is optional; worker-side stores have none.
+        """
+        if start_step < 1:
+            raise DataError(f"start_step must be >= 1, got {start_step}")
+        flat_values = np.asarray(flat_values)
+        if flat_values.ndim != 1:
+            raise DataError(
+                f"flat_values must be 1-D, got shape {flat_values.shape}"
+            )
+        lengths = np.asarray(series_lengths, dtype=np.int64)
+        if int(lengths.sum()) != flat_values.shape[0]:
+            raise DataError(
+                f"series_lengths sum to {int(lengths.sum())} but flat_values "
+                f"has {flat_values.shape[0]} points"
+            )
+        store = cls.__new__(cls)
+        store.dataset = dataset
+        store.start_step = int(start_step)
+        store.flat_values = flat_values
+        store.series_lengths = lengths
+        store.series_offsets = np.concatenate([[0], np.cumsum(lengths)])[:-1]
+        store._views = {}
+        return store
+
     def view(self, length: int) -> LengthView:
         """The (cached) per-length view of every subsequence."""
         view = self._views.get(length)
@@ -213,7 +253,8 @@ class SubsequenceStore:
         return int(self.flat_values.shape[0])
 
     def __repr__(self) -> str:
+        n = len(self.series_lengths)
         return (
-            f"<SubsequenceStore N={len(self.dataset)} "
+            f"<SubsequenceStore N={n} "
             f"points={self.total_points} step={self.start_step}>"
         )

@@ -38,10 +38,38 @@ class SubsequenceId:
     def __str__(self) -> str:  # e.g. "(X3)^10_5"
         return f"(X{self.series})^{self.length}_{self.start}"
 
+    def __reduce__(self):
+        # Positional-args pickling: far smaller and faster than the
+        # default dict-state protocol. Group results cross process
+        # boundaries by the million in the sharded build.
+        return (SubsequenceId, (self.series, self.start, self.length))
+
     @property
     def stop(self) -> int:
         """Exclusive end offset within the parent series."""
         return self.start + self.length
+
+
+def _permanently_immutable(array: np.ndarray) -> bool:
+    """Whether the array's buffer can *never* be written through NumPy.
+
+    ``flags.writeable is False`` alone is not enough: the owner of a
+    plain ndarray may flip the flag back on, and a read-only view's
+    writable base stays mutable. The one buffer NumPy cannot re-enable
+    writes on is a read-mode memory map, so alias only when every
+    ndarray down the base chain is non-writeable and the chain
+    terminates in a non-writeable ``np.memmap`` (e.g. slices of a v3
+    index load). Everything else gets the defensive copy.
+    """
+    node = array
+    terminal_is_memmap = False
+    while isinstance(node, np.ndarray):
+        if node.flags.writeable:
+            # Covers r+/w+ memmaps anywhere up the chain too.
+            return False
+        terminal_is_memmap = isinstance(node, np.memmap)
+        node = node.base
+    return terminal_is_memmap
 
 
 class TimeSeries:
@@ -60,11 +88,20 @@ class TimeSeries:
     __slots__ = ("_values", "name", "label")
 
     def __init__(self, values: Any, name: str = "", label: int | None = None) -> None:
-        # Copy before freezing: np.asarray may share the caller's buffer,
-        # and setflags would otherwise make the *caller's* array read-only.
-        array = as_float_array(values, name="time series values").copy()
-        array.setflags(write=False)
-        self._values = array
+        array = as_float_array(values, name="time series values")
+        if _permanently_immutable(array):
+            # Read-mode memmap slices (a v3 index load) are aliased
+            # as-is: nothing can mutate them, and copying would defeat
+            # the O(manifest) load contract.
+            self._values = array
+        else:
+            # Copy before freezing: np.asarray may share the caller's
+            # buffer (and a read-only *view* of a writable base can
+            # still change under the caller's writes); setflags would
+            # otherwise make the *caller's* array read-only.
+            array = array.copy()
+            array.setflags(write=False)
+            self._values = array
         self.name = str(name)
         self.label = label
 

@@ -42,7 +42,7 @@ from repro.data.dataset import Dataset
 from repro.data.normalize import min_max_normalize
 from repro.data.store import LengthView, SubsequenceStore
 from repro.data.timeseries import TimeSeries
-from repro.exceptions import IndexConstructionError
+from repro.exceptions import DataError, IndexConstructionError
 
 
 def _as_series(values: Any, name: str, index: int) -> TimeSeries:
@@ -100,7 +100,7 @@ def append_series(
     buckets: dict[int, LengthBucket] = {}
     for bucket in index.rspace:
         buckets[bucket.length] = _extend_bucket(
-            bucket, store.view(bucket.length), new_index, index.st
+            bucket, store.view(bucket.length), new_index, index.st, dataset
         )
     rspace = RSpace(buckets)
     spspace = SPSpace(rspace, index.st)
@@ -122,19 +122,24 @@ def append_series(
 
 def _existing_rows(
     group: SimilarityGroup, view: LengthView
-) -> np.ndarray:
+) -> np.ndarray | None:
     """Store rows of a group's members in the extended view.
 
     Store-backed groups keep their row arrays (appending a series only
     adds rows at the end, existing numbering is stable); legacy groups
-    resolve their ids through the vectorized inverse lookup.
+    resolve their ids through the vectorized inverse lookup. Returns
+    ``None`` for groups whose ids do not address enumerable store rows
+    (the persistence ``"ids"`` fallback, e.g. a foreign ``start_step``).
     """
     if group.member_rows is not None:
         return group.member_rows
-    return view.rows_of(
-        np.array([ssid.series for ssid in group.member_ids]),
-        np.array([ssid.start for ssid in group.member_ids]),
-    )
+    try:
+        return view.rows_of(
+            np.array([ssid.series for ssid in group.member_ids]),
+            np.array([ssid.start for ssid in group.member_ids]),
+        )
+    except DataError:
+        return None
 
 
 def _extend_bucket(
@@ -142,6 +147,7 @@ def _extend_bucket(
     view: LengthView,
     series_index: int,
     st: float,
+    dataset: Dataset,
 ) -> LengthBucket:
     """Insert one series' subsequences of this bucket's length."""
     length = bucket.length
@@ -177,15 +183,29 @@ def _extend_bucket(
         if rows is None:
             rebuilt.append(group)  # untouched: reuse as-is
             continue
-        member_rows = np.concatenate(
-            [_existing_rows(group, view), np.asarray(rows, dtype=np.int64)]
-        )
+        new_rows_array = np.asarray(rows, dtype=np.int64)
+        existing_rows = _existing_rows(group, view)
+        if existing_rows is None:
+            # Ids off the store's enumeration grid: materialize members
+            # explicitly; the rebuilt group stays store-less.
+            member_rows = None
+            member_matrix = np.concatenate(
+                [
+                    np.stack(
+                        [dataset.subsequence(s) for s in group.member_ids]
+                    ),
+                    view.values(new_rows_array),
+                ]
+            )
+        else:
+            member_rows = np.concatenate([existing_rows, new_rows_array])
+            member_matrix = view.values(member_rows)
         rebuilt.append(
             SimilarityGroup.from_members(
                 length,
-                list(group.member_ids) + view.ids(np.asarray(rows, dtype=np.int64)),
+                list(group.member_ids) + view.ids(new_rows_array),
                 reps.member_sum(g),
-                view.values(member_rows),
+                member_matrix,
                 envelope_radius,
                 member_rows=member_rows,
             )

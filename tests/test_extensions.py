@@ -92,6 +92,61 @@ class TestAppendSeries:
             )
         assert len(index.dataset) == 14
 
+    def test_append_with_off_grid_group_ids(self, small_dataset):
+        """Groups whose ids are off the store grid must not abort the append.
+
+        The persistence ``"ids"`` fallback can restore groups whose
+        member ids do not address enumerable store rows (e.g. a start
+        that is not a multiple of ``start_step``); those groups are
+        carried through store-less instead of raising.
+        """
+        from repro.core.group import SimilarityGroup
+        from repro.core.onex import OnexIndex
+        from repro.data.timeseries import SubsequenceId
+
+        index = OnexIndex.build(
+            small_dataset,
+            st=0.2,
+            lengths=[6, 12],
+            start_step=2,
+            normalize=False,
+            seed=0,
+        )
+        # Replace one group of the length-6 bucket with a store-less twin
+        # holding an off-grid member (start=1 is not on the step-2 grid).
+        bucket = index.rspace.bucket(6)
+        ssid = SubsequenceId(0, 1, 6)
+        values = index.dataset.subsequence(ssid)
+        rogue = SimilarityGroup(6, ssid, values)
+        rogue.finalize(
+            np.stack([values]),
+            envelope_radius=bucket.groups[0].envelope_radius,
+        )
+        from repro.core.rspace import LengthBucket, RSpace
+        from repro.core.spspace import SPSpace
+
+        patched = LengthBucket(
+            length=6, groups=list(bucket.groups) + [rogue], store_view=None
+        )
+        rspace = RSpace({6: patched, 12: index.rspace.bucket(12)})
+        index = OnexIndex(
+            dataset=index.dataset,
+            rspace=rspace,
+            spspace=SPSpace(rspace, index.st),
+            st=index.st,
+            window=index.window,
+            start_step=index.start_step,
+            value_range=index.value_range,
+        )
+        new_series = np.clip(index.dataset[0].values + 0.01, 0.0, 1.0)
+        grown = append_series(index, new_series, normalized=True)
+        assert len(grown.dataset) == len(index.dataset) + 1
+        # The off-grid member survived the append, in some group.
+        assert any(
+            ssid in group.member_ids
+            for group in grown.rspace.bucket(6).groups
+        )
+
 
 class TestNProbe:
     def test_invalid_n_probe(self, small_index):

@@ -1,8 +1,10 @@
-"""Tests for index save/load (npz + JSON manifest, no pickle)."""
+"""Tests for index save/load (npz archives + v3 mmap directories)."""
 
 from __future__ import annotations
 
 import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -70,11 +72,33 @@ class TestRoundTrip:
         loaded = OnexIndex.load(str(path))
         assert loaded.rspace.n_groups == small_index.rspace.n_groups
 
-    def test_extension_appended_when_missing(self, small_index, tmp_path):
+    def test_bare_path_writes_v3_directory(self, small_index, tmp_path):
         bare = tmp_path / "noext"
-        save_index(small_index, bare)  # numpy appends .npz on save
+        save_index(small_index, bare)  # no .npz suffix -> v3 directory
+        assert bare.is_dir() and (bare / "manifest.json").exists()
+        loaded = load_index(bare)
+        assert loaded.rspace.n_groups == small_index.rspace.n_groups
+
+    def test_extension_appended_for_explicit_v2(self, small_index, tmp_path):
+        bare = tmp_path / "noext"
+        save_index(small_index, bare, version=2)  # legacy: .npz appended
+        assert (tmp_path / "noext.npz").exists()
         loaded = load_index(bare)  # loader finds the .npz variant
         assert loaded.rspace.n_groups == small_index.rspace.n_groups
+
+    def test_pathlike_round_trips_end_to_end(self, small_index, tmp_path):
+        path = Path(tmp_path) / "pathlike.npz"
+        small_index.save(path)  # a Path, not a str
+        loaded = OnexIndex.load(path)
+        assert loaded.rspace.n_groups == small_index.rspace.n_groups
+
+    def test_npz_save_is_atomic(self, small_index, tmp_path):
+        path = tmp_path / "atomic.npz"
+        save_index(small_index, path)
+        save_index(small_index, path)  # overwrite via temp + os.replace
+        leftovers = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+        assert leftovers == []
+        assert load_index(path).rspace.n_groups == small_index.rspace.n_groups
 
 
 class TestStoreBackedFormat:
@@ -193,6 +217,191 @@ class TestStoreBackedFormat:
         b = from_v2.query(query, length=12)[0]
         assert a.ssid == b.ssid
         assert a.dtw == pytest.approx(b.dtw, abs=1e-12)
+
+
+@pytest.fixture
+def v3_path(small_index, tmp_path):
+    path = tmp_path / "index.onex"
+    save_index(small_index, path, version=3)
+    return path
+
+
+class TestV3Format:
+    def test_directory_layout(self, v3_path):
+        names = set(os.listdir(v3_path))
+        assert "manifest.json" in names
+        assert "series_values.npy" in names and "series_offsets.npy" in names
+        manifest = json.loads((v3_path / "manifest.json").read_text())
+        assert manifest["format_version"] == 3
+        for entry in manifest["lengths"]:
+            prefix = f"L{entry['length']}_"
+            assert entry["member_encoding"] == "rows"
+            assert prefix + "member_rows.npy" in names
+            assert prefix + "reps.npy" in names
+            # The SP-Space thresholds persist so load skips the merge sweep.
+            assert "st_half" in entry and "st_final" in entry
+
+    def test_round_trip_queries_match_v1_v2_v3(
+        self, small_index, saved_path, tmp_path, v3_path
+    ):
+        legacy = tmp_path / "legacy.npz"
+        TestStoreBackedFormat()._write_v1(small_index, legacy)
+        from_v1 = load_index(legacy)
+        from_v2 = load_index(saved_path)
+        from_v3 = load_index(v3_path)
+        for series in range(3):
+            query = small_index.dataset[series].values[2:14]
+            expected = small_index.query(query, length=12)[0]
+            for loaded in (from_v1, from_v2, from_v3):
+                match = loaded.query(query, length=12)[0]
+                assert match.ssid == expected.ssid
+                assert match.dtw == pytest.approx(expected.dtw, abs=1e-12)
+
+    def test_structure_and_parameters_restored(self, small_index, v3_path):
+        loaded = load_index(v3_path)
+        assert loaded.st == small_index.st
+        assert loaded.window == small_index.window
+        assert loaded.start_step == small_index.start_step
+        assert loaded.value_range == small_index.value_range
+        assert loaded.build_profile == small_index.build_profile
+        assert loaded.rspace.lengths == small_index.rspace.lengths
+        assert loaded.rspace.n_groups == small_index.rspace.n_groups
+        for length in loaded.rspace.lengths:
+            before = small_index.rspace.bucket(length)
+            after = loaded.rspace.bucket(length)
+            assert np.allclose(before.rep_matrix, after.rep_matrix)
+            for group_before, group_after in zip(before.groups, after.groups):
+                assert group_before.member_ids == group_after.member_ids
+                assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
+
+    def test_load_is_lazy_until_first_query(self, small_index, v3_path):
+        loaded = load_index(v3_path)
+        # O(manifest) load: no bucket (and no member matrix) hydrates yet.
+        assert loaded.rspace.hydrated_lengths == []
+        query = small_index.dataset[0].values[2:14]
+        loaded.query(query, length=12)
+        assert loaded.rspace.hydrated_lengths == [12]
+        untouched = [x for x in loaded.rspace.lengths if x != 12]
+        assert all(
+            length not in loaded.rspace.hydrated_lengths for length in untouched
+        )
+
+    def test_spspace_restored_without_hydration(self, small_index, v3_path):
+        loaded = load_index(v3_path)
+        assert loaded.spspace.st_half == pytest.approx(small_index.spspace.st_half)
+        assert loaded.spspace.st_final == pytest.approx(
+            small_index.spspace.st_final
+        )
+        for length in small_index.rspace.lengths:
+            assert loaded.spspace.local(length) == pytest.approx(
+                small_index.spspace.local(length)
+            )
+        assert loaded.rspace.hydrated_lengths == []
+        # Hydration stamps the persisted local thresholds onto the bucket.
+        bucket = loaded.rspace.bucket(12)
+        assert bucket.st_half == pytest.approx(
+            small_index.rspace.bucket(12).st_half
+        )
+
+    def test_series_values_are_memory_mapped(self, v3_path):
+        loaded = load_index(v3_path)
+        # The store behind every hydrated view windows over the on-disk map:
+        # somewhere down the window matrix's base chain sits the memmap.
+        array = loaded.rspace.bucket(12).store_view._windows
+        bases = []
+        while array is not None:
+            bases.append(array)
+            array = getattr(array, "base", None)
+        assert any(isinstance(base, np.memmap) for base in bases)
+
+    def test_groups_reattach_to_store(self, v3_path):
+        loaded = load_index(v3_path)
+        for bucket in loaded.rspace:
+            assert bucket.store_view is not None
+            for group in bucket.groups:
+                assert group.member_rows is not None
+                assert bucket.store_view.ids(group.member_rows) == list(
+                    group.member_ids
+                )
+
+    def test_atomic_overwrite_of_existing_directory(self, small_index, v3_path):
+        save_index(small_index, v3_path, version=3)  # overwrite in place
+        parent = v3_path.parent
+        leftovers = [
+            name
+            for name in os.listdir(parent)
+            if ".old-" in name or name.startswith(".onex-save-")
+        ]
+        assert leftovers == []
+        assert load_index(v3_path).rspace.n_groups == small_index.rspace.n_groups
+
+    def test_loaded_generation_survives_atomic_resave(
+        self, small_index, v3_path
+    ):
+        """A lazy handle pins its directory generation.
+
+        All array mmaps open at load time, so an atomic re-save over the
+        same path between load and first query cannot mix arrays from
+        two different builds into one index.
+        """
+        loaded = load_index(v3_path)
+        assert loaded.rspace.hydrated_lengths == []
+        save_index(small_index.with_threshold(0.35), v3_path, version=3)
+        query = small_index.dataset[0].values[2:14]
+        expected = small_index.query(query, length=12)[0]
+        got = loaded.query(query, length=12)[0]  # hydrates now
+        assert got.ssid == expected.ssid
+        assert got.dtw == pytest.approx(expected.dtw, abs=1e-12)
+        # The path itself now serves the new generation.
+        assert load_index(v3_path).st == pytest.approx(0.35)
+
+    def test_v3_to_v2_conversion(self, v3_path, tmp_path, small_index):
+        loaded = load_index(v3_path)
+        converted = tmp_path / "converted.npz"
+        save_index(loaded, converted)
+        assert load_index(converted).rspace.n_groups == small_index.rspace.n_groups
+
+
+class TestV3Errors:
+    def test_missing_manifest(self, tmp_path):
+        empty = tmp_path / "empty.onex"
+        empty.mkdir()
+        with pytest.raises(PersistenceError, match="manifest"):
+            load_index(empty)
+
+    def test_corrupted_manifest(self, v3_path):
+        (v3_path / "manifest.json").write_text("{ this is not json")
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_index(v3_path)
+
+    def test_manifest_without_lengths(self, v3_path):
+        (v3_path / "manifest.json").write_text(json.dumps({"format_version": 3}))
+        with pytest.raises(PersistenceError, match="manifest"):
+            load_index(v3_path)
+
+    def test_manifest_missing_scalar_keys(self, v3_path):
+        manifest = json.loads((v3_path / "manifest.json").read_text())
+        del manifest["start_step"]
+        del manifest["lengths"][0]["st_half"]
+        (v3_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="missing .*start_step"):
+            load_index(v3_path)
+
+    def test_wrong_version_in_directory(self, v3_path):
+        manifest = json.loads((v3_path / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (v3_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="version"):
+            load_index(v3_path)
+
+    def test_truncated_directory_fails_at_load_not_first_query(self, v3_path):
+        os.remove(v3_path / "L12_member_rows.npy")
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_index(v3_path)
+
+    def test_unwritable_save_version(self, small_index, tmp_path):
+        with pytest.raises(PersistenceError, match="version"):
+            save_index(small_index, tmp_path / "x.onex", version=7)
 
 
 class TestErrors:

@@ -101,3 +101,39 @@ class TestTimeSeries:
         assert series.values.tolist() == [1.0, 2.0]
         assert series.values.flags.writeable is False
         assert source.flags.writeable is True  # caller's array untouched
+
+    def test_readonly_view_of_writable_base_still_copied(self):
+        source = np.array([1.0, 2.0, 3.0])
+        view = source[:]
+        view.setflags(write=False)  # read-only alias, writable base
+        series = TimeSeries(view)
+        source[0] = 99.0  # the base is still the caller's to mutate
+        assert series.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_readonly_owner_array_still_copied(self):
+        source = np.array([1.0, 2.0, 3.0])
+        source.setflags(write=False)
+        series = TimeSeries(source)
+        source.setflags(write=True)  # the owner may re-enable writes
+        source[0] = 99.0
+        assert series.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_writable_memmap_view_still_copied(self, tmp_path):
+        path = tmp_path / "rw.npy"
+        np.save(path, np.arange(6.0))
+        mapped = np.load(path, mmap_mode="r+")
+        view = mapped[1:5]
+        view.setflags(write=False)  # frozen view, writable mapping
+        series = TimeSeries(view)
+        mapped[1] = -1.0
+        assert series.values.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_deeply_readonly_buffer_aliased_without_copy(self, tmp_path):
+        path = tmp_path / "frozen.npy"
+        np.save(path, np.arange(8.0))
+        mapped = np.load(path, mmap_mode="r")
+        series = TimeSeries(mapped[2:6])
+        # Aliased, not copied: the O(manifest) v3 load depends on this.
+        assert series.values.base is not None
+        assert series.values.flags.writeable is False
+        assert series.values.tolist() == [2.0, 3.0, 4.0, 5.0]
