@@ -39,6 +39,7 @@ from repro.distances import (
     pdtw,
 )
 from repro.exceptions import OnexError
+from repro.serve import OnexService
 
 __version__ = "1.0.0"
 
@@ -65,5 +66,6 @@ __all__ = [
     "lcss_distance",
     "erp",
     "OnexError",
+    "OnexService",
     "__version__",
 ]

@@ -8,7 +8,11 @@ Subcommands mirror the ONEX lifecycle:
 * ``onex query`` — Class I similarity query (best match / within ST);
 * ``onex seasonal`` — Class II seasonal similarity query;
 * ``onex recommend`` — Class III threshold recommendation;
-* ``onex ql`` — run a query written in the paper's query language.
+* ``onex ql`` — run a query written in the paper's query language;
+* ``onex serve`` — long-lived thread-safe serving mode: JSON-lines
+  requests on stdin, JSON responses on stdout (see
+  :mod:`repro.serve.server` for the protocol; the ``info`` op reports
+  the result cache's live hit/miss counters).
 """
 
 from __future__ import annotations
@@ -195,6 +199,22 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import OnexService, serve_forever
+
+    index = OnexIndex.load(args.index)
+    with OnexService(
+        index, max_workers=args.workers, cache_size=args.cache_size
+    ) as service:
+        print(
+            f"serving {index.dataset.name!r} (lengths {index.rspace.lengths}, "
+            f"{service.max_workers} workers, cache {args.cache_size}); "
+            "one JSON request per line on stdin, Ctrl-D to stop",
+            file=sys.stderr,
+        )
+        return serve_forever(service, sys.stdin, sys.stdout)
+
+
 def _cmd_ql(args: argparse.Namespace) -> int:
     index = OnexIndex.load(args.index)
     executor = QueryExecutor(index)
@@ -297,6 +317,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--degree", choices=["S", "M", "L"], default=None)
     p_rec.add_argument("--length", type=int, default=None)
     p_rec.set_defaults(handler=_cmd_recommend)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve an index over stdin/stdout (JSON-lines requests)",
+    )
+    p_serve.add_argument("index")
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="refinement threads (default: core count, capped at 32)",
+    )
+    p_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU result cache capacity (0 disables caching)",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
 
     p_ql = sub.add_parser("ql", help="run a query in the paper's query language")
     p_ql.add_argument("index")

@@ -339,16 +339,34 @@ class OnexIndex:
         k: int = 1,
         normalized: bool = True,
         stop_at_half_st: bool = True,
+        grouped: bool = True,
+        max_workers: int | None = None,
     ) -> list[list[Match]]:
         """Answer a batch of Q1 queries; one match list per query.
 
-        Equivalent to calling :meth:`query` once per element (same
-        matches, same order), but the batch-kernel payloads the online
-        path runs on — stacked member matrices and representative
-        envelope stacks, built lazily per :class:`LengthBucket` — are
-        constructed by the first query that needs them and amortized
-        across the rest of the batch.
+        Bit-identical to calling :meth:`query` once per element (same
+        matches, same order), but executed as a real batch when
+        ``grouped`` is set (the default, requires the batch-kernel
+        path): queries are grouped by resolved length, each group's
+        representative scan runs as stacked batch kernels over every
+        (query, representative) pair at once, and the per-group
+        refinements fan out across ``max_workers`` threads (see
+        :mod:`repro.serve.batch`). ``grouped=False`` falls back to the
+        sequential per-query loop, which still amortizes the lazily
+        built bucket payloads across the batch.
         """
+        if grouped and self.processor.use_batch_kernels:
+            from repro.serve.batch import execute_batch
+
+            return execute_batch(
+                self,
+                queries,
+                length=length,
+                k=k,
+                normalized=normalized,
+                stop_at_half_st=stop_at_half_st,
+                max_workers=max_workers,
+            )
         return [
             self.query(
                 query,

@@ -15,9 +15,11 @@ group is within ``ST``.
 from __future__ import annotations
 
 import bisect
+import dataclasses
 import heapq
 import math
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -29,9 +31,12 @@ from repro.distances.batch import (
     BATCH_CHUNK,
     chunk_sizes,
     dtw_batch,
+    dtw_pairs,
     lb_keogh_batch,
     lb_keogh_reverse_batch,
+    lb_keogh_reverse_stacked,
     lb_kim_batch,
+    lb_kim_stacked,
     sliding_minmax,
 )
 from repro.distances.dtw import dtw, resolve_window
@@ -59,6 +64,23 @@ class QueryStats:
         if self.reps_examined == 0:
             return 0.0
         return (self.reps_pruned_lb + self.reps_abandoned) / self.reps_examined
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another stats object's counters into this one.
+
+        The batch executor fans refinement across worker threads whose
+        thread-local counters would otherwise be lost; it merges them
+        back so the caller's ``last_stats`` covers the whole batch.
+        Field-driven so counters added to this dataclass later are
+        merged automatically (ints sum, bools OR).
+        """
+        for spec in dataclasses.fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, bool):
+                setattr(self, spec.name, mine or theirs)
+            else:
+                setattr(self, spec.name, mine + theirs)
 
 
 @dataclass(frozen=True)
@@ -134,7 +156,23 @@ class QueryProcessor:
         self.median_ordering = median_ordering
         self.n_probe = int(n_probe)
         self.use_batch_kernels = bool(use_batch_kernels)
-        self.last_stats = QueryStats()
+        # Per-thread work counters: the serving layer fans queries over
+        # a thread pool, and shared counters would race (and misreport
+        # any single query's work). Each thread observes its own stats.
+        self._thread_stats = threading.local()
+
+    @property
+    def last_stats(self) -> QueryStats:
+        """Work counters of the calling thread's most recent query."""
+        stats = getattr(self._thread_stats, "stats", None)
+        if stats is None:
+            stats = QueryStats()
+            self._thread_stats.stats = stats
+        return stats
+
+    @last_stats.setter
+    def last_stats(self, stats: QueryStats) -> None:
+        self._thread_stats.stats = stats
 
     # ------------------------------------------------------------------
     # Class I: similarity queries (Algorithm 2.A)
@@ -183,7 +221,7 @@ class QueryProcessor:
                     f"no representative of length {length} reachable; "
                     "widen the DTW window"
                 )
-            return self._search_groups(bucket, scans, query, k)
+            return self.search_groups(bucket, scans, query, k)
 
         best_bucket: LengthBucket | None = None
         best_scans: list[_RepScan] = []
@@ -206,7 +244,7 @@ class QueryProcessor:
                 break
         if best_bucket is None or not best_scans:
             raise QueryError("no representative reachable; widen the DTW window")
-        return self._search_groups(best_bucket, best_scans, query, k)
+        return self.search_groups(best_bucket, best_scans, query, k)
 
     def within_threshold(
         self,
@@ -486,7 +524,230 @@ class QueryProcessor:
         scans.sort(key=lambda scan: scan.dtw_raw)
         return scans
 
-    def _search_groups(
+    def scan_representatives_stacked(
+        self,
+        bucket: LengthBucket,
+        queries: np.ndarray,
+        bounds_normalized: np.ndarray | None = None,
+    ) -> list[list[_RepScan]]:
+        """Representative scan for a whole stack of equal-length queries.
+
+        The serving layer's batch executor groups incoming queries by
+        length and runs this instead of Q separate scans: the lower
+        bounds of every ``(query, representative)`` pair are computed as
+        one stacked matrix, and the surviving pairs advance through one
+        :func:`~repro.distances.batch.dtw_pairs` DP per chunk stage, so
+        the Python-level DP loop is paid per *stage* instead of per
+        query. Exact: query ``q`` receives precisely the scans
+        ``_scan_representatives(bucket, queries[q],
+        bounds_normalized[q])`` would return — each query keeps its own
+        candidate order, its own prune bound, and its own chunk
+        schedule; only the arithmetic is fused.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] == 0:
+            raise QueryError(
+                "stacked scan requires a (n_queries, length) query matrix"
+            )
+        n_queries, n = queries.shape
+        if bounds_normalized is None:
+            bounds_normalized = np.full(n_queries, math.inf)
+        bounds_normalized = np.asarray(bounds_normalized, dtype=np.float64)
+        stats = self.last_stats
+        denominator = 2.0 * max(n, bucket.length)
+        same_length = n == bucket.length
+        radius = resolve_window(n, bucket.length, self.window)
+        reps = bucket.representatives_matrix
+        n_groups = reps.shape[0]
+        stats.reps_examined += n_groups * n_queries
+        seeds_raw = bounds_normalized * denominator  # inf stays inf
+
+        if self.use_lower_bounds:
+            lower_bounds = lb_kim_stacked(queries, reps)
+            if same_length:
+                stack = bucket.rep_envelope_stack(radius)
+                lower_bounds = np.maximum(
+                    lower_bounds, lb_keogh_reverse_stacked(queries, stack)
+                )
+            order = np.argsort(lower_bounds, axis=1, kind="stable")
+        else:
+            lower_bounds = None
+            base = np.fromiter(
+                self._rep_order(bucket), dtype=np.intp, count=n_groups
+            )
+            order = np.broadcast_to(base, (n_queries, n_groups))
+
+        candidate_lists: list[np.ndarray] = []
+        for q in range(n_queries):
+            candidates = order[q]
+            if lower_bounds is not None and math.isfinite(seeds_raw[q]):
+                keep = lower_bounds[q][candidates] < seeds_raw[q]
+                stats.reps_pruned_lb += int(n_groups - keep.sum())
+                candidates = candidates[keep]
+            candidate_lists.append(candidates)
+
+        # One max-heap (negated raw distance, group index) per query.
+        tops: list[list[tuple[float, int]]] = [[] for _ in range(n_queries)]
+
+        def prune_bound(q: int) -> float:
+            top = tops[q]
+            if len(top) == self.n_probe:
+                return min(seeds_raw[q], -top[0][0])
+            return float(seeds_raw[q])
+
+        # Every query follows its own chunk schedule (small bound-setting
+        # chunk first); stages advance in lockstep so each stage is one
+        # fused dtw_pairs call over every query's current chunk.
+        schedules = [
+            list(chunk_sizes(len(candidates))) for candidates in candidate_lists
+        ]
+        positions = [0] * n_queries
+        n_stages = max((len(schedule) for schedule in schedules), default=0)
+        for stage in range(n_stages):
+            pair_queries: list[int] = []
+            pair_groups: list[int] = []
+            pair_bounds: list[float] = []
+            for q in range(n_queries):
+                if stage >= len(schedules[q]):
+                    continue
+                size = schedules[q][stage]
+                chunk = candidate_lists[q][positions[q] : positions[q] + size]
+                positions[q] += size
+                bound = prune_bound(q)
+                if lower_bounds is not None and math.isfinite(bound):
+                    keep = lower_bounds[q][chunk] < bound
+                    stats.reps_pruned_lb += int(len(chunk) - keep.sum())
+                    chunk = chunk[keep]
+                if not len(chunk):
+                    continue
+                pair_queries.extend([q] * len(chunk))
+                pair_groups.extend(chunk.tolist())
+                pair_bounds.extend([bound] * len(chunk))
+            if not pair_queries:
+                continue
+            query_rows = np.asarray(pair_queries, dtype=np.intp)
+            group_rows = np.asarray(pair_groups, dtype=np.intp)
+            abandon = np.asarray(pair_bounds)
+            distances = dtw_pairs(
+                queries[query_rows],
+                reps[group_rows],
+                radius,
+                abandon_above=None if np.isinf(abandon).all() else abandon,
+            )
+            # Pairs are query-major and, within a query, in candidate
+            # order — iterating them updates each heap in exactly the
+            # sequence the per-query scan would.
+            for q, group_index, distance in zip(
+                pair_queries, pair_groups, distances.tolist()
+            ):
+                if distance == math.inf:
+                    stats.reps_abandoned += 1
+                    continue
+                stats.rep_dtw_full += 1
+                top = tops[q]
+                if distance < prune_bound(q) or len(top) < self.n_probe:
+                    if len(top) == self.n_probe:
+                        heapq.heapreplace(top, (-distance, group_index))
+                    else:
+                        heapq.heappush(top, (-distance, group_index))
+
+        results: list[list[_RepScan]] = []
+        for q in range(n_queries):
+            scans = [
+                _RepScan(
+                    group_index=index,
+                    dtw_raw=-negated,
+                    dtw_normalized=-negated / denominator,
+                )
+                for negated, index in tops[q]
+                if -negated <= seeds_raw[q]
+            ]
+            scans.sort(key=lambda scan: scan.dtw_raw)
+            results.append(scans)
+        return results
+
+    def assign_buckets_stacked(
+        self,
+        queries: np.ndarray,
+        length: int | None = None,
+        stop_at_half_st: bool = True,
+    ) -> "list[tuple[LengthBucket, list[_RepScan]]]":
+        """The group-selection half of :meth:`best_match`, for a whole
+        stack of equal-length queries at once.
+
+        Returns, per query, the selected bucket plus its representative
+        scans — exactly what :meth:`best_match` would feed
+        :meth:`search_groups`. ``length`` pins every query to one
+        bucket (``Match = Exact``); ``None`` runs the §5.3 length sweep
+        with each query carrying its own best-so-far bound across
+        lengths and (with ``stop_at_half_st``) leaving the sweep at the
+        first representative within ``ST/2``, exactly like the
+        per-query path — queries that are done simply drop out of the
+        stacked scans of the remaining lengths. This method is the
+        single owner of the sweep semantics for both the per-query and
+        the batched executor; keep it in lockstep with
+        :meth:`best_match` above.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        n_queries = queries.shape[0]
+        stats = self.last_stats
+
+        if length is not None:
+            bucket = self.rspace.bucket(int(length))
+            stats.lengths_visited += n_queries
+            scans_per_query = self.scan_representatives_stacked(bucket, queries)
+            for scans in scans_per_query:
+                if not scans:
+                    raise QueryError(
+                        f"no representative of length {length} reachable; "
+                        "widen the DTW window"
+                    )
+            return [(bucket, scans) for scans in scans_per_query]
+
+        best: list[tuple | None] = [None] * n_queries  # (bucket, scans)
+        active = list(range(n_queries))
+        for candidate_length in self.rspace.search_length_order(
+            queries.shape[1]
+        ):
+            if not active:
+                break
+            bucket = self.rspace.bucket(candidate_length)
+            stats.lengths_visited += len(active)
+            bounds = np.array(
+                [
+                    math.inf
+                    if best[q] is None
+                    else best[q][1][0].dtw_normalized
+                    for q in active
+                ]
+            )
+            scans_per_query = self.scan_representatives_stacked(
+                bucket, queries[active], bounds
+            )
+            still_active = []
+            for q, scans in zip(active, scans_per_query):
+                if scans and (
+                    best[q] is None
+                    or scans[0].dtw_normalized < best[q][1][0].dtw_normalized
+                ):
+                    best[q] = (bucket, scans)
+                if (
+                    stop_at_half_st
+                    and scans
+                    and scans[0].dtw_normalized <= self.st / 2.0
+                ):
+                    stats.stopped_at_half_st = True
+                    continue
+                still_active.append(q)
+            active = still_active
+        for q in range(n_queries):
+            if best[q] is None:
+                raise QueryError(
+                    "no representative reachable; widen the DTW window"
+                )
+        return best  # type: ignore[return-value]
+
+    def search_groups(
         self,
         bucket: LengthBucket,
         scans: list[_RepScan],

@@ -11,6 +11,8 @@ and (once the SP-Space pass ran) the local ``ST_half`` / ``ST_final``.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -31,6 +33,16 @@ class LengthBucket:
     fancy-index gather instead of per-member materialization.
     """
 
+    #: Per-bucket byte budget for cached member-matrix stacks. Caching
+    #: makes repeat traffic cheap, but an unbounded cache would slowly
+    #: re-materialize the whole windowed subsequence set in RAM over a
+    #: long-lived serving process — defeating the mmap-backed v3 design
+    #: — so oldest-inserted stacks are evicted beyond this budget (the
+    #: newest stack is always kept, whatever its size; hits stay
+    #: lock-free, which is why eviction is insertion- not
+    #: recency-ordered).
+    MEMBER_MATRIX_CACHE_BYTES = 64 * 1024 * 1024
+
     length: int
     groups: list[SimilarityGroup]
     store_view: object = None  # LengthView | None
@@ -40,10 +52,20 @@ class LengthBucket:
     dc_row_sums: np.ndarray = field(init=False)
     st_half: float | None = None
     st_final: float | None = None
-    # Lazy batch-kernel payload: representative envelope stacks per band
-    # radius (built on first use by the batch query path, then reused).
+    # Lazy batch-kernel payloads: representative envelope stacks per
+    # band radius and stacked member matrices per group (built on first
+    # use by the batch query path, then reused). Construction is
+    # guarded by ``_payload_lock`` so concurrent queries hydrate each
+    # payload exactly once and never observe a half-built entry.
     _rep_envelope_stacks: dict[int, EnvelopeStack] = field(
         init=False, repr=False, default_factory=dict
+    )
+    _member_matrices: "OrderedDict[int, np.ndarray]" = field(
+        init=False, repr=False, default_factory=OrderedDict
+    )
+    _member_matrix_bytes: int = field(init=False, repr=False, default=0)
+    _payload_lock: threading.Lock = field(
+        init=False, repr=False, default_factory=threading.Lock
     )
 
     def __post_init__(self) -> None:
@@ -119,13 +141,17 @@ class LengthBucket:
 
         Backs the reversed LB_Keogh stage of the batch representative
         scan; cached per radius because different query lengths resolve
-        to different band radii.
+        to different band radii. Safe under concurrent queries: the
+        stack is built exactly once, inside ``_payload_lock``.
         """
         radius = int(radius)
         stack = self._rep_envelope_stacks.get(radius)
         if stack is None:
-            stack = envelope_matrix(self.rep_matrix, radius)
-            self._rep_envelope_stacks[radius] = stack
+            with self._payload_lock:
+                stack = self._rep_envelope_stacks.get(radius)
+                if stack is None:
+                    stack = envelope_matrix(self.rep_matrix, radius)
+                    self._rep_envelope_stacks[radius] = stack
         return stack
 
     def member_matrix(self, group_index: int, dataset) -> np.ndarray:
@@ -136,12 +162,40 @@ class LengthBucket:
         columnar store's zero-copy window matrix; groups without store
         rows (hand-built or legacy archives) fall back to materializing
         from ``dataset`` (the normalized dataset this R-Space was built
-        from) one member at a time.
+        from) one member at a time. The stack is cached per bucket
+        within a :data:`MEMBER_MATRIX_CACHE_BYTES` byte budget — the
+        first query against a group pays the gather (and, for
+        mmap-backed stores, the page-in), later queries and the batch
+        executor reuse it — and construction happens at most once at a
+        time under concurrent queries (``_payload_lock``). Hits are
+        lock-free (concurrent refinements of different groups never
+        serialize on a hit), so eviction beyond the budget is
+        insertion-ordered rather than recency-ordered.
         """
-        group = self.group_of(group_index)
-        if group.member_rows is not None and self.store_view is not None:
-            return self.store_view.values(group.member_rows)
-        return np.stack([dataset.subsequence(ssid) for ssid in group.member_ids])
+        matrix = self._member_matrices.get(group_index)
+        if matrix is not None:
+            return matrix
+        with self._payload_lock:
+            matrix = self._member_matrices.get(group_index)
+            if matrix is not None:
+                return matrix
+            group = self.group_of(group_index)
+            if group.member_rows is not None and self.store_view is not None:
+                matrix = self.store_view.values(group.member_rows)
+            else:
+                matrix = np.stack(
+                    [dataset.subsequence(ssid) for ssid in group.member_ids]
+                )
+            matrix.setflags(write=False)
+            self._member_matrices[group_index] = matrix
+            self._member_matrix_bytes += matrix.nbytes
+            while (
+                self._member_matrix_bytes > self.MEMBER_MATRIX_CACHE_BYTES
+                and len(self._member_matrices) > 1
+            ):
+                _, evicted = self._member_matrices.popitem(last=False)
+                self._member_matrix_bytes -= evicted.nbytes
+        return matrix
 
 
 class RSpace:
@@ -165,6 +219,10 @@ class RSpace:
         self._buckets = dict(sorted(buckets.items()))
         self._loaders = loaders
         self._lengths = sorted(set(self._buckets) | set(loaders))
+        # One hydration lock per lazily-loaded length: concurrent first
+        # queries against the same length run the loader exactly once
+        # (different lengths still hydrate in parallel).
+        self._hydration_locks = {length: threading.Lock() for length in loaders}
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -191,7 +249,10 @@ class RSpace:
     def bucket(self, length: int) -> LengthBucket:
         """GTI lookup: the bucket of one length (constant time, §5.2).
 
-        Lazily registered buckets hydrate here, once, on first access.
+        Lazily registered buckets hydrate here, once, on first access —
+        also under concurrency: the per-length hydration lock makes the
+        loader run exactly once, and every caller observes the same
+        fully-constructed bucket object.
         """
         bucket = self._buckets.get(length)
         if bucket is not None:
@@ -202,8 +263,11 @@ class RSpace:
             raise QueryError(
                 f"length {length} is not indexed; indexed lengths: {known}"
             ) from None
-        bucket = loader()
-        self._buckets[length] = bucket
+        with self._hydration_locks[length]:
+            bucket = self._buckets.get(length)
+            if bucket is None:
+                bucket = loader()
+                self._buckets[length] = bucket
         return bucket
 
     # ------------------------------------------------------------------

@@ -19,6 +19,8 @@ contains them, but no valid row maps to one.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
@@ -199,6 +201,7 @@ class SubsequenceStore:
         self.series_lengths = lengths
         self.series_offsets = np.concatenate([[0], np.cumsum(lengths)])[:-1]
         self._views: dict[int, LengthView] = {}
+        self._views_lock = threading.Lock()
 
     @classmethod
     def from_flat(
@@ -238,14 +241,22 @@ class SubsequenceStore:
         store.series_lengths = lengths
         store.series_offsets = np.concatenate([[0], np.cumsum(lengths)])[:-1]
         store._views = {}
+        store._views_lock = threading.Lock()
         return store
 
     def view(self, length: int) -> LengthView:
-        """The (cached) per-length view of every subsequence."""
+        """The (cached) per-length view of every subsequence.
+
+        Thread-safe: concurrent bucket hydrations of different lengths
+        share one store, and each view is constructed exactly once.
+        """
         view = self._views.get(length)
         if view is None:
-            view = LengthView(self, length)
-            self._views[length] = view
+            with self._views_lock:
+                view = self._views.get(length)
+                if view is None:
+                    view = LengthView(self, length)
+                    self._views[length] = view
         return view
 
     @property

@@ -20,6 +20,18 @@ it once per *row* and let NumPy sweep the whole candidate stack:
   early-abandon bound: candidates whose entire DP row exceeds the bound
   are compacted out mid-flight.
 
+The serving layer stacks whole *query groups* the same way: a batch of
+equal-length queries against one candidate stack is a set of
+``(query, candidate)`` pairs whose band geometry is shared, so
+
+* :func:`lb_kim_stacked` / :func:`lb_keogh_reverse_stacked` compute the
+  full ``(n_queries, n_candidates)`` lower-bound matrix in a handful of
+  reductions, and
+* :func:`dtw_pairs` advances one DP over an arbitrary pair list — each
+  lane carries its own query row and its own early-abandon bound — so a
+  length-grouped ``query_batch`` pays the Python-level DP loop once per
+  chunk of pairs instead of once per query.
+
 All batch kernels agree with their scalar counterparts to floating-point
 tolerance (see ``tests/test_batch_kernels.py``); the cascade stays exact
 because every stage is admissible.
@@ -271,6 +283,171 @@ def dtw_batch(
             if survivors <= alive.shape[0] // 2:
                 alive = alive[keep]
                 columns = np.ascontiguousarray(columns[:, keep])
+                current = np.ascontiguousarray(current[:, keep])
+                previous = np.ascontiguousarray(previous[:, keep])
+                size = alive.shape[0]
+                best = np.empty(size)
+                cost = np.empty((width, size))
+                shifted = np.empty((width, size))
+                row_min = np.empty(size)
+        previous, current = current, previous
+    finished = previous[m]
+    done = finished <= bound_sq
+    out[alive[done]] = np.sqrt(finished[done])
+    return out
+
+
+def _as_query_matrix(queries: np.ndarray, context: str) -> np.ndarray:
+    matrix = np.asarray(queries, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DistanceError(f"{context} requires a 2-D query stack")
+    if matrix.shape[1] == 0:
+        raise DistanceError(f"{context} requires non-empty queries")
+    return matrix
+
+
+def lb_kim_stacked(queries: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """LB_Kim of every query against every candidate, as one matrix.
+
+    The ``(n_queries, n_candidates)`` twin of :func:`lb_kim_batch`:
+    boundary-point cost plus global-extrema differences, broadcast
+    across both stacks at once. Row ``q`` equals
+    ``lb_kim_batch(queries[q], candidates)`` bit for bit.
+    """
+    q_matrix = _as_query_matrix(queries, "lb_kim_stacked")
+    matrix = _as_matrix(candidates, "lb_kim_stacked")
+    boundary = np.sqrt(
+        (matrix[None, :, 0] - q_matrix[:, 0, None]) ** 2
+        + (matrix[None, :, -1] - q_matrix[:, -1, None]) ** 2
+    )
+    max_diff = np.abs(matrix.max(axis=1)[None, :] - q_matrix.max(axis=1)[:, None])
+    min_diff = np.abs(matrix.min(axis=1)[None, :] - q_matrix.min(axis=1)[:, None])
+    return np.maximum(boundary, np.maximum(max_diff, min_diff))
+
+
+#: Cap on the transient ``(queries, candidates, length)`` float64
+#: broadcast inside the stacked reversed LB_Keogh. The kernel chunks
+#: its query axis so peak memory stays near this bound however large
+#: the batch — identical results, bounded RSS for a long-lived server.
+STACKED_LB_TEMP_BYTES = 32 * 1024 * 1024
+
+
+def lb_keogh_reverse_stacked(
+    queries: np.ndarray, stack: EnvelopeStack
+) -> np.ndarray:
+    """Reversed LB_Keogh of every query against every candidate envelope.
+
+    The ``(n_queries, n_candidates)`` twin of
+    :func:`lb_keogh_reverse_batch`; row ``q`` equals the batch kernel's
+    result for ``queries[q]`` bit for bit. Computed in query-axis
+    chunks sized to :data:`STACKED_LB_TEMP_BYTES` so the dense 3-D
+    broadcast never balloons with the batch size.
+    """
+    q_matrix = _as_query_matrix(queries, "lb_keogh_reverse_stacked")
+    if q_matrix.shape[1] != stack.length:
+        raise LengthMismatchError(
+            q_matrix.shape[1], stack.length, context="reversed LB_Keogh stacked"
+        )
+    n_queries = q_matrix.shape[0]
+    per_query = 2 * stack.n_candidates * stack.length * 8  # above + below
+    rows = max(1, min(n_queries, STACKED_LB_TEMP_BYTES // max(per_query, 1)))
+    out = np.empty((n_queries, stack.n_candidates))
+    for start in range(0, n_queries, rows):
+        block = q_matrix[start : start + rows]
+        above = np.maximum(block[:, None, :] - stack.upper[None, :, :], 0.0)
+        below = np.maximum(stack.lower[None, :, :] - block[:, None, :], 0.0)
+        out[start : start + rows] = np.sqrt(
+            np.einsum("ijk,ijk->ij", above, above)
+            + np.einsum("ijk,ijk->ij", below, below)
+        )
+    return out
+
+
+def dtw_pairs(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    radius: int,
+    abandon_above: np.ndarray | float | None = None,
+) -> np.ndarray:
+    """Banded DTW of row-aligned ``(query, candidate)`` pairs.
+
+    Lane ``p`` computes ``dtw(queries[p], candidates[p])`` with band
+    radius ``radius``; all queries share one length and all candidates
+    another, so the band geometry — and therefore the whole DP schedule
+    — is shared and the Python-level row loop is paid once for the
+    entire pair stack. ``abandon_above`` may be a scalar shared bound or
+    a per-pair array; lanes whose entire DP row exceeds their bound are
+    compacted out mid-flight and report ``inf``, exactly like
+    :func:`dtw_batch` (whose per-lane arithmetic this reproduces bit
+    for bit).
+    """
+    q_matrix = _as_query_matrix(queries, "dtw_pairs")
+    matrix = _as_matrix(candidates, "dtw_pairs")
+    if q_matrix.shape[0] != matrix.shape[0]:
+        raise DistanceError(
+            f"dtw_pairs requires aligned stacks, got {q_matrix.shape[0]} "
+            f"queries for {matrix.shape[0]} candidates"
+        )
+    radius = int(radius)
+    if radius < 0:
+        raise DistanceError(f"band radius must be >= 0, got {radius}")
+    k, m = matrix.shape
+    n = q_matrix.shape[1]
+    out = np.full(k, _INF)
+    if k == 0:
+        return out
+    if abandon_above is None:
+        bound_sq = np.full(k, _INF)
+        bounded = False
+    else:
+        bound_sq = np.broadcast_to(
+            np.asarray(abandon_above, dtype=np.float64) ** 2, (k,)
+        ).copy()
+        bounded = bool(np.isfinite(bound_sq).any())
+
+    # Same column-major layout and in-band update as dtw_batch; the only
+    # difference is that the per-row cost subtracts a per-lane query
+    # value instead of one scalar, and the abandon test compares each
+    # lane's row minimum against its own bound.
+    columns = np.ascontiguousarray(matrix.T)  # (m, k)
+    rows = np.ascontiguousarray(q_matrix.T)  # (n, k)
+    alive = np.arange(k)
+    previous = np.full((m + 1, k), _INF)
+    previous[0] = 0.0
+    current = np.full((m + 1, k), _INF)
+    width = min(2 * radius + 1, m)
+    best = np.empty(k)
+    cost = np.empty((width, k))
+    shifted = np.empty((width, k))
+    row_min = np.empty(k)
+    for i in range(1, n + 1):
+        j_start, j_stop = band_bounds(i, n, m, radius)
+        current[j_start - 1].fill(_INF)
+        w = j_stop - j_start + 1
+        band_cost = cost[:w]
+        np.subtract(columns[j_start - 1 : j_stop], rows[i - 1], out=band_cost)
+        np.multiply(band_cost, band_cost, out=band_cost)
+        band_shifted = shifted[:w]
+        np.minimum(
+            previous[j_start - 1 : j_stop],
+            previous[j_start : j_stop + 1],
+            out=band_shifted,
+        )
+        for t in range(w):
+            j = j_start + t
+            np.minimum(band_shifted[t], current[j - 1], out=best)
+            np.add(best, band_cost[t], out=current[j])
+        if bounded:
+            np.minimum.reduce(current[j_start : j_stop + 1], axis=0, out=row_min)
+            keep = row_min <= bound_sq
+            survivors = int(keep.sum())
+            if survivors == 0:
+                return out
+            if survivors <= alive.shape[0] // 2:
+                alive = alive[keep]
+                bound_sq = bound_sq[keep]
+                columns = np.ascontiguousarray(columns[:, keep])
+                rows = np.ascontiguousarray(rows[:, keep])
                 current = np.ascontiguousarray(current[:, keep])
                 previous = np.ascontiguousarray(previous[:, keep])
                 size = alive.shape[0]

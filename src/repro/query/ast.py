@@ -37,7 +37,11 @@ class SimilarityQuery:
         ``Sim <= ST`` range threshold, or ``None`` for ``Sim <= min``
         (best match).
     k:
-        Number of matches for the best-match form.
+        Number of matches requested, or ``None`` when the query gave no
+        ``k`` condition (best-match form defaults to 1; the range form
+        returns everything within the threshold). With both a threshold
+        and ``k``, the ``k`` best of the within-threshold results are
+        returned.
     match:
         ``Exact(L)`` or ``Any``.
     """
@@ -45,7 +49,7 @@ class SimilarityQuery:
     dataset: str
     seq: str
     threshold: float | None
-    k: int
+    k: int | None
     match: MatchSpec
 
 

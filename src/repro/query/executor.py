@@ -47,6 +47,13 @@ class QueryExecutor:
         self.index = index
         self.normalized_inputs = normalized_inputs
         self._registered: dict[str, np.ndarray] = {}
+        # Name -> series index, built once: the serve loop resolves a
+        # name per request, and a linear scan over the dataset would
+        # make every query O(n_series) before any search ran. First
+        # registration wins, matching the old scan's first-match rule.
+        self._series_by_name: dict[str, int] = {}
+        for position, series in enumerate(index.dataset):
+            self._series_by_name.setdefault(series.name, position)
 
     # ------------------------------------------------------------------
     def register_sequence(self, name: str, values: Any) -> None:
@@ -85,9 +92,9 @@ class QueryExecutor:
         )
 
     def _resolve_series(self, name: str, required: bool = True) -> int | None:
-        for index, series in enumerate(self.index.dataset):
-            if series.name == name:
-                return index
+        series_index = self._series_by_name.get(name)
+        if series_index is not None:
+            return series_index
         if name.upper().startswith("X") and name[1:].isdigit():
             candidate = int(name[1:])
             if 0 <= candidate < len(self.index.dataset):
@@ -101,18 +108,28 @@ class QueryExecutor:
 
     # ------------------------------------------------------------------
     def _execute_similarity(self, query: SimilarityQuery) -> list[Match]:
+        # The parser enforces k >= 1; hand-built AST nodes get the same
+        # diagnostic on both forms instead of a silent empty range result.
+        if query.k is not None and query.k < 1:
+            raise QueryError(f"k must be >= 1, got {query.k}")
         values = self._resolve_values(query.seq)
         if query.threshold is not None:
-            return self.index.within(
+            matches = self.index.within(
                 values,
                 st=query.threshold,
                 length=query.match.length,
                 normalized=True,
             )
+            # A query giving both a threshold and k asks for the k best
+            # *within* the threshold; matches are already DTW-sorted.
+            # Without a k condition the range form returns everything.
+            if query.k is not None:
+                matches = matches[: query.k]
+            return matches
         return self.index.query(
             values,
             length=query.match.length,
-            k=query.k,
+            k=1 if query.k is None else query.k,
             normalized=True,
         )
 

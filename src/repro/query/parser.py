@@ -194,11 +194,14 @@ class _Parser:
                 "similarity queries require a 'seq = <name>' condition",
                 position=target.position,
             )
+        k = conditions.get("k")
         return SimilarityQuery(
             dataset=dataset,
             seq=str(seq),
             threshold=conditions.get("threshold"),  # type: ignore[arg-type]
-            k=int(conditions.get("k", 1)),  # type: ignore[arg-type]
+            # None = "no k condition": best-match defaults to 1 at
+            # execution; the range form returns all qualifying matches.
+            k=None if k is None else int(k),  # type: ignore[arg-type]
             match=match,
         )
 

@@ -1,0 +1,26 @@
+"""The ONEX serving layer: thread-safe, cached, truly batched queries.
+
+The paper's promise is *interactive online* exploration; this package
+is the piece that lets one built index answer many users at once.
+:class:`~repro.serve.service.OnexService` wraps an index with
+build-once-under-contention hydration, an LRU result cache, and a
+length-grouped batch executor (:mod:`repro.serve.batch`);
+:mod:`repro.serve.server` speaks the JSON-lines protocol behind the
+``onex serve`` CLI mode. See ``DESIGN.md`` §9.
+"""
+
+from repro.serve.batch import default_workers, execute_batch
+from repro.serve.cache import ResultCache, query_digest
+from repro.serve.server import handle_request, serve_forever, serve_lines
+from repro.serve.service import OnexService
+
+__all__ = [
+    "OnexService",
+    "ResultCache",
+    "default_workers",
+    "execute_batch",
+    "handle_request",
+    "query_digest",
+    "serve_forever",
+    "serve_lines",
+]

@@ -1,0 +1,154 @@
+"""JSON-lines request/response loop behind ``onex serve``.
+
+One request per input line, one JSON response per output line — the
+simplest protocol that lets a supervisor (or a shell pipe) drive the
+thread-safe service. Requests are objects with an ``op`` field; any
+``id`` field is echoed back so callers can multiplex:
+
+``{"op": "query", "values": [...], "length": 12, "k": 3}``
+    Q1 best match. Send ``"queries": [[...], ...]`` instead of
+    ``values`` to answer a whole batch through the grouped executor.
+    ``"normalized": false`` marks raw-scale inputs.
+``{"op": "within", "values": [...], "st": 0.3}``
+    Q1 range form.
+``{"op": "seasonal", "length": 12, "series": 0}``
+    Q2 (omit ``series`` for the data-driven variant).
+``{"op": "recommend", "degree": "S"}``
+    Q3 (omit ``degree`` for all three).
+``{"op": "info"}``
+    Index statistics plus live cache hit/miss counters.
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``;
+the loop never dies on a bad request. ``inf`` thresholds serialize as
+``null`` (strict-JSON friendly).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable
+
+from repro.core.results import Match, SeasonalResult, ThresholdRecommendation
+from repro.serve.service import OnexService
+
+
+def match_to_dict(match: Match) -> dict:
+    """JSON-friendly view of one Q1 match (values elided: ids suffice)."""
+    return {
+        "series": match.ssid.series,
+        "start": match.ssid.start,
+        "length": match.ssid.length,
+        "dtw": match.dtw,
+        "dtw_normalized": match.dtw_normalized,
+        "group": list(match.group),
+    }
+
+
+def _seasonal_to_dict(result: SeasonalResult) -> dict:
+    return {
+        "length": result.length,
+        "series": result.series,
+        "groups": [
+            {
+                "group_index": group.group_index,
+                "members": [
+                    [ssid.series, ssid.start, ssid.length]
+                    for ssid in group.members
+                ],
+            }
+            for group in result
+        ],
+    }
+
+
+def _recommendation_to_dict(rec: ThresholdRecommendation) -> dict:
+    return {
+        "degree": rec.degree,
+        "low": rec.low,
+        "high": None if math.isinf(rec.high) else rec.high,
+        "length": rec.length,
+    }
+
+
+def handle_request(service: OnexService, request: dict) -> dict:
+    """Dispatch one decoded request; exceptions become error responses."""
+    op = request.get("op")
+    if op == "query":
+        kwargs = {
+            "length": request.get("length"),
+            "k": int(request.get("k", 1)),
+            "normalized": bool(request.get("normalized", True)),
+        }
+        if "values" not in request and "queries" not in request:
+            raise ValueError("query op requires 'values' or 'queries'")
+        if "queries" in request:
+            results = service.query_batch(request["queries"], **kwargs)
+            return {
+                "ok": True,
+                "results": [
+                    [match_to_dict(match) for match in matches]
+                    for matches in results
+                ],
+            }
+        matches = service.query(request["values"], **kwargs)
+        return {"ok": True, "matches": [match_to_dict(m) for m in matches]}
+    if op == "within":
+        matches = service.within(
+            request["values"],
+            st=request.get("st"),
+            length=request.get("length"),
+            normalized=bool(request.get("normalized", True)),
+        )
+        return {"ok": True, "matches": [match_to_dict(m) for m in matches]}
+    if op == "seasonal":
+        result = service.seasonal(
+            int(request["length"]),
+            series=request.get("series"),
+            min_members=int(request.get("min_members", 2)),
+        )
+        return {"ok": True, "seasonal": _seasonal_to_dict(result)}
+    if op == "recommend":
+        recs = service.recommend(
+            degree=request.get("degree"), length=request.get("length")
+        )
+        return {
+            "ok": True,
+            "recommendations": [_recommendation_to_dict(r) for r in recs],
+        }
+    if op == "info":
+        return {"ok": True, "info": service.info()}
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def serve_lines(service: OnexService, lines: Iterable[str]) -> Iterable[str]:
+    """Map request lines to response lines (blank lines are skipped)."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            response = handle_request(service, request)
+        except Exception as exc:  # noqa: BLE001 — one bad request must
+            # never take down the long-lived server (OverflowError from
+            # an absurd k, AttributeError from a malformed degree, ...);
+            # KeyboardInterrupt/SystemExit still propagate.
+            response = {"ok": False, "error": str(exc) or repr(exc)}
+        if request_id is not None:
+            response["id"] = request_id
+        yield json.dumps(response)
+
+
+def serve_forever(
+    service: OnexService, input_stream: IO[str], output_stream: IO[str]
+) -> int:
+    """Run the loop until EOF on ``input_stream``; returns an exit code."""
+    for response in serve_lines(service, input_stream):
+        output_stream.write(response + "\n")
+        output_stream.flush()
+    return 0

@@ -1,0 +1,247 @@
+"""The thread-safe ONEX serving front end.
+
+:class:`OnexService` wraps a built (or lazily loaded v3)
+:class:`~repro.core.onex.OnexIndex` for concurrent multi-user traffic —
+the online half of the paper run as a long-lived process rather than a
+one-shot script. It adds exactly three things on top of the index:
+
+* **Safe concurrency.** All lazily-built query state — v3 bucket
+  hydration, representative envelope stacks, member-matrix stacks, store
+  views — is build-once-under-contention (per-bucket/per-payload locks
+  in the core), so any number of threads may call :meth:`query`,
+  :meth:`within`, :meth:`seasonal` or :meth:`recommend` simultaneously
+  and receive results bit-identical to serial execution.
+* **An LRU result cache** (:class:`~repro.serve.cache.ResultCache`)
+  keyed by query digest plus the parameters that shape the answer
+  (length constraint, ``k``, the index's ST). Hit/miss statistics are
+  surfaced through :meth:`info` and the ``info`` op of ``onex serve``.
+* **A real batch executor**: :meth:`query_batch` groups queries by
+  resolved length and runs stacked representative scans plus thread-pool
+  refinement (:mod:`repro.serve.batch`) over a pool owned by the
+  service, so the pool's threads are reused across requests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.results import (
+    Match,
+    SeasonalResult,
+    ThresholdRecommendation,
+)
+from repro.serve.batch import default_workers, execute_batch
+from repro.serve.cache import ResultCache
+from repro.utils.validation import as_float_array
+
+
+class OnexService:
+    """Serve one :class:`~repro.core.onex.OnexIndex` to many callers.
+
+    Parameters
+    ----------
+    index:
+        The built index to serve (commonly a lazily-loaded v3
+        directory: buckets hydrate on first demand, exactly once, even
+        under concurrent first queries).
+    max_workers:
+        Threads in the service's refinement pool (default:
+        :func:`~repro.serve.batch.default_workers`).
+    cache_size:
+        Entry capacity of the LRU result cache; ``0`` disables caching.
+    cache_bytes:
+        Byte budget over the cached match arrays (default
+        :data:`~repro.serve.cache.ResultCache.DEFAULT_MAX_BYTES`).
+    """
+
+    def __init__(
+        self,
+        index,
+        max_workers: int | None = None,
+        cache_size: int = 1024,
+        cache_bytes: int | None = None,
+    ) -> None:
+        self.index = index
+        self.max_workers = (
+            default_workers() if max_workers is None else max(1, int(max_workers))
+        )
+        self.cache = ResultCache(cache_size, max_bytes=cache_bytes)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="onex-serve"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Class I
+    # ------------------------------------------------------------------
+    def _prepare(self, values: np.ndarray, normalized: bool) -> np.ndarray:
+        values = as_float_array(values, "query")
+        if not normalized:
+            values = self.index.normalize_query(values)
+        return values
+
+    def query(
+        self,
+        values: np.ndarray,
+        length: int | None = None,
+        k: int = 1,
+        normalized: bool = True,
+        stop_at_half_st: bool = True,
+    ) -> list[Match]:
+        """Best match(es) for one sample sequence (Q1), cached."""
+        values = self._prepare(values, normalized)
+        key = ResultCache.make_key(
+            values,
+            kind="query",
+            length=length,
+            k=int(k),
+            st=self.index.st,
+            stop=bool(stop_at_half_st),
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        matches = self.index.query(
+            values, length=length, k=k, stop_at_half_st=stop_at_half_st
+        )
+        self.cache.put(key, tuple(matches))
+        return matches
+
+    def query_batch(
+        self,
+        queries: Sequence[np.ndarray],
+        length: int | None = None,
+        k: int = 1,
+        normalized: bool = True,
+        stop_at_half_st: bool = True,
+    ) -> list[list[Match]]:
+        """Answer a batch of Q1 queries through the grouped executor.
+
+        Cache hits are answered immediately; the remaining queries run
+        length-grouped over the service pool, and their results are
+        cached for the next request.
+        """
+        prepared = [self._prepare(values, normalized) for values in queries]
+        keys = [
+            ResultCache.make_key(
+                values,
+                kind="query",
+                length=length,
+                k=int(k),
+                st=self.index.st,
+                stop=bool(stop_at_half_st),
+            )
+            for values in prepared
+        ]
+        results: list[list[Match] | None] = [
+            None if (hit := self.cache.get(key)) is None else list(hit)
+            for key in keys
+        ]
+        missing = [i for i, result in enumerate(results) if result is None]
+        if missing:
+            if self.index.processor.use_batch_kernels:
+                fresh = execute_batch(
+                    self.index,
+                    [prepared[i] for i in missing],
+                    length=length,
+                    k=k,
+                    normalized=True,
+                    stop_at_half_st=stop_at_half_st,
+                    pool=self._pool,
+                )
+            else:
+                # Scalar-reference configuration: honour it (the stacked
+                # executor is a batch-kernel path), exactly like
+                # OnexIndex.query_batch's grouped guard.
+                fresh = [
+                    self.index.query(
+                        prepared[i],
+                        length=length,
+                        k=k,
+                        stop_at_half_st=stop_at_half_st,
+                    )
+                    for i in missing
+                ]
+            for i, matches in zip(missing, fresh):
+                self.cache.put(keys[i], tuple(matches))
+                results[i] = matches
+        return results  # type: ignore[return-value]
+
+    def within(
+        self,
+        values: np.ndarray,
+        st: float | None = None,
+        length: int | None = None,
+        normalized: bool = True,
+        refine: bool = True,
+    ) -> list[Match]:
+        """All subsequences within ``st`` of the sample (Q1 range form)."""
+        values = self._prepare(values, normalized)
+        key = ResultCache.make_key(
+            values,
+            kind="within",
+            st=self.index.st if st is None else float(st),
+            length=length,
+            refine=bool(refine),
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        matches = self.index.within(values, st=st, length=length, refine=refine)
+        self.cache.put(key, tuple(matches))
+        return matches
+
+    # ------------------------------------------------------------------
+    # Classes II and III (already read-only; locks in the core make the
+    # lazy hydration they trigger safe under concurrency)
+    # ------------------------------------------------------------------
+    def seasonal(
+        self, length: int, series: int | None = None, min_members: int = 2
+    ) -> SeasonalResult:
+        return self.index.seasonal(length, series=series, min_members=min_members)
+
+    def recommend(
+        self, degree=None, length: int | None = None
+    ) -> list[ThresholdRecommendation]:
+        return self.index.recommend(degree=degree, length=length)
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """Index statistics plus live serving counters, JSON-friendly."""
+        stats = self.index.stats()
+        return {
+            "dataset": stats.dataset,
+            "st": stats.st,
+            "n_series": stats.n_series,
+            "lengths": self.index.rspace.lengths,
+            "hydrated_lengths": self.index.rspace.hydrated_lengths,
+            "n_groups": stats.n_groups,
+            "n_representatives": stats.n_representatives,
+            "n_subsequences": stats.n_subsequences,
+            "size_mb": stats.size_mb,
+            "workers": self.max_workers,
+            "cache": self.cache.stats,
+        }
+
+    def close(self) -> None:
+        """Shut the refinement pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "OnexService":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<OnexService {self.index.dataset.name!r} "
+            f"workers={self.max_workers} cache={len(self.cache)}>"
+        )

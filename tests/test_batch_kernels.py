@@ -20,10 +20,13 @@ from repro.core.query_processor import QueryProcessor
 from repro.distances.batch import (
     EnvelopeStack,
     dtw_batch,
+    dtw_pairs,
     envelope_matrix,
     lb_keogh_batch,
     lb_keogh_reverse_batch,
+    lb_keogh_reverse_stacked,
     lb_kim_batch,
+    lb_kim_stacked,
     sliding_minmax,
 )
 from repro.distances.dtw import dtw, resolve_window
@@ -273,3 +276,95 @@ class TestQueryPathParity:
             d = batch_trillion.best_match(query, length=12)
             assert c.ssid == d.ssid
             assert c.dtw == pytest.approx(d.dtw, abs=1e-9)
+
+
+class TestStackedKernels:
+    """The serving layer's multi-query kernels vs their per-query twins."""
+
+    @given(stacks(min_length=2), stacks(min_length=2))
+    @settings(max_examples=60, deadline=None)
+    def test_property_lb_kim_stacked_rows_match_batch(self, queries, candidates):
+        q_matrix = np.asarray(queries)
+        matrix = np.asarray(candidates)
+        stacked = lb_kim_stacked(q_matrix, matrix)
+        assert stacked.shape == (q_matrix.shape[0], matrix.shape[0])
+        for row, query in enumerate(q_matrix):
+            np.testing.assert_array_equal(stacked[row], lb_kim_batch(query, matrix))
+
+    @given(stacks(min_length=2, max_length=10), st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_property_lb_keogh_reverse_stacked_rows_match_batch(
+        self, rows, radius
+    ):
+        matrix = np.asarray(rows)
+        stack = envelope_matrix(matrix, radius)
+        stacked = lb_keogh_reverse_stacked(matrix, stack)
+        for row, query in enumerate(matrix):
+            np.testing.assert_array_equal(
+                stacked[row], lb_keogh_reverse_batch(query, stack)
+            )
+
+    @given(stacks(min_length=2, max_length=10), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_property_dtw_pairs_matches_scalar_dtw(self, rows, radius):
+        matrix = np.asarray(rows)
+        rng = np.random.default_rng(matrix.shape[0])
+        candidates = rng.uniform(-10, 10, size=matrix.shape)
+        distances = dtw_pairs(matrix, candidates, radius)
+        for pair in range(matrix.shape[0]):
+            expected = dtw(matrix[pair], candidates[pair], window=radius)
+            if math.isinf(expected):
+                assert math.isinf(distances[pair])
+            else:
+                assert distances[pair] == pytest.approx(expected, abs=1e-9)
+
+    @given(stacks(min_length=2, max_length=10), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_property_dtw_pairs_per_lane_abandon_is_admissible(
+        self, rows, radius
+    ):
+        matrix = np.asarray(rows)
+        rng = np.random.default_rng(matrix.shape[0] + 1)
+        candidates = rng.uniform(-10, 10, size=matrix.shape)
+        exact = dtw_pairs(matrix, candidates, radius)
+        bounds = rng.uniform(0.0, 15.0, size=matrix.shape[0])
+        bounded = dtw_pairs(matrix, candidates, radius, abandon_above=bounds)
+        for pair in range(matrix.shape[0]):
+            if math.isinf(exact[pair]) or exact[pair] > bounds[pair]:
+                # At or below the bound the lane must survive; above it
+                # the lane may be abandoned (inf) but never misreported.
+                assert math.isinf(bounded[pair]) or bounded[pair] == exact[pair]
+            else:
+                assert bounded[pair] == exact[pair]
+
+    def test_dtw_pairs_scalar_bound_matches_dtw_batch(self):
+        rng = np.random.default_rng(5)
+        query = rng.uniform(-1, 1, size=16)
+        candidates = rng.uniform(-1, 1, size=(12, 16))
+        batch = dtw_batch(query, candidates, 3, abandon_above=2.0)
+        pairs = dtw_pairs(
+            np.broadcast_to(query, candidates.shape),
+            candidates,
+            3,
+            abandon_above=2.0,
+        )
+        np.testing.assert_array_equal(batch, pairs)
+
+    def test_dtw_pairs_rejects_misaligned_stacks(self):
+        with pytest.raises(DistanceError, match="aligned"):
+            dtw_pairs(np.zeros((2, 4)), np.zeros((3, 4)), 1)
+
+    def test_stacked_kernels_reject_1d_queries(self):
+        with pytest.raises(DistanceError, match="2-D"):
+            lb_kim_stacked(np.zeros(4), np.zeros((2, 4)))
+
+    def test_lb_keogh_reverse_stacked_chunks_identically(self, monkeypatch):
+        import repro.distances.batch as batch_module
+
+        rng = np.random.default_rng(11)
+        queries = rng.uniform(-5, 5, size=(17, 24))
+        stack = envelope_matrix(rng.uniform(-5, 5, size=(9, 24)), 3)
+        whole = lb_keogh_reverse_stacked(queries, stack)
+        monkeypatch.setattr(batch_module, "STACKED_LB_TEMP_BYTES", 1)
+        chunked = lb_keogh_reverse_stacked(queries, stack)  # one row at a time
+        np.testing.assert_array_equal(whole, chunked)

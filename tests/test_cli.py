@@ -216,3 +216,43 @@ class TestQueryLanguageCommand:
         code = main(["ql", index_path, "FETCH things"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    def _serve(self, index_path, requests, monkeypatch, capsys, extra=()):
+        import io
+        import json
+        import sys
+
+        lines = "\n".join(json.dumps(request) for request in requests) + "\n"
+        monkeypatch.setattr(sys, "stdin", io.StringIO(lines))
+        code = main(["serve", index_path, "--workers", "2", *extra])
+        assert code == 0
+        out = capsys.readouterr().out
+        return [json.loads(line) for line in out.splitlines() if line.strip()]
+
+    def test_serve_answers_requests(self, index_path, monkeypatch, capsys):
+        values = [0.3 + 0.02 * i for i in range(12)]
+        responses = self._serve(
+            index_path,
+            [
+                {"op": "query", "values": values, "length": 12, "id": 1},
+                {"op": "info", "id": 2},
+            ],
+            monkeypatch,
+            capsys,
+        )
+        assert [r["id"] for r in responses] == [1, 2]
+        assert responses[0]["ok"] and responses[0]["matches"]
+        assert responses[1]["ok"]
+        cache = responses[1]["info"]["cache"]
+        assert cache["misses"] == 1  # the query op above missed once
+
+    def test_serve_survives_bad_requests(self, index_path, monkeypatch, capsys):
+        responses = self._serve(
+            index_path,
+            [{"op": "unknown"}, {"op": "recommend"}],
+            monkeypatch,
+            capsys,
+        )
+        assert [r["ok"] for r in responses] == [False, True]

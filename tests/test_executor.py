@@ -114,3 +114,67 @@ class TestQueryClasses:
         node = parse_query("OUTPUT ST FROM D WHERE simDegree = L")
         recs = executor.execute(node)
         assert recs[0].degree == "L"
+
+
+class TestRangeFormWithK:
+    """The ``Sim <= ST, k = N`` combination must honour ``k`` (bugfix)."""
+
+    def test_threshold_without_k_returns_all(self, executor, small_index):
+        matches = executor.execute(
+            "OUTPUT X FROM D WHERE Sim <= 0.4, seq = X0 MATCH = Exact(12)"
+        )
+        expected = small_index.within(
+            small_index.dataset[0].values, st=0.4, length=12
+        )
+        assert len(matches) == len(expected)
+        assert len(matches) > 2  # the truncation test below is meaningful
+
+    def test_threshold_with_k_truncates_to_k_best(self, executor):
+        everything = executor.execute(
+            "OUTPUT X FROM D WHERE Sim <= 0.4, seq = X0 MATCH = Exact(12)"
+        )
+        top2 = executor.execute(
+            "OUTPUT X FROM D WHERE Sim <= 0.4, k = 2, seq = X0 MATCH = Exact(12)"
+        )
+        assert len(top2) == 2
+        # The k best of the refined, DTW-sorted within results.
+        assert [m.ssid for m in top2] == [m.ssid for m in everything[:2]]
+
+    def test_k_larger_than_result_set_is_a_no_op(self, executor):
+        everything = executor.execute(
+            "OUTPUT X FROM D WHERE Sim <= 0.4, seq = X0 MATCH = Exact(12)"
+        )
+        padded = executor.execute(
+            f"OUTPUT X FROM D WHERE Sim <= 0.4, k = {len(everything) + 5}, "
+            "seq = X0 MATCH = Exact(12)"
+        )
+        assert [m.ssid for m in padded] == [m.ssid for m in everything]
+
+    def test_best_match_k_still_defaults_to_one(self, executor):
+        matches = executor.execute(
+            "OUTPUT X FROM D WHERE seq = X0 MATCH = Exact(12)"
+        )
+        assert len(matches) == 1
+
+    def test_hand_built_node_with_bad_k_raises_on_both_forms(self, executor):
+        from repro.query.ast import MatchSpec, SimilarityQuery
+
+        for threshold in (0.3, None):
+            node = SimilarityQuery(
+                dataset="D",
+                seq="X0",
+                threshold=threshold,
+                k=0,
+                match=MatchSpec(length=12),
+            )
+            with pytest.raises(QueryError, match="k must be"):
+                executor.execute(node)
+
+
+class TestSeriesNameMap:
+    def test_duplicate_names_resolve_to_first(self, small_index):
+        from repro.query.executor import QueryExecutor
+
+        executor = QueryExecutor(small_index, normalized_inputs=True)
+        name = small_index.dataset[0].name
+        assert executor._resolve_series(name) == 0

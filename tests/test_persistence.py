@@ -362,6 +362,54 @@ class TestV3Format:
         assert load_index(converted).rspace.n_groups == small_index.rspace.n_groups
 
 
+class TestV3NonQueryPaths:
+    """Non-query entry points must hydrate lazy buckets correctly."""
+
+    def test_with_threshold_hydrates_and_adapts(self, small_index, v3_path):
+        loaded = load_index(v3_path)
+        assert loaded.rspace.hydrated_lengths == []
+        adapted = loaded.with_threshold(0.35)
+        expected = small_index.with_threshold(0.35)
+        assert adapted.st == expected.st
+        assert adapted.rspace.lengths == expected.rspace.lengths
+        assert adapted.rspace.n_groups == expected.rspace.n_groups
+        for length in expected.rspace.lengths:
+            before = expected.rspace.bucket(length)
+            after = adapted.rspace.bucket(length)
+            for group_before, group_after in zip(before.groups, after.groups):
+                assert group_before.member_ids == group_after.member_ids
+                assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
+
+    def test_seasonal_hydrates_only_its_length(self, small_index, v3_path):
+        loaded = load_index(v3_path)
+        assert loaded.rspace.hydrated_lengths == []
+        result = loaded.seasonal(12)
+        assert loaded.rspace.hydrated_lengths == [12]
+        assert result.groups == small_index.seasonal(12).groups
+        user_driven = loaded.seasonal(12, series=1)
+        assert user_driven.groups == small_index.seasonal(12, series=1).groups
+
+    def test_stats_hydrate_and_match_eager_load(self, small_index, v3_path):
+        loaded = load_index(v3_path)
+        assert loaded.rspace.hydrated_lengths == []
+        stats = loaded.stats()
+        expected = small_index.stats()
+        assert loaded.rspace.hydrated_lengths == small_index.rspace.lengths
+        assert stats.n_groups == expected.n_groups
+        assert stats.n_representatives == expected.n_representatives
+        assert stats.n_subsequences == expected.n_subsequences
+        assert stats.n_lengths == expected.n_lengths
+
+    def test_within_on_lazy_index_matches(self, small_index, v3_path):
+        loaded = load_index(v3_path)
+        assert loaded.rspace.hydrated_lengths == []
+        query = small_index.dataset[2].values[1:13]
+        got = loaded.within(query, st=0.4, length=12)
+        expected = small_index.within(query, st=0.4, length=12)
+        assert [m.ssid for m in got] == [m.ssid for m in expected]
+        assert [m.dtw for m in got] == pytest.approx([m.dtw for m in expected])
+
+
 class TestV3Errors:
     def test_missing_manifest(self, tmp_path):
         empty = tmp_path / "empty.onex"

@@ -75,6 +75,17 @@ class TestParserQ1:
         query = parse_query("OUTPUT X FROM D WHERE seq = q, k = 5")
         assert query.k == 5
 
+    def test_k_defaults_to_none_when_absent(self):
+        query = parse_query("OUTPUT X FROM D WHERE seq = q")
+        assert query.k is None
+
+    def test_threshold_and_k_both_survive_parsing(self):
+        query = parse_query(
+            "OUTPUT X FROM D WHERE Sim <= 0.3, seq = q, k = 4 MATCH = Exact(12)"
+        )
+        assert query.threshold == 0.3
+        assert query.k == 4
+
     def test_default_match_is_any(self):
         query = parse_query("OUTPUT X FROM D WHERE seq = q")
         assert query.match.is_any
