@@ -1,0 +1,172 @@
+"""Refinement hot path: the JIT kernel backend vs the numpy reference.
+
+The ISSUE-5 tentpole claims:
+
+* The ``numba`` kernel backend — nopython banded early-abandoning DTW,
+  LB kernels, and per-lane batch DPs, dispatched through
+  :mod:`repro.distances.backend` — delivers at least **2x** end-to-end
+  ``best_match`` and ``within_threshold`` throughput over the numpy
+  reference, with **bit-identical** match ids and distances (the JIT
+  kernels reproduce the numpy float64 operation order exactly).
+* A numpy-only environment runs this whole file green: the registry
+  selects the ``numpy`` fallback automatically, the identity/throughput
+  rows are reported for the reference backend alone, and the speedup
+  contract is skipped rather than failed.
+
+The wall-clock contract is gated on ``numba`` being importable (the CI
+JIT leg installs it); the speedup is single-threaded JIT-vs-interpreter,
+so no core-count gate is needed beyond that. Set ``ONEX_BENCH_QUICK=1``
+for the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import registry
+from repro.core.onex import OnexIndex
+from repro.data.normalize import min_max_normalize_dataset
+from repro.data.synthetic import make_dataset
+from repro.distances.backend import get_backend, set_backend
+from repro.distances.kernels_numba import NUMBA_AVAILABLE
+
+QUICK = os.environ.get("ONEX_BENCH_QUICK", "") not in ("", "0")
+N_SERIES = 24 if QUICK else 48
+SERIES_LENGTH = 128 if QUICK else 256
+ST = 0.15
+N_QUERIES = 24 if QUICK else 64
+N_WITHIN = 8 if QUICK else 16
+MIN_SPEEDUP = 2.0
+N_REPEATS = 2  # best-of-2: the contract compares wall times
+
+_rows: dict[str, list[object]] = {}
+
+
+def _register() -> None:
+    if _rows:
+        registry.add_table(
+            "refinement_backends",
+            f"Refinement kernels: numpy reference vs numba JIT backend "
+            f"(ECG-style, {N_SERIES} series x {SERIES_LENGTH}, "
+            f"numba={'yes' if NUMBA_AVAILABLE else 'no'})",
+            ["workload / backend", "seconds", "queries/s", "vs numpy"],
+            [_rows[key] for key in sorted(_rows)],
+        )
+
+
+@pytest.fixture(scope="module")
+def index():
+    dataset = min_max_normalize_dataset(
+        make_dataset("ECG", n_series=N_SERIES, length=SERIES_LENGTH, seed=7)
+    )
+    grid = sorted(
+        set(
+            int(value)
+            for value in np.linspace(SERIES_LENGTH // 4, SERIES_LENGTH, 5).round()
+        )
+    )
+    return OnexIndex.build(dataset, st=ST, lengths=grid, normalize=False, seed=0)
+
+
+@pytest.fixture(scope="module")
+def queries(index):
+    """Noisy subsequence probes across the indexed lengths."""
+    rng = np.random.default_rng(11)
+    dataset = index.dataset
+    lengths = index.rspace.lengths
+    picks = [lengths[0], lengths[len(lengths) // 2], lengths[-1]]
+    batch = []
+    for _ in range(N_QUERIES):
+        length = int(rng.choice(picks))
+        series = int(rng.integers(0, len(dataset)))
+        start = int(rng.integers(0, len(dataset[series]) - length + 1))
+        values = dataset[series].values[start : start + length]
+        batch.append(np.clip(values + rng.normal(0, 0.01, length), 0.0, 1.0))
+    return batch
+
+
+def _best_time(run, repeats=N_REPEATS):
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    return best_seconds, result
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    set_backend(None)
+
+
+def _assert_identical(batch_a, batch_b) -> None:
+    assert len(batch_a) == len(batch_b)
+    for matches_a, matches_b in zip(batch_a, batch_b):
+        assert [m.ssid for m in matches_a] == [m.ssid for m in matches_b]
+        assert [m.dtw for m in matches_a] == [m.dtw for m in matches_b]
+
+
+def _compare_backends(workload: str, run, n_items: int) -> None:
+    """Time ``run`` under each backend; assert identity and speedup."""
+    set_backend("numpy")
+    run()  # hydrate payloads so both sides run warm
+    numpy_seconds, numpy_results = _best_time(run)
+    _rows[f"{workload}_a_numpy"] = [
+        f"{workload}, numpy",
+        numpy_seconds,
+        n_items / numpy_seconds,
+        1.0,
+    ]
+    if not NUMBA_AVAILABLE:
+        # Fallback contract: numpy-only environments select the numpy
+        # backend automatically and the suite stays green.
+        assert set_backend(None).name == "numpy"
+        assert get_backend().name == "numpy"
+        _register()
+        return
+    backend = set_backend("numba")
+    assert backend.name == "numba" and backend.jit
+    warmup_seconds = backend.warmup()
+    jit_seconds, jit_results = _best_time(run)
+    speedup = numpy_seconds / jit_seconds
+    _assert_identical(numpy_results, jit_results)
+    _rows[f"{workload}_b_numba"] = [
+        f"{workload}, numba (warmup {warmup_seconds:.2f}s)",
+        jit_seconds,
+        n_items / jit_seconds,
+        speedup,
+    ]
+    _register()
+    assert speedup >= MIN_SPEEDUP, (
+        f"{workload}: JIT backend only {speedup:.2f}x the numpy reference "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_best_match_backend_speedup_and_identity(index, queries) -> None:
+    _compare_backends(
+        "best_match",
+        lambda: [index.query(query, k=3) for query in queries],
+        len(queries),
+    )
+
+
+def test_within_threshold_backend_speedup_and_identity(index, queries) -> None:
+    # Pin each range query to its own (indexed) length: the refinement
+    # cost per query stays one bucket's scalar DTW sweep — the exact
+    # loop the JIT targets — instead of every length's.
+    subset = queries[:N_WITHIN]
+    _compare_backends(
+        "within_threshold",
+        lambda: [
+            index.within(query, st=ST, length=query.shape[0])
+            for query in subset
+        ],
+        len(subset),
+    )

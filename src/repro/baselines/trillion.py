@@ -62,6 +62,11 @@ class Trillion(SearchMethod):
         built in one vectorized pass, and the cascade sweeps the stack
         in chunks through :meth:`CascadePruner.distance_batch`. Exact —
         identical answers to the scalar sweep.
+
+    ``last_prune_stats`` exposes the per-length :class:`PruneStats` the
+    most recent query's pruner shared — cumulative across queries of
+    that length since :meth:`prepare` (the adaptive cascade feeds on
+    the accumulated rates), not per-query.
     """
 
     name = "Trillion"
@@ -84,12 +89,18 @@ class Trillion(SearchMethod):
         self._envelopes: dict[int, list[Envelope]] = {}
         self._stacks: dict[int, np.ndarray] = {}
         self._envelope_stacks: dict[int, EnvelopeStack] = {}
+        # One PruneStats per prepared length, shared by every query's
+        # pruner: the adaptive cascade's measured per-stage prune rates
+        # persist across queries, so stage skipping/ordering is learned
+        # per candidate population instead of relearned per query.
+        self._prune_stats: dict[int, PruneStats] = {}
         self.last_prune_stats: PruneStats | None = None
 
     def prepare(
         self, dataset: Dataset, lengths: Sequence[int], start_step: int = 1
     ) -> None:
         super().prepare(dataset, lengths, start_step)
+        self._prune_stats = {}  # new candidate population: relearn rates
         self._candidates = {
             length: list(dataset.subsequences(length, start_step=start_step))
             for length in self._lengths
@@ -139,6 +150,7 @@ class Trillion(SearchMethod):
             window=self.window,
             use_kim=self.use_kim,
             use_keogh=self.use_keogh,
+            stats=self._prune_stats.setdefault(length, PruneStats()),
         )
         denominator = 2.0 * max(query.shape[0], length)
         best_index = -1

@@ -12,7 +12,13 @@ Subcommands mirror the ONEX lifecycle:
 * ``onex serve`` — long-lived thread-safe serving mode: JSON-lines
   requests on stdin, JSON responses on stdout (see
   :mod:`repro.serve.server` for the protocol; the ``info`` op reports
-  the result cache's live hit/miss counters).
+  the result cache's live hit/miss counters, the active kernel backend
+  and the per-stage cascade counters).
+
+The global ``--backend {auto,numpy,numba}`` flag (or the
+``ONEX_KERNEL_BACKEND`` environment variable) selects the refinement
+kernel backend for any subcommand, e.g. ``onex --backend numba serve
+index.onex``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.core.onex import OnexIndex
 from repro.core.results import Match, SeasonalResult, ThresholdRecommendation
 from repro.data.loader import load_ucr_file
 from repro.data.synthetic import DATASET_GENERATORS, make_dataset
+from repro.distances.backend import get_backend, set_backend
 from repro.exceptions import OnexError
 from repro.query.executor import QueryExecutor
 
@@ -158,6 +165,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
           f"(GTI {stats.gti_mb:.3f} + LSI {stats.lsi_mb:.3f} "
           f"+ store {stats.store_mb:.3f})")
     print(f"assign mode:     {index.assign_mode}")
+    backend = get_backend()
+    print(f"kernel backend:  {backend.name}"
+          f"{' (JIT)' if backend.jit else ''}")
     if index.build_profile:
         print("build profile:")
         for entry in index.build_profile:
@@ -208,7 +218,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ) as service:
         print(
             f"serving {index.dataset.name!r} (lengths {index.rspace.lengths}, "
-            f"{service.max_workers} workers, cache {args.cache_size}); "
+            f"{service.max_workers} workers, cache {args.cache_size}, "
+            f"backend {service.backend.name} warmed in "
+            f"{service.backend_warmup_seconds:.3f}s); "
             "one JSON request per line on stdin, Ctrl-D to stop",
             file=sys.stderr,
         )
@@ -238,6 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="onex",
         description="ONEX: interactive time series exploration (VLDB 2016).",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "numba"],
+        default=None,
+        help="kernel backend for the refinement hot path (default: the "
+        "ONEX_KERNEL_BACKEND env var, then auto = numba when installed, "
+        "numpy otherwise; numba falls back to numpy with a warning when "
+        "the package is missing)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -355,6 +376,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.backend is not None:
+            set_backend(args.backend)
         return args.handler(args)
     except OnexError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -47,7 +47,18 @@ from repro.utils.validation import as_float_array
 
 @dataclass
 class QueryStats:
-    """Work counters for one query (used by the ablation benches)."""
+    """Work counters for one query (used by the ablation benches).
+
+    The ``cascade_*`` fields attribute every kill to the cascade stage
+    responsible — LB_Kim, LB_Keogh (candidate vs query envelope),
+    reversed LB_Keogh (query vs candidate envelope), or the DP's early
+    abandon — across both the representative scan and the in-group
+    refinement. When one fused bound (the max of LB_Kim and an
+    LB_Keogh direction) prunes a candidate, the kill is credited to
+    the cheapest stage that would have sufficed alone. The serving
+    layer merges these across workers and surfaces the totals in its
+    ``info`` op.
+    """
 
     reps_examined: int = 0
     reps_pruned_lb: int = 0
@@ -57,6 +68,10 @@ class QueryStats:
     members_pruned_lb: int = 0  # batch path only: LB-rejected before any DP
     members_abandoned: int = 0
     lengths_visited: int = 0
+    cascade_kim: int = 0
+    cascade_keogh: int = 0
+    cascade_keogh_reverse: int = 0
+    cascade_dtw_abandon: int = 0
     stopped_at_half_st: bool = False
 
     @property
@@ -90,6 +105,25 @@ class _RepScan:
     group_index: int
     dtw_raw: float
     dtw_normalized: float
+
+
+def _attribute_lb_prunes(
+    stats: QueryStats, kim_values: np.ndarray, bound: float, reverse: bool
+) -> None:
+    """Split fused lower-bound kills between LB_Kim and LB_Keogh.
+
+    ``kim_values`` are the LB_Kim bounds of the *pruned* candidates;
+    anything LB_Kim alone could have killed is credited to it, the rest
+    to the LB_Keogh direction (``reverse`` names which one) that pushed
+    the fused ``max`` bound over the threshold.
+    """
+    kim_hits = int(np.count_nonzero(kim_values >= bound))
+    stats.cascade_kim += kim_hits
+    rest = int(kim_values.size) - kim_hits
+    if reverse:
+        stats.cascade_keogh_reverse += rest
+    else:
+        stats.cascade_keogh += rest
 
 
 class QueryProcessor:
@@ -389,6 +423,7 @@ class QueryProcessor:
             if self.use_lower_bounds and bound < math.inf:
                 if lb_kim(query, representative) >= bound:
                     stats.reps_pruned_lb += 1
+                    stats.cascade_kim += 1
                     continue
                 # The stored envelope is only admissible when its radius
                 # covers the band the online DTW uses.
@@ -399,6 +434,7 @@ class QueryProcessor:
                     and lb_keogh(query, env) >= bound
                 ):
                     stats.reps_pruned_lb += 1
+                    stats.cascade_keogh_reverse += 1
                     continue
             distance = dtw(
                 query,
@@ -408,6 +444,7 @@ class QueryProcessor:
             )
             if distance == math.inf:
                 stats.reps_abandoned += 1
+                stats.cascade_dtw_abandon += 1
                 continue
             stats.rep_dtw_full += 1
             if distance < prune_bound() or len(top) < self.n_probe:
@@ -458,16 +495,20 @@ class QueryProcessor:
             # envelope) when the lengths match. Sorting by it puts
             # likely-best representatives in the opening chunk, which
             # supersedes the scalar path's median-out ordering.
-            lower_bounds = lb_kim_batch(query, reps)
+            kim_bounds = lb_kim_batch(query, reps)
+            lower_bounds = kim_bounds
             if same_length:
                 stack = bucket.rep_envelope_stack(radius)
                 lower_bounds = np.maximum(
-                    lower_bounds, lb_keogh_reverse_batch(query, stack)
+                    kim_bounds, lb_keogh_reverse_batch(query, stack)
                 )
             candidates = np.argsort(lower_bounds, kind="stable")
             if math.isfinite(seed_raw):
                 keep = lower_bounds[candidates] < seed_raw
                 stats.reps_pruned_lb += int(n_groups - keep.sum())
+                _attribute_lb_prunes(
+                    stats, kim_bounds[candidates[~keep]], seed_raw, reverse=True
+                )
                 candidates = candidates[keep]
         else:
             # Lower bounds disabled (ablation): keep the scalar path's
@@ -493,6 +534,9 @@ class QueryProcessor:
             if lower_bounds is not None and math.isfinite(bound):
                 keep = lower_bounds[chunk] < bound
                 stats.reps_pruned_lb += int(len(chunk) - keep.sum())
+                _attribute_lb_prunes(
+                    stats, kim_bounds[chunk[~keep]], bound, reverse=True
+                )
                 chunk = chunk[keep]
                 if not len(chunk):
                     continue
@@ -505,6 +549,7 @@ class QueryProcessor:
             for group_index, distance in zip(chunk.tolist(), distances.tolist()):
                 if distance == math.inf:
                     stats.reps_abandoned += 1
+                    stats.cascade_dtw_abandon += 1
                     continue
                 stats.rep_dtw_full += 1
                 if distance < prune_bound() or len(top) < self.n_probe:
@@ -563,14 +608,16 @@ class QueryProcessor:
         seeds_raw = bounds_normalized * denominator  # inf stays inf
 
         if self.use_lower_bounds:
-            lower_bounds = lb_kim_stacked(queries, reps)
+            kim_matrix = lb_kim_stacked(queries, reps)
+            lower_bounds = kim_matrix
             if same_length:
                 stack = bucket.rep_envelope_stack(radius)
                 lower_bounds = np.maximum(
-                    lower_bounds, lb_keogh_reverse_stacked(queries, stack)
+                    kim_matrix, lb_keogh_reverse_stacked(queries, stack)
                 )
             order = np.argsort(lower_bounds, axis=1, kind="stable")
         else:
+            kim_matrix = None
             lower_bounds = None
             base = np.fromiter(
                 self._rep_order(bucket), dtype=np.intp, count=n_groups
@@ -583,6 +630,12 @@ class QueryProcessor:
             if lower_bounds is not None and math.isfinite(seeds_raw[q]):
                 keep = lower_bounds[q][candidates] < seeds_raw[q]
                 stats.reps_pruned_lb += int(n_groups - keep.sum())
+                _attribute_lb_prunes(
+                    stats,
+                    kim_matrix[q][candidates[~keep]],
+                    float(seeds_raw[q]),
+                    reverse=True,
+                )
                 candidates = candidates[keep]
             candidate_lists.append(candidates)
 
@@ -617,6 +670,9 @@ class QueryProcessor:
                 if lower_bounds is not None and math.isfinite(bound):
                     keep = lower_bounds[q][chunk] < bound
                     stats.reps_pruned_lb += int(len(chunk) - keep.sum())
+                    _attribute_lb_prunes(
+                        stats, kim_matrix[q][chunk[~keep]], bound, reverse=True
+                    )
                     chunk = chunk[keep]
                 if not len(chunk):
                     continue
@@ -642,6 +698,7 @@ class QueryProcessor:
             ):
                 if distance == math.inf:
                     stats.reps_abandoned += 1
+                    stats.cascade_dtw_abandon += 1
                     continue
                 stats.rep_dtw_full += 1
                 top = tops[q]
@@ -833,17 +890,19 @@ class QueryProcessor:
             # lengths match) prune without touching the DP; computing
             # them is only worth it when a second chunk exists.
             member_bounds = None
+            member_kim = None
             if self.use_lower_bounds and order_array.size > BATCH_CHUNK:
                 tail = ordered_values[BATCH_CHUNK:]
-                tail_bounds = lb_kim_batch(query, tail)
+                tail_kim = lb_kim_batch(query, tail)
+                tail_bounds = tail_kim
                 if query.shape[0] == bucket.length:
                     env_lower, env_upper = sliding_minmax(query, radius)
                     tail_bounds = np.maximum(
-                        tail_bounds, lb_keogh_batch(tail, env_lower, env_upper)
+                        tail_kim, lb_keogh_batch(tail, env_lower, env_upper)
                     )
-                member_bounds = np.concatenate(
-                    [np.zeros(BATCH_CHUNK), tail_bounds]
-                )
+                head = np.zeros(BATCH_CHUNK)
+                member_bounds = np.concatenate([head, tail_bounds])
+                member_kim = np.concatenate([head, tail_kim])
             for start in range(0, order_array.size, BATCH_CHUNK):
                 positions = np.arange(
                     start, min(start + BATCH_CHUNK, order_array.size)
@@ -853,6 +912,9 @@ class QueryProcessor:
                 if member_bounds is not None and math.isfinite(abandon):
                     keep = member_bounds[positions] < abandon
                     stats.members_pruned_lb += int(positions.size - keep.sum())
+                    _attribute_lb_prunes(
+                        stats, member_kim[positions[~keep]], abandon, reverse=False
+                    )
                     positions = positions[keep]
                     if not positions.size:
                         continue
@@ -865,6 +927,7 @@ class QueryProcessor:
                 for position, raw in zip(positions.tolist(), distances.tolist()):
                     if raw == math.inf:
                         stats.members_abandoned += 1
+                        stats.cascade_dtw_abandon += 1
                         continue
                     admit(
                         int(order_array[position]), raw, ordered_values[position]
@@ -883,6 +946,7 @@ class QueryProcessor:
             )
             if raw == math.inf:
                 stats.members_abandoned += 1
+                stats.cascade_dtw_abandon += 1
                 continue
             admit(member_index, raw, values)
         return sorted(results.values())

@@ -1,6 +1,14 @@
 """Similarity distances: ED, DTW, lower bounds (scalar and vectorized
-batch kernels), PAA, LCSS, ERP."""
+batch kernels, dispatched through the pluggable kernel backend
+registry), PAA, LCSS, ERP."""
 
+from repro.distances.backend import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+)
 from repro.distances.euclidean import (
     euclidean,
     euclidean_to_many,
@@ -37,6 +45,11 @@ from repro.distances.erp import erp
 from repro.distances.registry import DISTANCES, get_distance
 
 __all__ = [
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
     "euclidean",
     "euclidean_to_many",
     "normalized_euclidean",

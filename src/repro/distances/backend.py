@@ -1,0 +1,215 @@
+"""Pluggable kernel backends for the refinement hot path (ISSUE 5).
+
+PRs 1-4 vectorized the scan and batched the serving layer, which left
+per-candidate *refinement* — the banded DTW row sweep and the scalar
+cascade stages — as the dominant cost. Those kernels are pure
+arithmetic over small float64 arrays, exactly the shape a JIT compiler
+eats for breakfast, so this module makes the kernel implementation a
+pluggable **backend**:
+
+* the ``numpy`` backend binds the existing kernels (the exact
+  reference: the scalar DP of :mod:`repro.distances.dtw` and the
+  row-synchronized batch DPs of :mod:`repro.distances.batch`);
+* the ``numba`` backend (:mod:`repro.distances.kernels_numba`) provides
+  nopython implementations of the same kernels with the **same float64
+  operation order**, so both backends return bit-identical distances
+  (asserted by ``tests/test_backend.py``). The import is guarded: when
+  ``numba`` is not installed, requesting it falls back to ``numpy``
+  with a warning instead of failing.
+
+Selection, in priority order:
+
+1. an explicit :func:`set_backend` call (the CLI's ``onex --backend``);
+2. the ``ONEX_KERNEL_BACKEND`` environment variable;
+3. ``auto`` — ``numba`` when importable, ``numpy`` otherwise.
+
+The resolved backend is cached process-wide; :func:`set_backend` with
+``None`` drops the cache so the environment is re-read (tests use
+this). Backends are *stateless* kernel tables — swapping them never
+changes results, only speed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import DistanceError
+
+#: Environment variable consulted when no backend was set explicitly.
+ENV_VAR = "ONEX_KERNEL_BACKEND"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A table of refinement kernels sharing one calling convention.
+
+    All kernels receive pre-validated contiguous ``float64`` arrays (the
+    public wrappers in :mod:`repro.distances.dtw` /
+    :mod:`repro.distances.batch` own validation) and operate on the
+    *squared* scale where noted:
+
+    ``dtw_squared(x, y, radius, bound_sq)``
+        Banded early-abandoning DP; returns the squared DTW or ``inf``.
+    ``lb_kim(x, y)``
+        LB_Kim on the distance scale.
+    ``lb_keogh_squared(values, lower, upper, order, bound_sq)``
+        Sum of squared excursions of ``values`` outside the corridor.
+        ``order`` is the visit order over positions (the cascade passes
+        the query's descending-``|z|`` order so JIT backends abandon
+        after the large terms); once the running sum provably reaches
+        ``bound_sq`` the kernel may return any partial sum ``>=
+        bound_sq``. Vectorized backends may ignore both hints — the
+        full sum satisfies the contract.
+    ``dtw_batch(query, matrix, radius, abandon_above)``
+        Per-row DTW distances of one query against a candidate stack
+        (``inf`` where abandoned); shared scalar bound or ``None``.
+    ``dtw_pairs(queries, matrix, radius, abandon_above)``
+        Row-aligned pair lanes with a scalar/per-lane/absent bound.
+    """
+
+    name: str
+    jit: bool
+    dtw_squared: Callable[..., float]
+    lb_kim: Callable[..., float]
+    lb_keogh_squared: Callable[..., float]
+    dtw_batch: Callable[..., "object"]
+    dtw_pairs: Callable[..., "object"]
+    compile_kernels: Callable[[], None] | None = None
+
+    def warmup(self) -> float:
+        """Compile/exercise every kernel now; returns elapsed seconds.
+
+        For JIT backends this front-loads compilation so the first real
+        query doesn't eat it; for ``numpy`` it is effectively free. The
+        serving layer calls this at startup and reports the time.
+        """
+        started = time.perf_counter()
+        if self.compile_kernels is not None:
+            self.compile_kernels()
+        return time.perf_counter() - started
+
+
+def _numpy_backend() -> KernelBackend:
+    # Late imports: dtw/batch/lower_bounds import this module at load
+    # time, so the factory must not run at import time (it runs on the
+    # first get_backend() call, when everything is initialized).
+    from repro.distances.batch import _dtw_batch_numpy, _dtw_pairs_numpy
+    from repro.distances.dtw import _dtw_squared
+    from repro.distances.lower_bounds import (
+        _lb_keogh_squared_numpy,
+        _lb_kim_numpy,
+    )
+
+    return KernelBackend(
+        name="numpy",
+        jit=False,
+        dtw_squared=_dtw_squared,
+        lb_kim=_lb_kim_numpy,
+        lb_keogh_squared=_lb_keogh_squared_numpy,
+        dtw_batch=_dtw_batch_numpy,
+        dtw_pairs=_dtw_pairs_numpy,
+        compile_kernels=None,
+    )
+
+
+def _numba_backend() -> KernelBackend | None:
+    try:
+        from repro.distances import kernels_numba
+    except ImportError:  # pragma: no cover - defensive
+        return None
+    if not kernels_numba.NUMBA_AVAILABLE:
+        return None
+    return kernels_numba.make_backend()
+
+
+_FACTORIES: dict[str, Callable[[], KernelBackend | None]] = {
+    "numpy": _numpy_backend,
+    "numba": _numba_backend,
+}
+_instances: dict[str, KernelBackend] = {}
+_lock = threading.Lock()
+_active: KernelBackend | None = None
+_warned_fallback = False
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend | None]
+) -> None:
+    """Register a backend factory (returns ``None`` when unavailable)."""
+    with _lock:
+        _FACTORIES[name.lower()] = factory
+        _instances.pop(name.lower(), None)
+
+
+def available_backends() -> dict[str, bool]:
+    """Registered backend names mapped to availability right now."""
+    return {name: _build(name) is not None for name in _FACTORIES}
+
+
+def _build(name: str) -> KernelBackend | None:
+    if name in _instances:
+        return _instances[name]
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        return None
+    backend = factory()
+    if backend is not None:
+        _instances[name] = backend
+    return backend
+
+
+def resolve_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend spec to an instance, with graceful fallback.
+
+    ``None`` consults ``ONEX_KERNEL_BACKEND`` and defaults to ``auto``.
+    ``auto`` prefers ``numba`` when importable. Asking for ``numba``
+    without the package installed warns once and returns ``numpy`` — a
+    numpy-only environment must keep working unchanged.
+    """
+    global _warned_fallback
+    spec = (name or os.environ.get(ENV_VAR) or "auto").strip().lower()
+    if spec == "auto":
+        backend = _build("numba")
+        return backend if backend is not None else _build("numpy")
+    if spec not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise DistanceError(
+            f"unknown kernel backend {spec!r}; known: auto, {known}"
+        )
+    backend = _build(spec)
+    if backend is None:
+        if not _warned_fallback:
+            _warned_fallback = True
+            warnings.warn(
+                f"kernel backend {spec!r} is unavailable (is the package "
+                "installed?); falling back to the exact numpy backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _build("numpy")
+    return backend
+
+
+def get_backend() -> KernelBackend:
+    """The process-wide active backend (resolved once, then cached)."""
+    global _active
+    backend = _active
+    if backend is None:
+        with _lock:
+            if _active is None:
+                _active = resolve_backend()
+            backend = _active
+    return backend
+
+
+def set_backend(name: str | None) -> KernelBackend:
+    """Select the active backend by name; ``None`` re-reads the env."""
+    global _active
+    with _lock:
+        _active = None if name is None else resolve_backend(name)
+    return get_backend()

@@ -46,6 +46,7 @@ from typing import Iterator
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.distances.backend import get_backend
 from repro.distances.dtw import band_bounds
 from repro.exceptions import DistanceError, LengthMismatchError
 
@@ -147,6 +148,39 @@ def envelope_matrix(candidates: np.ndarray, radius: int) -> EnvelopeStack:
     return EnvelopeStack(lower=lower, upper=upper, radius=radius)
 
 
+def kim_features(
+    matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The per-row LB_Kim ingredients: first, last, min, max.
+
+    Single source of the *endpoint logic* of [22]'s LB_Kim: which
+    points of a sequence participate in the bound. Every LB_Kim
+    implementation (scalar, batch, stacked) draws its features from
+    here or mirrors it exactly, so the paths cannot drift.
+    """
+    return (
+        matrix[:, 0],
+        matrix[:, -1],
+        matrix.min(axis=1),
+        matrix.max(axis=1),
+    )
+
+
+def kim_combine(
+    boundary_sq: np.ndarray | float,
+    max_diff: np.ndarray | float,
+    min_diff: np.ndarray | float,
+) -> np.ndarray | float:
+    """Combine the LB_Kim terms into the bound (shared by all paths).
+
+    ``max(sqrt(boundary_sq), |max - max|, |min - min|)`` — the single
+    source of the term combination, so the scalar
+    :func:`repro.distances.lower_bounds.lb_kim`, :func:`lb_kim_batch`
+    and :func:`lb_kim_stacked` agree bit for bit.
+    """
+    return np.maximum(np.sqrt(boundary_sq), np.maximum(max_diff, min_diff))
+
+
 def lb_kim_batch(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """LB_Kim of the query against every row of a candidate stack.
 
@@ -158,12 +192,11 @@ def lb_kim_batch(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     if query.ndim != 1 or query.size == 0:
         raise DistanceError("lb_kim_batch requires a non-empty 1-D query")
     matrix = _as_matrix(candidates, "lb_kim_batch")
-    boundary = np.sqrt(
-        (matrix[:, 0] - query[0]) ** 2 + (matrix[:, -1] - query[-1]) ** 2
-    )
-    max_diff = np.abs(matrix.max(axis=1) - query.max())
-    min_diff = np.abs(matrix.min(axis=1) - query.min())
-    return np.maximum(boundary, np.maximum(max_diff, min_diff))
+    first, last, minima, maxima = kim_features(matrix)
+    boundary_sq = (first - query[0]) ** 2 + (last - query[-1]) ** 2
+    max_diff = np.abs(maxima - query.max())
+    min_diff = np.abs(minima - query.min())
+    return kim_combine(boundary_sq, max_diff, min_diff)
 
 
 def lb_keogh_batch(
@@ -215,6 +248,11 @@ def dtw_batch(
 
     Returns the per-candidate DTW distances (``inf`` where abandoned or
     where the band leaves the final cell unreachable).
+
+    Dispatches to the active kernel backend
+    (:mod:`repro.distances.backend`); the numpy reference below is the
+    default, the ``numba`` backend runs per-lane nopython DPs with the
+    same float64 operation order (bit-identical results).
     """
     query = np.asarray(query, dtype=np.float64)
     if query.ndim != 1 or query.size == 0:
@@ -223,6 +261,18 @@ def dtw_batch(
     radius = int(radius)
     if radius < 0:
         raise DistanceError(f"band radius must be >= 0, got {radius}")
+    if matrix.shape[0] == 0:
+        return np.full(0, _INF)
+    return get_backend().dtw_batch(query, matrix, radius, abandon_above)
+
+
+def _dtw_batch_numpy(
+    query: np.ndarray,
+    matrix: np.ndarray,
+    radius: int,
+    abandon_above: float | None = None,
+) -> np.ndarray:
+    """Numpy-backend kernel behind :func:`dtw_batch` (pre-validated args)."""
     k, m = matrix.shape
     n = query.shape[0]
     out = np.full(k, _INF)
@@ -316,13 +366,14 @@ def lb_kim_stacked(queries: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """
     q_matrix = _as_query_matrix(queries, "lb_kim_stacked")
     matrix = _as_matrix(candidates, "lb_kim_stacked")
-    boundary = np.sqrt(
-        (matrix[None, :, 0] - q_matrix[:, 0, None]) ** 2
-        + (matrix[None, :, -1] - q_matrix[:, -1, None]) ** 2
-    )
-    max_diff = np.abs(matrix.max(axis=1)[None, :] - q_matrix.max(axis=1)[:, None])
-    min_diff = np.abs(matrix.min(axis=1)[None, :] - q_matrix.min(axis=1)[:, None])
-    return np.maximum(boundary, np.maximum(max_diff, min_diff))
+    first, last, minima, maxima = kim_features(matrix)
+    q_first, q_last, q_minima, q_maxima = kim_features(q_matrix)
+    boundary_sq = (first[None, :] - q_first[:, None]) ** 2 + (
+        last[None, :] - q_last[:, None]
+    ) ** 2
+    max_diff = np.abs(maxima[None, :] - q_maxima[:, None])
+    min_diff = np.abs(minima[None, :] - q_minima[:, None])
+    return kim_combine(boundary_sq, max_diff, min_diff)
 
 
 #: Cap on the transient ``(queries, candidates, length)`` float64
@@ -379,7 +430,8 @@ def dtw_pairs(
     a per-pair array; lanes whose entire DP row exceeds their bound are
     compacted out mid-flight and report ``inf``, exactly like
     :func:`dtw_batch` (whose per-lane arithmetic this reproduces bit
-    for bit).
+    for bit). Dispatches to the active kernel backend, exactly like
+    :func:`dtw_batch`.
     """
     q_matrix = _as_query_matrix(queries, "dtw_pairs")
     matrix = _as_matrix(candidates, "dtw_pairs")
@@ -391,6 +443,18 @@ def dtw_pairs(
     radius = int(radius)
     if radius < 0:
         raise DistanceError(f"band radius must be >= 0, got {radius}")
+    if matrix.shape[0] == 0:
+        return np.full(0, _INF)
+    return get_backend().dtw_pairs(q_matrix, matrix, radius, abandon_above)
+
+
+def _dtw_pairs_numpy(
+    q_matrix: np.ndarray,
+    matrix: np.ndarray,
+    radius: int,
+    abandon_above: np.ndarray | float | None = None,
+) -> np.ndarray:
+    """Numpy-backend kernel behind :func:`dtw_pairs` (pre-validated args)."""
     k, m = matrix.shape
     n = q_matrix.shape[1]
     out = np.full(k, _INF)

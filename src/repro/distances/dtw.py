@@ -13,8 +13,12 @@ implementation supports:
 * the **normalized DTW** ``DTW̄ = DTW / 2n`` with ``n`` the longer length
   (Def. 6), which the ONEX framework uses everywhere thresholds appear.
 
-The DP runs over plain Python floats row by row; for the short sequences
-the benchmarks use this beats repeated small-array NumPy dispatch.
+The DP is dispatched through the kernel backend registry
+(:mod:`repro.distances.backend`): the ``numpy`` backend runs
+:func:`_dtw_squared` below — plain Python floats row by row, which for
+the short sequences the benchmarks use beats repeated small-array NumPy
+dispatch — and the optional ``numba`` backend runs a nopython kernel
+with the identical float64 operation order (bit-identical results).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro.distances.backend import get_backend
 from repro.exceptions import DistanceError
 
 _INF = math.inf
@@ -142,7 +147,7 @@ def dtw(
         raise DistanceError("dtw requires two non-empty 1-D sequences")
     radius = resolve_window(x.shape[0], y.shape[0], window)
     threshold_sq = _INF if abandon_above is None else float(abandon_above) ** 2
-    squared = _dtw_squared(x, y, radius, threshold_sq)
+    squared = get_backend().dtw_squared(x, y, radius, threshold_sq)
     return math.sqrt(squared) if squared != _INF else _INF
 
 

@@ -1,0 +1,259 @@
+"""Numba nopython kernels for the refinement hot path (optional).
+
+The refinement kernels — banded early-abandoning DTW, LB_Kim, the
+reordered early-abandoning LB_Keogh accumulation, and the per-lane
+batch/pair DPs — are tight float64 loops over short arrays: the numpy
+reference pays either a Python-interpreter round trip per DP cell (the
+scalar kernel) or a ufunc dispatch per band row (the batch kernels).
+The JIT versions here compile to straight-line machine code and remove
+both costs.
+
+**Bit-identity contract.** Every kernel reproduces the numpy
+reference's float64 operation order exactly — same cost expression
+``best + diff * diff``, same three-way predecessor minimum, same
+abandon comparisons — and compiles *without* ``fastmath`` (which would
+license reassociation). ``tests/test_backend.py`` asserts equality
+against the reference on random and adversarial inputs; the batch
+kernels are per-lane loops of the scalar DP, which agrees with the
+row-synchronized numpy sweep because each lane's arithmetic is
+independent of its neighbours.
+
+The ``numba`` import is guarded: when the package is missing,
+``NUMBA_AVAILABLE`` is ``False``, ``njit`` degrades to a no-op
+decorator (so this module still imports cleanly for introspection) and
+the backend registry never hands this backend out.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+try:
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised via the registry
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # noqa: ARG001 - signature mirror
+        """Identity decorator standing in for an absent numba."""
+
+        def decorate(func):
+            return func
+
+        if args and callable(args[0]):
+            return args[0]
+        return decorate
+
+
+_INF = math.inf
+
+
+@njit(cache=True)
+def _dtw_squared_jit(x, y, radius, bound_sq):
+    """Banded DP over squared costs; mirrors ``dtw._dtw_squared``.
+
+    Two rolling rows are swapped instead of reallocated; the band is
+    non-decreasing in ``i`` (``center = (i * m) // n``), so the only
+    position a swap could leave stale — the cell just left of the band,
+    read as ``previous[j_start - 1]`` one row later — is re-filled with
+    ``inf`` every row, exactly like the numpy batch kernels do.
+    """
+    n = x.shape[0]
+    m = y.shape[0]
+    previous = np.full(m + 1, _INF)
+    previous[0] = 0.0
+    current = np.full(m + 1, _INF)
+    for i in range(1, n + 1):
+        center = (i * m) // n
+        j_start = center - radius
+        if j_start < 1:
+            j_start = 1
+        j_stop = center + radius
+        if j_stop > m:
+            j_stop = m
+        current[j_start - 1] = _INF
+        xi = x[i - 1]
+        row_min = _INF
+        left = _INF  # D[i][0] is unreachable for every i >= 1
+        for j in range(j_start, j_stop + 1):
+            best = previous[j - 1]
+            up = previous[j]
+            if up < best:
+                best = up
+            if left < best:
+                best = left
+            if best == _INF:
+                value = _INF
+            else:
+                diff = xi - y[j - 1]
+                value = best + diff * diff
+            current[j] = value
+            left = value
+            if value < row_min:
+                row_min = value
+        if row_min > bound_sq:
+            return _INF
+        previous, current = current, previous
+    result = previous[m]
+    if result > bound_sq:
+        return _INF
+    return result
+
+
+@njit(cache=True)
+def _lb_kim_jit(x, y):
+    """LB_Kim with the same term order as the numpy reference."""
+    n = x.shape[0]
+    m = y.shape[0]
+    x_min = x[0]
+    x_max = x[0]
+    for i in range(1, n):
+        v = x[i]
+        if v < x_min:
+            x_min = v
+        if v > x_max:
+            x_max = v
+    y_min = y[0]
+    y_max = y[0]
+    for i in range(1, m):
+        v = y[i]
+        if v < y_min:
+            y_min = v
+        if v > y_max:
+            y_max = v
+    boundary_sq = (x[0] - y[0]) ** 2 + (x[-1] - y[-1]) ** 2
+    bound = math.sqrt(boundary_sq)
+    max_diff = abs(x_max - y_max)
+    if max_diff > bound:
+        bound = max_diff
+    min_diff = abs(x_min - y_min)
+    if min_diff > bound:
+        bound = min_diff
+    return bound
+
+
+@njit(cache=True)
+def _lb_keogh_sq_jit(values, lower, upper, order, bound_sq):
+    """Reordered, early-abandoning LB_Keogh squared accumulation.
+
+    Visits positions in ``order`` (the cascade passes descending
+    ``|z|`` of the query, after [22]) so the big excursions land first
+    and the running sum crosses ``bound_sq`` as early as possible. The
+    partial sum returned on abandon is itself a valid lower bound of
+    the full sum, so the caller's ``>= bound_sq`` prune decision is
+    identical to the full computation's.
+    """
+    total = 0.0
+    for idx in range(order.shape[0]):
+        i = order[idx]
+        v = values[i]
+        hi = upper[i]
+        if v > hi:
+            d = v - hi
+            total += d * d
+        else:
+            lo = lower[i]
+            if v < lo:
+                d = lo - v
+                total += d * d
+        if total >= bound_sq:
+            return total
+    return total
+
+
+@njit(cache=True)
+def _dtw_batch_sq_jit(query, candidates, radius, bound_sq, out):
+    """Per-lane scalar DP over a candidate stack (shared bound)."""
+    for p in range(candidates.shape[0]):
+        out[p] = _dtw_squared_jit(query, candidates[p], radius, bound_sq)
+
+
+@njit(cache=True)
+def _dtw_pairs_sq_jit(queries, candidates, radius, bounds_sq, out):
+    """Per-lane scalar DP over row-aligned pairs (per-lane bounds)."""
+    for p in range(queries.shape[0]):
+        out[p] = _dtw_squared_jit(
+            queries[p], candidates[p], radius, bounds_sq[p]
+        )
+
+
+def _c64(values: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.float64)
+
+
+def dtw_squared(x, y, radius, bound_sq) -> float:
+    return float(_dtw_squared_jit(_c64(x), _c64(y), int(radius), float(bound_sq)))
+
+
+def lb_kim(x, y) -> float:
+    return float(_lb_kim_jit(_c64(x), _c64(y)))
+
+
+def lb_keogh_squared(values, lower, upper, order, bound_sq) -> float:
+    return float(
+        _lb_keogh_sq_jit(
+            _c64(values),
+            _c64(lower),
+            _c64(upper),
+            np.ascontiguousarray(order, dtype=np.intp),
+            float(bound_sq),
+        )
+    )
+
+
+def dtw_batch(query, matrix, radius, abandon_above) -> np.ndarray:
+    bound_sq = _INF if abandon_above is None else float(abandon_above) ** 2
+    out = np.empty(matrix.shape[0])
+    _dtw_batch_sq_jit(_c64(query), _c64(matrix), int(radius), bound_sq, out)
+    return np.sqrt(out)
+
+
+def dtw_pairs(queries, matrix, radius, abandon_above) -> np.ndarray:
+    k = matrix.shape[0]
+    if abandon_above is None:
+        bounds_sq = np.full(k, _INF)
+    else:
+        # Same prep as the numpy kernel: square first, then broadcast.
+        bounds_sq = np.ascontiguousarray(
+            np.broadcast_to(
+                np.asarray(abandon_above, dtype=np.float64) ** 2, (k,)
+            )
+        )
+    out = np.empty(k)
+    _dtw_pairs_sq_jit(_c64(queries), _c64(matrix), int(radius), bounds_sq, out)
+    return np.sqrt(out)
+
+
+def compile_kernels() -> None:
+    """Force-compile every jitted kernel on tiny inputs (warm path)."""
+    x = np.array([0.0, 1.0, 0.5, 0.25])
+    y = np.array([0.5, 0.0, 1.0, 0.75])
+    order = np.argsort(-np.abs(x), kind="stable").astype(np.intp)
+    dtw_squared(x, y, 1, _INF)
+    dtw_squared(x, y, 0, 1.0)
+    lb_kim(x, y)
+    lb_keogh_squared(x, y - 1.0, y + 1.0, order, _INF)
+    stack = np.stack([y, x])
+    dtw_batch(x, stack, 1, None)
+    dtw_batch(x, stack, 1, 0.5)
+    dtw_pairs(stack, np.stack([x, y]), 1, None)
+    dtw_pairs(stack, np.stack([x, y]), 1, np.array([0.5, _INF]))
+
+
+def make_backend():
+    """Build the ``numba`` :class:`~repro.distances.backend.KernelBackend`."""
+    from repro.distances.backend import KernelBackend
+
+    return KernelBackend(
+        name="numba",
+        jit=True,
+        dtw_squared=dtw_squared,
+        lb_kim=lb_kim,
+        lb_keogh_squared=lb_keogh_squared,
+        dtw_batch=dtw_batch,
+        dtw_pairs=dtw_pairs,
+        compile_kernels=compile_kernels,
+    )

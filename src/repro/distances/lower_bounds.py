@@ -2,13 +2,25 @@
 
 These are the pruning tools of §5.3 (after Rakthanmanon et al. [22]):
 
-* :func:`lb_kim` — an O(1) bound from the first/last points and global
+* :func:`lb_kim` — a cheap bound from the first/last points and global
   extrema, filtering the cheapest rejections first;
 * :func:`envelope` / :func:`lb_keogh` — the classic Keogh bound: the
   candidate is compared against a sliding min/max corridor around the
   query (or vice versa, the "reversed" role of [22]);
-* :class:`CascadePruner` — applies the bounds in increasing cost order
-  and finishes with early-abandoning DTW, keeping per-stage statistics.
+* :class:`CascadePruner` — applies the bounds before early-abandoning
+  DTW, keeping per-stage statistics. The cascade is **adaptive**: the
+  measured per-stage prune rates (per :class:`PruneStats` object, which
+  callers may share across queries of one length bucket) drive the
+  stage order, and stages whose observed prune rate cannot pay for
+  their evaluation cost are skipped — always safely, because every
+  stage is an optional admissible filter.
+
+The scalar bound evaluations dispatch through the kernel backend
+registry (:mod:`repro.distances.backend`): the JIT backend accumulates
+LB_Keogh in the query's descending-``|z|`` position order with
+cumulative-sum early abandon (the UCR-suite trick), the numpy backend
+computes the vectorized full sum — both make identical prune
+decisions.
 
 Every bound is admissible: ``bound <= DTW`` for equal-length sequences
 whenever the DTW band radius is at least the envelope radius.
@@ -21,15 +33,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.distances.backend import get_backend
 from repro.distances.dtw import dtw, resolve_window
 from repro.exceptions import DistanceError, LengthMismatchError
 
-# NOTE: repro.distances.batch imports only from repro.distances.dtw, so
-# this import cannot form a cycle.
+# NOTE: repro.distances.batch imports only from repro.distances.dtw and
+# repro.distances.backend, so this import cannot form a cycle.
 from repro.distances.batch import (
     EnvelopeStack,
     dtw_batch,
     envelope_matrix,
+    kim_combine,
     lb_keogh_batch,
     lb_keogh_reverse_batch,
     lb_kim_batch,
@@ -37,23 +51,49 @@ from repro.distances.batch import (
 )
 
 
+def _lb_kim_numpy(x: np.ndarray, y: np.ndarray) -> float:
+    """Numpy-backend LB_Kim kernel (shares the batch path's term logic)."""
+    boundary_sq = (x[0] - y[0]) ** 2 + (x[-1] - y[-1]) ** 2
+    max_diff = abs(float(x.max()) - float(y.max()))
+    min_diff = abs(float(x.min()) - float(y.min()))
+    return float(kim_combine(boundary_sq, max_diff, min_diff))
+
+
+def _lb_keogh_squared_numpy(
+    values: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    order: np.ndarray,  # noqa: ARG001 - full vectorized sum ignores order
+    bound_sq: float,  # noqa: ARG001 - and needs no early abandon
+) -> float:
+    """Numpy-backend LB_Keogh kernel: full vectorized squared sum.
+
+    The reorder/early-abandon hints only pay off in compiled code; at
+    numpy speed two ``dot`` reductions beat any Python-level loop, and
+    the full sum trivially satisfies the backend contract.
+    """
+    above = np.maximum(values - upper, 0.0)
+    below = np.maximum(lower - values, 0.0)
+    return float(np.dot(above, above) + np.dot(below, below))
+
+
 def lb_kim(x: np.ndarray, y: np.ndarray) -> float:
-    """O(1) lower bound on DTW from boundary points and extrema.
+    """Cheap lower bound on DTW from boundary points and extrema.
 
     Any warping path matches the first points to each other and the last
     points to each other, so ``(x_0-y_0)^2 + (x_end-y_end)^2 <= DTW^2``.
     Each sequence's maximum must be matched to *some* point of the other,
     which cannot exceed the other's maximum, so ``|max(x) - max(y)|``
-    (and symmetrically the minima) also bound DTW.
+    (and symmetrically the minima) also bound DTW. The endpoint/extrema
+    term logic is shared with :func:`repro.distances.batch.lb_kim_batch`
+    (single source: ``kim_features`` / ``kim_combine``), and the
+    evaluation dispatches to the active kernel backend.
     """
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
     if x.size == 0 or y.size == 0:
         raise DistanceError("lb_kim requires non-empty sequences")
-    boundary_sq = (x[0] - y[0]) ** 2 + (x[-1] - y[-1]) ** 2
-    max_diff = abs(float(x.max()) - float(y.max()))
-    min_diff = abs(float(x.min()) - float(y.min()))
-    return max(math.sqrt(boundary_sq), max_diff, min_diff)
+    return float(get_backend().lb_kim(x, y))
 
 
 @dataclass(frozen=True)
@@ -101,7 +141,16 @@ def lb_keogh(x: np.ndarray, env: Envelope) -> float:
 
 @dataclass
 class PruneStats:
-    """Counts of how candidates were disposed of by the cascade."""
+    """Counts of how candidates were disposed of by the cascade.
+
+    ``evaluated_*`` counts how often each bound actually *ran* (the
+    adaptive cascade skips stages, so evaluations and examinations
+    diverge); ``pruned_*`` counts the kills. The ratio is the measured
+    prune rate that drives the adaptive stage order — share one
+    ``PruneStats`` across the pruners of one candidate population (as
+    :class:`~repro.baselines.trillion.Trillion` does per length) and
+    the learned rates persist across queries.
+    """
 
     examined: int = 0
     pruned_kim: int = 0
@@ -109,6 +158,9 @@ class PruneStats:
     pruned_keogh_data: int = 0
     abandoned_dtw: int = 0
     full_dtw: int = 0
+    evaluated_kim: int = 0
+    evaluated_keogh_query: int = 0
+    evaluated_keogh_data: int = 0
 
     @property
     def pruned(self) -> int:
@@ -121,14 +173,47 @@ class PruneStats:
         )
 
 
+#: Per-element evaluation cost of each bound, in arbitrary shared units
+#: (LB_Kim scans the candidate's extrema: ~2 passes; LB_Keogh is one
+#: compare-and-accumulate pass per direction; the data direction may
+#: additionally have to build the candidate envelope). The DP costs
+#: ``band width`` units per element, so a stage pays for itself when
+#: ``prune_rate * band_width >= stage_cost`` — the adaptive plan's
+#: keep/skip rule (DESIGN.md §10 derives it).
+_STAGE_COSTS = {"kim": 2.0, "keogh_query": 2.0, "keogh_data": 3.0}
+_REFERENCE_ORDER = ("kim", "keogh_query", "keogh_data")
+#: Laplace-style smoothing of the measured prune rates: cold stages
+#: start at an optimistic 0.5 so they run until real counts displace
+#: the prior, and a handful of unlucky candidates can't kill a stage.
+_PRIOR_RATE = 0.5
+_PRIOR_WEIGHT = 8.0
+
+
 @dataclass
 class CascadePruner:
     """UCR-suite-style cascading filter for one query sequence.
 
-    The pruner owns the query's envelope and applies, in order:
-    ``lb_kim`` → ``lb_keogh`` (query envelope vs candidate) →
-    ``lb_keogh`` reversed (candidate envelope vs query) → full DTW with
-    early abandoning at the caller's best-so-far.
+    The pruner owns the query's envelope and applies admissible lower
+    bounds — ``lb_kim``, ``lb_keogh`` (query envelope vs candidate),
+    ``lb_keogh`` reversed (candidate envelope vs query) — before full
+    DTW with early abandoning at the caller's best-so-far. Bound
+    evaluations dispatch through the active kernel backend; the
+    LB_Keogh accumulations visit positions in the query's descending
+    ``|z|`` order so JIT backends abandon after the large terms.
+
+    The stage order is **adaptive**: once ``adapt_min_examined``
+    candidates have been seen, the measured per-stage prune rates in
+    :attr:`stats` (smoothed toward an optimistic prior) reorder the
+    surviving stages by prune-rate-per-cost and *skip* stages whose
+    rate cannot pay for their evaluation cost against the DP they
+    would save. Every ``adapt_reprobe`` candidates one candidate runs
+    the full reference cascade so skipped stages keep collecting
+    evidence and can return when the candidate distribution shifts.
+    Adaptation never changes results — each bound is an optional
+    admissible filter — only which bounds run (asserted against the
+    fixed-order reference by ``tests/test_backend.py``). Pass a shared
+    :class:`PruneStats` to carry learned rates across queries of one
+    candidate population (per-bucket, as ``Trillion`` does).
 
     Parameters
     ----------
@@ -138,18 +223,103 @@ class CascadePruner:
         DTW band spec (same semantics as :func:`repro.distances.dtw.dtw`).
     use_kim / use_keogh:
         Toggles for ablation experiments.
+    adaptive:
+        ``False`` pins the fixed reference order (the pre-adaptive
+        behaviour; also the correctness reference in tests).
+    adapt_min_examined / adapt_interval / adapt_reprobe:
+        Warm-up sample floor, re-planning cadence, and full-cascade
+        reprobe cadence, all in examined candidates.
     """
 
     query: np.ndarray
     window: int | float | None = 0.1
     use_kim: bool = True
     use_keogh: bool = True
+    adaptive: bool = True
+    adapt_min_examined: int = 64
+    adapt_interval: int = 64
+    adapt_reprobe: int = 512
     stats: PruneStats = field(default_factory=PruneStats)
 
     def __post_init__(self) -> None:
         self.query = np.asarray(self.query, dtype=np.float64)
         self._radius = resolve_window(len(self.query), len(self.query), self.window)
         self._query_envelope = envelope(self.query, self._radius)
+        # Descending |z| visit order for the LB_Keogh accumulations
+        # ([22]: sort by |z-normalized value|; the positive scale factor
+        # cannot change the order, so |q - mean| suffices).
+        centered = np.abs(self.query - self.query.mean())
+        self._abandon_order = np.argsort(-centered, kind="stable").astype(np.intp)
+        self._reference = tuple(
+            stage
+            for stage in _REFERENCE_ORDER
+            if (self.use_kim if stage == "kim" else self.use_keogh)
+        )
+        self._dtw_width = float(min(2 * self._radius + 1, len(self.query)))
+        self._adaptive_plan = self._reference
+        # Start from whatever the (possibly shared) stats already hold.
+        self._plan_examined = -1
+        self._next_reprobe = self.stats.examined + int(self.adapt_reprobe)
+
+    # ------------------------------------------------------------------
+    # Adaptive stage planning
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _smoothed_rate(pruned: int, evaluated: int) -> float:
+        return (pruned + _PRIOR_RATE * _PRIOR_WEIGHT) / (evaluated + _PRIOR_WEIGHT)
+
+    def _stage_rates(self) -> dict[str, float]:
+        s = self.stats
+        return {
+            "kim": self._smoothed_rate(s.pruned_kim, s.evaluated_kim),
+            "keogh_query": self._smoothed_rate(
+                s.pruned_keogh_query, s.evaluated_keogh_query
+            ),
+            "keogh_data": self._smoothed_rate(
+                s.pruned_keogh_data, s.evaluated_keogh_data
+            ),
+        }
+
+    def _recompute_plan(self) -> None:
+        rates = self._stage_rates()
+        kept = [
+            stage
+            for stage in self._reference
+            if rates[stage] * self._dtw_width >= _STAGE_COSTS[stage]
+        ]
+        # Highest prune-rate-per-cost first; the stable sort keeps the
+        # reference (cheapest-first) order on ties.
+        kept.sort(key=lambda stage: rates[stage] / _STAGE_COSTS[stage], reverse=True)
+        self._adaptive_plan = tuple(kept)
+        self._plan_examined = self.stats.examined
+
+    def plan(self, reprobe_span: int = 1) -> tuple[str, ...]:
+        """Stage order for the next candidate (advances the reprobe clock).
+
+        ``reprobe_span`` is how many candidates the returned plan will
+        cover (1 for the scalar path, the chunk size for the batch
+        path). A due reprobe applies the reference cascade to that
+        whole span, so the next reprobe is scheduled ``adapt_reprobe *
+        reprobe_span`` candidates out — keeping the *fraction* of
+        reprobed candidates near ``1 / adapt_reprobe`` regardless of
+        chunking.
+        """
+        if not self.adaptive:
+            return self._reference
+        examined = self.stats.examined
+        if examined < self.adapt_min_examined:
+            return self._reference
+        if examined >= self._next_reprobe:
+            self._next_reprobe = examined + int(self.adapt_reprobe) * max(
+                1, int(reprobe_span)
+            )
+            return self._reference
+        if (
+            self._plan_examined < 0
+            or examined - self._plan_examined >= self.adapt_interval
+        ):
+            self._recompute_plan()
+        return self._adaptive_plan
 
     def distance(
         self,
@@ -168,22 +338,47 @@ class CascadePruner:
         self.stats.examined += 1
         candidate = np.asarray(candidate, dtype=np.float64)
         same_length = candidate.shape[0] == self.query.shape[0]
-        if self.use_kim and lb_kim(self.query, candidate) >= best_so_far:
-            self.stats.pruned_kim += 1
-            return math.inf
-        if self.use_keogh and same_length:
-            if lb_keogh(candidate, self._query_envelope) >= best_so_far:
-                self.stats.pruned_keogh_query += 1
-                return math.inf
-            data_envelope = (
-                candidate_envelope
-                if candidate_envelope is not None
-                and candidate_envelope.radius >= self._radius
-                else envelope(candidate, self._radius)
-            )
-            if lb_keogh(self.query, data_envelope) >= best_so_far:
-                self.stats.pruned_keogh_data += 1
-                return math.inf
+        if math.isfinite(best_so_far):
+            backend = get_backend()
+            best_sq = best_so_far * best_so_far
+            for stage in self.plan():
+                if stage == "kim":
+                    self.stats.evaluated_kim += 1
+                    if backend.lb_kim(self.query, candidate) >= best_so_far:
+                        self.stats.pruned_kim += 1
+                        return math.inf
+                elif not same_length:
+                    continue  # LB_Keogh is defined for equal lengths only
+                elif stage == "keogh_query":
+                    self.stats.evaluated_keogh_query += 1
+                    excursion_sq = backend.lb_keogh_squared(
+                        candidate,
+                        self._query_envelope.lower,
+                        self._query_envelope.upper,
+                        self._abandon_order,
+                        best_sq,
+                    )
+                    if excursion_sq >= best_sq:
+                        self.stats.pruned_keogh_query += 1
+                        return math.inf
+                else:  # keogh_data (the reversed direction of [22])
+                    data_envelope = (
+                        candidate_envelope
+                        if candidate_envelope is not None
+                        and candidate_envelope.radius >= self._radius
+                        else envelope(candidate, self._radius)
+                    )
+                    self.stats.evaluated_keogh_data += 1
+                    excursion_sq = backend.lb_keogh_squared(
+                        self.query,
+                        data_envelope.lower,
+                        data_envelope.upper,
+                        self._abandon_order,
+                        best_sq,
+                    )
+                    if excursion_sq >= best_sq:
+                        self.stats.pruned_keogh_data += 1
+                        return math.inf
         result = dtw(self.query, candidate, window=self.window, abandon_above=best_so_far)
         if result == math.inf:
             self.stats.abandoned_dtw += 1
@@ -207,6 +402,12 @@ class CascadePruner:
         Pass a precomputed :class:`~repro.distances.batch.EnvelopeStack`
         (rows aligned with ``candidates``) to run the reversed LB_Keogh
         stage without rebuilding envelopes.
+
+        The adaptive plan contributes *skips* here (a stage whose
+        measured prune rate can't pay for itself doesn't run); the
+        evaluation order of the surviving stages stays fixed because
+        each vectorized stage already amortizes its cost over the whole
+        stack.
         """
         matrix = np.asarray(candidates, dtype=np.float64)
         if matrix.ndim != 2:
@@ -218,12 +419,15 @@ class CascadePruner:
             return results
         same_length = matrix.shape[1] == self.query.shape[0]
         bounded = math.isfinite(best_so_far)
+        plan = self.plan(reprobe_span=k) if bounded else ()
         alive = np.arange(k)
-        if self.use_kim and bounded:
+        if "kim" in plan:
+            self.stats.evaluated_kim += k
             keep = lb_kim_batch(self.query, matrix) < best_so_far
             self.stats.pruned_kim += int(k - keep.sum())
             alive, matrix = alive[keep], matrix[keep]
-        if self.use_keogh and same_length and bounded and alive.size:
+        if same_length and alive.size and "keogh_query" in plan:
+            self.stats.evaluated_keogh_query += int(alive.size)
             keep = (
                 lb_keogh_batch(
                     matrix, self._query_envelope.lower, self._query_envelope.upper
@@ -232,21 +436,22 @@ class CascadePruner:
             )
             self.stats.pruned_keogh_query += int(alive.size - keep.sum())
             alive, matrix = alive[keep], matrix[keep]
-            if alive.size:
-                if (
-                    candidate_envelopes is not None
-                    and candidate_envelopes.radius >= self._radius
-                ):
-                    stack = EnvelopeStack(
-                        lower=candidate_envelopes.lower[alive],
-                        upper=candidate_envelopes.upper[alive],
-                        radius=candidate_envelopes.radius,
-                    )
-                else:
-                    stack = envelope_matrix(matrix, self._radius)
-                keep = lb_keogh_reverse_batch(self.query, stack) < best_so_far
-                self.stats.pruned_keogh_data += int(alive.size - keep.sum())
-                alive, matrix = alive[keep], matrix[keep]
+        if same_length and alive.size and "keogh_data" in plan:
+            if (
+                candidate_envelopes is not None
+                and candidate_envelopes.radius >= self._radius
+            ):
+                stack = EnvelopeStack(
+                    lower=candidate_envelopes.lower[alive],
+                    upper=candidate_envelopes.upper[alive],
+                    radius=candidate_envelopes.radius,
+                )
+            else:
+                stack = envelope_matrix(matrix, self._radius)
+            self.stats.evaluated_keogh_data += int(alive.size)
+            keep = lb_keogh_reverse_batch(self.query, stack) < best_so_far
+            self.stats.pruned_keogh_data += int(alive.size - keep.sum())
+            alive, matrix = alive[keep], matrix[keep]
         if not alive.size:
             return results
         radius = resolve_window(self.query.shape[0], matrix.shape[1], self.window)

@@ -19,20 +19,30 @@ one-shot script. It adds exactly three things on top of the index:
   resolved length and runs stacked representative scans plus thread-pool
   refinement (:mod:`repro.serve.batch`) over a pool owned by the
   service, so the pool's threads are reused across requests.
+* **A warm kernel backend**: construction resolves the active kernel
+  backend (:mod:`repro.distances.backend`) and warms it up — for the
+  JIT backend that means compiling every kernel *now*, so the first
+  query never eats compile latency. The backend identity, warmup time,
+  and the per-stage cascade counters accumulated across all queries
+  (merged from every worker thread) are surfaced through :meth:`info`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.query_processor import QueryStats
 from repro.core.results import (
     Match,
     SeasonalResult,
     ThresholdRecommendation,
 )
+from repro.distances.backend import get_backend
 from repro.serve.batch import default_workers, execute_batch
 from repro.serve.cache import ResultCache
 from repro.utils.validation import as_float_array
@@ -73,6 +83,22 @@ class OnexService:
             max_workers=self.max_workers, thread_name_prefix="onex-serve"
         )
         self._closed = False
+        # Warm the refinement kernels now: a JIT backend compiles on
+        # first use, and that latency belongs to startup, not to the
+        # first user's query.
+        self.backend = get_backend()
+        self.backend_warmup_seconds = self.backend.warmup()
+        # Service-lifetime work counters, merged from every thread that
+        # answered a query (the batch executor already folds its
+        # workers' counters into the calling thread's).
+        self._stats_lock = threading.Lock()
+        self._query_stats = QueryStats()
+
+    def _absorb_query_stats(self) -> None:
+        """Fold the calling thread's last-query counters into the totals."""
+        stats = self.index.processor.last_stats
+        with self._stats_lock:
+            self._query_stats.merge(stats)
 
     # ------------------------------------------------------------------
     # Class I
@@ -107,6 +133,7 @@ class OnexService:
         matches = self.index.query(
             values, length=length, k=k, stop_at_half_st=stop_at_half_st
         )
+        self._absorb_query_stats()
         self.cache.put(key, tuple(matches))
         return matches
 
@@ -152,19 +179,22 @@ class OnexService:
                     stop_at_half_st=stop_at_half_st,
                     pool=self._pool,
                 )
+                self._absorb_query_stats()
             else:
                 # Scalar-reference configuration: honour it (the stacked
                 # executor is a batch-kernel path), exactly like
                 # OnexIndex.query_batch's grouped guard.
-                fresh = [
-                    self.index.query(
-                        prepared[i],
-                        length=length,
-                        k=k,
-                        stop_at_half_st=stop_at_half_st,
+                fresh = []
+                for i in missing:
+                    fresh.append(
+                        self.index.query(
+                            prepared[i],
+                            length=length,
+                            k=k,
+                            stop_at_half_st=stop_at_half_st,
+                        )
                     )
-                    for i in missing
-                ]
+                    self._absorb_query_stats()
             for i, matches in zip(missing, fresh):
                 self.cache.put(keys[i], tuple(matches))
                 results[i] = matches
@@ -212,8 +242,18 @@ class OnexService:
     # Introspection and lifecycle
     # ------------------------------------------------------------------
     def info(self) -> dict:
-        """Index statistics plus live serving counters, JSON-friendly."""
+        """Index statistics plus live serving counters, JSON-friendly.
+
+        ``backend`` names the active kernel backend and its startup
+        warmup time; ``query_stats`` holds the service-lifetime work
+        counters (including the per-stage cascade kills:
+        ``cascade_kim`` / ``cascade_keogh`` / ``cascade_keogh_reverse``
+        / ``cascade_dtw_abandon``), merged across every serve worker.
+        Cache hits do no refinement work and therefore add nothing.
+        """
         stats = self.index.stats()
+        with self._stats_lock:
+            query_stats = dataclasses.asdict(self._query_stats)
         return {
             "dataset": stats.dataset,
             "st": stats.st,
@@ -226,6 +266,12 @@ class OnexService:
             "size_mb": stats.size_mb,
             "workers": self.max_workers,
             "cache": self.cache.stats,
+            "backend": {
+                "name": self.backend.name,
+                "jit": self.backend.jit,
+                "warmup_seconds": self.backend_warmup_seconds,
+            },
+            "query_stats": query_stats,
         }
 
     def close(self) -> None:

@@ -1,0 +1,439 @@
+"""Kernel backend registry, backend parity, and the adaptive cascade.
+
+The contract under test (ISSUE 5):
+
+* the registry resolves ``auto``/env/explicit selections and falls back
+  to ``numpy`` gracefully when ``numba`` is not installed;
+* every kernel returns identical results on both backends — exact
+  float64 equality for the DTW kernels (same operation order), tight
+  tolerance for the LB_Keogh accumulation (summation order differs),
+  with identical prune decisions — on random *and* adversarial inputs
+  (radius 0, constant series, two-point series, huge magnitudes), and
+  never returns NaN for finite inputs;
+* the adaptive cascade returns exactly the answers of the fixed-order
+  reference cascade while skipping stages that cannot pay for
+  themselves;
+* the per-stage ``QueryStats`` cascade counters account for every
+  lower-bound kill and DP abandon, and merge across stats objects.
+
+When ``numba`` is installed (the CI JIT leg), the whole parity suite
+additionally runs against the JIT backend; without it, the numpy-only
+assertions keep the suite green, proving the fallback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.onex import OnexIndex
+from repro.data.normalize import min_max_normalize_dataset
+from repro.data.synthetic import make_dataset
+from repro.distances.backend import (
+    ENV_VAR,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    set_backend,
+)
+from repro.distances.batch import dtw_batch, dtw_pairs, envelope_matrix
+from repro.distances.dtw import dtw, resolve_window
+from repro.distances.kernels_numba import NUMBA_AVAILABLE
+from repro.distances.lower_bounds import (
+    CascadePruner,
+    PruneStats,
+    envelope,
+    lb_kim,
+)
+from repro.core.query_processor import QueryStats
+from repro.exceptions import DistanceError
+
+BACKENDS = ["numpy"] + (["numba"] if NUMBA_AVAILABLE else [])
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process-wide backend as it found it."""
+    yield
+    set_backend(None)
+
+
+def _adversarial_pairs(rng: np.random.Generator) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Equal-length pairs covering the kernel edge cases."""
+    noisy = rng.normal(size=24)
+    return [
+        (rng.normal(size=16), rng.normal(size=16)),
+        (np.zeros(12), np.zeros(12)),  # constant vs constant
+        (np.full(10, 3.5), rng.normal(size=10)),  # constant vs noise
+        (np.array([0.0, 1.0]), np.array([1.0, 0.0])),  # two points
+        (1e8 * rng.normal(size=8), 1e-8 * rng.normal(size=8)),  # scales
+        (noisy, noisy.copy()),  # identical series
+        (np.where(np.arange(20) % 2 == 0, 5.0, -5.0), rng.normal(size=20)),
+    ]
+
+
+class TestRegistry:
+    def test_available_backends_lists_numpy(self):
+        availability = available_backends()
+        assert availability["numpy"] is True
+        assert availability["numba"] is NUMBA_AVAILABLE
+
+    def test_auto_resolution(self):
+        backend = resolve_backend("auto")
+        assert backend.name == ("numba" if NUMBA_AVAILABLE else "numpy")
+
+    def test_env_var_selection(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        backend = set_backend(None)  # drop the cache, re-read the env
+        assert backend.name == "numpy"
+        assert get_backend() is backend
+
+    def test_explicit_selection_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        for name in BACKENDS:
+            assert set_backend(name).name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(DistanceError):
+            resolve_backend("fortran")
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="needs numba to be absent")
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_missing_numba_falls_back_to_numpy(self):
+        backend = set_backend("numba")
+        assert backend.name == "numpy"
+
+    def test_warmup_returns_seconds(self):
+        for name in BACKENDS:
+            assert resolve_backend(name).warmup() >= 0.0
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestKernelParity:
+    """Every backend kernel against the numpy reference values."""
+
+    def _reference(self):
+        return resolve_backend("numpy")
+
+    def test_dtw_squared_bit_identical(self, backend_name, rng):
+        backend = resolve_backend(backend_name)
+        reference = self._reference()
+        for x, y in _adversarial_pairs(rng):
+            for window in (None, 0.1, 2, 0):
+                radius = resolve_window(x.shape[0], y.shape[0], window)
+                for bound_sq in (math.inf, 1.0, 0.25, 0.0):
+                    expected = reference.dtw_squared(x, y, radius, bound_sq)
+                    got = backend.dtw_squared(x, y, radius, bound_sq)
+                    assert got == expected  # exact, including inf
+                    assert not math.isnan(got)
+
+    def test_dtw_squared_unequal_lengths(self, backend_name, rng):
+        backend = resolve_backend(backend_name)
+        reference = self._reference()
+        for n, m in ((5, 9), (9, 5), (2, 17), (1, 1), (1, 6)):
+            x = rng.normal(size=n)
+            y = rng.normal(size=m)
+            for window in (None, 0.2, 0):
+                radius = resolve_window(n, m, window)
+                expected = reference.dtw_squared(x, y, radius, math.inf)
+                assert backend.dtw_squared(x, y, radius, math.inf) == expected
+
+    def test_lb_kim_bit_identical(self, backend_name, rng):
+        backend = resolve_backend(backend_name)
+        reference = self._reference()
+        for x, y in _adversarial_pairs(rng):
+            expected = reference.lb_kim(x, y)
+            got = backend.lb_kim(x, y)
+            assert got == expected
+            assert not math.isnan(got)
+
+    def test_lb_keogh_squared_parity_and_admissibility(self, backend_name, rng):
+        backend = resolve_backend(backend_name)
+        reference = self._reference()
+        for x, y in _adversarial_pairs(rng):
+            radius = resolve_window(x.shape[0], x.shape[0], 0.1)
+            env = envelope(y, radius)
+            order = np.argsort(-np.abs(x - x.mean()), kind="stable").astype(
+                np.intp
+            )
+            exact = reference.lb_keogh_squared(
+                x, env.lower, env.upper, order, math.inf
+            )
+            full = backend.lb_keogh_squared(x, env.lower, env.upper, order, math.inf)
+            assert full == pytest.approx(exact, rel=1e-12, abs=1e-300)
+            assert not math.isnan(full)
+            # With a finite bound the kernel may abandon early, but the
+            # prune decision must match the full computation's.
+            for bound_sq in (exact * 0.5 + 1e-9, exact * 2.0 + 1e-9):
+                partial = backend.lb_keogh_squared(
+                    x, env.lower, env.upper, order, bound_sq
+                )
+                assert (partial >= bound_sq) == (full >= bound_sq)
+
+    def test_dtw_batch_matches_scalar_dtw(self, backend_name, rng):
+        set_backend(backend_name)
+        query = rng.normal(size=20)
+        stack = rng.normal(size=(40, 20))
+        stack[0] = query  # a perfect match in the stack
+        stack[1] = 0.0  # a constant candidate
+        radius = resolve_window(20, 20, 0.1)
+        distances = dtw_batch(query, stack, radius)
+        for row, got in zip(stack, distances):
+            assert got == dtw(query, row, window=radius)
+        # Shared abandon bound: finite results are true distances.
+        bound = float(np.median(distances))
+        bounded = dtw_batch(query, stack, radius, abandon_above=bound)
+        for row, got in zip(stack, bounded):
+            if math.isfinite(got):
+                assert got == dtw(query, row, window=radius)
+            else:
+                assert dtw(query, row, window=radius) >= bound - 1e-9
+
+    def test_dtw_pairs_matches_scalar_dtw(self, backend_name, rng):
+        set_backend(backend_name)
+        queries = rng.normal(size=(12, 15))
+        candidates = rng.normal(size=(12, 18))
+        radius = resolve_window(15, 18, 0.2)
+        distances = dtw_pairs(queries, candidates, radius)
+        expected = [
+            dtw(q, c, window=radius) for q, c in zip(queries, candidates)
+        ]
+        assert distances.tolist() == expected
+        # Per-lane bounds: every lane below its bound is exact.
+        bounds = np.asarray(expected) * np.where(
+            np.arange(12) % 2 == 0, 1.01, 0.99
+        )
+        bounded = dtw_pairs(queries, candidates, radius, abandon_above=bounds)
+        for lane, got in enumerate(bounded):
+            if math.isfinite(got):
+                assert got == expected[lane]
+            else:
+                assert expected[lane] >= bounds[lane] - 1e-9
+
+    def test_public_scalar_wrappers_dispatch(self, backend_name, rng):
+        set_backend(backend_name)
+        x, y = rng.normal(size=14), rng.normal(size=14)
+        assert dtw(x, y, window=2) == pytest.approx(
+            math.sqrt(resolve_backend("numpy").dtw_squared(x, y, 2, math.inf))
+        )
+        assert lb_kim(x, y) == resolve_backend("numpy").lb_kim(x, y)
+
+
+class TestNumbaKernelLogic:
+    """The numba kernels' *arithmetic* vs the numpy reference.
+
+    When numba is missing, ``kernels_numba``'s ``njit`` degrades to an
+    identity decorator, so these run the same code as plain Python —
+    numpy-only environments still verify the kernel logic; the JIT CI
+    leg verifies the compiled form.
+    """
+
+    def test_dtw_squared_logic_bit_identical(self, rng):
+        from repro.distances import kernels_numba
+
+        reference = resolve_backend("numpy")
+        for x, y in _adversarial_pairs(rng):
+            for window in (None, 0.1, 0):
+                radius = resolve_window(x.shape[0], y.shape[0], window)
+                for bound_sq in (math.inf, 0.5):
+                    assert kernels_numba.dtw_squared(
+                        x, y, radius, bound_sq
+                    ) == reference.dtw_squared(x, y, radius, bound_sq)
+
+    def test_lb_kernels_logic(self, rng):
+        from repro.distances import kernels_numba
+
+        reference = resolve_backend("numpy")
+        for x, y in _adversarial_pairs(rng):
+            assert kernels_numba.lb_kim(x, y) == reference.lb_kim(x, y)
+            radius = resolve_window(x.shape[0], x.shape[0], 0.1)
+            env = envelope(y, radius)
+            order = np.arange(x.shape[0], dtype=np.intp)
+            assert kernels_numba.lb_keogh_squared(
+                x, env.lower, env.upper, order, math.inf
+            ) == pytest.approx(
+                reference.lb_keogh_squared(
+                    x, env.lower, env.upper, order, math.inf
+                ),
+                rel=1e-12,
+                abs=1e-300,
+            )
+
+    def test_batch_kernels_logic(self, rng):
+        from repro.distances import kernels_numba
+
+        reference = resolve_backend("numpy")
+        query = rng.normal(size=16)
+        stack = rng.normal(size=(24, 16))
+        radius = resolve_window(16, 16, 0.1)
+        for abandon in (None, 1.5):
+            assert np.array_equal(
+                kernels_numba.dtw_batch(query, stack, radius, abandon),
+                reference.dtw_batch(query, stack, radius, abandon),
+            )
+        queries = rng.normal(size=(24, 16))
+        for abandon in (None, 1.5, np.linspace(0.5, 3.0, 24)):
+            assert np.array_equal(
+                kernels_numba.dtw_pairs(queries, stack, radius, abandon),
+                reference.dtw_pairs(queries, stack, radius, abandon),
+            )
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestJitEndToEnd:
+    """Whole-query bit-identity between backends (the JIT CI leg)."""
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_best_match_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = min_max_normalize_dataset(
+            make_dataset("ECG", n_series=6, length=64, seed=seed % 1000)
+        )
+        index = OnexIndex.build(dataset, st=0.2, normalize=False, seed=0)
+        query = np.clip(
+            dataset[0].values[:32] + rng.normal(0, 0.01, 32), 0.0, 1.0
+        )
+        set_backend("numpy")
+        expected = index.query(query, k=3)
+        set_backend("numba")
+        got = index.query(query, k=3)
+        assert [m.ssid for m in got] == [m.ssid for m in expected]
+        assert [m.dtw for m in got] == [m.dtw for m in expected]
+
+
+class TestAdaptiveCascade:
+    def _sweep(self, pruner: CascadePruner, candidates, envelopes=None):
+        best = math.inf
+        best_index = -1
+        for index, candidate in enumerate(candidates):
+            env = None if envelopes is None else envelopes[index]
+            value = pruner.distance(candidate, best, candidate_envelope=env)
+            if value < best:
+                best, best_index = value, index
+        return best, best_index
+
+    def test_adaptive_equals_fixed_order_reference(self, rng):
+        query = rng.normal(size=24)
+        candidates = [rng.normal(size=24) for _ in range(400)]
+        adaptive = CascadePruner(
+            query, window=3, adaptive=True, adapt_min_examined=16,
+            adapt_interval=16, adapt_reprobe=64,
+        )
+        fixed = CascadePruner(query, window=3, adaptive=False)
+        assert self._sweep(adaptive, candidates) == self._sweep(fixed, candidates)
+        true_best = min(dtw(query, c, window=3) for c in candidates)
+        assert self._sweep(fixed, candidates)[0] == pytest.approx(true_best)
+
+    def test_unpayable_stage_gets_skipped(self, rng):
+        # Candidates that agree with the query at the endpoints and
+        # extrema: LB_Kim can never prune, so its measured rate falls to
+        # ~0 and the adaptive plan drops it (modulo reprobes).
+        query = np.concatenate([[0.0], rng.normal(size=30) * 0.1, [1.0]])
+        query[5], query[20] = 2.0, -2.0  # pin the extrema
+        candidates = []
+        for _ in range(600):
+            candidate = np.concatenate(
+                [[0.0], rng.normal(size=30) * 0.1, [1.0]]
+            )
+            candidate[5], candidate[20] = 2.0, -2.0
+            candidates.append(candidate)
+        pruner = CascadePruner(
+            query, window=2, adapt_min_examined=32, adapt_interval=32,
+            adapt_reprobe=200,
+        )
+        self._sweep(pruner, candidates)
+        stats = pruner.stats
+        assert stats.pruned_kim == 0
+        assert stats.evaluated_kim < stats.examined  # it was skipped
+        pruner._recompute_plan()
+        assert "kim" not in pruner._adaptive_plan
+
+    def test_adaptation_never_loses_the_true_best(self, rng):
+        for trial in range(5):
+            query = rng.normal(size=16)
+            candidates = [rng.normal(size=16) for _ in range(150)]
+            envelopes = [envelope(c, 2) for c in candidates]
+            pruner = CascadePruner(
+                query, window=2, adapt_min_examined=8, adapt_interval=8,
+                adapt_reprobe=32,
+            )
+            best, best_index = self._sweep(pruner, candidates, envelopes)
+            true = min(dtw(query, c, window=2) for c in candidates)
+            assert best == pytest.approx(true, abs=1e-9)
+
+    def test_distance_batch_honours_stage_skips(self, rng):
+        query = rng.normal(size=20)
+        stack = rng.normal(size=(256, 20))
+        stacked_envelopes = envelope_matrix(stack, 2)
+        adaptive = CascadePruner(
+            query, window=2, adapt_min_examined=32, adapt_interval=32
+        )
+        fixed = CascadePruner(query, window=2, adaptive=False)
+        bound = dtw(query, stack[0], window=2)
+        got = adaptive.distance_batch(stack, bound, stacked_envelopes)
+        expected = fixed.distance_batch(stack, bound, stacked_envelopes)
+        finite = np.isfinite(expected)
+        assert np.array_equal(got[finite], expected[finite])
+        # Both paths agree on which candidates beat the bound.
+        assert np.array_equal(np.isfinite(got), finite)
+
+    def test_shared_stats_carry_learning_across_pruners(self, rng):
+        query = rng.normal(size=12)
+        shared = PruneStats()
+        first = CascadePruner(query, window=2, stats=shared)
+        self._sweep(first, [rng.normal(size=12) for _ in range(50)])
+        second = CascadePruner(query, window=2, stats=shared)
+        assert second.stats.examined == 50
+        self._sweep(second, [rng.normal(size=12) for _ in range(50)])
+        assert shared.examined == 100
+
+
+class TestQueryStatsCascade:
+    @pytest.fixture(scope="class")
+    def index(self):
+        dataset = min_max_normalize_dataset(
+            make_dataset("ECG", n_series=10, length=96, seed=5)
+        )
+        return OnexIndex.build(dataset, st=0.15, normalize=False, seed=0)
+
+    def test_counters_account_for_every_kill(self, index, rng):
+        dataset = index.dataset
+        values = dataset[0].values[0:48]
+        query = np.clip(values + rng.normal(0, 0.02, 48), 0.0, 1.0)
+        index.query(query, k=3)
+        stats = index.processor.last_stats
+        lb_kills = (
+            stats.cascade_kim + stats.cascade_keogh + stats.cascade_keogh_reverse
+        )
+        assert lb_kills == stats.reps_pruned_lb + stats.members_pruned_lb
+        assert (
+            stats.cascade_dtw_abandon
+            == stats.reps_abandoned + stats.members_abandoned
+        )
+
+    def test_merge_sums_cascade_counters(self):
+        a = QueryStats(cascade_kim=2, cascade_dtw_abandon=1)
+        b = QueryStats(cascade_kim=3, cascade_keogh=4, cascade_keogh_reverse=5)
+        a.merge(b)
+        assert a.cascade_kim == 5
+        assert a.cascade_keogh == 4
+        assert a.cascade_keogh_reverse == 5
+        assert a.cascade_dtw_abandon == 1
+
+    def test_service_surfaces_backend_and_cascade(self, index):
+        from repro.serve import OnexService
+
+        with OnexService(index, max_workers=2) as service:
+            info = service.info()
+            assert info["backend"]["name"] == get_backend().name
+            assert info["backend"]["warmup_seconds"] >= 0.0
+            before = info["query_stats"]["reps_examined"]
+            service.query(index.dataset[0].values[0:48])
+            after = service.info()["query_stats"]
+            assert after["reps_examined"] > before
+            assert set(dataclasses.asdict(QueryStats())) <= set(after)

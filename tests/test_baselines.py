@@ -140,12 +140,19 @@ class TestTrillion:
         with pytest.raises(QueryError):
             trillion.best_match(np.zeros(12) + 0.5, length=13)
 
-    def test_prune_stats_recorded(self, prepared, small_dataset):
-        trillion = prepared[2]
+    def test_prune_stats_recorded(self, small_dataset):
+        # Fresh instance: last_prune_stats is cumulative per length (the
+        # adaptive cascade learns prune rates across queries), so the
+        # exact count only holds for the first query.
+        trillion = Trillion(window=0.1)
+        trillion.prepare(small_dataset, LENGTHS)
         trillion.best_match(small_dataset[0].values[0:12], length=12)
         stats = trillion.last_prune_stats
         assert stats is not None
         assert stats.examined == small_dataset.n_subsequences(12)
+        trillion.best_match(small_dataset[1].values[3:15], length=12)
+        assert trillion.last_prune_stats is stats  # shared per length
+        assert stats.examined == 2 * small_dataset.n_subsequences(12)
 
     def test_stage_toggles_do_not_change_answer(self, small_dataset):
         full = Trillion(window=0.1)
