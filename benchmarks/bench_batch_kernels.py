@@ -92,7 +92,9 @@ def test_batch_scan_speedup_and_parity(benchmark, scan_setup) -> None:
     batch_seconds, batch_results = _run_queries(index, queries, True)
     speedup = scalar_seconds / batch_seconds
 
-    for scalar_matches, batch_matches in zip(scalar_results, batch_results):
+    for scalar_matches, batch_matches in zip(
+        scalar_results, batch_results, strict=True
+    ):
         assert scalar_matches[0].ssid == batch_matches[0].ssid
         assert abs(scalar_matches[0].dtw - batch_matches[0].dtw) <= 1e-9
 

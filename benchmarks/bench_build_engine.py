@@ -86,7 +86,7 @@ def test_sequential_speedup_and_identity(benchmark, dataset) -> None:
 
     # Identity contract: same groups, same order, bit-identical payloads.
     assert len(engine) == len(reference)
-    for engine_group, reference_group in zip(engine, reference):
+    for engine_group, reference_group in zip(engine, reference, strict=True):
         assert engine_group.member_ids == reference_group.member_ids
         assert np.array_equal(engine_group.ed_to_rep, reference_group.ed_to_rep)
         assert np.array_equal(

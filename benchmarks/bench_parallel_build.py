@@ -98,7 +98,7 @@ def _best_time(run, repeats=N_REPEATS):
 
 def _assert_groups_identical(a, b) -> None:
     assert len(a) == len(b)
-    for group_a, group_b in zip(a, b):
+    for group_a, group_b in zip(a, b, strict=True):
         assert group_a.member_ids == group_b.member_ids
         assert np.array_equal(group_a.ed_to_rep, group_b.ed_to_rep)
         assert np.array_equal(group_a.representative, group_b.representative)

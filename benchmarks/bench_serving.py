@@ -106,7 +106,7 @@ def _best_time(run, repeats=N_REPEATS):
 
 def _assert_identical(batch_a, batch_b) -> None:
     assert len(batch_a) == len(batch_b)
-    for matches_a, matches_b in zip(batch_a, batch_b):
+    for matches_a, matches_b in zip(batch_a, batch_b, strict=True):
         assert [m.ssid for m in matches_a] == [m.ssid for m in matches_b]
         assert [m.dtw for m in matches_a] == [m.dtw for m in matches_b]
 

@@ -1,0 +1,38 @@
+"""``onex lint`` — the repo's own AST-based invariant checker suite.
+
+Five PRs in, the correctness story rests on invariants that prose
+(DESIGN.md) and after-the-fact tests defend: kernel float64 operation
+order (§10), the serving layer's locking discipline (§9), the
+``KernelBackend`` registry as the only kernel entry point, and atomic
+index persistence (§8). This package enforces them *at lint time* — the
+"push correctness left" discipline production engines apply — with a
+self-contained, stdlib-only (``ast`` + ``tokenize``) framework:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record;
+* :mod:`repro.analysis.source` — parsed per-file context (AST, comment
+  directives: ``# onex: ignore[...]`` and ``# guarded-by: <lock>``);
+* :mod:`repro.analysis.registry` — the rule registry (code → rule);
+* :mod:`repro.analysis.rules` — the four shipped rule families:
+  numeric purity (ONEX1xx), backend dispatch (ONEX2xx), lockset races
+  (ONEX3xx), persistence atomicity (ONEX4xx);
+* :mod:`repro.analysis.engine` — file discovery, rule execution,
+  suppression handling, text/JSON reporting;
+* ``python -m repro.analysis`` / ``onex lint`` — the CI entry points
+  (exit 0 on a clean tree, 1 on any diagnostic, 2 on usage errors).
+
+See DESIGN.md §11 for the rule catalog and annotation conventions.
+"""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintReport, main, run_lint
+from repro.analysis.registry import all_rules, get_rule, register_rule
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "all_rules",
+    "get_rule",
+    "main",
+    "register_rule",
+    "run_lint",
+]

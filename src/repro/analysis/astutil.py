@@ -1,0 +1,56 @@
+"""Small AST helpers shared by the rule families."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, else ``None`` (e.g. ``f()()``)."""
+    return dotted_name(node.func)
+
+
+def is_self_attribute(node: ast.AST, attr: str | None = None) -> bool:
+    """Whether ``node`` is ``self.<attr>`` (any attribute when ``None``)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def decorator_base_name(decorator: ast.AST) -> str | None:
+    """Last path segment of a decorator: ``numba.njit(...)`` -> ``njit``."""
+    if isinstance(decorator, ast.Call):
+        decorator = decorator.func
+    name = dotted_name(decorator)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def is_njit_decorated(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether a function carries an ``njit``/``jit`` decorator."""
+    return any(
+        decorator_base_name(decorator) in ("njit", "jit")
+        for decorator in node.decorator_list
+    )
+
+
+def string_value(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

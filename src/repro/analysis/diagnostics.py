@@ -1,0 +1,42 @@
+"""The diagnostic record every lint rule emits.
+
+A :class:`Diagnostic` is deliberately flat and JSON-friendly: CI uploads
+the machine-readable report as an artifact next to the benchmark JSON
+results, and the fixture tests assert on ``(code, line)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule code anchored to a file position.
+
+    Ordering is ``(path, line, col, code)`` so reports are stable and
+    diffable across runs.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (the CI artifact's element shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Human-readable ``path:line:col CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,196 @@
+"""File discovery, rule execution, suppression handling, reporting.
+
+:func:`run_lint` is the library entry point (the CLI and the tests call
+it); :func:`main` is the process entry point shared by ``onex lint``
+and ``python -m repro.analysis``. Exit-code contract, pinned by
+``tests/test_analysis_cli.py``:
+
+* ``0`` — no diagnostics (suppressed findings don't fail the build,
+  but they are counted and reported);
+* ``1`` — at least one diagnostic;
+* ``2`` — usage error (unknown path, unknown rule code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, all_rules, register_rule
+from repro.analysis.source import iter_python_files, parse_module
+
+#: Engine-level code for files the parser rejects.
+PARSE_FAILURE_CODE = "ONEX900"
+
+
+@register_rule
+class ParseFailure(Rule):
+    """Catalog entry for ``ONEX900`` (emitted by the engine itself)."""
+
+    code = PARSE_FAILURE_CODE
+    name = "parse-failure"
+    rationale = (
+        "a file the checker cannot parse is a file no invariant is "
+        "enforced on; fix the syntax error first"
+    )
+
+    def check(self, module):  # pragma: no cover - engine emits directly
+        return ()
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, JSON-serializable for the CI artifact."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.diagnostics else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
+            "rules": {
+                code: {"name": rule.name, "rationale": rule.rationale}
+                for code, rule in all_rules().items()
+            },
+        }
+
+
+def run_lint(
+    paths: list[Path] | list[str],
+    select: set[str] | None = None,
+) -> LintReport:
+    """Run every registered rule over the Python files under ``paths``.
+
+    ``select`` restricts reporting to the given codes (``ONEX900``
+    parse failures always report: an unparsable file can't be checked
+    for *any* invariant). Suppressed diagnostics land in
+    ``report.suppressed`` rather than vanishing.
+    """
+    rules = [rule_class() for rule_class in all_rules().values()]
+    report = LintReport()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        report.files_checked += 1
+        try:
+            module = parse_module(file_path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            report.diagnostics.append(
+                Diagnostic(
+                    path=str(file_path),
+                    line=int(line),
+                    col=0,
+                    code=PARSE_FAILURE_CODE,
+                    message=f"cannot parse file: {exc}",
+                )
+            )
+            continue
+        for rule in rules:
+            for diagnostic in rule.check(module):
+                if (
+                    select is not None
+                    and diagnostic.code not in select
+                    and diagnostic.code != PARSE_FAILURE_CODE
+                ):
+                    continue
+                if module.suppressed(diagnostic.line, diagnostic.code):
+                    report.suppressed.append(diagnostic)
+                else:
+                    report.diagnostics.append(diagnostic)
+    report.diagnostics.sort()
+    report.suppressed.sort()
+    return report
+
+
+def _default_paths() -> list[Path]:
+    """Scan the installed ``repro`` package tree by default."""
+    return [Path(__file__).resolve().parents[1]]
+
+
+def main(argv: list[str] | None = None, stdout: IO[str] | None = None) -> int:
+    """Entry point behind ``onex lint`` and ``python -m repro.analysis``."""
+    out = sys.stdout if stdout is None else stdout
+    parser = argparse.ArgumentParser(
+        prog="onex lint",
+        description=(
+            "AST-based invariant checker: kernel numeric purity "
+            "(ONEX1xx), backend dispatch (ONEX2xx), lockset races "
+            "(ONEX3xx), persistence atomicity (ONEX4xx). See "
+            "DESIGN.md §11."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to report (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        dest="json_path",
+        help="also write the machine-readable report to FILE ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, rule in all_rules().items():
+            print(f"{code} {rule.name}: {rule.rationale}", file=out)
+        return 0
+
+    select: set[str] | None = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+        known = set(all_rules())
+        unknown = select - known
+        if unknown:
+            print(
+                f"error: unknown rule code(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = [Path(p) for p in args.paths] if args.paths else _default_paths()
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    report = run_lint(paths, select=select)
+    for diagnostic in report.diagnostics:
+        print(diagnostic.render(), file=out)
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{len(report.diagnostics)} finding(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    print(summary, file=out)
+
+    if args.json_path:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload, file=out)
+        else:
+            Path(args.json_path).write_text(payload + "\n", encoding="utf-8")
+    return report.exit_code

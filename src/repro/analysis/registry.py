@@ -1,0 +1,87 @@
+"""The lint rule registry: one code, one rule, one registration point.
+
+Mirrors the kernel-backend registry's shape (DESIGN.md §10): rules are
+small classes registered under a stable code via :func:`register_rule`;
+the engine iterates :func:`all_rules` so adding a rule family is one
+module import away. Codes are grouped by family:
+
+* ``ONEX1xx`` — kernel numeric purity;
+* ``ONEX2xx`` — backend-dispatch enforcement;
+* ``ONEX3xx`` — lockset race detection;
+* ``ONEX4xx`` — persistence atomicity;
+* ``ONEX9xx`` — engine-level findings (parse failures).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.source import SourceModule
+
+_CODE_RE = re.compile(r"^ONEX\d{3}$")
+
+
+class Rule:
+    """Base class: one invariant checked over one parsed module.
+
+    Subclasses set ``code`` / ``name`` / ``rationale`` and implement
+    :meth:`check`, yielding :class:`Diagnostic` instances. Rules are
+    stateless across files — the engine instantiates each once per run
+    and calls ``check`` per module.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, module: SourceModule, node, message: str
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` for this rule anchored at ``node``."""
+        return Diagnostic(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (code must be new)."""
+    code = rule_class.code
+    if not _CODE_RE.match(code):
+        raise ValueError(f"rule code must match ONEX###, got {code!r}")
+    if code in _RULES and _RULES[code] is not rule_class:
+        raise ValueError(f"duplicate rule code {code}")
+    _RULES[code] = rule_class
+    return rule_class
+
+
+def get_rule(code: str) -> type[Rule]:
+    _ensure_loaded()
+    try:
+        return _RULES[code]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule code {code!r}; known: {known}") from None
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Every registered rule, keyed by code, ascending."""
+    _ensure_loaded()
+    return dict(sorted(_RULES.items()))
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package runs every @register_rule decorator;
+    # done lazily so registry/diagnostics stay import-cycle-free.
+    from repro.analysis import rules  # noqa: F401

@@ -1,0 +1,8 @@
+"""The shipped rule families; importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401
+    atomicity,
+    dispatch,
+    lockset,
+    numeric_purity,
+)

@@ -1,0 +1,115 @@
+"""ONEX4xx — persistence atomicity.
+
+Index directories must never be observable half-written: the blessed
+path (:mod:`repro.core.persistence`, DESIGN.md §8) stages arrays in a
+temp directory beside the target and renames it into place. A raw
+``open(path, "w")`` / ``np.save`` / ``shutil.copy`` / ``os.replace``
+anywhere else in the persistence-adjacent packages (``core/``,
+``extensions/``, ``serve/``) is a hand-rolled write path that skips
+that guarantee, so ``ONEX401`` flags it. Scratch writes (e.g. the
+sharded build's temp-dir mmap hand-off) carry an explicit
+``# onex: ignore[ONEX401]`` with a reason — visible, audited, counted.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+#: Packages whose modules may touch index state on disk.
+_SCOPED_PACKAGES = ("core", "extensions", "serve")
+#: The blessed implementation module, exempt by definition.
+_BLESSED_MODULE = ("core", "persistence.py")
+
+_NUMPY_WRITERS = frozenset({"save", "savez", "savez_compressed"})
+_SHUTIL_WRITERS = frozenset(
+    {"copy", "copy2", "copyfile", "copytree", "move"}
+)
+_OS_WRITERS = frozenset({"rename", "replace", "renames"})
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The mode string of an ``open``-family call, if it writes."""
+    mode_node: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if (
+        isinstance(mode_node, ast.Constant)
+        and isinstance(mode_node.value, str)
+        and _WRITE_MODE_CHARS.intersection(mode_node.value)
+    ):
+        return mode_node.value
+    return None
+
+
+@register_rule
+class RawPersistenceWrite(Rule):
+    code = "ONEX401"
+    name = "raw-persistence-write"
+    rationale = (
+        "index state must reach disk through core/persistence.py's "
+        "atomic temp-dir+rename helpers; raw writes can leave a "
+        "half-written directory visible to readers (DESIGN.md §8)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if not any(
+            module.in_package_dir(package) for package in _SCOPED_PACKAGES
+        ):
+            return
+        if module.is_module(*_BLESSED_MODULE):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            root, _, base = name.rpartition(".")
+            if name == "open" or base == "open" and root in ("io", "os"):
+                mode = _open_write_mode(node)
+                if mode is not None:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"raw `open(..., {mode!r})` outside "
+                        "core/persistence.py; use the atomic "
+                        "temp-dir+rename helpers",
+                    )
+            elif base in _NUMPY_WRITERS and root in ("np", "numpy"):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"raw `{name}` outside core/persistence.py; use "
+                    "the atomic temp-dir+rename helpers",
+                )
+            elif base in _SHUTIL_WRITERS and root == "shutil":
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"`{name}` writes outside core/persistence.py; use "
+                    "the atomic temp-dir+rename helpers",
+                )
+            elif base in _OS_WRITERS and root == "os":
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"`{name}` outside core/persistence.py; renames "
+                    "belong to the blessed atomic-swap helpers",
+                )
+            elif base == "tofile":
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "raw `.tofile()` outside core/persistence.py; use "
+                    "the atomic temp-dir+rename helpers",
+                )

@@ -1,0 +1,131 @@
+"""ONEX2xx — backend-dispatch enforcement.
+
+The kernel backend registry (:mod:`repro.distances.backend`, DESIGN.md
+§10) is the *only* sanctioned entry point to refinement kernels: it
+owns selection, fallback, and the bit-identity guarantee. A caller that
+imports ``kernels_numba`` (or a private ``_kernel`` function) directly
+hard-wires one implementation, skips the numpy fallback, and silently
+exempts itself from the parity contract. Outside the ``distances/``
+package itself:
+
+* ``ONEX201`` — any import of ``repro.distances.kernels_numba``;
+* ``ONEX202`` — importing or dereferencing a private (``_``-prefixed)
+  symbol from any ``repro.distances`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+_KERNEL_MODULE = "repro.distances.kernels_numba"
+_DISTANCES_PREFIX = "repro.distances"
+
+
+def _distances_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to ``repro.distances`` (sub)modules."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith(_DISTANCES_PREFIX):
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == _DISTANCES_PREFIX or module == "repro":
+                for alias in node.names:
+                    # `from repro.distances import dtw` style submodule
+                    # binding; actual functions are caught by name below.
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+@register_rule
+class KernelsNumbaImport(Rule):
+    code = "ONEX201"
+    name = "direct-kernels-numba-import"
+    rationale = (
+        "kernels_numba is an implementation detail of the backend "
+        "registry; importing it bypasses selection, fallback, and the "
+        "bit-identity contract (DESIGN.md §10)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if module.in_package_dir("distances") or not module.logical_parts:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith(_KERNEL_MODULE):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"direct import of `{alias.name}`; go "
+                            "through repro.distances.backend.get_backend()",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                imported = node.module or ""
+                if imported.startswith(_KERNEL_MODULE):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"direct import from `{imported}`; go through "
+                        "repro.distances.backend.get_backend()",
+                    )
+                elif imported == _DISTANCES_PREFIX and any(
+                    alias.name == "kernels_numba" for alias in node.names
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "direct import of `kernels_numba`; go through "
+                        "repro.distances.backend.get_backend()",
+                    )
+
+
+@register_rule
+class PrivateKernelAccess(Rule):
+    code = "ONEX202"
+    name = "private-kernel-access"
+    rationale = (
+        "private kernel functions skip the wrappers' validation and "
+        "the registry's backend dispatch; only distances/ may touch them"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if module.in_package_dir("distances") or not module.logical_parts:
+            return
+        aliases = _distances_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                imported = node.module or ""
+                if not imported.startswith(_DISTANCES_PREFIX):
+                    continue
+                for alias in node.names:
+                    if alias.name.startswith("_"):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"private kernel symbol `{alias.name}` "
+                            f"imported from `{imported}`; call the "
+                            "public wrapper or the backend registry",
+                        )
+            elif isinstance(node, ast.Attribute) and node.attr.startswith(
+                "_"
+            ):
+                owner = dotted_name(node.value)
+                if owner is None:
+                    continue
+                if owner in aliases or owner.startswith(_DISTANCES_PREFIX):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"private kernel symbol `{owner}.{node.attr}` "
+                        "dereferenced; call the public wrapper or the "
+                        "backend registry",
+                    )

@@ -1,0 +1,319 @@
+"""ONEX3xx — the lockset race detector.
+
+The serving layer's concurrency story (DESIGN.md §9) is a *locking
+discipline*: every piece of shared mutable state has one documented
+lock, and every access happens inside a ``with self._lock:`` block.
+Tests can only catch the races they provoke; this rule checks the
+discipline itself, statically, per class:
+
+1. **Declaration.** An attribute's defining assignment carries a
+   ``# guarded-by: _lock`` annotation (in ``__init__`` or as a
+   dataclass field). The named lock must itself be an attribute of the
+   class — a typo'd lock name is ``ONEX303``.
+2. **Lockset inference.** Each method is walked with the set of held
+   locks (entered via ``with self.<lock>:`` blocks, including multiple
+   context managers). Constructors (``__init__``/``__post_init__``/
+   ``__new__``) are exempt: the object is not yet shared.
+3. **Verdict.** A read or write of a guarded attribute outside its
+   lock is ``ONEX301`` — unless the enclosing method is a *helper*
+   whose every intra-class call site holds the lock (one level of
+   call-graph propagation). A helper that most callers lock but one
+   does not yields ``ONEX302`` at the offending call site.
+
+Deliberate lock-free fast paths (the double-checked payload caches)
+carry ``# onex: ignore[ONEX301]`` with a reason, keeping every benign
+race visible and audited.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import is_self_attribute
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+#: Methods where the instance is assumed not yet shared across threads.
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass
+class _Access:
+    node: ast.Attribute
+    attr: str
+    held: frozenset[str]
+    is_write: bool
+
+
+@dataclass
+class _CallSite:
+    node: ast.Call
+    callee: str
+    held: frozenset[str]
+    in_constructor: bool
+
+
+@dataclass
+class _MethodFacts:
+    name: str
+    accesses: list[_Access] = field(default_factory=list)
+    calls: list[_CallSite] = field(default_factory=list)
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking the lexically held lock set."""
+
+    def __init__(self, guarded: dict[str, str], facts: _MethodFacts) -> None:
+        self.guarded = guarded
+        self.facts = facts
+        self.held: tuple[str, ...] = ()
+        self.in_constructor = facts.name in _CONSTRUCTORS
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        entered = [
+            item.context_expr.attr
+            for item in node.items
+            if is_self_attribute(item.context_expr)
+        ]
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self.held = self.held + tuple(entered)
+        for statement in node.body:
+            self.visit(statement)
+        self.held = self.held[: len(self.held) - len(entered)]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if is_self_attribute(node) and node.attr in self.guarded:
+            self.facts.accesses.append(
+                _Access(
+                    node=node,
+                    attr=node.attr,
+                    held=frozenset(self.held),
+                    is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if is_self_attribute(node.func):
+            self.facts.calls.append(
+                _CallSite(
+                    node=node,
+                    callee=node.func.attr,
+                    held=frozenset(self.held),
+                    in_constructor=self.in_constructor,
+                )
+            )
+        self.generic_visit(node)
+
+
+def _statement_span(node: ast.stmt) -> range:
+    return range(node.lineno, (node.end_lineno or node.lineno) + 1)
+
+
+def _self_assign_targets(statement: ast.stmt) -> Iterator[str]:
+    """Attribute names a statement assigns on ``self`` (or class level)."""
+    if isinstance(statement, ast.AnnAssign):
+        targets = [statement.target]
+    elif isinstance(statement, ast.Assign):
+        targets = list(statement.targets)
+    elif isinstance(statement, ast.AugAssign):
+        targets = [statement.target]
+    else:
+        return
+    for target in targets:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif is_self_attribute(target):
+            yield target.attr
+
+
+def _class_attribute_defs(
+    class_node: ast.ClassDef,
+) -> Iterator[tuple[ast.stmt, str]]:
+    """Every ``(statement, attribute)`` definition pair of a class."""
+    for statement in class_node.body:
+        for attr in _self_assign_targets(statement):
+            yield statement, attr
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(statement):
+                if isinstance(inner, ast.stmt):
+                    for attr in _self_assign_targets(inner):
+                        yield inner, attr
+
+
+@register_rule
+class LocksetRace(Rule):
+    code = "ONEX301"
+    name = "guarded-attribute-race"
+    rationale = (
+        "an attribute declared `# guarded-by: <lock>` may only be "
+        "touched inside `with self.<lock>:` (or from a helper whose "
+        "every caller holds it); anything else is a data race waiting "
+        "for a scheduler (DESIGN.md §9)"
+    )
+
+    #: Companion codes emitted by the same analysis.
+    HELPER_CODE = "ONEX302"
+    UNKNOWN_LOCK_CODE = "ONEX303"
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if not module.guarded_by:
+            return
+        consumed: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, consumed)
+        for line in sorted(set(module.guarded_by) - consumed):
+            yield Diagnostic(
+                path=module.display_path,
+                line=line,
+                col=0,
+                code=self.UNKNOWN_LOCK_CODE,
+                message=(
+                    "`# guarded-by:` annotation is not attached to a "
+                    "class attribute definition"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self,
+        module: SourceModule,
+        class_node: ast.ClassDef,
+        consumed: set[int],
+    ) -> Iterator[Diagnostic]:
+        defs = list(_class_attribute_defs(class_node))
+        known_attrs = {attr for _, attr in defs}
+
+        guarded: dict[str, str] = {}
+        declaration_line: dict[str, int] = {}
+        for line, lock in module.guarded_by.items():
+            for statement, attr in defs:
+                if line in _statement_span(statement):
+                    consumed.add(line)
+                    guarded[attr] = lock
+                    declaration_line[attr] = line
+        if not guarded:
+            return
+
+        for attr, lock in sorted(guarded.items()):
+            if lock not in known_attrs:
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=declaration_line[attr],
+                    col=0,
+                    code=self.UNKNOWN_LOCK_CODE,
+                    message=(
+                        f"`{attr}` declared guarded-by `{lock}`, but "
+                        f"`{lock}` is not an attribute of class "
+                        f"`{class_node.name}`"
+                    ),
+                )
+
+        methods: dict[str, _MethodFacts] = {}
+        for statement in class_node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                facts = _MethodFacts(statement.name)
+                visitor = _MethodVisitor(guarded, facts)
+                for inner in statement.body:
+                    visitor.visit(inner)
+                methods[statement.name] = facts
+
+        call_sites: dict[str, list[_CallSite]] = {}
+        for facts in methods.values():
+            for site in facts.calls:
+                call_sites.setdefault(site.callee, []).append(site)
+
+        for name, facts in sorted(methods.items()):
+            if name in _CONSTRUCTORS:
+                continue
+            unlocked = [
+                access
+                for access in facts.accesses
+                if guarded[access.attr] not in access.held
+            ]
+            if not unlocked:
+                continue
+            needed_locks = {guarded[access.attr] for access in unlocked}
+            sites = call_sites.get(name, [])
+            for lock in sorted(needed_locks):
+                covered = [
+                    site
+                    for site in sites
+                    if lock in site.held or site.in_constructor
+                ]
+                if sites and len(covered) == len(sites):
+                    # Helper pattern: every intra-class caller holds the
+                    # lock, so the accesses inherit it (one level).
+                    continue
+                if covered:
+                    # Mixed callers: the helper is lock-requiring, so
+                    # the unlocked call sites are the defect.
+                    for site in sites:
+                        if lock in site.held or site.in_constructor:
+                            continue
+                        yield Diagnostic(
+                            path=module.display_path,
+                            line=site.node.lineno,
+                            col=site.node.col_offset,
+                            code=self.HELPER_CODE,
+                            message=(
+                                f"helper `{name}` touches state guarded "
+                                f"by `self.{lock}` and relies on its "
+                                "callers holding it; this call site "
+                                "does not"
+                            ),
+                        )
+                    continue
+                for access in unlocked:
+                    if guarded[access.attr] != lock:
+                        continue
+                    verb = "written" if access.is_write else "read"
+                    yield self.diagnostic(
+                        module,
+                        access.node,
+                        f"`self.{access.attr}` is guarded by "
+                        f"`self.{lock}` (declared at line "
+                        f"{declaration_line[access.attr]}) but is "
+                        f"{verb} here without holding it",
+                    )
+
+
+@register_rule
+class LocksetHelperCall(Rule):
+    """Catalog entry for ``ONEX302`` (emitted by the ONEX301 analysis)."""
+
+    code = "ONEX302"
+    name = "unlocked-helper-call"
+    rationale = (
+        "a helper whose other callers hold the lock is lock-requiring; "
+        "calling it without the lock races every locked caller"
+    )
+
+    def check(self, module):  # pragma: no cover - ONEX301 emits this code
+        return ()
+
+
+@register_rule
+class UnknownLockAnnotation(Rule):
+    """Catalog entry for ``ONEX303`` (emitted by the ONEX301 analysis)."""
+
+    code = "ONEX303"
+    name = "bad-guarded-by-annotation"
+    rationale = (
+        "a guarded-by annotation naming a nonexistent lock (or attached "
+        "to nothing) enforces nothing; the declaration itself must stay "
+        "sound"
+    )
+
+    def check(self, module):  # pragma: no cover - ONEX301 emits this code
+        return ()

@@ -1,0 +1,203 @@
+"""ONEX1xx — kernel numeric purity.
+
+The repo's backbone guarantee (DESIGN.md §10) is that every kernel
+backend reproduces the numpy reference's **float64 operation order
+exactly**, so swapping backends never changes a distance by even one
+ulp. Four things silently break that contract, each caught here:
+
+* ``ONEX101`` — float32 (or float16) literals/dtypes anywhere under
+  ``distances/``: a single low-precision cast poisons bit-identity.
+* ``ONEX102`` — ``fastmath=True`` on an ``njit`` kernel: licenses the
+  compiler to reassociate float arithmetic, i.e. to change the
+  accumulation order the contract pins.
+* ``ONEX103`` — non-allowlisted Python builtins inside ``@njit``
+  bodies: ``sorted``/``any``/``round``/... either fail to compile in
+  nopython mode or hide an unspecified evaluation order; kernels stick
+  to the arithmetic-and-iteration allowlist.
+* ``ONEX104`` — vectorized reductions (``np.sum``, ``.dot()``,
+  ``np.einsum``, ...) inside ``@njit`` bodies: numpy's pairwise
+  summation and numba's lowering accumulate in different orders, so a
+  JIT kernel must spell reductions as explicit sequential loops that
+  mirror the reference.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.astutil import (
+    decorator_base_name,
+    dotted_name,
+    is_njit_decorated,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+#: Low-precision float spellings banned under ``distances/``.
+_LOW_PRECISION_ATTRS = frozenset({"float32", "float16", "half", "single"})
+_LOW_PRECISION_STRINGS = frozenset(
+    {"float32", "float16", "f4", "f2", "<f4", "<f2"}
+)
+
+#: Builtins a JIT kernel may call: iteration and scalar arithmetic only.
+_NJIT_BUILTIN_ALLOWLIST = frozenset(
+    {"range", "len", "abs", "min", "max", "int", "float", "bool",
+     "enumerate", "zip", "divmod"}
+)
+
+#: Routines whose accumulation order the compiler chooses.
+_REDUCTIONS = frozenset(
+    {"sum", "nansum", "dot", "vdot", "inner", "matmul", "einsum",
+     "mean", "nanmean", "prod", "cumsum", "trace"}
+)
+
+
+def _njit_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and is_njit_decorated(node):
+            yield node
+
+
+def _function_body_nodes(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Every node in the body (decorators and signature excluded)."""
+    for statement in func.body:
+        yield from ast.walk(statement)
+
+
+@register_rule
+class Float32InKernels(Rule):
+    code = "ONEX101"
+    name = "float32-in-kernels"
+    rationale = (
+        "distances/ kernels are float64-only; a low-precision dtype or "
+        "cast breaks cross-backend bit-identity (DESIGN.md §10)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if not module.in_package_dir("distances"):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _LOW_PRECISION_ATTRS
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"low-precision dtype `{node.attr}` in a kernel "
+                    "module; kernels are float64-only",
+                )
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in _LOW_PRECISION_STRINGS
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"low-precision dtype string {node.value!r} in a "
+                    "kernel module; kernels are float64-only",
+                )
+
+
+@register_rule
+class FastmathInNjit(Rule):
+    code = "ONEX102"
+    name = "fastmath-in-njit"
+    rationale = (
+        "fastmath licenses reassociation, changing the float64 "
+        "accumulation order the backend bit-identity contract pins"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for decorator in node.decorator_list:
+                if not isinstance(decorator, ast.Call):
+                    continue
+                if decorator_base_name(decorator) not in ("njit", "jit"):
+                    continue
+                for keyword in decorator.keywords:
+                    if keyword.arg != "fastmath":
+                        continue
+                    value = keyword.value
+                    if (
+                        isinstance(value, ast.Constant)
+                        and value.value is False
+                    ):
+                        continue
+                    yield self.diagnostic(
+                        module,
+                        keyword.value,
+                        f"`fastmath` on jitted kernel `{node.name}`; "
+                        "reassociation breaks bit-identity with the "
+                        "numpy reference",
+                    )
+
+
+@register_rule
+class BuiltinInNjit(Rule):
+    code = "ONEX103"
+    name = "builtin-in-njit"
+    rationale = (
+        "non-allowlisted builtins in nopython kernels either fail to "
+        "compile or hide an unspecified evaluation order"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        for func in _njit_functions(module.tree):
+            for node in _function_body_nodes(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                ):
+                    continue
+                name = node.func.id
+                if (
+                    name in _NJIT_BUILTIN_ALLOWLIST
+                    or name in _REDUCTIONS  # ONEX104's finding, not ours
+                    or not hasattr(builtins, name)
+                ):
+                    continue
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"builtin `{name}` inside @njit kernel "
+                    f"`{func.name}`; allowed builtins: "
+                    + ", ".join(sorted(_NJIT_BUILTIN_ALLOWLIST)),
+                )
+
+
+@register_rule
+class ReductionInNjit(Rule):
+    code = "ONEX104"
+    name = "reduction-in-njit"
+    rationale = (
+        "vectorized reductions accumulate in a compiler-chosen order; "
+        "JIT kernels must reduce sequentially like the reference path"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        for func in _njit_functions(module.tree):
+            for node in _function_body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                base = name.rsplit(".", 1)[-1]
+                if base in _REDUCTIONS:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"vectorized reduction `{name}` inside @njit "
+                        f"kernel `{func.name}`; accumulation order is "
+                        "unspecified — write the sequential loop the "
+                        "reference path uses",
+                    )

@@ -1,0 +1,147 @@
+"""Per-file context shared by every lint rule.
+
+A :class:`SourceModule` owns the parsed AST plus the two comment
+conventions the checker understands, both collected with ``tokenize``
+so string literals containing ``#`` can never confuse them:
+
+``# onex: ignore[ONEX301]`` (or bare ``# onex: ignore``)
+    Suppresses diagnostics of the listed codes (or all codes) on that
+    physical line. The engine applies these after rules run, and the
+    report counts suppressed findings so silent decay is visible.
+
+``# guarded-by: _lock``
+    Declares that the attribute assigned on that line must only be
+    accessed while holding ``self._lock`` (see
+    :mod:`repro.analysis.rules.lockset`).
+
+Rules scope themselves by the module's *logical path* — its path parts
+relative to the ``repro`` package root (``("distances", "dtw.py")``) —
+so fixture trees under ``tmp/repro/...`` exercise the exact same
+scoping as the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_IGNORE_RE = re.compile(
+    r"#\s*onex:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>\w+)")
+
+#: Sentinel stored in ``ignores`` for a bare ``# onex: ignore``.
+IGNORE_ALL = "*"
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file plus its lint directives."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: Path parts below the ``repro`` package root, e.g.
+    #: ``("distances", "dtw.py")``; empty when the file is not inside a
+    #: ``repro`` package (rules that scope by location skip it).
+    logical_parts: tuple[str, ...]
+    #: line -> set of suppressed codes (:data:`IGNORE_ALL` for all).
+    ignores: dict[int, set[str]] = field(default_factory=dict)
+    #: line -> lock name from a ``# guarded-by:`` annotation.
+    guarded_by: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def display_path(self) -> str:
+        return str(self.path)
+
+    @property
+    def logical_posix(self) -> str:
+        """Logical path as one slash-joined string (``distances/dtw.py``)."""
+        return "/".join(self.logical_parts)
+
+    def in_package_dir(self, *parts: str) -> bool:
+        """Whether the module sits under ``repro/<parts...>/``."""
+        return self.logical_parts[: len(parts)] == parts
+
+    def is_module(self, *parts: str) -> bool:
+        """Whether the module *is* ``repro/<parts...>`` exactly."""
+        return self.logical_parts == parts
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.ignores.get(line)
+        return codes is not None and (code in codes or IGNORE_ALL in codes)
+
+
+def logical_parts_for(path: Path) -> tuple[str, ...]:
+    """Path parts below the rightmost ``repro`` directory, if any."""
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return tuple(parts[index + 1 :])
+    return ()
+
+
+def _collect_directives(
+    source: str,
+) -> tuple[dict[int, set[str]], dict[int, str]]:
+    ignores: dict[int, set[str]] = {}
+    guarded: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return ignores, guarded
+    for line, text in comments:
+        match = _IGNORE_RE.search(text)
+        if match:
+            spec = match.group("codes")
+            if spec is None:
+                ignores.setdefault(line, set()).add(IGNORE_ALL)
+            else:
+                for code in spec.split(","):
+                    code = code.strip().upper()
+                    if code:
+                        ignores.setdefault(line, set()).add(code)
+        match = _GUARDED_RE.search(text)
+        if match:
+            guarded[line] = match.group("lock")
+    return ignores, guarded
+
+
+def parse_module(path: Path, source: str | None = None) -> SourceModule:
+    """Parse one file into a :class:`SourceModule`.
+
+    Raises :class:`SyntaxError` on unparsable source; the engine turns
+    that into an ``ONEX900`` diagnostic rather than crashing the run.
+    """
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    ignores, guarded = _collect_directives(source)
+    return SourceModule(
+        path=path,
+        source=source,
+        tree=tree,
+        logical_parts=logical_parts_for(path),
+        ignores=ignores,
+        guarded_by=guarded,
+    )
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files kept, dirs walked), sorted."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)

@@ -11,7 +11,7 @@ exactly the accuracy gap Table 3 of the paper measures.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

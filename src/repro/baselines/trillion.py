@@ -27,7 +27,7 @@ search directly on the data's own scale instead.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ solution found by brute-force Standard DTW. Accuracy is
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

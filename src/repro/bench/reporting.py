@@ -11,10 +11,11 @@ trajectory.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 
 def _json_cell(value: object) -> object:
@@ -27,10 +28,8 @@ def _json_cell(value: object) -> object:
     """
     item = getattr(value, "item", None)
     if callable(item):
-        try:
+        with contextlib.suppress(TypeError, ValueError):
             value = item()
-        except (TypeError, ValueError):
-            pass
     if isinstance(value, float) and (value != value or value in (
         float("inf"), float("-inf")
     )):

@@ -16,7 +16,7 @@ from the smallest to the largest length".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

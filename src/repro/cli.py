@@ -13,7 +13,11 @@ Subcommands mirror the ONEX lifecycle:
   requests on stdin, JSON responses on stdout (see
   :mod:`repro.serve.server` for the protocol; the ``info`` op reports
   the result cache's live hit/miss counters, the active kernel backend
-  and the per-stage cascade counters).
+  and the per-stage cascade counters);
+* ``onex lint`` — the repo's own AST-based invariant checker
+  (:mod:`repro.analysis`): kernel numeric purity, backend-dispatch
+  enforcement, the lockset race detector, persistence atomicity.
+  Also exposed as ``python -m repro.analysis`` for CI.
 
 The global ``--backend {auto,numpy,numba}`` flag (or the
 ``ONEX_KERNEL_BACKEND`` environment variable) selects the refinement
@@ -25,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -41,7 +45,7 @@ from repro.query.executor import QueryExecutor
 def _read_sequence_file(path: str) -> np.ndarray:
     """Read a query sequence from a one-column (or comma-separated) file."""
     values: list[float] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line or line.startswith("#"):
@@ -227,6 +231,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return serve_forever(service, sys.stdin, sys.stdout)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import main as lint_main
+
+    forwarded = list(args.paths)
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.json_path:
+        forwarded += ["--json", args.json_path]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def _cmd_ql(args: argparse.Namespace) -> int:
     index = OnexIndex.load(args.index)
     executor = QueryExecutor(index)
@@ -357,6 +374,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU result cache capacity (0 disables caching)",
     )
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant checker (see DESIGN.md §11)",
+        description=(
+            "Checks kernel numeric purity (ONEX1xx), backend dispatch "
+            "(ONEX2xx), the lockset discipline (ONEX3xx) and "
+            "persistence atomicity (ONEX4xx). All arguments are "
+            "forwarded to `python -m repro.analysis` (paths, --select "
+            "CODES, --json FILE, --list-rules). Exit 0 = clean, 1 = "
+            "findings."
+        ),
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to report"
+    )
+    p_lint.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        help="write the machine-readable report to FILE ('-' = stdout)",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_lint.set_defaults(handler=_cmd_lint)
 
     p_ql = sub.add_parser("ql", help="run a query in the paper's query language")
     p_ql.add_argument("index")

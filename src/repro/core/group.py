@@ -14,7 +14,7 @@ sorted ascending, plus the representative's LB_Keogh envelope.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

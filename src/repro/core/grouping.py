@@ -403,7 +403,7 @@ class GroupBuilder:
             if hit.size:
                 targets = nearest[hit]
                 reps.admit_chunk(targets, chunk[hit])
-                for i, group in zip(hit.tolist(), targets.tolist()):
+                for i, group in zip(hit.tolist(), targets.tolist(), strict=True):
                     membership[group].append(int(rows[i]))
                 reps.refresh_rows(np.unique(targets))
             # Sequential fallback for out-of-threshold rows (may seed
@@ -625,7 +625,7 @@ def reference_build_groups_for_length(
             reps.append(values)
             membership.append([entry_index])
 
-    for group, member_rows in zip(groups, membership):
+    for group, member_rows in zip(groups, membership, strict=True):
         group.finalize(
             np.stack([entries[row][1] for row in member_rows]),
             envelope_radius=envelope_radius,

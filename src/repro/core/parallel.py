@@ -138,7 +138,11 @@ def build_shards_parallel(
     flat_path = os.path.join(shard_dir, "flat_values.npy")
     results: dict[int, ShardResult] = {}
     try:
-        np.save(flat_path, np.ascontiguousarray(store.flat_values))
+        # Scratch hand-off to the worker pool, not index state: the
+        # array lives in a private temp dir and is deleted post-build.
+        np.save(  # onex: ignore[ONEX401]
+            flat_path, np.ascontiguousarray(store.flat_values)
+        )
         max_workers = max(1, min(int(n_jobs), len(grid)))
         with ProcessPoolExecutor(
             max_workers=max_workers,

@@ -32,6 +32,7 @@ store rows.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -275,10 +276,8 @@ def _replace_tree(tmp: str, target: str) -> None:
             # our displaced copy if the slot is free, then try again.
             last_error = exc
             if backup is not None:
-                try:
+                with contextlib.suppress(OSError):
                     os.rename(backup, target)
-                except OSError:
-                    pass
             continue
         if backup is not None:
             _remove_tree(backup)
@@ -512,7 +511,7 @@ def _v3_required_files(manifest: dict) -> list[str]:
 def _load_v3(path: str) -> OnexIndex:
     manifest_path = os.path.join(path, _MANIFEST_NAME)
     try:
-        with open(manifest_path, "r", encoding="utf-8") as handle:
+        with open(manifest_path, encoding="utf-8") as handle:
             manifest = json.load(handle)
     except FileNotFoundError as exc:
         raise PersistenceError(

@@ -20,7 +20,7 @@ import heapq
 import math
 import threading
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -546,7 +546,9 @@ class QueryProcessor:
                 radius,
                 abandon_above=bound if math.isfinite(bound) else None,
             )
-            for group_index, distance in zip(chunk.tolist(), distances.tolist()):
+            for group_index, distance in zip(
+                chunk.tolist(), distances.tolist(), strict=True
+            ):
                 if distance == math.inf:
                     stats.reps_abandoned += 1
                     stats.cascade_dtw_abandon += 1
@@ -695,7 +697,7 @@ class QueryProcessor:
             # sequence the per-query scan would.
             for q, group_index, distance in zip(
                 pair_queries, pair_groups, distances.tolist()
-            ):
+            , strict=True):
                 if distance == math.inf:
                     stats.reps_abandoned += 1
                     stats.cascade_dtw_abandon += 1
@@ -782,7 +784,7 @@ class QueryProcessor:
                 bucket, queries[active], bounds
             )
             still_active = []
-            for q, scans in zip(active, scans_per_query):
+            for q, scans in zip(active, scans_per_query, strict=True):
                 if scans and (
                     best[q] is None
                     or scans[0].dtw_normalized < best[q][1][0].dtw_normalized
@@ -924,7 +926,9 @@ class QueryProcessor:
                     radius,
                     abandon_above=abandon if math.isfinite(abandon) else None,
                 )
-                for position, raw in zip(positions.tolist(), distances.tolist()):
+                for position, raw in zip(
+                    positions.tolist(), distances.tolist(), strict=True
+                ):
                     if raw == math.inf:
                         stats.members_abandoned += 1
                         stats.cascade_dtw_abandon += 1

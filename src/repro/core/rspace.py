@@ -14,7 +14,7 @@ import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -58,12 +58,14 @@ class LengthBucket:
     # guarded by ``_payload_lock`` so concurrent queries hydrate each
     # payload exactly once and never observe a half-built entry.
     _rep_envelope_stacks: dict[int, EnvelopeStack] = field(
-        init=False, repr=False, default_factory=dict
+        init=False, repr=False, default_factory=dict  # guarded-by: _payload_lock
     )
     _member_matrices: "OrderedDict[int, np.ndarray]" = field(
-        init=False, repr=False, default_factory=OrderedDict
+        init=False, repr=False, default_factory=OrderedDict  # guarded-by: _payload_lock
     )
-    _member_matrix_bytes: int = field(init=False, repr=False, default=0)
+    _member_matrix_bytes: int = field(
+        init=False, repr=False, default=0  # guarded-by: _payload_lock
+    )
     _payload_lock: threading.Lock = field(
         init=False, repr=False, default_factory=threading.Lock
     )
@@ -145,7 +147,9 @@ class LengthBucket:
         stack is built exactly once, inside ``_payload_lock``.
         """
         radius = int(radius)
-        stack = self._rep_envelope_stacks.get(radius)
+        # Deliberate lock-free fast path: a hit reads a fully-built,
+        # never-mutated stack (GIL-atomic dict read).
+        stack = self._rep_envelope_stacks.get(radius)  # onex: ignore[ONEX301]
         if stack is None:
             with self._payload_lock:
                 stack = self._rep_envelope_stacks.get(radius)
@@ -172,7 +176,9 @@ class LengthBucket:
         serialize on a hit), so eviction beyond the budget is
         insertion-ordered rather than recency-ordered.
         """
-        matrix = self._member_matrices.get(group_index)
+        # Deliberate lock-free fast path (see the docstring): hits must
+        # not serialize, and a hit reads a finished read-only array.
+        matrix = self._member_matrices.get(group_index)  # onex: ignore[ONEX301]
         if matrix is not None:
             return matrix
         with self._payload_lock:
@@ -216,19 +222,27 @@ class RSpace:
         loaders = dict(loaders or {})
         if not buckets and not loaders:
             raise IndexConstructionError("R-Space requires at least one length bucket")
-        self._buckets = dict(sorted(buckets.items()))
+        self._buckets = dict(sorted(buckets.items()))  # guarded-by: _buckets_lock
         self._loaders = loaders
         self._lengths = sorted(set(self._buckets) | set(loaders))
         # One hydration lock per lazily-loaded length: concurrent first
         # queries against the same length run the loader exactly once
-        # (different lengths still hydrate in parallel).
+        # (different lengths still hydrate in parallel). The bucket map
+        # itself gets its own lock — two *different* lengths hydrating
+        # concurrently hold different hydration locks, so without it
+        # their `_buckets` inserts would race (benign under the GIL,
+        # undefined without it).
+        self._buckets_lock = threading.Lock()
         self._hydration_locks = {length: threading.Lock() for length in loaders}
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
     def __contains__(self, length: int) -> bool:
-        return length in self._buckets or length in self._loaders
+        with self._buckets_lock:
+            if length in self._buckets:
+                return True
+        return length in self._loaders
 
     def __iter__(self) -> Iterator[LengthBucket]:
         return (self.bucket(length) for length in self._lengths)
@@ -244,7 +258,9 @@ class RSpace:
     @property
     def hydrated_lengths(self) -> list[int]:
         """Lengths whose bucket is materialized (all, unless lazily loaded)."""
-        return [length for length in self._lengths if length in self._buckets]
+        with self._buckets_lock:
+            hydrated = set(self._buckets)
+        return [length for length in self._lengths if length in hydrated]
 
     def bucket(self, length: int) -> LengthBucket:
         """GTI lookup: the bucket of one length (constant time, §5.2).
@@ -254,7 +270,9 @@ class RSpace:
         loader run exactly once, and every caller observes the same
         fully-constructed bucket object.
         """
-        bucket = self._buckets.get(length)
+        # Deliberate lock-free fast path: a hit reads a fully-built
+        # bucket already published under the lock (GIL-atomic read).
+        bucket = self._buckets.get(length)  # onex: ignore[ONEX301]
         if bucket is not None:
             return bucket
         loader = self._loaders.get(length)
@@ -264,10 +282,12 @@ class RSpace:
                 f"length {length} is not indexed; indexed lengths: {known}"
             ) from None
         with self._hydration_locks[length]:
-            bucket = self._buckets.get(length)
+            with self._buckets_lock:
+                bucket = self._buckets.get(length)
             if bucket is None:
                 bucket = loader()
-                self._buckets[length] = bucket
+                with self._buckets_lock:
+                    self._buckets[length] = bucket
         return bucket
 
     # ------------------------------------------------------------------

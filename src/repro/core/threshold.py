@@ -35,7 +35,7 @@ def _group_members(
     """
     if group.member_rows is not None and bucket.store_view is not None:
         matrix = bucket.store_view.values(group.member_rows)
-        return list(zip(group.member_ids, matrix))
+        return list(zip(group.member_ids, matrix, strict=True))
     return [(ssid, dataset.subsequence(ssid)) for ssid in group.member_ids]
 
 
@@ -142,7 +142,7 @@ def merge_bucket(
     new_groups: list[SimilarityGroup] = []
     for cluster, cluster_rows, cluster_values, cluster_sum in zip(
         ids, rows, values, sums
-    ):
+    , strict=True):
         if store_backed:
             matrix = bucket.store_view.values(cluster_rows)
             member_rows = cluster_rows

@@ -9,7 +9,8 @@ a ``start_step`` stride, which the enumeration here supports directly.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 import numpy as np
 

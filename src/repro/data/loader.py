@@ -11,7 +11,7 @@ synthetic generators in :mod:`repro.data.synthetic`.
 from __future__ import annotations
 
 import os
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.data.dataset import Dataset
 from repro.data.timeseries import TimeSeries
@@ -48,7 +48,7 @@ def load_ucr_file(
     """
     path = os.fspath(path)
     series: list[TimeSeries] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line_no, raw_line in enumerate(handle, start=1):
             line = raw_line.strip()
             if not line or line.startswith("#"):

@@ -137,7 +137,11 @@ class LengthView:
         length = self.length
         return [
             SubsequenceId(int(p), int(j), length)
-            for p, j in zip(self.series[rows].tolist(), self.starts[rows].tolist())
+            for p, j in zip(
+                self.series[rows].tolist(),
+                self.starts[rows].tolist(),
+                strict=True,
+            )
         ]
 
     def rows_of(
@@ -200,7 +204,7 @@ class SubsequenceStore:
         lengths = np.array([len(s) for s in dataset], dtype=np.int64)
         self.series_lengths = lengths
         self.series_offsets = np.concatenate([[0], np.cumsum(lengths)])[:-1]
-        self._views: dict[int, LengthView] = {}
+        self._views: dict[int, LengthView] = {}  # guarded-by: _views_lock
         self._views_lock = threading.Lock()
 
     @classmethod
@@ -250,7 +254,9 @@ class SubsequenceStore:
         Thread-safe: concurrent bucket hydrations of different lengths
         share one store, and each view is constructed exactly once.
         """
-        view = self._views.get(length)
+        # Deliberate lock-free fast path: a hit reads a fully-built
+        # view already published under the lock (GIL-atomic read).
+        view = self._views.get(length)  # onex: ignore[ONEX301]
         if view is None:
             with self._views_lock:
                 view = self._views.get(length)

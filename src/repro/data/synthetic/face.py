@@ -32,7 +32,7 @@ def _face_profile(
     rotation = rng.uniform(-0.15, 0.15)  # small head rotation = phase shift
     profile = np.ones(length)
     amplitudes, phases = signature
-    for k, (amp, phase) in enumerate(zip(amplitudes, phases), start=1):
+    for k, (amp, phase) in enumerate(zip(amplitudes, phases, strict=True), start=1):
         profile += amp * np.cos(k * (angles + rotation) + phase)
     profile = time_warp(profile, rng, strength=0.04)
     profile += rng.normal(0.0, 0.02, size=length)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.data.dataset import Dataset
 from repro.data.synthetic.italy_power import make_italy_power

@@ -9,7 +9,8 @@ is the subsequence of series ``Xp`` of length ``i`` starting at position
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 

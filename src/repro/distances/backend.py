@@ -36,7 +36,7 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.exceptions import DistanceError
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view

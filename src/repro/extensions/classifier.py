@@ -13,7 +13,8 @@ series' full length as its single subsequence length.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -131,6 +132,6 @@ class OnexKnnClassifier:
             raise DataError("test set must not be empty")
         predictions = self.predict(series)
         hits = sum(
-            1 for got, want in zip(predictions, labels) if got == int(want)
+            1 for got, want in zip(predictions, labels, strict=True) if got == int(want)
         )
         return hits / len(predictions)

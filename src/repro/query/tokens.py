@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.exceptions import ParseError
 

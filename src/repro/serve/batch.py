@@ -33,7 +33,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -93,7 +93,7 @@ def execute_batch(
         assigned = processor.assign_buckets_stacked(
             matrix, length=length, stop_at_half_st=stop_at_half_st
         )
-        for position, assignment in zip(positions, assigned):
+        for position, assignment in zip(positions, assigned, strict=True):
             assignments[position] = assignment
 
     # Refinement runs on pool threads whose thread-local stats would be

@@ -16,7 +16,8 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable
+from collections.abc import Hashable
+from typing import Any
 
 import numpy as np
 
@@ -58,12 +59,12 @@ class ResultCache:
         )
         if self.max_bytes < 0:
             raise ValueError(f"cache max_bytes must be >= 0, got {max_bytes}")
-        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
-        self._sizes: dict[Hashable, int] = {}
-        self._bytes = 0
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()  # guarded-by: _lock
+        self._sizes: dict[Hashable, int] = {}  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     @staticmethod
     def make_key(values: np.ndarray, **params: object) -> tuple:
@@ -146,7 +147,12 @@ class ResultCache:
         }
 
     def __repr__(self) -> str:
+        # One lock acquisition for a consistent (entries, hits, misses)
+        # snapshot — the previous unguarded counter reads were the
+        # lockset checker's (ONEX301) first real catch.
+        with self._lock:
+            entries, hits, misses = len(self._entries), self.hits, self.misses
         return (
-            f"<ResultCache {len(self)}/{self.capacity} "
-            f"hits={self.hits} misses={self.misses}>"
+            f"<ResultCache {entries}/{self.capacity} "
+            f"hits={hits} misses={misses}>"
         )

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import json
 import math
-from typing import IO, Iterable
+from collections.abc import Iterable
+from typing import IO
 
 from repro.core.results import Match, SeasonalResult, ThresholdRecommendation
 from repro.serve.service import OnexService

@@ -32,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -92,7 +92,7 @@ class OnexService:
         # answered a query (the batch executor already folds its
         # workers' counters into the calling thread's).
         self._stats_lock = threading.Lock()
-        self._query_stats = QueryStats()
+        self._query_stats = QueryStats()  # guarded-by: _stats_lock
 
     def _absorb_query_stats(self) -> None:
         """Fold the calling thread's last-query counters into the totals."""
@@ -195,7 +195,7 @@ class OnexService:
                         )
                     )
                     self._absorb_query_stats()
-            for i, matches in zip(missing, fresh):
+            for i, matches in zip(missing, fresh, strict=True):
                 self.cache.put(keys[i], tuple(matches))
                 results[i] = matches
         return results  # type: ignore[return-value]

@@ -5,7 +5,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, TypeVar
+from collections.abc import Callable, Iterator
+from typing import TypeVar
 
 T = TypeVar("T")
 

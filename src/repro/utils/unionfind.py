@@ -7,7 +7,7 @@ merge logic of Algorithm 2.C.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 
 class UnionFind:

@@ -1,0 +1,122 @@
+"""End-to-end contract of ``onex lint`` / ``python -m repro.analysis``.
+
+Pins the exit-code contract the CI step relies on: a clean tree exits
+0, a tree with a seeded violation exits 1 and names the rule code, a
+usage error exits 2 — plus the repo-is-clean invariant itself (the
+whole point of the suite: the current tree must pass its own checker).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis import all_rules, run_lint
+from repro.cli import main as cli_main
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+SRC_DIR = PACKAGE_DIR.parent
+
+
+def _run_module(args: list[str], cwd: Path | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(cwd or SRC_DIR),
+        check=False,
+    )
+
+
+class TestRepoIsClean:
+    def test_checker_runs_clean_on_the_real_tree(self):
+        report = run_lint([PACKAGE_DIR])
+        assert report.files_checked > 80
+        assert report.diagnostics == []
+        # The audited benign races / scratch writes stay visible.
+        assert len(report.suppressed) >= 4
+        suppressed_codes = {d.code for d in report.suppressed}
+        assert "ONEX301" in suppressed_codes
+        assert "ONEX401" in suppressed_codes
+
+    def test_cli_lint_subcommand_exits_zero(self, capsys):
+        assert cli_main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_every_rule_family_is_registered(self):
+        families = {code[:5] for code in all_rules()}
+        assert {"ONEX1", "ONEX2", "ONEX3", "ONEX4", "ONEX9"} <= families
+
+
+class TestExitCodeContract:
+    def test_clean_tree_exits_zero(self):
+        result = _run_module([str(PACKAGE_DIR)])
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_seeded_violation_exits_one_with_code(self, tmp_path):
+        bad = tmp_path / "repro" / "distances" / "impure.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            textwrap.dedent(
+                """\
+                import numpy as np
+
+                def quantize(x):
+                    return x.astype(np.float32)
+                """
+            ),
+            encoding="utf-8",
+        )
+        result = _run_module([str(tmp_path)])
+        assert result.returncode == 1
+        assert "ONEX101" in result.stdout
+
+    def test_usage_error_exits_two(self, tmp_path):
+        assert _run_module(["--select", "NOPE42"]).returncode == 2
+        assert _run_module([str(tmp_path / "missing")]).returncode == 2
+
+    def test_unparsable_file_reports_onex900(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def nope(:\n", encoding="utf-8")
+        result = _run_module([str(tmp_path)])
+        assert result.returncode == 1
+        assert "ONEX900" in result.stdout
+
+
+class TestJsonReport:
+    def test_json_artifact_shape(self, tmp_path):
+        out = tmp_path / "lint.json"
+        assert cli_main(["lint", str(PACKAGE_DIR), "--json", str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["files_checked"] > 80
+        assert payload["diagnostics"] == []
+        assert {"ONEX101", "ONEX301", "ONEX401"} <= set(payload["rules"])
+        for entry in payload["suppressed"]:
+            assert {"path", "line", "col", "code", "message"} <= set(entry)
+
+    def test_select_filters_codes(self, tmp_path):
+        bad = tmp_path / "repro" / "serve" / "twobad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "from repro.distances import kernels_numba\n"
+            "from repro.distances.dtw import _dtw_squared\n",
+            encoding="utf-8",
+        )
+        report = run_lint([tmp_path], select={"ONEX202"})
+        assert [d.code for d in report.diagnostics] == ["ONEX202"]
+
+    def test_list_rules_names_every_code(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in all_rules():
+            assert code in out

@@ -1,0 +1,434 @@
+"""Fixture-based tests for the four ``onex lint`` rule families.
+
+Each case writes a small snippet into a fake ``repro`` package tree
+(so path-scoped rules see the same layout as the real one) and asserts
+the exact ``(code, line)`` pairs the checker reports.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+
+def lint_snippet(tmp_path: Path, relpath: str, source: str):
+    """Lint one snippet placed at ``repro/<relpath>`` under ``tmp_path``."""
+    target = tmp_path / "repro" / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint([tmp_path])
+
+
+def codes_and_lines(report) -> list[tuple[str, int]]:
+    return [(d.code, d.line) for d in report.diagnostics]
+
+
+def codes(report) -> set[str]:
+    return {d.code for d in report.diagnostics}
+
+
+# ----------------------------------------------------------------------
+# ONEX1xx — kernel numeric purity
+# ----------------------------------------------------------------------
+class TestNumericPurity:
+    def test_float32_dtype_flagged_in_distances(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "distances/badkernel.py",
+            """\
+            import numpy as np
+
+            def cast(x):
+                return x.astype(np.float32)
+
+            def build(n):
+                return np.zeros(n, dtype="float32")
+            """,
+        )
+        assert codes_and_lines(report) == [
+            ("ONEX101", 4),
+            ("ONEX101", 7),
+        ]
+
+    def test_float32_outside_distances_is_not_this_rules_business(
+        self, tmp_path
+    ):
+        report = lint_snippet(
+            tmp_path,
+            "viz/render.py",
+            """\
+            import numpy as np
+
+            def to_pixels(x):
+                return x.astype(np.float32)
+            """,
+        )
+        assert "ONEX101" not in codes(report)
+
+    def test_fastmath_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "distances/jit.py",
+            """\
+            from numba import njit
+
+            @njit(cache=True, fastmath=True)
+            def kernel(x):
+                return x
+
+            @njit(cache=True, fastmath=False)
+            def careful(x):
+                return x
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX102", 3)]
+
+    def test_disallowed_builtin_in_njit_body(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "distances/jit.py",
+            """\
+            from numba import njit
+
+            @njit(cache=True)
+            def kernel(values):
+                total = 0.0
+                for i in range(len(values)):
+                    total += abs(values[i])
+                return sorted(values)
+
+            def plain(values):
+                return sorted(values)
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX103", 8)]
+
+    def test_vectorized_reduction_in_njit_body(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "distances/jit.py",
+            """\
+            import numpy as np
+            from numba import njit
+
+            @njit(cache=True)
+            def kernel(x, y):
+                out = np.empty(x.shape[0])
+                acc = np.sum(x)
+                dot = x.dot(y)
+                return acc + dot + sum(out)
+
+            def reference(x):
+                return np.sum(x)
+            """,
+        )
+        assert codes_and_lines(report) == [
+            ("ONEX104", 7),
+            ("ONEX104", 8),
+            ("ONEX104", 9),
+        ]
+
+
+# ----------------------------------------------------------------------
+# ONEX2xx — backend-dispatch enforcement
+# ----------------------------------------------------------------------
+class TestBackendDispatch:
+    def test_kernels_numba_imports_flagged_outside_distances(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/fastpath.py",
+            """\
+            import repro.distances.kernels_numba
+            from repro.distances import kernels_numba
+            from repro.distances.kernels_numba import dtw_squared
+            """,
+        )
+        assert codes_and_lines(report) == [
+            ("ONEX201", 1),
+            ("ONEX201", 2),
+            ("ONEX201", 3),
+        ]
+
+    def test_distances_package_itself_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "distances/backend2.py",
+            """\
+            from repro.distances import kernels_numba
+            from repro.distances.batch import _dtw_batch_numpy
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_private_kernel_import_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/hotloop.py",
+            """\
+            from repro.distances.dtw import _dtw_squared
+
+            def refine(x, y):
+                return _dtw_squared(x, y, 1, float("inf"))
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX202", 1)]
+
+    def test_private_kernel_attribute_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/hotloop.py",
+            """\
+            from repro.distances import dtw
+
+            def refine(x, y):
+                return dtw._dtw_squared(x, y, 1, float("inf"))
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX202", 4)]
+
+    def test_public_wrapper_usage_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/hotloop.py",
+            """\
+            from repro.distances.backend import get_backend
+            from repro.distances.dtw import dtw
+
+            def refine(x, y):
+                return get_backend().dtw_squared(x, y, 1, float("inf"))
+            """,
+        )
+        assert report.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# ONEX3xx — the lockset race detector
+# ----------------------------------------------------------------------
+_LOCKED_CLASS_HEADER = """\
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+"""
+
+
+class TestLockset:
+    def test_unguarded_read_and_write_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def peek(self, key):
+        return self._items.get(key)
+
+    def reset(self):
+        self._items = {}
+""",
+        )
+        assert codes_and_lines(report) == [
+            ("ONEX301", 9),
+            ("ONEX301", 12),
+        ]
+        assert "read here without holding" in report.diagnostics[0].message
+        assert "written here without holding" in report.diagnostics[1].message
+
+    def test_with_lock_access_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def get(self, key):
+        with self._lock:
+            return self._items.get(key)
+""",
+        )
+        assert report.diagnostics == []
+
+    def test_constructor_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def __init__(self):  # a second ctor-ish path for the test
+        self._items = {}
+""",
+        )
+        assert report.diagnostics == []
+
+    def test_helper_with_all_locked_callers_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._evict()
+
+    def _evict(self):
+        while len(self._items) > 8:
+            self._items.popitem()
+""",
+        )
+        assert report.diagnostics == []
+
+    def test_helper_called_without_lock_flags_call_site(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._evict()
+
+    def trim(self):
+        self._evict()
+
+    def _evict(self):
+        while len(self._items) > 8:
+            self._items.popitem()
+""",
+        )
+        assert codes_and_lines(report) == [("ONEX302", 14)]
+        assert "_evict" in report.diagnostics[0].message
+
+    def test_unknown_lock_name_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            """\
+            class Broken:
+                def __init__(self):
+                    self._items = {}  # guarded-by: _missing_lock
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX303", 3)]
+
+    def test_dangling_annotation_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            """\
+            # guarded-by: _lock
+            VALUE = 3
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX303", 1)]
+
+    def test_dataclass_field_annotation(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bucketlike.py",
+            """\
+            import threading
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Bucket:
+                _payload_lock: threading.Lock = field(
+                    default_factory=threading.Lock
+                )
+                _stacks: dict = field(
+                    default_factory=dict  # guarded-by: _payload_lock
+                )
+
+                def stack(self, radius):
+                    return self._stacks.get(radius)
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX301", 14)]
+
+    def test_suppression_is_counted_not_reported(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def peek(self, key):
+        return self._items.get(key)  # onex: ignore[ONEX301]
+""",
+        )
+        assert report.diagnostics == []
+        assert [(d.code, d.line) for d in report.suppressed] == [
+            ("ONEX301", 9)
+        ]
+
+
+# ----------------------------------------------------------------------
+# ONEX4xx — persistence atomicity
+# ----------------------------------------------------------------------
+class TestPersistenceAtomicity:
+    def test_raw_writes_flagged_in_scoped_packages(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/compactor.py",
+            """\
+            import os
+            import shutil
+            import numpy as np
+
+            def fold(path, arrays):
+                np.save(path + "/a.npy", arrays[0])
+                with open(path + "/manifest.json", "w") as handle:
+                    handle.write("{}")
+                shutil.move(path + ".tmp", path)
+                os.replace(path + ".new", path)
+            """,
+        )
+        assert codes_and_lines(report) == [
+            ("ONEX401", 6),
+            ("ONEX401", 7),
+            ("ONEX401", 9),
+            ("ONEX401", 10),
+        ]
+
+    def test_blessed_persistence_module_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/persistence.py",
+            """\
+            import os
+
+            def atomic_swap(tmp, target):
+                os.replace(tmp, target)
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_reads_and_out_of_scope_modules_are_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/loader2.py",
+            """\
+            def read(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return handle.read()
+            """,
+        )
+        assert report.diagnostics == []
+        report = lint_snippet(
+            tmp_path,
+            "bench/reporting2.py",
+            """\
+            def write(path, payload):
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+            """,
+        )
+        assert report.diagnostics == []

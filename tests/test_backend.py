@@ -182,12 +182,12 @@ class TestKernelParity:
         stack[1] = 0.0  # a constant candidate
         radius = resolve_window(20, 20, 0.1)
         distances = dtw_batch(query, stack, radius)
-        for row, got in zip(stack, distances):
+        for row, got in zip(stack, distances, strict=True):
             assert got == dtw(query, row, window=radius)
         # Shared abandon bound: finite results are true distances.
         bound = float(np.median(distances))
         bounded = dtw_batch(query, stack, radius, abandon_above=bound)
-        for row, got in zip(stack, bounded):
+        for row, got in zip(stack, bounded, strict=True):
             if math.isfinite(got):
                 assert got == dtw(query, row, window=radius)
             else:
@@ -200,7 +200,7 @@ class TestKernelParity:
         radius = resolve_window(15, 18, 0.2)
         distances = dtw_pairs(queries, candidates, radius)
         expected = [
-            dtw(q, c, window=radius) for q, c in zip(queries, candidates)
+            dtw(q, c, window=radius) for q, c in zip(queries, candidates, strict=True)
         ]
         assert distances.tolist() == expected
         # Per-lane bounds: every lane below its bound is exact.

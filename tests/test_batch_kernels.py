@@ -143,7 +143,7 @@ class TestDtwBatch:
         finite = exact[np.isfinite(exact)]
         bound = float(np.median(finite)) if finite.size else 1.0
         bounded = dtw_batch(q, stack, radius, abandon_above=bound)
-        for got, reference in zip(bounded, exact):
+        for got, reference in zip(bounded, exact, strict=True):
             if math.isfinite(got):
                 assert got == pytest.approx(reference, abs=1e-9)
             else:
@@ -191,7 +191,7 @@ class TestQueryPathParity:
             a = scalar.best_match(query, length=12, k=3)
             b = batch.best_match(query, length=12, k=3)
             assert [m.ssid for m in a] == [m.ssid for m in b]
-            for am, bm in zip(a, b):
+            for am, bm in zip(a, b, strict=True):
                 assert am.dtw == pytest.approx(bm.dtw, abs=1e-9)
 
     def test_best_match_parity_any_length(self, small_index):
@@ -218,10 +218,10 @@ class TestQueryPathParity:
         ]
         batched = small_index.query_batch(queries, length=12, k=2)
         assert len(batched) == len(queries)
-        for query, matches in zip(queries, batched):
+        for query, matches in zip(queries, batched, strict=True):
             singles = small_index.query(query, length=12, k=2)
             assert [m.ssid for m in matches] == [m.ssid for m in singles]
-            for bm, sm in zip(matches, singles):
+            for bm, sm in zip(matches, singles, strict=True):
                 assert bm.dtw == pytest.approx(sm.dtw, abs=1e-9)
 
     def test_search_group_uses_scan_distance(self, small_index, monkeypatch):

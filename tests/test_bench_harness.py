@@ -55,7 +55,7 @@ class TestWorkloads:
         a = make_workload(dataset, (8, 12), seed=3)
         b = make_workload(dataset, (8, 12), seed=3)
         assert a.holdout_series == b.holdout_series
-        for qa, qb in zip(a.queries, b.queries):
+        for qa, qb in zip(a.queries, b.queries, strict=True):
             assert np.array_equal(qa.values, qb.values)
 
     def test_requires_two_series(self):

@@ -46,7 +46,9 @@ class TestBuildContext:
 
     def test_same_length_truth_at_least_any_truth(self, tiny_context):
         # The any-length optimum ranges over a superset of candidates.
-        for same, anyl in zip(tiny_context.exact_same, tiny_context.exact_any):
+        for same, anyl in zip(
+            tiny_context.exact_same, tiny_context.exact_any, strict=True
+        ):
             assert anyl <= same + 1e-12
 
     def test_runs_cached_by_key(self, tiny_context):

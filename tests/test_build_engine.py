@@ -27,7 +27,9 @@ from repro.exceptions import IndexConstructionError
 
 def _assert_identical(engine_groups, reference_groups):
     assert len(engine_groups) == len(reference_groups)
-    for engine_group, reference_group in zip(engine_groups, reference_groups):
+    for engine_group, reference_group in zip(
+        engine_groups, reference_groups, strict=True
+    ):
         assert engine_group.member_ids == reference_group.member_ids
         assert np.array_equal(engine_group.ed_to_rep, reference_group.ed_to_rep)
         assert np.array_equal(
@@ -161,7 +163,7 @@ class TestMinibatchEndToEnd:
             window=minibatch_index.window,
             use_batch_kernels=False,
         )
-        for query, matches in zip(queries, batch_results):
+        for query, matches in zip(queries, batch_results, strict=True):
             reference = scalar.best_match(query, length=12, k=1)
             assert matches[0].ssid == reference[0].ssid
             assert abs(matches[0].dtw - reference[0].dtw) <= 1e-9
@@ -204,7 +206,7 @@ class TestMaintenanceProperty:
             window=extended.window,
             use_batch_kernels=False,
         )
-        for query, matches in zip(queries, batch_results):
+        for query, matches in zip(queries, batch_results, strict=True):
             reference = scalar.best_match(query, length=12, k=1)
             assert matches[0].ssid == reference[0].ssid
             assert abs(matches[0].dtw - reference[0].dtw) <= 1e-9

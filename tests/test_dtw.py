@@ -174,7 +174,8 @@ class TestPath:
         x = rng.normal(size=10)
         y = rng.normal(size=8)
         path = dtw_path(x, y)
-        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+        # Pairwise iteration: the offset slice is one element shorter.
+        for (i0, j0), (i1, j1) in zip(path, path[1:], strict=False):
             assert (i1 - i0, j1 - j0) in {(0, 1), (1, 0), (1, 1)}
 
     def test_path_cost_equals_dtw(self, rng):

@@ -1,0 +1,43 @@
+"""Import-graph smoke test: every module under ``src/repro`` imports.
+
+A module that raises at import time (missing optional dep handled
+wrong, circular import, syntax error on a rarely-exercised path) should
+fail loudly here rather than the first time a user touches it. The
+``__main__`` entry points are skipped — importing them would execute
+their CLIs.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from pathlib import Path
+
+import pytest
+
+import repro
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+def _module_names() -> list[str]:
+    names = []
+    for path in sorted(PACKAGE_DIR.rglob("*.py")):
+        if path.name == "__main__.py":
+            continue
+        rel = path.relative_to(PACKAGE_DIR.parent).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        names.append(".".join(parts))
+    return names
+
+
+@pytest.mark.parametrize("name", _module_names())
+def test_module_imports(name):
+    import_module(name)
+
+
+def test_every_source_file_is_covered():
+    # Guard the parametrization itself: if the rglob breaks, the suite
+    # would silently pass with zero modules.
+    assert len(_module_names()) > 60

@@ -44,7 +44,7 @@ class TestAccuracyAgainstExact:
 
     def test_onex_answers_never_beat_exact(self, context):
         run = context.run_onex()
-        for got, exact in zip(run.distances, context.exact_any):
+        for got, exact in zip(run.distances, context.exact_any, strict=True):
             assert got >= exact - 1e-9
 
     def test_in_dataset_queries_found_nearly_exactly(self, context):
@@ -56,7 +56,7 @@ class TestAccuracyAgainstExact:
     def test_trillion_exact_for_in_dataset_same_length(self, context):
         for query, exact in zip(
             context.workload.queries, context.exact_same
-        ):
+        , strict=True):
             if query.kind != "in":
                 continue
             result = context.trillion.best_match(query.values, length=query.length)

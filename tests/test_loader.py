@@ -98,7 +98,7 @@ def test_round_trip_preserves_values_and_labels(tmp_path):
     save_ucr_file(original, path)
     loaded = load_ucr_file(path, name="rt")
     assert len(loaded) == 2
-    for before, after in zip(original, loaded):
+    for before, after in zip(original, loaded, strict=True):
         assert after.values.tolist() == before.values.tolist()
         assert after.label == before.label
 

@@ -47,7 +47,7 @@ def _assert_identical(a: OnexIndex, b: OnexIndex) -> None:
         bucket_b = b.rspace.bucket(length)
         assert len(bucket_a.groups) == len(bucket_b.groups)
         assert np.array_equal(bucket_a.rep_matrix, bucket_b.rep_matrix)
-        for group_a, group_b in zip(bucket_a.groups, bucket_b.groups):
+        for group_a, group_b in zip(bucket_a.groups, bucket_b.groups, strict=True):
             assert group_a.member_ids == group_b.member_ids
             assert np.array_equal(group_a.ed_to_rep, group_b.ed_to_rep)
             assert np.array_equal(
@@ -118,7 +118,7 @@ class TestShardEngine:
             )
             remote = shards[length].groups
             assert len(local) == len(remote)
-            for group_a, group_b in zip(local, remote):
+            for group_a, group_b in zip(local, remote, strict=True):
                 assert group_a.member_ids == group_b.member_ids
                 assert np.array_equal(
                     group_a.representative, group_b.representative

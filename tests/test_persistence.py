@@ -26,7 +26,7 @@ class TestRoundTrip:
         loaded = load_index(saved_path)
         assert len(loaded.dataset) == len(small_index.dataset)
         assert loaded.dataset.name == small_index.dataset.name
-        for before, after in zip(small_index.dataset, loaded.dataset):
+        for before, after in zip(small_index.dataset, loaded.dataset, strict=True):
             assert np.allclose(before.values, after.values)
             assert before.name == after.name
             assert before.label == after.label
@@ -41,7 +41,9 @@ class TestRoundTrip:
             after = loaded.rspace.bucket(length)
             assert np.allclose(before.rep_matrix, after.rep_matrix)
             assert np.allclose(before.dc, after.dc)
-            for group_before, group_after in zip(before.groups, after.groups):
+            for group_before, group_after in zip(
+                before.groups, after.groups, strict=True
+            ):
                 assert group_before.member_ids == group_after.member_ids
                 assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
 
@@ -194,7 +196,9 @@ class TestStoreBackedFormat:
         for length in loaded.rspace.lengths:
             before = small_index.rspace.bucket(length)
             after = loaded.rspace.bucket(length)
-            for group_before, group_after in zip(before.groups, after.groups):
+            for group_before, group_after in zip(
+                before.groups, after.groups, strict=True
+            ):
                 assert group_before.member_ids == group_after.member_ids
                 assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
 
@@ -270,7 +274,9 @@ class TestV3Format:
             before = small_index.rspace.bucket(length)
             after = loaded.rspace.bucket(length)
             assert np.allclose(before.rep_matrix, after.rep_matrix)
-            for group_before, group_after in zip(before.groups, after.groups):
+            for group_before, group_after in zip(
+                before.groups, after.groups, strict=True
+            ):
                 assert group_before.member_ids == group_after.member_ids
                 assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
 
@@ -376,7 +382,9 @@ class TestV3NonQueryPaths:
         for length in expected.rspace.lengths:
             before = expected.rspace.bucket(length)
             after = adapted.rspace.bucket(length)
-            for group_before, group_after in zip(before.groups, after.groups):
+            for group_before, group_after in zip(
+                before.groups, after.groups, strict=True
+            ):
                 assert group_before.member_ids == group_after.member_ids
                 assert np.allclose(group_before.ed_to_rep, group_after.ed_to_rep)
 

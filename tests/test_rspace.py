@@ -29,7 +29,7 @@ def rspace(small_index) -> RSpace:
 class TestLengthBucket:
     def test_rep_matrix_rows_match_groups(self, bucket):
         assert bucket.rep_matrix.shape == (bucket.n_groups, 12)
-        for row, group in zip(bucket.rep_matrix, bucket.groups):
+        for row, group in zip(bucket.rep_matrix, bucket.groups, strict=True):
             assert np.allclose(row, group.representative)
 
     def test_dc_matches_pairwise_normalized_ed(self, bucket):

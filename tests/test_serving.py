@@ -57,7 +57,7 @@ def _serial_answers(index, queries):
 
 def _identical(batch_a, batch_b):
     assert len(batch_a) == len(batch_b)
-    for matches_a, matches_b in zip(batch_a, batch_b):
+    for matches_a, matches_b in zip(batch_a, batch_b, strict=True):
         assert [m.ssid for m in matches_a] == [m.ssid for m in matches_b]
         assert [m.dtw for m in matches_a] == [m.dtw for m in matches_b]
         assert [m.dtw_normalized for m in matches_a] == [
@@ -117,7 +117,7 @@ class TestConcurrentQueries:
         assert calls == {length: 1 for length in lengths}
         # Every thread observed the very same bucket objects.
         for outcome in outcomes[1:]:
-            for mine, first in zip(outcome, outcomes[0]):
+            for mine, first in zip(outcome, outcomes[0], strict=True):
                 assert mine is first
 
     def test_envelope_stacks_built_exactly_once(
@@ -233,7 +233,7 @@ class TestStackedScan:
         bucket = small_index.rspace.bucket(12)
         queries = np.stack([q for q in workload if q.shape[0] == 12])
         stacked = processor.scan_representatives_stacked(bucket, queries)
-        for query, scans in zip(queries, stacked):
+        for query, scans in zip(queries, stacked, strict=True):
             single = processor._scan_representatives(bucket, query, np.inf)
             assert [s.group_index for s in scans] == [
                 s.group_index for s in single

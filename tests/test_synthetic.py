@@ -35,7 +35,7 @@ def test_generator_basic_shape(name):
 def test_generator_deterministic_by_seed(name):
     a = make_dataset(name, n_series=4, seed=42)
     b = make_dataset(name, n_series=4, seed=42)
-    for series_a, series_b in zip(a, b):
+    for series_a, series_b in zip(a, b, strict=True):
         assert np.array_equal(series_a.values, series_b.values)
 
 
@@ -44,7 +44,7 @@ def test_generator_seed_changes_data(name):
     a = make_dataset(name, n_series=4, seed=1)
     b = make_dataset(name, n_series=4, seed=2)
     assert any(
-        not np.array_equal(sa.values, sb.values) for sa, sb in zip(a, b)
+        not np.array_equal(sa.values, sb.values) for sa, sb in zip(a, b, strict=True)
     )
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 from repro.utils.timing import Timer, timed
@@ -32,11 +33,8 @@ class TestTimer:
 
     def test_span_records_on_exception(self):
         timer = Timer()
-        try:
-            with timer.span():
-                raise RuntimeError("boom")
-        except RuntimeError:
-            pass
+        with contextlib.suppress(RuntimeError), timer.span():
+            raise RuntimeError("boom")
         assert timer.n_spans == 1
         assert timer.elapsed >= 0.0
 
