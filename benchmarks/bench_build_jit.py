@@ -1,0 +1,151 @@
+"""Construction hot path: the fused JIT build kernel vs the numpy engine.
+
+The ISSUE-7 tentpole claims:
+
+* The ``numba`` backend's fused ``build_assign`` kernel — one nopython
+  pass over a length's entire Algorithm-1 assignment loop (norm
+  shortlist, exact recheck, running-sum admit/refresh), with ``prange``
+  parallelism across optimistic snapshot chunks — delivers at least
+  **2x** ``build_groups_for_length`` throughput over the vectorized
+  numpy engine, with **bit-identical** groups (the kernel makes the
+  same admission decisions; the shared numpy finalization then makes
+  the payloads equal bit for bit).
+* A numpy-only environment runs this whole file green: the registry
+  selects the ``numpy`` fallback automatically, the reference timing
+  rows are still reported, and the speedup contract is skipped rather
+  than failed.
+
+The wall-clock contract is gated on ``numba`` being importable (the CI
+JIT leg installs it). Set ``ONEX_BENCH_QUICK=1`` for the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import registry
+from repro.core.grouping import build_groups_for_length
+from repro.data.normalize import min_max_normalize_dataset
+from repro.data.synthetic import make_dataset
+from repro.distances.backend import get_backend, set_backend
+from repro.distances.kernels_numba import NUMBA_AVAILABLE
+
+QUICK = os.environ.get("ONEX_BENCH_QUICK", "") not in ("", "0")
+N_SERIES = 64 if QUICK else 128
+SERIES_LENGTH = 160 if QUICK else 256
+ST = 0.12
+LENGTHS = (
+    [SERIES_LENGTH // 4, SERIES_LENGTH // 2]
+    if QUICK
+    else [SERIES_LENGTH // 4, SERIES_LENGTH // 2, SERIES_LENGTH]
+)
+MIN_SPEEDUP = 2.0
+N_REPEATS = 2  # best-of-2: the contract compares wall times
+
+_rows: dict[str, list[object]] = {}
+
+
+def _register() -> None:
+    if _rows:
+        registry.add_table(
+            "build_jit",
+            f"Construction engine: numpy vs fused numba build kernel "
+            f"(ECG-style, {N_SERIES} series x {SERIES_LENGTH}, ST={ST}, "
+            f"numba={'yes' if NUMBA_AVAILABLE else 'no'})",
+            ["length / backend", "seconds", "rows/s", "groups", "vs numpy"],
+            [_rows[key] for key in sorted(_rows)],
+        )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return min_max_normalize_dataset(
+        make_dataset("ECG", n_series=N_SERIES, length=SERIES_LENGTH, seed=5)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    set_backend(None)
+
+
+def _best_time(run, repeats=N_REPEATS):
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    return best_seconds, result
+
+
+def _assert_groups_identical(a, b) -> None:
+    assert len(a) == len(b)
+    for group_a, group_b in zip(a, b, strict=True):
+        assert group_a.member_ids == group_b.member_ids
+        assert np.array_equal(group_a.ed_to_rep, group_b.ed_to_rep)
+        assert np.array_equal(group_a.representative, group_b.representative)
+        assert np.array_equal(group_a.member_rows, group_b.member_rows)
+
+
+def test_build_kernel_speedup_and_identity(dataset) -> None:
+    n_rows = {
+        length: sum(len(s) - length + 1 for s in dataset)
+        for length in LENGTHS
+    }
+
+    def run():
+        # The same seed per backend: identical visit permutations, so
+        # the produced groups must be bit-identical.
+        return {
+            length: build_groups_for_length(
+                dataset, length, ST, np.random.default_rng(0)
+            )
+            for length in LENGTHS
+        }
+
+    set_backend("numpy")
+    numpy_seconds, numpy_groups = _best_time(run)
+    for length in LENGTHS:
+        _rows[f"{length:05d}_a_numpy"] = [
+            f"L={length}, numpy",
+            numpy_seconds,
+            sum(n_rows.values()) / numpy_seconds,
+            len(numpy_groups[length]),
+            1.0,
+        ]
+    if not NUMBA_AVAILABLE:
+        # Fallback contract: numpy-only environments select the numpy
+        # backend automatically, its engine has no fused kernel, and
+        # the suite stays green.
+        backend = set_backend(None)
+        assert backend.name == "numpy"
+        assert backend.build_assign is None
+        assert get_backend().name == "numpy"
+        _register()
+        return
+    backend = set_backend("numba")
+    assert backend.name == "numba" and backend.jit
+    assert backend.build_assign is not None
+    warmup_seconds = backend.warmup()
+    jit_seconds, jit_groups = _best_time(run)
+    speedup = numpy_seconds / jit_seconds
+    for length in LENGTHS:
+        _assert_groups_identical(numpy_groups[length], jit_groups[length])
+        _rows[f"{length:05d}_b_numba"] = [
+            f"L={length}, numba (warmup {warmup_seconds:.2f}s)",
+            jit_seconds,
+            sum(n_rows.values()) / jit_seconds,
+            len(jit_groups[length]),
+            speedup,
+        ]
+    _register()
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused build kernel only {speedup:.2f}x the numpy engine "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )

@@ -1,6 +1,6 @@
 """Process-parallel sharded build vs sequential + v2/v3 load latency.
 
-The ISSUE-3 tentpole claims:
+The ISSUE-3 tentpole (re-gated by ISSUE 7) claims:
 
 * The sharded construction engine — every length's Algorithm-1 pass as
   an independent worker shard over a shared mmap of the subsequence
@@ -8,13 +8,18 @@ The ISSUE-3 tentpole claims:
   same engine run sequentially, while producing **bit-identical**
   groups. The speedup is measured engine-vs-engine over identical
   pre-drawn visit permutations (pool startup, the flat-array dump and
-  result unpickling all count against the sharded side); the
+  result transport all count against the sharded side); the
   end-to-end ``OnexIndex.build`` wall times are reported alongside
   (they include the serial R-Space/SP-Space assembly both paths
-  share). The identity contract is asserted unconditionally; the
-  wall-clock contract needs >= 4 usable cores, so on smaller machines
-  the speedup is reported but not enforced (CI's ubuntu runners
-  provide 4).
+  share). The identity contract is asserted unconditionally — for both
+  the shared-memory and the legacy pickle result transports — while
+  the wall-clock contract needs >= 4 usable cores, so on smaller
+  machines the speedup test **skips visibly** instead of passing a gate
+  it never evaluated (CI's ubuntu runners provide 4).
+* The per-shard overhead breakdown (worker compute vs result
+  serialization: shm packing or the measured pickle tax, plus
+  parent-side reconstruction) lands in the JSON artifact, so the
+  result-transport cost ISSUE 7 eliminated stays observable.
 * Loading the memory-mapped v3 directory format is O(manifest): its
   latency is measured against the legacy v2 ``.npz`` archive (which
   decompresses and hydrates every group eagerly) and reported; with the
@@ -53,6 +58,7 @@ _CORES = os.cpu_count() or 1
 
 _rows: dict[str, list[object]] = {}
 _load_rows: dict[str, list[object]] = {}
+_overhead_rows: dict[str, list[object]] = {}
 
 
 def _register() -> None:
@@ -64,6 +70,22 @@ def _register() -> None:
             f"ST={ST}, {_CORES} cores)",
             ["phase", "seconds", "vs sequential", "groups"],
             [_rows[key] for key in sorted(_rows)],
+        )
+    if _overhead_rows:
+        registry.add_table(
+            "parallel_build_overhead",
+            "Per-shard result-transport overhead: worker compute vs "
+            "serialization (shm pack / measured pickle tax) vs parent "
+            "reconstruction",
+            [
+                "transport",
+                "length",
+                "compute s",
+                "pack s",
+                "unpack s",
+                "payload bytes",
+            ],
+            [_overhead_rows[key] for key in sorted(_overhead_rows)],
         )
     if _load_rows:
         registry.add_table(
@@ -105,7 +127,14 @@ def _assert_groups_identical(a, b) -> None:
         assert np.array_equal(group_a.member_rows, group_b.member_rows)
 
 
-def test_sharded_engine_speedup_and_identity(dataset) -> None:
+@pytest.fixture(scope="module")
+def engine_runs(dataset):
+    """Run the engine sequentially and sharded (both transports) once.
+
+    Shared by the identity and speedup tests so the (expensive) builds
+    are not repeated per test; the speedup test skipping on small boxes
+    must not skip the identity assertions.
+    """
     grid = _grid()
     store = SubsequenceStore(dataset)
     rng = np.random.default_rng(0)
@@ -122,37 +151,100 @@ def test_sharded_engine_speedup_and_identity(dataset) -> None:
             for length in grid
         }
 
-    def run_sharded():
-        shards = build_shards_parallel(
-            store, grid, orders, st=ST, n_jobs=N_JOBS
+    def run_sharded(transport, profile=False):
+        return build_shards_parallel(
+            store,
+            grid,
+            orders,
+            st=ST,
+            n_jobs=N_JOBS,
+            result_transport=transport,
+            profile_transport=profile,
         )
-        return {length: shards[length].groups for length in grid}
 
     sequential_seconds, sequential = _best_time(run_sequential)
-    sharded_seconds, sharded = _best_time(run_sharded)
-    speedup = sequential_seconds / sharded_seconds
+    sharded_seconds, shm_shards = _best_time(lambda: run_sharded("shm"))
+    pickle_seconds, pickle_shards = _best_time(
+        lambda: run_sharded("pickle", profile=True), repeats=1
+    )
+    return {
+        "grid": grid,
+        "sequential": sequential,
+        "sequential_seconds": sequential_seconds,
+        "shm_shards": shm_shards,
+        "sharded_seconds": sharded_seconds,
+        "pickle_shards": pickle_shards,
+        "pickle_seconds": pickle_seconds,
+    }
 
-    # Identity contract: bit-identical groups regardless of job count.
+
+def test_sharded_engine_identity_and_overhead(engine_runs) -> None:
+    """Bit-identical buckets on every transport + overhead breakdown.
+
+    Runs (and registers the overhead artifact) regardless of core
+    count — only the wall-clock gate below needs real concurrency.
+    """
+    sequential = engine_runs["sequential"]
     n_groups = 0
-    for length in grid:
-        _assert_groups_identical(sequential[length], sharded[length])
+    for length in engine_runs["grid"]:
+        for shards in (engine_runs["shm_shards"], engine_runs["pickle_shards"]):
+            _assert_groups_identical(
+                sequential[length], shards[length].groups
+            )
         n_groups += len(sequential[length])
 
+    speedup = (
+        engine_runs["sequential_seconds"] / engine_runs["sharded_seconds"]
+    )
     _rows["a_engine_seq"] = [
-        "engine sequential", sequential_seconds, 1.0, n_groups
+        "engine sequential", engine_runs["sequential_seconds"], 1.0, n_groups
     ]
     _rows["b_engine_par"] = [
-        f"engine sharded (n_jobs={N_JOBS})", sharded_seconds, speedup, n_groups
+        f"engine sharded shm (n_jobs={N_JOBS})",
+        engine_runs["sharded_seconds"],
+        speedup,
+        n_groups,
     ]
+    _rows["c_engine_par_pickle"] = [
+        f"engine sharded pickle (n_jobs={N_JOBS})",
+        engine_runs["pickle_seconds"],
+        engine_runs["sequential_seconds"] / engine_runs["pickle_seconds"],
+        n_groups,
+    ]
+    for label, shards in (
+        ("shm", engine_runs["shm_shards"]),
+        ("pickle", engine_runs["pickle_shards"]),
+    ):
+        for length in engine_runs["grid"]:
+            shard = shards[length]
+            _overhead_rows[f"{label}_{length:05d}"] = [
+                label,
+                length,
+                shard.seconds,
+                shard.pack_seconds,
+                shard.unpack_seconds,
+                shard.payload_bytes,
+            ]
+            assert shard.transport == label
     _register()
 
-    # Wall-clock contract: 4 shards need 4 cores to overlap; a 1-core
-    # container can verify identity but not concurrency.
-    if _CORES >= N_JOBS:
-        assert speedup >= MIN_SPEEDUP, (
-            f"sharded engine only {speedup:.2f}x faster than sequential "
-            f"(required >= {MIN_SPEEDUP}x at n_jobs={N_JOBS})"
+
+def test_sharded_engine_speedup(engine_runs) -> None:
+    """The >= 2x wall-clock contract, on machines that can express it."""
+    if _CORES < N_JOBS:
+        _register()
+        pytest.skip(
+            f"sharded wall-clock gate needs >= {N_JOBS} cores to overlap "
+            f"{N_JOBS} shards; this box has {_CORES} (identity was still "
+            "asserted)"
         )
+    speedup = (
+        engine_runs["sequential_seconds"] / engine_runs["sharded_seconds"]
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded engine only {speedup:.2f}x faster than sequential "
+        f"(required >= {MIN_SPEEDUP}x at n_jobs={N_JOBS})"
+    )
 
 
 def test_end_to_end_build_identity(dataset) -> None:

@@ -10,7 +10,13 @@ package itself:
 
 * ``ONEX201`` — any import of ``repro.distances.kernels_numba``;
 * ``ONEX202`` — importing or dereferencing a private (``_``-prefixed)
-  symbol from any ``repro.distances`` module.
+  symbol from any ``repro.distances`` module;
+* ``ONEX203`` — dereferencing a backend's ``build_assign`` construction
+  kernel anywhere but ``distances/`` or the construction engine
+  (``core/grouping.py``). The fused build kernel skips the engine's
+  vectorized path entirely; a caller that grabs it directly also skips
+  the membership reconstruction and shared finalization that make the
+  kernel's output bit-identical to the reference (ISSUE 7).
 """
 
 from __future__ import annotations
@@ -129,3 +135,37 @@ class PrivateKernelAccess(Rule):
                         "dereferenced; call the public wrapper or the "
                         "backend registry",
                     )
+
+
+@register_rule
+class BuildKernelDispatch(Rule):
+    code = "ONEX203"
+    name = "build-kernel-dispatch"
+    rationale = (
+        "the fused build_assign kernel is dispatched by the construction "
+        "engine, which owns the membership reconstruction and shared "
+        "finalization behind its bit-identity contract; other callers "
+        "must build through GroupBuilder (DESIGN.md §12)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if (
+            module.in_package_dir("distances")
+            or module.is_module("core", "grouping.py")
+            or not module.logical_parts
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "build_assign"
+            ):
+                owner = dotted_name(node.value)
+                owner = "<expr>" if owner is None else owner
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"construction kernel `{owner}.build_assign` "
+                    "dereferenced outside the engine; build through "
+                    "repro.core.grouping.GroupBuilder",
+                )

@@ -172,14 +172,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
     backend = get_backend()
     print(f"kernel backend:  {backend.name}"
           f"{' (JIT)' if backend.jit else ''}")
+    print(f"build backend:   {index.build_backend}")
     if index.build_profile:
         print("build profile:")
         for entry in index.build_profile:
             seconds = entry["seconds"]
             rate = entry["n_subsequences"] / seconds if seconds > 0 else float("inf")
+            built_with = entry.get("backend", "numpy")
             print(
                 f"  length {entry['length']}: {entry['n_subsequences']} "
-                f"subsequences in {seconds:.2f}s ({rate:,.0f}/s)"
+                f"subsequences in {seconds:.2f}s ({rate:,.0f}/s, "
+                f"{built_with})"
             )
     print(f"ST_half/ST_final (global): {index.spspace.st_half:.4f} / "
           f"{index.spspace.st_final:.4f}")

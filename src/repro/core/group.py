@@ -93,6 +93,13 @@ class SimilarityGroup:
             return self._representative
         return self._sum / self.count
 
+    @property
+    def member_sum(self) -> np.ndarray:
+        """The exact running point-wise member sum (``representative *
+        count`` up to rounding; the shard result protocol ships this so
+        restored representatives divide out bit-identically)."""
+        return self._sum
+
     # ------------------------------------------------------------------
     # Finalization: freeze and build the LSI payload
     # ------------------------------------------------------------------
@@ -189,11 +196,16 @@ class SimilarityGroup:
         representative: np.ndarray,
         envelope_radius: int,
         member_rows: np.ndarray | None = None,
+        member_sum: np.ndarray | None = None,
     ) -> "SimilarityGroup":
         """Rebuild a finalized group from persisted arrays.
 
         ``member_ids``/``ed_to_rep`` must already be in ascending-ED
         order (the order :meth:`finalize` produced before saving).
+        ``member_sum``, when available (the shared-memory shard return
+        ships it), restores the construction engine's exact running sum;
+        otherwise it is reconstructed as ``representative * count``,
+        which may differ from the original in the last ulp.
         """
         if len(member_ids) == 0:
             raise IndexConstructionError("cannot restore an empty group")
@@ -205,7 +217,11 @@ class SimilarityGroup:
         group = cls.__new__(cls)
         group.length = int(length)
         group._ids = list(member_ids)
-        group._sum = representative * len(member_ids)
+        group._sum = (
+            representative * len(member_ids)
+            if member_sum is None
+            else np.asarray(member_sum, dtype=np.float64)
+        )
         group.member_ids = tuple(member_ids)
         group.member_rows = (
             None if member_rows is None else np.asarray(member_rows, dtype=np.int64)

@@ -28,16 +28,34 @@ Two implementations coexist:
   guarantees (members are admitted within threshold of *some* recent
   representative state, exactly like the reference's running-mean
   drift).
+
+Sequential mode additionally dispatches through the kernel backend
+registry (:mod:`repro.distances.backend`, ISSUE 7): when the active
+backend ships a fused ``build_assign`` kernel (the numba backend's
+nopython Algorithm-1 pass), the whole per-length assignment loop runs
+inside it — same shortlist, same exact recheck, same first-index
+argmin, same running-sum admits — and the engine reconstructs the
+membership lists from the kernel's assignment array. The final group
+payloads (representatives, sorted EDs, member order) are computed by
+the *shared* numpy finalization either way, so kernel and engine
+produce bit-identical groups whenever their admission decisions agree;
+the decisions themselves differ only if an exact distance lands within
+one rounding ulp of the threshold or of a competing candidate (the
+kernel accumulates the difference norm sequentially where numpy's
+``einsum`` uses SIMD partial sums), a boundary the property suite
+probes with adversarial duplicate/constant/extreme inputs.
 """
 
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
 from repro.core.group import SimilarityGroup
 from repro.data.dataset import Dataset
+from repro.distances.backend import get_backend
 from repro.data.store import LengthView, SubsequenceStore
 from repro.data.timeseries import SubsequenceId
 from repro.exceptions import IndexConstructionError, ThresholdError
@@ -314,6 +332,14 @@ class GroupBuilder:
             max(1, length // 10) if envelope_radius is None else int(envelope_radius)
         )
         self.chunk_size = int(chunk_size)
+        #: Which implementation ran the last assignment pass: the name
+        #: of the kernel backend when its fused ``build_assign`` kernel
+        #: was dispatched, ``"numpy"`` for the vectorized engine paths.
+        self.last_assign_backend: str = "numpy"
+        #: Wall-clock split of the last :meth:`build` call, for the
+        #: per-length throughput surfaced by ``onex info``.
+        self.last_assign_seconds: float = 0.0
+        self.last_finalize_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Store-backed construction
@@ -356,12 +382,28 @@ class GroupBuilder:
                     f"visit order has shape {order.shape}; expected "
                     f"({view.n_rows},) for length {self.length}"
                 )
-        reps = RepresentativeSet(self.length)
+        started = time.perf_counter()
+        self.last_assign_backend = "numpy"
         if self.assign_mode == "minibatch":
+            reps = RepresentativeSet(self.length)
             membership = self._assign_minibatch(view, order, reps)
+            sums = reps.sums()
         else:
-            membership = self._assign_sequential(view, order, reps)
-        return self._finalize(view, reps, membership)
+            backend = get_backend()
+            if backend.build_assign is not None:
+                membership, sums = self._assign_kernel(
+                    view, order, backend.build_assign
+                )
+                self.last_assign_backend = backend.name
+            else:
+                reps = RepresentativeSet(self.length)
+                membership = self._assign_sequential(view, order, reps)
+                sums = reps.sums()
+        self.last_assign_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        groups = self._finalize(view, sums, membership)
+        self.last_finalize_seconds = time.perf_counter() - started
+        return groups
 
     def _assign_sequential(
         self, view: LengthView, order: np.ndarray, reps: RepresentativeSet
@@ -382,6 +424,36 @@ class GroupBuilder:
                 reps.admit(nearest, values)
                 membership[nearest].append(row)
         return membership
+
+    def _assign_kernel(
+        self, view: LengthView, order: np.ndarray, kernel
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """One fused backend call for the whole assignment pass.
+
+        The kernel returns per-visit group assignments plus each group's
+        running member sum and count; membership lists are reconstructed
+        here in visit order (a stable argsort over the assignment array,
+        matching the append order of the Python paths), and the sums
+        feed the shared numpy finalization unchanged.
+        """
+        assign, sums, counts = kernel(
+            view.flat_windows,
+            view.window_rows,
+            view.sq_norms(),
+            order,
+            self.threshold,
+        )
+        n_groups = sums.shape[0]
+        positions = np.argsort(assign, kind="stable")
+        boundaries = np.searchsorted(
+            assign[positions], np.arange(n_groups + 1)
+        )
+        rows_by_group = order[positions]
+        membership = [
+            rows_by_group[boundaries[g] : boundaries[g + 1]]
+            for g in range(n_groups)
+        ]
+        return membership, sums
 
     def _assign_minibatch(
         self, view: LengthView, order: np.ndarray, reps: RepresentativeSet
@@ -425,9 +497,12 @@ class GroupBuilder:
     def _finalize(
         self,
         view: LengthView,
-        reps: RepresentativeSet,
-        membership: list[list[int]],
+        sums: np.ndarray,
+        membership: list[list[int]] | list[np.ndarray],
     ) -> list[SimilarityGroup]:
+        # Shared by every assignment path (engine and kernel alike):
+        # given each group's exact member sum and row list, the final
+        # payloads come out bit-identical regardless of who assigned.
         groups: list[SimilarityGroup] = []
         for g, member_rows in enumerate(membership):
             rows = np.asarray(member_rows, dtype=np.int64)
@@ -435,7 +510,7 @@ class GroupBuilder:
                 SimilarityGroup.from_members(
                     self.length,
                     view.ids(rows),
-                    reps.member_sum(g),
+                    sums[g],
                     view.values(rows),
                     self.envelope_radius,
                     member_rows=rows,

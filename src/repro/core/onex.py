@@ -37,6 +37,7 @@ from repro.core.threshold import adapt_bucket
 from repro.data.dataset import Dataset
 from repro.data.normalize import min_max_normalize
 from repro.data.store import SubsequenceStore
+from repro.distances.backend import get_backend
 from repro.distances.dtw import resolve_window
 from repro.exceptions import QueryError, ThresholdError
 from repro.utils.validation import as_float_array, check_lengths
@@ -78,6 +79,7 @@ class OnexIndex:
         use_batch_kernels: bool = True,
         assign_mode: str = "sequential",
         build_profile: list[dict] | None = None,
+        build_backend: str = "numpy",
     ) -> None:
         self.dataset = dataset  # normalized
         self.rspace = rspace
@@ -89,8 +91,12 @@ class OnexIndex:
         self.build_seconds = float(build_seconds)
         self.assign_mode = assign_mode
         # Per-length construction throughput: list of dicts with keys
-        # length / n_subsequences / seconds (shown by ``onex info``).
+        # length / n_subsequences / seconds / backend (shown by
+        # ``onex info``).
         self.build_profile = list(build_profile or [])
+        # Kernel backend that ran the construction assignment loops
+        # ("numba" when the fused build kernel was dispatched).
+        self.build_backend = str(build_backend)
         self.processor = QueryProcessor(
             rspace,
             dataset,
@@ -220,7 +226,7 @@ class OnexIndex:
         buckets: dict[int, LengthBucket] = {}
         build_profile: list[dict] = []
 
-        def record(length, groups, seconds, notify=True):
+        def record(length, groups, seconds, notify=True, backend="numpy"):
             """Shared per-length bookkeeping for every construction path."""
             view = store.view(length)
             buckets[length] = LengthBucket(
@@ -231,6 +237,7 @@ class OnexIndex:
                     "length": length,
                     "n_subsequences": view.n_rows,
                     "seconds": seconds,
+                    "backend": backend,
                 }
             )
             if notify and progress is not None:
@@ -266,6 +273,7 @@ class OnexIndex:
                 assign_mode=assign_mode,
                 n_jobs=jobs,
                 progress=progress,  # invoked as shards complete
+                backend=get_backend().name,
             )
             for length in grid:
                 record(
@@ -273,17 +281,30 @@ class OnexIndex:
                     shards[length].groups,
                     shards[length].seconds,
                     notify=False,
+                    backend=shards[length].assign_backend,
                 )
         else:
             for length in grid:
                 length_started = time.perf_counter()
-                groups = GroupBuilder(length, st, assign_mode=assign_mode).build(
-                    store.view(length), rng
+                builder = GroupBuilder(length, st, assign_mode=assign_mode)
+                groups = builder.build(store.view(length), rng)
+                record(
+                    length,
+                    groups,
+                    time.perf_counter() - length_started,
+                    backend=builder.last_assign_backend,
                 )
-                record(length, groups, time.perf_counter() - length_started)
         rspace = RSpace(buckets)
         spspace = SPSpace(rspace, st)
         build_seconds = time.perf_counter() - started
+        build_backend = next(
+            (
+                entry["backend"]
+                for entry in build_profile
+                if entry["backend"] != "numpy"
+            ),
+            "numpy",
+        )
         return cls(
             dataset=dataset,
             rspace=rspace,
@@ -297,6 +318,7 @@ class OnexIndex:
             use_batch_kernels=use_batch_kernels,
             assign_mode=assign_mode,
             build_profile=build_profile,
+            build_backend=build_backend,
         )
 
     # ------------------------------------------------------------------
@@ -451,6 +473,7 @@ class OnexIndex:
             use_batch_kernels=self.processor.use_batch_kernels,
             assign_mode=self.assign_mode,
             build_profile=self.build_profile,
+            build_backend=self.build_backend,
         )
 
     # ------------------------------------------------------------------

@@ -164,6 +164,7 @@ def _collect_index(
         "use_batch_kernels": index.processor.use_batch_kernels,
         "assign_mode": index.assign_mode,
         "build_profile": index.build_profile,
+        "build_backend": index.build_backend,
         "series_names": [s.name for s in index.dataset],
         "series_labels": [s.label for s in index.dataset],
         "lengths": lengths_meta,
@@ -391,6 +392,8 @@ def _build_index(
         use_batch_kernels=bool(manifest.get("use_batch_kernels", True)),
         assign_mode=str(manifest.get("assign_mode", "sequential")),
         build_profile=manifest.get("build_profile") or [],
+        # Absent in pre-build-kernel saves: the engine was numpy-only.
+        build_backend=str(manifest.get("build_backend", "numpy")),
     )
 
 

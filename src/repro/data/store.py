@@ -103,6 +103,17 @@ class LengthView:
         """Zero-copy view of one subsequence's values."""
         return self._windows[self.window_rows[row]]
 
+    @property
+    def flat_windows(self) -> np.ndarray:
+        """The strided sliding-window matrix backing this view.
+
+        Row ``r``'s values live at ``flat_windows[window_rows[r]]``.
+        Zero-copy (and possibly read-only when the store wraps an
+        on-disk mmap); the kernel-facing construction path reads it
+        directly instead of materializing gathered rows.
+        """
+        return self._windows
+
     def sq_norms(self, rows: np.ndarray | None = None) -> np.ndarray:
         """Cached squared ED norms ``||s||^2`` per row.
 

@@ -70,6 +70,16 @@ class KernelBackend:
         (``inf`` where abandoned); shared scalar bound or ``None``.
     ``dtw_pairs(queries, matrix, radius, abandon_above)``
         Row-aligned pair lanes with a scalar/per-lane/absent bound.
+    ``build_assign(windows, window_rows, sq_norms, order, threshold)``
+        Optional construction kernel (ISSUE 7): one length's entire
+        Algorithm-1 assignment pass — shortlist, exact recheck,
+        running-sum admit/refresh — over the store's strided window
+        matrix, returning ``(assign, sums, counts)``. ``None`` means
+        the backend has no fused build kernel and the construction
+        engine (:class:`repro.core.grouping.GroupBuilder`) runs its
+        vectorized numpy path instead; the decisions are identical
+        either way (the build-kernel bit-identity contract, asserted
+        by ``tests/test_build_kernels.py``).
     """
 
     name: str
@@ -79,6 +89,7 @@ class KernelBackend:
     lb_keogh_squared: Callable[..., float]
     dtw_batch: Callable[..., "object"]
     dtw_pairs: Callable[..., "object"]
+    build_assign: Callable[..., "object"] | None = None
     compile_kernels: Callable[[], None] | None = None
 
     def warmup(self) -> float:

@@ -1,4 +1,4 @@
-"""Numba nopython kernels for the refinement hot path (optional).
+"""Numba nopython kernels for the refinement and construction hot paths.
 
 The refinement kernels — banded early-abandoning DTW, LB_Kim, the
 reordered early-abandoning LB_Keogh accumulation, and the per-lane
@@ -6,7 +6,12 @@ batch/pair DPs — are tight float64 loops over short arrays: the numpy
 reference pays either a Python-interpreter round trip per DP cell (the
 scalar kernel) or a ufunc dispatch per band row (the batch kernels).
 The JIT versions here compile to straight-line machine code and remove
-both costs.
+both costs. The **construction kernel** (:func:`build_assign`, ISSUE 7)
+fuses one length's entire Algorithm-1 assignment pass — per-row
+shortlist matvec, exact recheck, running-sum admit/refresh — into one
+nopython loop with ``prange`` intra-length parallelism over snapshot
+chunks, eliminating the ~10 numpy dispatches the vectorized engine
+pays per visited subsequence.
 
 **Bit-identity contract.** Every kernel reproduces the numpy
 reference's float64 operation order exactly — same cost expression
@@ -31,7 +36,7 @@ import math
 import numpy as np
 
 try:
-    from numba import njit
+    from numba import njit, prange
 
     NUMBA_AVAILABLE = True
 except ImportError:  # pragma: no cover - exercised via the registry
@@ -46,6 +51,10 @@ except ImportError:  # pragma: no cover - exercised via the registry
         if args and callable(args[0]):
             return args[0]
         return decorate
+
+    #: Sequential stand-in so the pure-Python kernel bodies stay
+    #: executable (the property tests exercise them without numba).
+    prange = range
 
 
 _INF = math.inf
@@ -180,6 +189,189 @@ def _dtw_pairs_sq_jit(queries, candidates, radius, bounds_sq, out):
         )
 
 
+# ----------------------------------------------------------------------
+# Construction kernels (ISSUE 7): the Algorithm-1 assignment pass
+# ----------------------------------------------------------------------
+#: Visit positions processed per snapshot chunk of the build kernel.
+DEFAULT_BUILD_CHUNK = 256
+
+#: Upper bound on snapshot-matrix elements (`chunk x n_groups` float64
+#: distances); 1 << 22 elements = 32 MB. Chunks shrink to fit.
+DEFAULT_SNAPSHOT_BUDGET = 1 << 22
+
+
+@njit(cache=True, parallel=True)
+def _build_assign_jit(
+    windows, window_rows, sq_norms, order, threshold, chunk, snapshot_budget
+):
+    """One length's full Algorithm-1 assignment pass, fused.
+
+    Mirrors ``RepresentativeSet.nearest_sequential`` + ``admit`` /
+    ``new_group`` (repro.core.grouping): per visited subsequence, a
+    norm shortlist (``||r||^2 - 2 r.s + ||s||^2`` against the squared
+    threshold plus the same floating-point slack) prunes
+    representatives that provably cannot pass the admission test, the
+    survivors are measured with the exact difference norm, and the
+    first-index argmin either joins its group (running-sum admit +
+    representative refresh, elementwise exactly like the numpy engine)
+    or seeds a new one.
+
+    **Intra-length parallelism** comes from optimistic snapshotting:
+    the visit order is processed in chunks, and each chunk first
+    computes — in parallel over its rows (``prange``) — the exact
+    distance of every row to every representative *as of the chunk
+    start* (``inf`` where the shortlist pruned). The serial sweep that
+    follows replays Algorithm 1's strict visit order: for groups
+    untouched since the snapshot the precomputed distance is already
+    the exact value the sequential loop would compute; groups admitted
+    into (or created) within the chunk are recomputed serially. The
+    admitted group per row is therefore **exactly** the sequential
+    algorithm's choice — parallelism never changes a decision, only
+    where the distance arithmetic runs.
+
+    Returns ``(assign, sums, counts, n_groups)`` where ``assign[t]`` is
+    the group index admitted for visit position ``t`` and
+    ``sums``/``counts`` are the final running-sum state (the exact
+    quantities ``SimilarityGroup.finalize`` divides).
+    """
+    n = order.shape[0]
+    length = windows.shape[1]
+    threshold_sq = threshold * threshold
+    cap = 64
+    sums = np.zeros((cap, length))
+    reps = np.zeros((cap, length))
+    rep_sq = np.zeros(cap)
+    counts = np.zeros(cap, np.int64)
+    touched = np.full(cap, -1, np.int64)
+    assign = np.empty(n, np.int64)
+    n_groups = 0
+    chunk_id = 0
+    pos = 0
+    while pos < n:
+        width = chunk
+        if n_groups > 0:
+            fit = snapshot_budget // n_groups
+            if fit < 1:
+                fit = 1
+            if width > fit:
+                width = fit
+        if width > n - pos:
+            width = n - pos
+        snap_groups = n_groups
+        snap = np.full((width, snap_groups), _INF)
+        for t in prange(width):
+            row = order[pos + t]
+            w_row = window_rows[row]
+            value_sq = sq_norms[row]
+            limit = threshold_sq + 1e-9 * (1.0 + value_sq)
+            for g in range(snap_groups):
+                cross = 0.0
+                for j in range(length):
+                    cross += reps[g, j] * windows[w_row, j]
+                approx_sq = rep_sq[g] - 2.0 * cross + value_sq
+                if approx_sq <= limit:
+                    total = 0.0
+                    for j in range(length):
+                        diff = reps[g, j] - windows[w_row, j]
+                        total += diff * diff
+                    snap[t, g] = math.sqrt(total)
+        for t in range(width):
+            row = order[pos + t]
+            w_row = window_rows[row]
+            best = _INF
+            best_g = -1
+            for g in range(n_groups):
+                if g < snap_groups and touched[g] != chunk_id:
+                    d = snap[t, g]
+                else:
+                    total = 0.0
+                    for j in range(length):
+                        diff = reps[g, j] - windows[w_row, j]
+                        total += diff * diff
+                    d = math.sqrt(total)
+                if d < best:
+                    best = d
+                    best_g = g
+            if best_g >= 0 and best <= threshold:
+                g = best_g
+                counts[g] += 1
+                count = counts[g]
+                sq = 0.0
+                for j in range(length):
+                    s = sums[g, j] + windows[w_row, j]
+                    sums[g, j] = s
+                    r = s / count
+                    reps[g, j] = r
+                    sq += r * r
+                rep_sq[g] = sq
+            else:
+                if n_groups == cap:
+                    new_cap = cap * 2
+                    new_sums = np.zeros((new_cap, length))
+                    new_sums[:cap] = sums
+                    sums = new_sums
+                    new_reps = np.zeros((new_cap, length))
+                    new_reps[:cap] = reps
+                    reps = new_reps
+                    new_rep_sq = np.zeros(new_cap)
+                    new_rep_sq[:cap] = rep_sq
+                    rep_sq = new_rep_sq
+                    new_counts = np.zeros(new_cap, np.int64)
+                    new_counts[:cap] = counts
+                    counts = new_counts
+                    new_touched = np.full(new_cap, -1, np.int64)
+                    new_touched[:cap] = touched
+                    touched = new_touched
+                    cap = new_cap
+                g = n_groups
+                sq = 0.0
+                for j in range(length):
+                    v = windows[w_row, j]
+                    sums[g, j] = v
+                    reps[g, j] = v
+                    sq += v * v
+                rep_sq[g] = sq
+                counts[g] = 1
+                n_groups += 1
+            touched[g] = chunk_id
+            assign[pos + t] = g
+        chunk_id += 1
+        pos += width
+    return assign, sums[:n_groups], counts[:n_groups], n_groups
+
+
+def build_assign(
+    windows,
+    window_rows,
+    sq_norms,
+    order,
+    threshold,
+    chunk: int = DEFAULT_BUILD_CHUNK,
+    snapshot_budget: int = DEFAULT_SNAPSHOT_BUDGET,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One length's Algorithm-1 assignment; the registry's build kernel.
+
+    ``windows`` is the store's strided sliding-window matrix (never
+    copied or made contiguous — it may alias a read-only mmap) and row
+    ``r``'s values live at ``windows[window_rows[r]]``. Returns
+    ``(assign, sums, counts)``: per-visit-position group index plus the
+    final running-sum state.
+    """
+    windows = np.asarray(windows)
+    if windows.dtype != np.float64:
+        windows = windows.astype(np.float64)
+    assign, sums, counts, _ = _build_assign_jit(
+        windows,
+        np.ascontiguousarray(window_rows, dtype=np.int64),
+        _c64(sq_norms),
+        np.ascontiguousarray(order, dtype=np.int64),
+        float(threshold),
+        int(chunk),
+        int(snapshot_budget),
+    )
+    return assign, sums, counts
+
+
 def _c64(values: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(values, dtype=np.float64)
 
@@ -241,6 +433,12 @@ def compile_kernels() -> None:
     dtw_batch(x, stack, 1, 0.5)
     dtw_pairs(stack, np.stack([x, y]), 1, None)
     dtw_pairs(stack, np.stack([x, y]), 1, np.array([0.5, _INF]))
+    windows = np.stack([x, y, x + 0.5, y - 0.5])
+    rows = np.arange(windows.shape[0], dtype=np.int64)
+    sq = np.empty(windows.shape[0])
+    for i in range(windows.shape[0]):
+        sq[i] = float(np.dot(windows[i], windows[i]))
+    build_assign(windows, rows, sq, rows, 0.75, chunk=2)
 
 
 def make_backend():
@@ -255,5 +453,6 @@ def make_backend():
         lb_keogh_squared=lb_keogh_squared,
         dtw_batch=dtw_batch,
         dtw_pairs=dtw_pairs,
+        build_assign=build_assign,
         compile_kernels=compile_kernels,
     )

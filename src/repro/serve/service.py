@@ -250,6 +250,9 @@ class OnexService:
         ``cascade_kim`` / ``cascade_keogh`` / ``cascade_keogh_reverse``
         / ``cascade_dtw_abandon``), merged across every serve worker.
         Cache hits do no refinement work and therefore add nothing.
+        ``build`` mirrors that for the construction path: the backend
+        that ran the assignment loops plus per-length assign throughput
+        from the build profile.
         """
         stats = self.index.stats()
         with self._stats_lock:
@@ -270,6 +273,24 @@ class OnexService:
                 "name": self.backend.name,
                 "jit": self.backend.jit,
                 "warmup_seconds": self.backend_warmup_seconds,
+            },
+            "build": {
+                "backend": getattr(self.index, "build_backend", "numpy"),
+                "assign_mode": getattr(
+                    self.index, "assign_mode", "sequential"
+                ),
+                "seconds": stats.build_seconds,
+                "profile": [
+                    {
+                        **entry,
+                        "rows_per_second": (
+                            entry["n_subsequences"] / entry["seconds"]
+                            if entry.get("seconds")
+                            else None
+                        ),
+                    }
+                    for entry in getattr(self.index, "build_profile", [])
+                ],
             },
             "query_stats": query_stats,
         }

@@ -202,6 +202,41 @@ class TestBackendDispatch:
         )
         assert report.diagnostics == []
 
+    def test_build_kernel_deref_flagged_outside_engine(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/fastbuild.py",
+            """\
+            from repro.distances.backend import get_backend
+
+            def assign(view, order, threshold):
+                backend = get_backend()
+                kernel = backend.build_assign
+                return kernel(
+                    view.flat_windows,
+                    view.window_rows,
+                    view.sq_norms(),
+                    order,
+                    threshold,
+                )
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX203", 5)]
+
+    def test_build_kernel_deref_allowed_in_engine_and_distances(
+        self, tmp_path
+    ):
+        snippet = """\
+            from repro.distances.backend import get_backend
+
+            def dispatch():
+                return get_backend().build_assign
+            """
+        for relpath in ("core/grouping.py", "distances/engine_glue.py"):
+            report = lint_snippet(tmp_path, relpath, snippet)
+            assert report.diagnostics == []
+            (tmp_path / "repro" / relpath).unlink()
+
 
 # ----------------------------------------------------------------------
 # ONEX3xx — the lockset race detector

@@ -1,0 +1,293 @@
+"""Property tests for the fused build kernel and the shm shard protocol.
+
+The ISSUE-7 contracts:
+
+* The fused ``build_assign`` kernel — dispatched through the backend
+  registry into :meth:`GroupBuilder.build` — produces **bit-identical**
+  groups to :func:`reference_build_groups_for_length` across random and
+  adversarial inputs (constant windows, NaN-free extremes, >64-group
+  capacity growth) and across its own chunk/snapshot-budget edge cases.
+  Without numba installed, ``njit`` degrades to an identity decorator
+  and ``prange`` to ``range``, so these tests exercise the exact kernel
+  bodies as pure Python — the decisions under JIT compilation are the
+  same code path.
+* The shared-memory shard return round-trips bit-identically to the
+  legacy pickle transport, and its descriptor carries **no ndarrays** —
+  only scalars plus the shm block name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import parallel
+from repro.core.grouping import (
+    GroupBuilder,
+    build_groups_for_length,
+    reference_build_groups_for_length,
+)
+from repro.core.parallel import (
+    ShardDescriptor,
+    _build_shard,
+    _restore_shard,
+    build_shards_parallel,
+)
+from repro.data.dataset import Dataset
+from repro.data.store import SubsequenceStore
+from repro.data.timeseries import TimeSeries
+from repro.distances import backend as backend_mod
+from repro.distances import kernels_numba
+
+ST = 0.2
+
+
+@pytest.fixture
+def kernel_backend():
+    """Activate a backend whose ``build_assign`` is the fused kernel.
+
+    The numpy backend deliberately ships no build kernel, so without
+    numba installed the dispatch path would never run; this registers a
+    clone that binds the (pure-Python-executable) kernel body, which is
+    exactly what the numba backend dispatches when available.
+    """
+    base = backend_mod.resolve_backend("numpy")
+    clone = dataclasses.replace(
+        base, name="build-kernel-test", build_assign=kernels_numba.build_assign
+    )
+    backend_mod.register_backend("build-kernel-test", lambda: clone)
+    backend_mod.set_backend("build-kernel-test")
+    yield clone
+    backend_mod.set_backend(None)
+
+
+def _assert_identical(kernel_groups, reference_groups):
+    assert len(kernel_groups) == len(reference_groups)
+    for kernel_group, reference_group in zip(
+        kernel_groups, reference_groups, strict=True
+    ):
+        assert kernel_group.member_ids == reference_group.member_ids
+        assert np.array_equal(kernel_group.ed_to_rep, reference_group.ed_to_rep)
+        assert np.array_equal(
+            kernel_group.representative, reference_group.representative
+        )
+
+
+class TestKernelBitIdentity:
+    """Fused kernel vs the reference loop, through the real dispatch."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("start_step", [1, 2])
+    def test_small_dataset(self, kernel_backend, small_dataset, seed, start_step):
+        kernel = build_groups_for_length(
+            small_dataset, 12, ST, np.random.default_rng(seed),
+            start_step=start_step,
+        )
+        reference = reference_build_groups_for_length(
+            small_dataset, 12, ST, np.random.default_rng(seed),
+            start_step=start_step,
+        )
+        _assert_identical(kernel, reference)
+
+    @pytest.mark.parametrize("st", [0.05, 0.2, 0.8])
+    def test_thresholds(self, kernel_backend, ecg_dataset, st):
+        kernel = build_groups_for_length(
+            ecg_dataset, 24, st, np.random.default_rng(3)
+        )
+        reference = reference_build_groups_for_length(
+            ecg_dataset, 24, st, np.random.default_rng(3)
+        )
+        _assert_identical(kernel, reference)
+
+    def test_constant_windows(self, kernel_backend):
+        """Every window identical: one group, pure tie-breaking."""
+        dataset = Dataset(
+            [TimeSeries(np.full(32, 0.25), name="flat")], name="const"
+        )
+        kernel = build_groups_for_length(
+            dataset, 8, ST, np.random.default_rng(0)
+        )
+        reference = reference_build_groups_for_length(
+            dataset, 8, ST, np.random.default_rng(0)
+        )
+        _assert_identical(kernel, reference)
+        assert len(kernel) == 1
+
+    def test_nan_free_extremes(self, kernel_backend):
+        """Huge magnitudes stress the shortlist's squared-norm algebra."""
+        rng = np.random.default_rng(9)
+        values = rng.choice([-1e100, -1.0, 0.0, 1.0, 1e100], size=64)
+        dataset = Dataset([TimeSeries(values, name="extreme")], name="ext")
+        kernel = build_groups_for_length(
+            dataset, 6, ST, np.random.default_rng(2)
+        )
+        reference = reference_build_groups_for_length(
+            dataset, 6, ST, np.random.default_rng(2)
+        )
+        _assert_identical(kernel, reference)
+
+    def test_capacity_growth_past_initial_cap(self, kernel_backend):
+        """A tiny threshold forces >64 groups, crossing the kernel's
+        internal capacity doubling (initial cap 64)."""
+        rng = np.random.default_rng(4)
+        dataset = Dataset(
+            [TimeSeries(rng.normal(0, 1, 200), name="noise")], name="many"
+        )
+        kernel = build_groups_for_length(
+            dataset, 4, 1e-6, np.random.default_rng(5)
+        )
+        reference = reference_build_groups_for_length(
+            dataset, 4, 1e-6, np.random.default_rng(5)
+        )
+        _assert_identical(kernel, reference)
+        assert len(kernel) > 64
+
+    def test_dispatch_records_backend_name(self, kernel_backend, small_dataset):
+        store = SubsequenceStore(small_dataset)
+        builder = GroupBuilder(12, ST)
+        builder.build(store.view(12), np.random.default_rng(0))
+        assert builder.last_assign_backend == "build-kernel-test"
+        assert builder.last_assign_seconds > 0.0
+
+    def test_minibatch_mode_keeps_numpy_path(self, kernel_backend, small_dataset):
+        """The fused kernel is sequential-mode only (minibatch's BLAS
+        snapshot assignment is a different, documented deviation)."""
+        store = SubsequenceStore(small_dataset)
+        builder = GroupBuilder(12, ST, assign_mode="minibatch")
+        builder.build(store.view(12), np.random.default_rng(0))
+        assert builder.last_assign_backend == "numpy"
+
+
+class TestKernelChunkEdges:
+    """The raw kernel across chunk / snapshot-budget boundaries."""
+
+    @pytest.fixture(scope="class")
+    def inputs(self, small_dataset):
+        store = SubsequenceStore(small_dataset)
+        view = store.view(12)
+        order = np.random.default_rng(1).permutation(view.n_rows)
+        threshold = GroupBuilder(12, ST).threshold
+        return view, order, threshold
+
+    def _run(self, inputs, **kwargs):
+        view, order, threshold = inputs
+        return kernels_numba.build_assign(
+            view.flat_windows,
+            view.window_rows,
+            view.sq_norms(),
+            order,
+            threshold,
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk": 1},
+            {"chunk": 10**6},
+            {"chunk": 7},
+            {"snapshot_budget": 1},
+            {"chunk": 3, "snapshot_budget": 2},
+        ],
+    )
+    def test_chunking_never_changes_decisions(self, inputs, kwargs):
+        base_assign, base_sums, base_counts = self._run(inputs)
+        assign, sums, counts = self._run(inputs, **kwargs)
+        assert np.array_equal(assign, base_assign)
+        assert np.array_equal(sums, base_sums)
+        assert np.array_equal(counts, base_counts)
+
+    def test_counts_match_assignments(self, inputs):
+        assign, sums, counts = self._run(inputs)
+        assert counts.sum() == assign.shape[0]
+        assert np.array_equal(np.bincount(assign), counts)
+
+
+class TestShardResultProtocol:
+    """Shared-memory shard returns: descriptor purity + round-trip."""
+
+    @pytest.fixture
+    def worker_store(self, small_dataset):
+        """Run the worker-side entry points in-process."""
+        store = SubsequenceStore(small_dataset)
+        previous = parallel._WORKER_STORE
+        parallel._WORKER_STORE = store
+        yield store
+        parallel._WORKER_STORE = previous
+
+    def test_descriptor_carries_no_arrays(self, worker_store):
+        order = np.random.default_rng(0).permutation(
+            worker_store.view(12).n_rows
+        )
+        outcome = _build_shard(12, order, ST, "sequential", None, "shm")
+        assert isinstance(outcome, ShardDescriptor)
+        for field in dataclasses.fields(outcome):
+            value = getattr(outcome, field.name)
+            assert not isinstance(value, np.ndarray), (
+                f"descriptor field {field.name} leaked an ndarray into "
+                "the pickle channel"
+            )
+            assert isinstance(value, (int, float, str))
+        # Clean up the block the parent would normally consume.
+        restored = _restore_shard(outcome, worker_store)
+        assert restored.transport == "shm"
+
+    def test_shm_round_trip_equals_pickle(self, worker_store):
+        order = np.random.default_rng(0).permutation(
+            worker_store.view(12).n_rows
+        )
+        descriptor = _build_shard(12, order, ST, "sequential", None, "shm")
+        via_shm = _restore_shard(descriptor, worker_store)
+        via_pickle = _build_shard(12, order, ST, "sequential", None, "pickle")
+        assert via_shm.n_rows == via_pickle.n_rows
+        assert len(via_shm.groups) == len(via_pickle.groups)
+        for shm_group, pickle_group in zip(
+            via_shm.groups, via_pickle.groups, strict=True
+        ):
+            assert shm_group.member_ids == pickle_group.member_ids
+            assert np.array_equal(shm_group.ed_to_rep, pickle_group.ed_to_rep)
+            assert np.array_equal(
+                shm_group.representative, pickle_group.representative
+            )
+            assert np.array_equal(
+                shm_group.member_rows, pickle_group.member_rows
+            )
+            # The restored running sum is the worker's exact sum, not a
+            # representative * count reconstruction.
+            assert np.array_equal(
+                shm_group.member_sum, pickle_group.member_sum
+            )
+
+    def test_transports_agree_through_the_pool(self, small_dataset):
+        store = SubsequenceStore(small_dataset)
+        grid = [8, 12]
+        rng = np.random.default_rng(3)
+        orders = {
+            length: rng.permutation(store.view(length).n_rows)
+            for length in grid
+        }
+        kwargs = dict(st=ST, n_jobs=2)
+        via_shm = build_shards_parallel(
+            store, grid, orders, result_transport="shm", **kwargs
+        )
+        via_pickle = build_shards_parallel(
+            store, grid, orders, result_transport="pickle", **kwargs
+        )
+        for length in grid:
+            _assert_identical(
+                via_shm[length].groups, via_pickle[length].groups
+            )
+            assert via_shm[length].transport == "shm"
+            assert via_pickle[length].transport == "pickle"
+
+    def test_unknown_transport_rejected(self, small_dataset):
+        store = SubsequenceStore(small_dataset)
+        from repro.exceptions import IndexConstructionError
+
+        with pytest.raises(IndexConstructionError, match="result_transport"):
+            build_shards_parallel(
+                store, [12], {12: np.arange(store.view(12).n_rows)},
+                st=ST, result_transport="msgpack",
+            )
