@@ -1,0 +1,210 @@
+"""Sharded serving tier: scatter-gather router vs single-process service.
+
+The ISSUE-8 tentpole contracts measured here:
+
+* A 2-shard cluster (real worker subprocesses over the shared mmap'd
+  v3 directory) answers a mixed exact-/any-length workload
+  **bit-identical** to a single-process :class:`OnexService` — asserted
+  unconditionally on the full workload, cold and warm.
+* The router's admission control bounds memory under overload: with
+  ``max_inflight=1`` and a held shard, excess queries are rejected
+  ``busy`` immediately (measured rejection latency is microseconds,
+  not queue time).
+
+Reported rows: single-process throughput, cluster cold and warm
+throughput (warm = every worker cache hot), and the busy-rejection
+fast path. Set ``ONEX_BENCH_QUICK=1`` for the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import registry
+from repro.core.onex import OnexIndex
+from repro.core.persistence import save_index
+from repro.serve.cluster.router import ClusterRouter
+from repro.serve.server import respond
+from repro.serve.service import OnexService
+
+QUICK = os.environ.get("ONEX_BENCH_QUICK", "") not in ("", "0")
+N_SERIES = 24 if QUICK else 48
+SERIES_LENGTH = 96 if QUICK else 192
+ST = 0.2
+N_QUERIES = 32 if QUICK else 96
+N_SHARDS = 2
+
+_rows: dict[str, list[object]] = {}
+
+
+def _register() -> None:
+    if _rows:
+        registry.add_table(
+            "cluster_serving",
+            f"Sharded serving: {N_SHARDS}-shard scatter-gather router vs "
+            f"single process ({N_SERIES} series x {SERIES_LENGTH}, "
+            f"{N_QUERIES} queries)",
+            ["mode", "seconds", "requests/s", "note"],
+            [_rows[key] for key in sorted(_rows)],
+        )
+
+
+@pytest.fixture(scope="module")
+def v3_path(tmp_path_factory) -> str:
+    from repro.data.normalize import min_max_normalize_dataset
+    from repro.data.synthetic import make_dataset
+
+    dataset = min_max_normalize_dataset(
+        make_dataset("ECG", n_series=N_SERIES, length=SERIES_LENGTH, seed=9)
+    )
+    grid = sorted(
+        set(
+            int(value)
+            for value in np.linspace(
+                SERIES_LENGTH // 4, SERIES_LENGTH, 5
+            ).round()
+        )
+    )
+    index = OnexIndex.build(
+        dataset, st=ST, lengths=grid, normalize=False, seed=0
+    )
+    path = tmp_path_factory.mktemp("bench_cluster") / "index_v3"
+    save_index(index, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def workload(v3_path) -> list[dict]:
+    """Mixed exact-length and any-length query requests."""
+    index = OnexIndex.load(v3_path)
+    lengths = index.rspace.lengths
+    rng = np.random.default_rng(4)
+    requests = []
+    for i in range(N_QUERIES):
+        length = int(rng.choice(lengths))
+        series = int(rng.integers(0, N_SERIES))
+        start = int(rng.integers(0, SERIES_LENGTH - length + 1))
+        values = index.dataset[series].values[start : start + length]
+        values = np.clip(values + rng.normal(0, 0.01, length), 0.0, 1.0)
+        request = {
+            "op": "query",
+            "values": [float(v) for v in values],
+            "k": 2,
+            "id": i,
+        }
+        if i % 3 == 0:  # every third query pins the exact length
+            request["length"] = length
+        requests.append(request)
+    return requests
+
+
+def test_cluster_identity_and_throughput(v3_path, workload) -> None:
+    service = OnexService(
+        OnexIndex.load(v3_path), max_workers=2, cache_size=2048
+    )
+    started = time.perf_counter()
+    expected = [
+        json.dumps(respond(service, dict(request)), sort_keys=True)
+        for request in workload
+    ]
+    single_seconds = time.perf_counter() - started
+    service.close()
+
+    async def run():
+        router = ClusterRouter(
+            v3_path, n_shards=N_SHARDS, max_inflight=64, ping_interval=30
+        )
+        await router.start()
+        try:
+
+            async def drive():
+                responses = await asyncio.gather(
+                    *(
+                        router.process_request(dict(request))
+                        for request in workload
+                    )
+                )
+                return [
+                    json.dumps(response, sort_keys=True)
+                    for response in responses
+                ]
+
+            cold_started = time.perf_counter()
+            cold = await drive()
+            cold_seconds = time.perf_counter() - cold_started
+            warm_started = time.perf_counter()
+            warm = await drive()
+            warm_seconds = time.perf_counter() - warm_started
+        finally:
+            await router.drain()
+        return cold, cold_seconds, warm, warm_seconds
+
+    cold, cold_seconds, warm, warm_seconds = asyncio.run(run())
+    assert cold == expected  # bit-identical, every request
+    assert warm == expected
+
+    _rows["a_single"] = [
+        "single process",
+        single_seconds,
+        N_QUERIES / single_seconds,
+        "baseline",
+    ]
+    _rows["b_cluster_cold"] = [
+        f"{N_SHARDS}-shard cluster, cold",
+        cold_seconds,
+        N_QUERIES / cold_seconds,
+        "bit-identical",
+    ]
+    _rows["c_cluster_warm"] = [
+        f"{N_SHARDS}-shard cluster, warm",
+        warm_seconds,
+        N_QUERIES / warm_seconds,
+        "worker caches hot",
+    ]
+    _register()
+
+
+def test_backpressure_rejection_fast_path(v3_path, workload) -> None:
+    """Overload answers in microseconds (reject), not queue time."""
+
+    async def run():
+        router = ClusterRouter(
+            v3_path, n_shards=N_SHARDS, max_inflight=1, ping_interval=30
+        )
+        await router.start()
+        try:
+            blocker = asyncio.create_task(
+                router.process_request(
+                    {"op": "shard_sleep", "shard": 0, "seconds": 1.0}
+                )
+            )
+            await asyncio.sleep(0.2)
+            rejected = 0
+            started = time.perf_counter()
+            for request in workload:
+                response = await router.process_request(dict(request))
+                if response.get("code") == "busy":
+                    rejected += 1
+            reject_seconds = time.perf_counter() - started
+            await blocker
+            busy_count = router.metrics.busy_rejected
+        finally:
+            await router.drain()
+        return rejected, reject_seconds, busy_count
+
+    rejected, reject_seconds, busy_count = asyncio.run(run())
+    assert rejected > 0
+    assert busy_count >= rejected
+    _rows["d_busy"] = [
+        "overload (max_inflight=1)",
+        reject_seconds,
+        rejected / reject_seconds,
+        f"{rejected} rejected busy",
+    ]
+    _register()

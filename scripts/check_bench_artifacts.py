@@ -1,0 +1,65 @@
+"""CI silent-skip detector for benchmark artifacts.
+
+A benchmark that quietly skips (collection error, fixture failure
+swallowed by ``-q``, a renamed table) leaves ``benchmarks/results/``
+missing a JSON artifact — and the upload step's ``if-no-files-found:
+warn`` would never fail the job. This script makes absence loud: every
+expected table stem must exist as ``<stem>.json``, parse as JSON, and
+contain at least one data row.
+
+Usage: python scripts/check_bench_artifacts.py STEM [STEM ...]
+       python scripts/check_bench_artifacts.py --dir benchmarks/results ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def check(path: str) -> str | None:
+    """Return an error string, or None when the artifact is healthy."""
+    if not os.path.exists(path):
+        return "missing"
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except ValueError as exc:
+        return f"unparseable JSON ({exc})"
+    if not isinstance(payload, dict):
+        return "not a table object"
+    rows = payload.get("rows")
+    if not rows:
+        return "no data rows (empty table)"
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("stems", nargs="+", help="expected table names")
+    parser.add_argument("--dir", default="benchmarks/results")
+    args = parser.parse_args()
+
+    failures = 0
+    for stem in args.stems:
+        path = os.path.join(args.dir, f"{stem}.json")
+        error = check(path)
+        if error is None:
+            print(f"ok {stem}")
+        else:
+            print(f"FAIL {stem}: {path} {error}")
+            failures += 1
+    if failures:
+        print(
+            f"{failures} benchmark artifact(s) missing or empty — "
+            "a benchmark silently skipped"
+        )
+        return 1
+    print(f"all {len(args.stems)} benchmark artifacts present and non-empty")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

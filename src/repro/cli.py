@@ -28,6 +28,7 @@ index.onex``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -219,6 +220,8 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import OnexService, serve_forever
 
+    if args.shards > 1:
+        return _cmd_serve_cluster(args)
     index = OnexIndex.load(args.index)
     with OnexService(
         index, max_workers=args.workers, cache_size=args.cache_size
@@ -232,6 +235,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return serve_forever(service, sys.stdin, sys.stdout)
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.cluster.router import ClusterRouter
+
+    if args.backend is not None:
+        # Workers resolve their backend from the environment.
+        os.environ["ONEX_KERNEL_BACKEND"] = args.backend
+    router = ClusterRouter(
+        args.index,
+        n_shards=args.shards,
+        max_inflight=args.max_inflight,
+        cache_size=args.cache_size,
+        worker_threads=args.workers,
+    )
+
+    async def run() -> int:
+        await router.start()
+        print(
+            f"onex-cluster serving {args.index!r} with "
+            f"{router.shard_map.n_shards} shard(s) "
+            f"{[list(owned) for owned in router.shard_map.shards]}, "
+            f"max_inflight={router.max_inflight}",
+            file=sys.stderr,
+        )
+        if args.port is not None:
+            return await router.serve_tcp(args.host, args.port)
+        return await router.serve_stdio()
+
+    return asyncio.run(run())
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -375,6 +410,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="LRU result cache capacity (0 disables caching)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the index across N worker processes behind a "
+        "scatter-gather router (requires a v3 index directory; "
+        "1 = single-process serving)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="bounded in-flight request budget for the sharded router; "
+        "overload is rejected with a structured 'busy' error",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port TCP serving (sharded mode)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve the sharded router over TCP instead of stdio",
     )
     p_serve.set_defaults(handler=_cmd_serve)
 

@@ -149,6 +149,10 @@ def _collect_index(
                 "member_encoding": encoding,
                 "st_half": st_half,
                 "st_final": st_final,
+                # Shard-map weight: the cluster tier partitions the
+                # length grid so every shard carries a comparable share
+                # of members (see repro.serve.cluster.shardmap).
+                "n_subsequences": bucket.n_subsequences,
             }
         )
 
@@ -168,6 +172,13 @@ def _collect_index(
         "series_names": [s.name for s in index.dataset],
         "series_labels": [s.label for s in index.dataset],
         "lengths": lengths_meta,
+        # The shard map is a pure function of (this spec, the per-length
+        # weights above, the shard count), so persisting the spec pins
+        # the partition every router computes from this manifest.
+        "sharding": {
+            "strategy": "contiguous-balanced",
+            "version": 1,
+        },
     }
     return manifest, arrays
 
@@ -511,7 +522,14 @@ def _v3_required_files(manifest: dict) -> list[str]:
     return required
 
 
-def _load_v3(path: str) -> OnexIndex:
+def read_manifest(path: str | os.PathLike) -> dict:
+    """Read and sanity-check a v3 index directory's ``manifest.json``.
+
+    The blessed read path for consumers that need the index *metadata*
+    without hydrating any arrays — the cluster router computes its shard
+    map and replays the §5.3 length sweep from exactly this dict.
+    """
+    path = os.fspath(path)
     manifest_path = os.path.join(path, _MANIFEST_NAME)
     try:
         with open(manifest_path, encoding="utf-8") as handle:
@@ -528,6 +546,12 @@ def _load_v3(path: str) -> OnexIndex:
         raise PersistenceError(
             f"corrupted index manifest {manifest_path!r}: not an index manifest"
         )
+    return manifest
+
+
+def _load_v3(path: str) -> OnexIndex:
+    manifest_path = os.path.join(path, _MANIFEST_NAME)
+    manifest = read_manifest(path)
     version = manifest.get("format_version")
     if version != _FORMAT_VERSION:
         raise PersistenceError(

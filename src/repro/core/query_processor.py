@@ -20,7 +20,7 @@ import heapq
 import math
 import threading
 from dataclasses import dataclass
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -280,12 +280,59 @@ class QueryProcessor:
             raise QueryError("no representative reachable; widen the DTW window")
         return self.search_groups(best_bucket, best_scans, query, k)
 
+    def scan_length(self, length: int, query: np.ndarray) -> list[_RepScan]:
+        """Representative scan of one length with an open (infinite) bound.
+
+        The scatter half of the cluster tier's ``Match = Any`` flow: a
+        shard worker scans each of its owned lengths with no carried
+        bound, and the router replays the §5.3 sweep over the gathered
+        per-length minima. Exact by construction — the cross-length
+        bound in :meth:`best_match` only prunes work, never changes a
+        bucket's best representative — so the replayed sweep selects
+        the same bucket the single-process sweep would (``n_probe`` is
+        required to be 1: with more probes the carried bound also trims
+        the probe list, which the open-bound scan cannot reproduce).
+        """
+        if self.n_probe != 1:
+            raise QueryError(
+                "scan_length requires n_probe == 1 (the sharded sweep "
+                f"replay is only exact for single-probe scans), got "
+                f"{self.n_probe}"
+            )
+        query = as_float_array(query, "query")
+        self.last_stats = QueryStats()
+        bucket = self.rspace.bucket(int(length))
+        self.last_stats.lengths_visited = 1
+        return self._scan_representatives(bucket, query, math.inf)
+
+    def refine_scans(
+        self,
+        length: int,
+        scans: "list[_RepScan]",
+        query: np.ndarray,
+        k: int = 1,
+    ) -> list[Match]:
+        """The in-group refinement half of :meth:`best_match`, standalone.
+
+        The gather half of the cluster tier's ``Match = Any`` flow: once
+        the router has replayed the length sweep over shard scans, the
+        winning length's owner runs exactly the :meth:`search_groups`
+        call :meth:`best_match` would have issued.
+        """
+        query = as_float_array(query, "query")
+        self.last_stats = QueryStats()
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        bucket = self.rspace.bucket(int(length))
+        return self.search_groups(bucket, scans, query, k)
+
     def within_threshold(
         self,
         query: np.ndarray,
         st: float | None = None,
         length: int | None = None,
         refine: bool = True,
+        lengths: "Sequence[int] | None" = None,
     ) -> list[Match]:
         """All sequences guaranteed similar to ``query`` within ``st``.
 
@@ -294,13 +341,23 @@ class QueryProcessor:
         such member is within ``st`` of the query. With ``refine=True``
         the actual member DTWs are computed (and members are sorted by
         them); otherwise the representative's distance is reported for
-        all members, which is faster but coarser.
+        all members, which is faster but coarser. ``lengths`` restricts
+        the sweep to an explicit subset of indexed lengths (the cluster
+        tier sends each shard its owned lengths); it is mutually
+        exclusive with ``length``.
         """
         query = as_float_array(query, "query")
         st = self.st if st is None else float(st)
         if st <= 0:
             raise QueryError(f"similarity threshold must be positive, got {st}")
-        lengths = [int(length)] if length is not None else self.rspace.lengths
+        if lengths is not None and length is not None:
+            raise QueryError("pass either length or lengths, not both")
+        if lengths is not None:
+            lengths = sorted(int(value) for value in lengths)
+        elif length is not None:
+            lengths = [int(length)]
+        else:
+            lengths = self.rspace.lengths
         matches: list[Match] = []
         for candidate_length in lengths:
             bucket = self.rspace.bucket(candidate_length)

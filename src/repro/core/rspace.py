@@ -313,13 +313,26 @@ class RSpace:
         Start at the query's own length (or the nearest indexed one),
         continue with decreasing lengths, then increasing ones.
         """
-        lengths = self.lengths
-        if query_length in self:
-            start = lengths.index(query_length)
-        else:
-            start = min(
-                range(len(lengths)), key=lambda i: abs(lengths[i] - query_length)
-            )
-        descending = [lengths[i] for i in range(start, -1, -1)]
-        ascending = [lengths[i] for i in range(start + 1, len(lengths))]
-        return descending + ascending
+        return search_length_order(self._lengths, query_length)
+
+
+def search_length_order(lengths: list[int], query_length: int) -> list[int]:
+    """The §5.3 length sweep order as a pure function of the length grid.
+
+    Shared by :meth:`RSpace.search_length_order` and the cluster router,
+    which replays the sweep over scatter-gathered shard scans without an
+    :class:`RSpace` instance — both must visit lengths in exactly this
+    order for sharded answers to stay bit-identical (ties in the
+    nearest-length probe resolve to the smaller length, matching
+    ``min``'s first-wins behaviour).
+    """
+    lengths = sorted(int(length) for length in lengths)
+    if query_length in lengths:
+        start = lengths.index(query_length)
+    else:
+        start = min(
+            range(len(lengths)), key=lambda i: abs(lengths[i] - query_length)
+        )
+    descending = [lengths[i] for i in range(start, -1, -1)]
+    ascending = [lengths[i] for i in range(start + 1, len(lengths))]
+    return descending + ascending

@@ -1,0 +1,28 @@
+"""Horizontally sharded serving tier: router, workers, jobs, metrics.
+
+The cluster package turns one mmap'd v3 index directory into an
+N-process serving fleet:
+
+* :mod:`~repro.serve.cluster.shardmap` — deterministic contiguous
+  partition of the length grid, computed from the v3 manifest.
+* :mod:`~repro.serve.cluster.worker` — one shard process hosting an
+  :class:`~repro.serve.service.OnexService` restricted to its owned
+  lengths, speaking JSON-lines over stdio.
+* :mod:`~repro.serve.cluster.router` — the asyncio scatter-gather
+  front: admission control, fan-out, bit-identical merges, health
+  checks with automatic worker restart, graceful drain.
+* :mod:`~repro.serve.cluster.jobs` — background queue for long-running
+  ops (``build``, ``compact``) with ``submit``/``status`` polling.
+* :mod:`~repro.serve.cluster.metrics` — per-stage latency histograms
+  and counters behind the ``metrics`` op.
+"""
+
+from repro.serve.cluster.metrics import ClusterMetrics, LatencyHistogram
+from repro.serve.cluster.shardmap import ShardMap, compute_shard_map
+
+__all__ = [
+    "ClusterMetrics",
+    "LatencyHistogram",
+    "ShardMap",
+    "compute_shard_map",
+]

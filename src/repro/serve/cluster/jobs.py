@@ -1,0 +1,161 @@
+"""Background job queue for long-running ops (build, compact).
+
+The serving path must never block on minutes-long work, so ``build``
+and ``compact`` requests become queued jobs executed by one daemon
+thread; clients poll with ``{"op": "job_status", "job": "job-3"}``.
+One worker thread is deliberate: construction saturates the kernel
+backend on its own, and serialising jobs keeps index directories from
+racing each other. The shape follows the task-queue pattern of the
+journals pipeline (submit returns a ticket; status is a poll).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+import traceback
+
+
+@dataclasses.dataclass
+class Job:
+    """One queued unit of background work."""
+
+    job_id: str
+    kind: str
+    params: dict
+    status: str = "queued"  # queued | running | done | error
+    result: dict | None = None
+    error: str | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "result": self.result,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def _run_build(params: dict) -> dict:
+    """Build an index from a synthetic-dataset spec and save it (v3)."""
+    from repro.core.onex import OnexIndex
+    from repro.core.persistence import save_index
+    from repro.data.normalize import min_max_normalize_dataset
+    from repro.data.synthetic import make_dataset
+
+    spec = dict(params.get("dataset", {}))
+    dataset = make_dataset(
+        spec.get("name", "synthetic"),
+        n_series=int(spec.get("n_series", 8)),
+        length=int(spec.get("length", 32)),
+        seed=int(spec.get("seed", 0)),
+    )
+    if spec.get("normalize", True):
+        dataset = min_max_normalize_dataset(dataset)
+    index = OnexIndex.build(
+        dataset,
+        st=float(params.get("st", 0.2)),
+        lengths=params.get("lengths"),
+        normalize=False,
+        seed=int(params.get("seed", 0)),
+    )
+    path = params["path"]
+    save_index(index, path)
+    return {
+        "path": path,
+        "n_groups": sum(b.n_groups for b in index.rspace),
+        "lengths": index.rspace.lengths,
+    }
+
+
+def _run_compact(params: dict) -> dict:
+    """Rewrite an index directory in place (fresh, fully packed v3)."""
+    from repro.core.onex import OnexIndex
+    from repro.core.persistence import save_index
+
+    path = params["path"]
+    index = OnexIndex.load(path)
+    # Force full hydration so the rewrite sees every bucket.
+    index.stats()
+    save_index(index, path)
+    return {"path": path, "lengths": index.rspace.lengths}
+
+
+_RUNNERS = {"build": _run_build, "compact": _run_compact}
+
+
+class JobQueue:
+    """A single-threaded FIFO of background jobs with polling."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock
+        self._order: list[str] = []  # guarded-by: _lock
+        self._next_id = 1  # guarded-by: _lock
+        self._queue: queue.Queue[Job | None] = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._run, name="onex-jobs", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, kind: str, params: dict) -> dict:
+        if kind not in _RUNNERS:
+            raise ValueError(
+                f"unknown job kind {kind!r} (known: {sorted(_RUNNERS)})"
+            )
+        with self._lock:
+            job_id = f"job-{self._next_id}"
+            self._next_id += 1
+            job = Job(
+                job_id=job_id,
+                kind=kind,
+                params=dict(params),
+                submitted_at=time.time(),
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        self._queue.put(job)
+        return {"job": job_id, "status": "queued"}
+
+    def status(self, job_id: str) -> dict:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job.to_dict()
+
+    def list_jobs(self) -> list[dict]:
+        with self._lock:
+            return [self._jobs[job_id].to_dict() for job_id in self._order]
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = "running"
+            job.started_at = time.time()
+            try:
+                job.result = _RUNNERS[job.kind](job.params)
+                job.status = "done"
+            except Exception as exc:  # noqa: BLE001 — a failed job must
+                # surface through status polling, not kill the queue.
+                job.status = "error"
+                job.error = str(exc) or repr(exc)
+                traceback.print_exc()
+            finally:
+                job.finished_at = time.time()
+
+    def close(self) -> None:
+        """Stop the worker thread after in-flight jobs finish."""
+        self._queue.put(None)
+        self._thread.join(timeout=30)

@@ -1,0 +1,836 @@
+"""Asyncio scatter-gather router over N shard worker processes.
+
+The router owns the public serving endpoint (stdio pipe or TCP), spawns
+one :mod:`~repro.serve.cluster.worker` process per shard of the
+:mod:`~repro.serve.cluster.shardmap` partition, and answers every
+client op by fanning out to the owning shard(s) and merging:
+
+* ``query`` with an explicit ``length`` (and exact-length batches)
+  forwards whole to the owning shard — the worker runs the very same
+  ``OnexService.query`` a single process would.
+* ``query`` with ``Match = Any`` scatters an open-bound ``scan`` to
+  every shard, replays the §5.3 length sweep over the gathered
+  per-length minima (:func:`replay_sweep`), then sends one targeted
+  ``refine`` to the winning length's owner — bit-identical to the
+  single-process sweep (see ``QueryProcessor.scan_length``).
+* ``within`` without a length fans out with each shard's owned lengths
+  and merges by stable sort on normalized distance; because shards own
+  contiguous ascending length ranges, shard-order concatenation *is*
+  the single-process generation order, so the stable sort reproduces
+  the single-process ordering exactly (ties included).
+* ``recommend`` routes to shard 0: the SP-Space thresholds are global
+  manifest state every worker restores identically.
+
+Admission control is a bounded in-flight counter: past
+``max_inflight``, compute ops are rejected immediately with a
+structured ``busy`` error (429 semantics) instead of queueing — the
+router's memory stays bounded no matter the offered load. ``health`` /
+``metrics`` / ``ping`` / job ops bypass admission so operators can
+always see in. Workers are supervised: a dead worker fails its
+in-flight requests with ``shard_unavailable`` and is respawned
+automatically; ``drain()`` stops admission, lets in-flight requests
+finish, then shuts workers down cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import math
+import os
+import sys
+import time
+
+from repro.core.persistence import read_manifest
+from repro.core.rspace import search_length_order
+from repro.serve.cluster.jobs import JobQueue
+from repro.serve.cluster.metrics import ClusterMetrics, LatencyHistogram
+from repro.serve.cluster.shardmap import ShardMap, shard_map_from_manifest
+
+_NO_REP_ERROR = "no representative reachable; widen the DTW window"
+
+# Ops answered (or enqueued) without touching shard compute capacity:
+# observability and job bookkeeping must work even under overload.
+_ADMISSION_EXEMPT = frozenset(
+    {"ping", "health", "metrics", "submit", "job_status", "jobs"}
+)
+
+
+class ShardUnavailable(Exception):
+    """A worker died (or was still down) while holding our request."""
+
+    def __init__(self, shard_index: int):
+        super().__init__(f"shard {shard_index} unavailable")
+        self.shard_index = shard_index
+
+
+def replay_sweep(
+    scans_by_length: dict[int, list],
+    lengths: list[int],
+    query_length: int,
+    st: float,
+) -> tuple[int, list] | None:
+    """Replay the §5.3 length sweep over gathered open-bound scans.
+
+    Mirrors ``QueryProcessor.best_match``'s ``Match = Any`` loop
+    exactly: visit lengths in sweep order, keep the strictly-best
+    per-length top scan, stop once a representative is within ``ST/2``.
+    A length whose open-bound top does not beat the carried bound
+    contributes nothing — precisely the lengths whose bounded scan
+    would have come back empty in-process. Returns ``(best_length,
+    best_scans)`` or ``None`` when no representative is reachable.
+    """
+    best_length: int | None = None
+    best_scans: list | None = None
+    bound = math.inf
+    for length in search_length_order(lengths, query_length):
+        scans = scans_by_length.get(length) or []
+        if not scans:
+            continue
+        top = scans[0][2]
+        if best_scans is None or top < bound:
+            best_length, best_scans, bound = length, scans, top
+        if top <= st / 2.0:
+            break
+        # A top above the carried bound is exactly an in-process empty
+        # bounded scan: no update, and no half-ST stop check can fire
+        # (the bound is already above ST/2 or the sweep would have
+        # stopped at the length that set it).
+    if best_scans is None:
+        return None
+    return best_length, best_scans
+
+
+def merge_within(shard_results: list[list[dict]]) -> list[dict]:
+    """Merge per-shard ``within`` matches into single-process order.
+
+    ``shard_results`` must be in shard order (contiguous ascending
+    length ranges). Stable-sorting the concatenation on normalized
+    distance reproduces the single-process ordering exactly: each shard
+    list is itself a stable sort of a contiguous block of the global
+    generation order, and stable sort of stably-sorted contiguous
+    blocks equals the stable sort of the whole.
+    """
+    merged = [match for matches in shard_results for match in matches]
+    merged.sort(key=lambda match: match["dtw_normalized"])
+    return merged
+
+
+class WorkerHandle:
+    """One supervised shard worker process plus its request plumbing."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        lengths: tuple[int, ...],
+        index_path: str,
+        metrics: ClusterMetrics,
+        cache_size: int = 1024,
+        threads: int | None = None,
+    ) -> None:
+        self.shard_index = shard_index
+        self.lengths = lengths
+        self.index_path = index_path
+        self.metrics = metrics
+        self.cache_size = cache_size
+        self.threads = threads
+        self.process: asyncio.subprocess.Process | None = None
+        self.restarts = 0
+        self.last_ping_ms: float | None = None
+        self.latency = LatencyHistogram()  # per-shard round-trip times
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 1
+        self._stopping = False
+        self._reader_task: asyncio.Task | None = None
+        self._monitor_task: asyncio.Task | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.returncode is None
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def _spawn_env(self) -> dict[str, str]:
+        env = dict(os.environ)
+        # The worker must import repro from the same tree as the router.
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        return env
+
+    async def start(self) -> None:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.serve.cluster.worker",
+            self.index_path,
+            "--shard",
+            str(self.shard_index),
+            "--lengths",
+            ",".join(str(length) for length in self.lengths),
+            "--cache-size",
+            str(self.cache_size),
+        ]
+        if self.threads is not None:
+            cmd += ["--threads", str(self.threads)]
+        self.process = await asyncio.create_subprocess_exec(
+            *cmd,
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=None,  # worker banner/tracebacks share our stderr
+            env=self._spawn_env(),
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    async def _read_loop(self) -> None:
+        assert self.process is not None and self.process.stdout is not None
+        stdout = self.process.stdout
+        while True:
+            line = await stdout.readline()
+            if not line:
+                break
+            try:
+                response = json.loads(line)
+            except ValueError:
+                continue  # a corrupt line can only strand its future
+            future = self._pending.pop(response.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(response)
+
+    async def _monitor(self) -> None:
+        """Fail in-flight requests on worker death; respawn unless stopping."""
+        assert self.process is not None
+        await self.process.wait()
+        self._fail_pending()
+        if self._stopping:
+            return
+        self.restarts += 1
+        self.metrics.record_worker_restart()
+        await asyncio.sleep(0.2)
+        if not self._stopping:
+            await self.start()
+
+    def _fail_pending(self) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ShardUnavailable(self.shard_index))
+
+    async def request(self, payload: dict) -> dict:
+        """One round-trip; raises :class:`ShardUnavailable` on worker death."""
+        if not self.alive or self.process.stdin is None:
+            raise ShardUnavailable(self.shard_index)
+        request_id = self._next_id
+        self._next_id += 1
+        payload = {**payload, "id": request_id}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        started = time.perf_counter()
+        try:
+            self.process.stdin.write((json.dumps(payload) + "\n").encode())
+            await self.process.stdin.drain()
+        except (ConnectionError, BrokenPipeError, RuntimeError) as exc:
+            self._pending.pop(request_id, None)
+            raise ShardUnavailable(self.shard_index) from exc
+        try:
+            response = await future
+        finally:
+            self._pending.pop(request_id, None)
+        self.latency.observe(time.perf_counter() - started)
+        response.pop("id", None)
+        return response
+
+    async def ping(self) -> float:
+        """Round-trip a ping, recording and returning the RTT in ms."""
+        started = time.perf_counter()
+        await self.request({"op": "ping"})
+        rtt_ms = (time.perf_counter() - started) * 1000.0
+        self.last_ping_ms = rtt_ms
+        return rtt_ms
+
+    async def stop(self) -> None:
+        self._stopping = True
+        if self.alive and self.process.stdin is not None:
+            with contextlib.suppress(Exception):
+                self.process.stdin.write(
+                    (json.dumps({"op": "shutdown"}) + "\n").encode()
+                )
+                await self.process.stdin.drain()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self.process.wait(), timeout=5)
+        if self.alive:
+            self.process.kill()
+            await self.process.wait()
+        for task in (self._reader_task, self._monitor_task):
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+
+    def health(self) -> dict:
+        return {
+            "shard": self.shard_index,
+            "lengths": list(self.lengths),
+            "alive": self.alive,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "last_ping_ms": self.last_ping_ms,
+        }
+
+
+class ClusterRouter:
+    """The scatter-gather front for one sharded index."""
+
+    def __init__(
+        self,
+        index_path: str,
+        n_shards: int,
+        max_inflight: int = 64,
+        cache_size: int = 1024,
+        worker_threads: int | None = None,
+        ping_interval: float = 5.0,
+    ) -> None:
+        self.index_path = os.fspath(index_path)
+        self.manifest = read_manifest(self.index_path)
+        self.shard_map: ShardMap = shard_map_from_manifest(
+            self.manifest, n_shards
+        )
+        self.st = float(self.manifest["st"])
+        self.max_inflight = max(1, int(max_inflight))
+        self.ping_interval = float(ping_interval)
+        self.metrics = ClusterMetrics()
+        self.jobs = JobQueue()
+        self.workers = [
+            WorkerHandle(
+                shard_index,
+                owned,
+                self.index_path,
+                self.metrics,
+                cache_size=cache_size,
+                threads=worker_threads,
+            )
+            for shard_index, owned in enumerate(self.shard_map.shards)
+        ]
+        self._inflight = 0
+        self.draining = False
+        self._ping_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn all workers and wait until each answers a ping."""
+        await asyncio.gather(*(worker.start() for worker in self.workers))
+        await asyncio.gather(*(worker.ping() for worker in self.workers))
+        self._ping_task = asyncio.ensure_future(self._ping_loop())
+
+    async def _ping_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.ping_interval)
+            for worker in self.workers:
+                if worker.alive:
+                    with contextlib.suppress(ShardUnavailable):
+                        await worker.ping()
+
+    async def drain(self) -> None:
+        """Stop admitting work, wait out in-flight requests, stop workers."""
+        self.draining = True
+        while self._inflight > 0:
+            await asyncio.sleep(0.02)
+        if self._ping_task is not None:
+            self._ping_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ping_task
+        await asyncio.gather(*(worker.stop() for worker in self.workers))
+        self.jobs.close()
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    async def process_line(self, line: str) -> str | None:
+        """One JSON line in, one JSON line out (None for blank input)."""
+        line = line.strip()
+        if not line:
+            return None
+        started = time.perf_counter()
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            self.metrics.stages["parse"].observe(time.perf_counter() - started)
+            return json.dumps({"ok": False, "error": str(exc) or repr(exc)})
+        self.metrics.stages["parse"].observe(time.perf_counter() - started)
+        return json.dumps(await self.process_request(request))
+
+    async def process_request(self, request: dict) -> dict:
+        """Admission control + dispatch + id echo for one request."""
+        request_id = None
+        route_started = time.perf_counter()
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            self.metrics.record_op(str(op))
+            if op in _ADMISSION_EXEMPT:
+                self.metrics.stages["route"].observe(
+                    time.perf_counter() - route_started
+                )
+                response = await self._dispatch_exempt(op, request)
+            elif self.draining:
+                self.metrics.record_error("draining")
+                response = {
+                    "ok": False,
+                    "error": "server is draining",
+                    "code": "draining",
+                }
+            elif self._inflight >= self.max_inflight:
+                self.metrics.record_busy()
+                response = {
+                    "ok": False,
+                    "error": (
+                        f"too many in-flight requests "
+                        f"(max_inflight={self.max_inflight})"
+                    ),
+                    "code": "busy",
+                }
+            else:
+                self._inflight += 1
+                self.metrics.stages["route"].observe(
+                    time.perf_counter() - route_started
+                )
+                try:
+                    response = await self._dispatch(op, request)
+                finally:
+                    self._inflight -= 1
+        except ShardUnavailable as exc:
+            self.metrics.record_shard_error()
+            self.metrics.record_error("shard_unavailable")
+            response = {
+                "ok": False,
+                "error": str(exc),
+                "code": "shard_unavailable",
+            }
+        except Exception as exc:  # noqa: BLE001 — same contract as the
+            # single-process loop: a bad request answers, never crashes.
+            response = {"ok": False, "error": str(exc) or repr(exc)}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_exempt(self, op: str, request: dict) -> dict:
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "health":
+            return {"ok": True, "health": self._health()}
+        if op == "metrics":
+            return {"ok": True, "metrics": await self._metrics()}
+        if op == "submit":
+            return {
+                "ok": True,
+                **self.jobs.submit(
+                    str(request.get("kind")), request.get("params", {})
+                ),
+            }
+        if op == "job_status":
+            return {"ok": True, **self.jobs.status(request["job"])}
+        if op == "jobs":
+            return {"ok": True, "jobs": self.jobs.list_jobs()}
+        raise ValueError(f"unhandled exempt op {op!r}")
+
+    async def _dispatch(self, op: str, request: dict) -> dict:
+        if op == "query":
+            return await self._op_query(request)
+        if op == "within":
+            return await self._op_within(request)
+        if op == "seasonal":
+            return await self._forward_length_op(
+                request, request.get("length")
+            )
+        if op == "recommend":
+            return await self._forward(0, request)
+        if op == "info":
+            return {"ok": True, "info": await self._info()}
+        if op == "shard_sleep":
+            # Test/debug aid: hold one shard busy (fault injection).
+            shard = int(request.get("shard", 0))
+            payload = {
+                "op": "sleep",
+                "seconds": float(request.get("seconds", 1.0)),
+            }
+            return await self._timed_request(self.workers[shard], payload)
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _forward(self, shard_index: int, request: dict) -> dict:
+        payload = {key: value for key, value in request.items() if key != "id"}
+        return await self._timed_request(self.workers[shard_index], payload)
+
+    async def _timed_request(self, worker: WorkerHandle, payload: dict) -> dict:
+        started = time.perf_counter()
+        try:
+            return await worker.request(payload)
+        finally:
+            self.metrics.stages["shard_compute"].observe(
+                time.perf_counter() - started
+            )
+
+    def _owner_or_zero(self, length: int) -> int:
+        """Owning shard, or shard 0 for unindexed lengths.
+
+        Shard 0 then raises the very error a single process would for
+        that length — identical error text, no router-side duplicate of
+        the core's validation.
+        """
+        try:
+            return self.shard_map.owner(int(length))
+        except (KeyError, TypeError, ValueError):
+            return 0
+
+    async def _forward_length_op(self, request: dict, length) -> dict:
+        if length is None:
+            raise KeyError("length")
+        return await self._forward(self._owner_or_zero(length), request)
+
+    # ------------------------------------------------------------------
+    # query (the scatter-gather centrepiece)
+    # ------------------------------------------------------------------
+    async def _op_query(self, request: dict) -> dict:
+        if "values" not in request and "queries" not in request:
+            raise ValueError("query op requires 'values' or 'queries'")
+        length = request.get("length")
+        if length is not None:
+            # Exact-length: whole request belongs to one shard.
+            return await self._forward(self._owner_or_zero(length), request)
+        k = int(request.get("k", 1))
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        normalized = bool(request.get("normalized", True))
+        if "queries" in request:
+            return await self._query_any_batch(
+                list(request["queries"]), k, normalized
+            )
+        matches = await self._query_any(request["values"], k, normalized)
+        return {"ok": True, "matches": matches}
+
+    async def _scatter_scans(self, payload_for_shard) -> list[dict]:
+        """Send one scan op per shard; gather raw worker responses."""
+        started = time.perf_counter()
+        try:
+            responses = await asyncio.gather(
+                *(
+                    worker.request(payload_for_shard(worker))
+                    for worker in self.workers
+                )
+            )
+        finally:
+            self.metrics.stages["shard_compute"].observe(
+                time.perf_counter() - started
+            )
+        for response in responses:
+            if not response.get("ok"):
+                raise ValueError(response.get("error", "scan failed"))
+        return responses
+
+    def _sweep(self, per_shard_scans: list[dict], query_length: int):
+        """Merge per-shard scan dicts and replay the sweep (timed)."""
+        started = time.perf_counter()
+        scans_by_length = {
+            int(length): scans
+            for shard_scans in per_shard_scans
+            for length, scans in shard_scans.items()
+        }
+        winner = replay_sweep(
+            scans_by_length, self.shard_map.lengths, query_length, self.st
+        )
+        self.metrics.stages["merge"].observe(time.perf_counter() - started)
+        return winner
+
+    async def _query_any(
+        self, values: list, k: int, normalized: bool
+    ) -> list[dict]:
+        responses = await self._scatter_scans(
+            lambda worker: {
+                "op": "scan",
+                "values": values,
+                "lengths": list(worker.lengths),
+                "normalized": normalized,
+            }
+        )
+        winner = self._sweep(
+            [response["scans"] for response in responses], len(values)
+        )
+        if winner is None:
+            raise ValueError(_NO_REP_ERROR)
+        best_length, best_scans = winner
+        refined = await self._timed_request(
+            self.workers[self.shard_map.owner(best_length)],
+            {
+                "op": "refine",
+                "jobs": [
+                    {
+                        "values": values,
+                        "length": best_length,
+                        "scans": best_scans,
+                        "k": k,
+                        "normalized": normalized,
+                    }
+                ],
+            },
+        )
+        if not refined.get("ok"):
+            raise ValueError(refined.get("error", "refine failed"))
+        return refined["results"][0]
+
+    async def _query_any_batch(
+        self, queries: list, k: int, normalized: bool
+    ) -> dict:
+        responses = await self._scatter_scans(
+            lambda worker: {
+                "op": "scan",
+                "queries": queries,
+                "lengths": list(worker.lengths),
+                "normalized": normalized,
+            }
+        )
+        # jobs_by_shard: shard -> list of (query_index, job)
+        jobs_by_shard: dict[int, list[tuple[int, dict]]] = {}
+        for index, values in enumerate(queries):
+            winner = self._sweep(
+                [response["scans_batch"][index] for response in responses],
+                len(values),
+            )
+            if winner is None:
+                raise ValueError(_NO_REP_ERROR)
+            best_length, best_scans = winner
+            jobs_by_shard.setdefault(
+                self.shard_map.owner(best_length), []
+            ).append(
+                (
+                    index,
+                    {
+                        "values": values,
+                        "length": best_length,
+                        "scans": best_scans,
+                        "k": k,
+                        "normalized": normalized,
+                    },
+                )
+            )
+        shard_indices = sorted(jobs_by_shard)
+        started = time.perf_counter()
+        try:
+            refined = await asyncio.gather(
+                *(
+                    self.workers[shard].request(
+                        {
+                            "op": "refine",
+                            "jobs": [job for _, job in jobs_by_shard[shard]],
+                        }
+                    )
+                    for shard in shard_indices
+                )
+            )
+        finally:
+            self.metrics.stages["shard_compute"].observe(
+                time.perf_counter() - started
+            )
+        merge_started = time.perf_counter()
+        results: list = [None] * len(queries)
+        for shard, response in zip(shard_indices, refined, strict=True):
+            if not response.get("ok"):
+                raise ValueError(response.get("error", "refine failed"))
+            for (index, _), matches in zip(
+                jobs_by_shard[shard], response["results"], strict=True
+            ):
+                results[index] = matches
+        self.metrics.stages["merge"].observe(
+            time.perf_counter() - merge_started
+        )
+        return {"ok": True, "results": results}
+
+    # ------------------------------------------------------------------
+    # within
+    # ------------------------------------------------------------------
+    async def _op_within(self, request: dict) -> dict:
+        if request.get("length") is not None:
+            # Explicit single length: whole request belongs to one shard.
+            return await self._forward(
+                self._owner_or_zero(request["length"]), request
+            )
+        base = {
+            key: value
+            for key, value in request.items()
+            if key not in ("id", "lengths")
+        }
+        requested = request.get("lengths")
+        wanted = (
+            None if requested is None else {int(length) for length in requested}
+        )
+        if wanted is not None and not wanted <= set(self.shard_map.lengths):
+            # An unindexed length must raise the single-process error;
+            # let shard 0's core validation produce it verbatim.
+            return await self._forward(0, request)
+        fan_out = [
+            (worker, owned)
+            for worker in self.workers
+            for owned in [
+                list(worker.lengths)
+                if wanted is None
+                else sorted(set(worker.lengths) & wanted)
+            ]
+            if owned
+        ]
+        started = time.perf_counter()
+        try:
+            responses = await asyncio.gather(
+                *(
+                    worker.request({**base, "lengths": owned})
+                    for worker, owned in fan_out
+                )
+            )
+        finally:
+            self.metrics.stages["shard_compute"].observe(
+                time.perf_counter() - started
+            )
+        for response in responses:
+            if not response.get("ok"):
+                raise ValueError(response.get("error", "within failed"))
+        merge_started = time.perf_counter()
+        merged = merge_within([response["matches"] for response in responses])
+        self.metrics.stages["merge"].observe(
+            time.perf_counter() - merge_started
+        )
+        return {"ok": True, "matches": merged}
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _health(self) -> dict:
+        shards = [worker.health() for worker in self.workers]
+        status = "ok" if all(shard["alive"] for shard in shards) else "degraded"
+        if self.draining:
+            status = "draining"
+        return {
+            "status": status,
+            "draining": self.draining,
+            "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
+            "shard_map": self.shard_map.to_dict(),
+            "shards": shards,
+            "shard_latency": [
+                worker.latency.to_dict() for worker in self.workers
+            ],
+        }
+
+    async def _shard_infos(self) -> list[dict]:
+        responses = await asyncio.gather(
+            *(worker.request({"op": "shard_info"}) for worker in self.workers)
+        )
+        infos = []
+        for response in responses:
+            if not response.get("ok"):
+                raise ValueError(response.get("error", "shard_info failed"))
+            infos.append(response["info"])
+        return infos
+
+    async def _metrics(self) -> dict:
+        infos = await self._shard_infos()
+        cache = {"hits": 0, "misses": 0, "entries": 0, "evictions": 0}
+        cascade: dict[str, float] = {}
+        for info in infos:
+            for key in cache:
+                cache[key] += int(info.get("cache", {}).get(key, 0))
+            for key, value in info.get("query_stats", {}).items():
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)):
+                    cascade[key] = cascade.get(key, 0) + value
+        return {
+            **self.metrics.to_dict(),
+            "shard_latency": [
+                worker.latency.to_dict() for worker in self.workers
+            ],
+            "cache": cache,
+            "query_stats": cascade,
+            "per_shard": infos,
+        }
+
+    async def _info(self) -> dict:
+        infos = await self._shard_infos()
+        return {
+            "dataset": self.manifest.get("dataset_name"),
+            "st": self.st,
+            "lengths": self.shard_map.lengths,
+            "n_shards": self.shard_map.n_shards,
+            "shard_map": self.shard_map.to_dict(),
+            "shards": infos,
+        }
+
+    # ------------------------------------------------------------------
+    # Serving loops
+    # ------------------------------------------------------------------
+    async def serve_stdio(self) -> int:
+        """Serve JSON lines from stdin until EOF, then drain."""
+        loop = asyncio.get_event_loop()
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def answer(line: str) -> None:
+            response = await self.process_line(line)
+            if response is not None:
+                async with write_lock:
+                    sys.stdout.write(response + "\n")
+                    sys.stdout.flush()
+
+        while True:
+            line = await loop.run_in_executor(None, sys.stdin.readline)
+            if not line:
+                break
+            task = asyncio.ensure_future(answer(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        await self.drain()
+        return 0
+
+    async def serve_tcp(self, host: str, port: int) -> int:
+        """Serve JSON lines per TCP connection until cancelled."""
+
+        async def handle(reader: asyncio.StreamReader, writer) -> None:
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    response = await self.process_line(line.decode())
+                    if response is not None:
+                        writer.write((response + "\n").encode())
+                        await writer.drain()
+            finally:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+
+        server = await asyncio.start_server(handle, host, port)
+        address = ", ".join(
+            str(sock.getsockname()) for sock in server.sockets
+        )
+        print(f"onex-cluster listening on {address}", file=sys.stderr)
+        try:
+            async with server:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        await self.drain()
+        return 0

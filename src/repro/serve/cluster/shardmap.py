@@ -1,0 +1,139 @@
+"""Deterministic shard maps over a v3 index's length grid.
+
+A shard owns a **contiguous ascending range of indexed lengths**. Two
+properties make that the right unit:
+
+* The §5.3 sweep and the ``within`` merge both iterate lengths in a
+  globally defined order, so contiguous ranges let the router
+  concatenate shard results in shard order and reproduce the
+  single-process iteration order exactly (bit-identity).
+* Every worker mmaps the same v3 directory; a shard's marginal memory
+  is only the buckets it hydrates, so partitioning by length is the
+  partition the storage format already paid for.
+
+The partition is the classic contiguous-balanced DP: minimise the
+maximum shard weight, where a length's weight is its subsequence count
+from the manifest (every member is a refinement candidate, so this
+tracks worst-case per-shard work). The DP is deterministic — ties break
+toward the earliest split — so every router that reads the same
+manifest computes the same map, which is why persisting the strategy
+name in the manifest (``sharding`` block) pins the layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.persistence import read_manifest
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardMap:
+    """An immutable assignment of index lengths to shard workers."""
+
+    strategy: str
+    shards: tuple[tuple[int, ...], ...]  # shard -> owned lengths, ascending
+    weights: tuple[int, ...]  # shard -> total subsequence weight
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def lengths(self) -> list[int]:
+        return [length for shard in self.shards for length in shard]
+
+    def owner(self, length: int) -> int:
+        """Shard index owning ``length`` (raises ``KeyError`` if unowned)."""
+        for shard_index, owned in enumerate(self.shards):
+            if length in owned:
+                return shard_index
+        raise KeyError(f"length {length} is not owned by any shard")
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "shards": [list(owned) for owned in self.shards],
+            "weights": list(self.weights),
+        }
+
+
+def _min_max_partition(weights: list[int], n_parts: int) -> list[int]:
+    """Split points minimising the max part sum over contiguous parts.
+
+    Returns the exclusive end index of each part. Pure DP, O(n^2 k);
+    the length grid is tens of entries, so clarity beats cleverness.
+    Ties break toward earlier splits (the DP scans split points in
+    ascending order and keeps the first optimum), making the result a
+    pure function of its inputs.
+    """
+    n = len(weights)
+    prefix = [0]
+    for weight in weights:
+        prefix.append(prefix[-1] + weight)
+    # best[k][i]: minimal max-sum splitting weights[:i] into k parts.
+    best = [[float("inf")] * (n + 1) for _ in range(n_parts + 1)]
+    split = [[0] * (n + 1) for _ in range(n_parts + 1)]
+    best[0][0] = 0.0
+    for k in range(1, n_parts + 1):
+        for i in range(k, n + 1):
+            for j in range(k - 1, i):
+                candidate = max(best[k - 1][j], prefix[i] - prefix[j])
+                if candidate < best[k][i]:
+                    best[k][i] = candidate
+                    split[k][i] = j
+    ends = []
+    i = n
+    for k in range(n_parts, 0, -1):
+        ends.append(i)
+        i = split[k][i]
+    return ends[::-1]
+
+
+def compute_shard_map(
+    lengths: list[int], weights: list[int], n_shards: int
+) -> ShardMap:
+    """Partition ``lengths`` (with per-length ``weights``) into shards.
+
+    ``n_shards`` is clamped to the number of lengths — a shard with no
+    lengths would answer nothing and only waste a process.
+    """
+    if not lengths:
+        raise ValueError("cannot shard an index with no lengths")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    order = sorted(range(len(lengths)), key=lambda i: lengths[i])
+    lengths = [int(lengths[i]) for i in order]
+    weights = [int(weights[i]) for i in order]
+    n_shards = min(int(n_shards), len(lengths))
+    ends = _min_max_partition(weights, n_shards)
+    shards = []
+    shard_weights = []
+    start = 0
+    for end in ends:
+        shards.append(tuple(lengths[start:end]))
+        shard_weights.append(sum(weights[start:end]))
+        start = end
+    return ShardMap(
+        strategy="contiguous-balanced",
+        shards=tuple(shards),
+        weights=tuple(shard_weights),
+    )
+
+
+def shard_map_from_manifest(manifest: dict, n_shards: int) -> ShardMap:
+    """Compute the shard map a v3 manifest pins for ``n_shards``."""
+    entries = manifest["lengths"]
+    lengths = [int(entry["length"]) for entry in entries]
+    weights = [int(entry.get("n_subsequences", 1)) for entry in entries]
+    strategy = manifest.get("sharding", {}).get(
+        "strategy", "contiguous-balanced"
+    )
+    if strategy != "contiguous-balanced":
+        raise ValueError(f"unknown sharding strategy {strategy!r}")
+    return compute_shard_map(lengths, weights, n_shards)
+
+
+def shard_map_for_index(path: str, n_shards: int) -> ShardMap:
+    """Read ``path``'s manifest and compute its shard map."""
+    return shard_map_from_manifest(read_manifest(path), n_shards)

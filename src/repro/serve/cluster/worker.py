@@ -1,0 +1,151 @@
+"""One shard worker: an ``OnexService`` over its owned lengths.
+
+Spawned by the router as ``python -m repro.serve.cluster.worker INDEX
+--shard I --lengths 6,12``. The worker mmaps the same v3 directory as
+every other shard but only ever hydrates the buckets it owns, so N
+workers cost one index's worth of page cache plus N small hydrated
+slices. It speaks the same JSON-lines protocol as ``onex serve`` (all
+standard ops are delegated to :func:`repro.serve.server.respond`), plus
+four cluster-internal ops:
+
+``scan``
+    Open-bound representative scans of the owned lengths for one query
+    (``values``) or a batch (``queries``) — the shard half of the §5.3
+    sweep the router replays.
+``refine``
+    A list of refinement jobs ``{values, length, scans, k}`` for
+    lengths this shard won; returns serialized matches per job.
+``shard_info``
+    Lightweight stats over the owned lengths only (never hydrates
+    foreign buckets, unlike the full ``info`` op).
+``sleep``
+    Debug/test aid: hold the worker busy for ``seconds`` so fault
+    injection can kill it mid-request.
+
+Requests are processed sequentially — concurrency lives in the router's
+fan-out across workers and each service's internal thread pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.onex import OnexIndex
+from repro.serve.server import match_to_dict, respond
+from repro.serve.service import OnexService
+
+
+def handle_worker_request(
+    service: OnexService, lengths: list[int], request: dict
+) -> dict:
+    """Dispatch one request, cluster-internal ops first."""
+    op = request.get("op")
+    if op == "scan":
+        kwargs = {"normalized": bool(request.get("normalized", True))}
+        owned = request.get("lengths", lengths)
+        if "queries" in request:
+            batch = [
+                {
+                    str(length): scans
+                    for length, scans in service.scan(
+                        values, owned, **kwargs
+                    ).items()
+                }
+                for values in request["queries"]
+            ]
+            return {"ok": True, "scans_batch": batch}
+        scans = service.scan(request["values"], owned, **kwargs)
+        return {
+            "ok": True,
+            "scans": {str(length): result for length, result in scans.items()},
+        }
+    if op == "refine":
+        results = []
+        for job in request["jobs"]:
+            matches = service.refine(
+                job["values"],
+                int(job["length"]),
+                [tuple(scan) for scan in job["scans"]],
+                k=int(job.get("k", 1)),
+                normalized=bool(job.get("normalized", True)),
+            )
+            results.append([match_to_dict(match) for match in matches])
+        return {"ok": True, "results": results}
+    if op == "shard_info":
+        return {"ok": True, "info": service.shard_info(lengths)}
+    if op == "sleep":
+        time.sleep(float(request.get("seconds", 1.0)))
+        return {"ok": True, "slept": float(request.get("seconds", 1.0))}
+    return respond(service, request)
+
+
+def worker_respond(
+    service: OnexService, lengths: list[int], request: dict
+) -> dict:
+    """Error-mapped, id-echoing wrapper around the worker dispatch."""
+    request_id = None
+    try:
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        request_id = request.get("id")
+        response = handle_worker_request(service, lengths, request)
+    except Exception as exc:  # noqa: BLE001 — same contract as the
+        # single-process loop: bad requests answer, never crash.
+        response = {"ok": False, "error": str(exc) or repr(exc)}
+    if request_id is not None and "id" not in response:
+        response["id"] = request_id
+    return response
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.serve.cluster.worker")
+    parser.add_argument("index", help="v3 index directory (shared, mmap'd)")
+    parser.add_argument("--shard", type=int, required=True)
+    parser.add_argument(
+        "--lengths",
+        required=True,
+        help="comma-separated lengths this shard owns",
+    )
+    parser.add_argument("--cache-size", type=int, default=1024)
+    parser.add_argument("--threads", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    lengths = sorted(int(part) for part in args.lengths.split(",") if part)
+    index = OnexIndex.load(args.index)
+    service = OnexService(
+        index, max_workers=args.threads, cache_size=args.cache_size
+    )
+    print(
+        f"onex-worker shard={args.shard} lengths={lengths} "
+        f"backend={service.backend.name} ready",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as exc:
+                response = {"ok": False, "error": str(exc) or repr(exc)}
+            else:
+                if isinstance(request, dict) and request.get("op") == "shutdown":
+                    response = {"ok": True, "bye": True}
+                    if request.get("id") is not None:
+                        response["id"] = request["id"]
+                    print(json.dumps(response), flush=True)
+                    break
+                response = worker_respond(service, lengths, request)
+            print(json.dumps(response), flush=True)
+    finally:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,6 +100,7 @@ def handle_request(service: OnexService, request: dict) -> dict:
             st=request.get("st"),
             length=request.get("length"),
             normalized=bool(request.get("normalized", True)),
+            lengths=request.get("lengths"),
         )
         return {"ok": True, "matches": [match_to_dict(m) for m in matches]}
     if op == "seasonal":
@@ -119,7 +120,33 @@ def handle_request(service: OnexService, request: dict) -> dict:
         }
     if op == "info":
         return {"ok": True, "info": service.info()}
+    if op == "ping":
+        return {"ok": True, "pong": True}
     return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def respond(service: OnexService, request: dict) -> dict:
+    """Answer one decoded request, owning id echo and error mapping.
+
+    Every response — success *or* failure — carries the request's
+    ``id`` when one was given, so multiplexing clients can correlate
+    failures too. This is the single entry point shared by the
+    JSON-lines loop below and the cluster shard workers.
+    """
+    request_id = None
+    try:
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        request_id = request.get("id")
+        response = handle_request(service, request)
+    except Exception as exc:  # noqa: BLE001 — one bad request must
+        # never take down the long-lived server (OverflowError from
+        # an absurd k, AttributeError from a malformed degree, ...);
+        # KeyboardInterrupt/SystemExit still propagate.
+        response = {"ok": False, "error": str(exc) or repr(exc)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
 
 
 def serve_lines(service: OnexService, lines: Iterable[str]) -> Iterable[str]:
@@ -128,21 +155,13 @@ def serve_lines(service: OnexService, lines: Iterable[str]) -> Iterable[str]:
         line = line.strip()
         if not line:
             continue
-        request_id = None
         try:
             request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError("request must be a JSON object")
-            request_id = request.get("id")
-            response = handle_request(service, request)
-        except Exception as exc:  # noqa: BLE001 — one bad request must
-            # never take down the long-lived server (OverflowError from
-            # an absurd k, AttributeError from a malformed degree, ...);
-            # KeyboardInterrupt/SystemExit still propagate.
-            response = {"ok": False, "error": str(exc) or repr(exc)}
-        if request_id is not None:
-            response["id"] = request_id
-        yield json.dumps(response)
+        except ValueError as exc:
+            # The id is unrecoverable from an unparseable line.
+            yield json.dumps({"ok": False, "error": str(exc) or repr(exc)})
+            continue
+        yield json.dumps(respond(service, request))
 
 
 def serve_forever(

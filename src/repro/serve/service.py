@@ -36,7 +36,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.query_processor import QueryStats
+from repro.core.query_processor import QueryStats, _RepScan
 from repro.core.results import (
     Match,
     SeasonalResult,
@@ -207,8 +207,14 @@ class OnexService:
         length: int | None = None,
         normalized: bool = True,
         refine: bool = True,
+        lengths: Sequence[int] | None = None,
     ) -> list[Match]:
-        """All subsequences within ``st`` of the sample (Q1 range form)."""
+        """All subsequences within ``st`` of the sample (Q1 range form).
+
+        ``lengths`` restricts the sweep to a subset of indexed lengths
+        (the cluster tier sends each shard worker its owned lengths);
+        mutually exclusive with ``length``.
+        """
         values = self._prepare(values, normalized)
         key = ResultCache.make_key(
             values,
@@ -216,13 +222,128 @@ class OnexService:
             st=self.index.st if st is None else float(st),
             length=length,
             refine=bool(refine),
+            lengths=None if lengths is None else tuple(sorted(lengths)),
         )
         cached = self.cache.get(key)
         if cached is not None:
             return list(cached)
-        matches = self.index.within(values, st=st, length=length, refine=refine)
+        matches = self.index.processor.within_threshold(
+            values, st=st, length=length, refine=refine, lengths=lengths
+        )
         self.cache.put(key, tuple(matches))
         return matches
+
+    # ------------------------------------------------------------------
+    # Cluster scatter-gather primitives (see repro.serve.cluster)
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        values: np.ndarray,
+        lengths: Sequence[int],
+        normalized: bool = True,
+    ) -> dict[int, list[tuple[int, float, float]]]:
+        """Open-bound representative scans of ``lengths`` for one query.
+
+        Returns ``{length: [(group_index, dtw_raw, dtw_normalized),
+        ...]}`` — the shard worker's half of a ``Match = Any`` query.
+        Each length's scan is cached independently, so a repeated query
+        costs one dict lookup per owned length.
+        """
+        values = self._prepare(values, normalized)
+        result: dict[int, list[tuple[int, float, float]]] = {}
+        for length in lengths:
+            length = int(length)
+            key = ResultCache.make_key(
+                values, kind="scan", length=length, st=self.index.st
+            )
+            cached = self.cache.get(key)
+            if cached is None:
+                scans = self.index.processor.scan_length(length, values)
+                self._absorb_query_stats()
+                cached = tuple(
+                    (scan.group_index, scan.dtw_raw, scan.dtw_normalized)
+                    for scan in scans
+                )
+                self.cache.put(key, cached)
+            result[length] = list(cached)
+        return result
+
+    def refine(
+        self,
+        values: np.ndarray,
+        length: int,
+        scans: Sequence[tuple[int, float, float]],
+        k: int = 1,
+        normalized: bool = True,
+    ) -> list[Match]:
+        """In-group refinement for a sweep the router already replayed.
+
+        ``scans`` is the winning length's scan list exactly as
+        :meth:`scan` returned it; the answer is exactly what
+        :meth:`query` would return for this query when the §5.3 sweep
+        selects ``length``.
+        """
+        values = self._prepare(values, normalized)
+        scan_objs = [
+            _RepScan(
+                group_index=int(group_index),
+                dtw_raw=float(dtw_raw),
+                dtw_normalized=float(dtw_normalized),
+            )
+            for group_index, dtw_raw, dtw_normalized in scans
+        ]
+        key = ResultCache.make_key(
+            values,
+            kind="refine",
+            length=int(length),
+            k=int(k),
+            st=self.index.st,
+            scans=tuple(
+                (scan.group_index, scan.dtw_raw) for scan in scan_objs
+            ),
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        matches = self.index.processor.refine_scans(
+            length, scan_objs, values, k=k
+        )
+        self._absorb_query_stats()
+        self.cache.put(key, tuple(matches))
+        return matches
+
+    def shard_info(self, lengths: Sequence[int] | None = None) -> dict:
+        """Lightweight per-shard introspection (no full hydration).
+
+        Unlike :meth:`info`, this never touches buckets outside
+        ``lengths`` — :meth:`info` calls ``index.stats()``, which
+        hydrates *every* length and would defeat shard isolation.
+        """
+        owned = (
+            self.index.rspace.lengths
+            if lengths is None
+            else sorted(int(length) for length in lengths)
+        )
+        with self._stats_lock:
+            query_stats = dataclasses.asdict(self._query_stats)
+        return {
+            "dataset": self.index.dataset.name,
+            "st": self.index.st,
+            "lengths": owned,
+            "hydrated_lengths": [
+                length
+                for length in self.index.rspace.hydrated_lengths
+                if length in owned
+            ],
+            "workers": self.max_workers,
+            "cache": self.cache.stats,
+            "backend": {
+                "name": self.backend.name,
+                "jit": self.backend.jit,
+                "warmup_seconds": self.backend_warmup_seconds,
+            },
+            "query_stats": query_stats,
+        }
 
     # ------------------------------------------------------------------
     # Classes II and III (already read-only; locks in the core make the

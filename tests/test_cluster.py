@@ -1,0 +1,550 @@
+"""The sharded serving tier: shard map, router, workers, metrics, jobs.
+
+The end-to-end tests spawn real worker subprocesses over a saved v3
+directory and assert the router's responses are bit-identical (as JSON)
+to a single-process ``OnexService`` answering the same requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.onex import OnexIndex
+from repro.core.persistence import read_manifest, save_index
+from repro.serve.cluster.jobs import JobQueue
+from repro.serve.cluster.metrics import ClusterMetrics, LatencyHistogram
+from repro.serve.cluster.router import (
+    ClusterRouter,
+    ShardUnavailable,
+    merge_within,
+    replay_sweep,
+)
+from repro.serve.cluster.shardmap import (
+    compute_shard_map,
+    shard_map_from_manifest,
+)
+from repro.serve.server import handle_request, respond
+from repro.serve.service import OnexService
+
+
+@pytest.fixture(scope="module")
+def v3_path(small_index, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("cluster") / "index_v3"
+    save_index(small_index, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def single_service(v3_path) -> OnexService:
+    service = OnexService(
+        OnexIndex.load(v3_path), max_workers=2, cache_size=256
+    )
+    yield service
+    service.close()
+
+
+def _requests(lengths: list[int]) -> list[dict]:
+    rng = np.random.default_rng(42)
+
+    def query(length: int) -> list[float]:
+        return [float(v) for v in rng.random(length) * 0.8 + 0.1]
+
+    mid = lengths[len(lengths) // 2]
+    return [
+        {"op": "query", "values": query(lengths[0] + 1), "id": "q-any"},
+        {"op": "query", "values": query(mid), "k": 3, "id": "q-any-k"},
+        {"op": "query", "values": query(mid), "length": mid, "k": 2, "id": "q-exact"},
+        {
+            "op": "query",
+            "queries": [query(length) for length in lengths],
+            "k": 2,
+            "id": "q-batch-any",
+        },
+        {
+            "op": "query",
+            "queries": [query(mid), query(mid)],
+            "length": mid,
+            "id": "q-batch-exact",
+        },
+        {"op": "within", "values": query(mid), "st": 0.6, "id": "w-any"},
+        {
+            "op": "within",
+            "values": query(mid),
+            "st": 0.6,
+            "length": lengths[-1],
+            "id": "w-exact",
+        },
+        {"op": "seasonal", "length": mid, "id": "s-data"},
+        {"op": "seasonal", "length": mid, "series": 1, "id": "s-user"},
+        {"op": "recommend", "id": "r-all"},
+        {"op": "recommend", "degree": "S", "length": mid, "id": "r-one"},
+        # Error paths must be identical too (text and id echo).
+        {"op": "query", "id": "e-novalues"},
+        {"op": "nonsense", "id": "e-unknown"},
+        {"op": "query", "values": query(mid), "k": 0, "id": "e-k"},
+        {"op": "seasonal", "id": "e-nolength"},
+    ]
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Shard map
+# ----------------------------------------------------------------------
+class TestShardMap:
+    def test_contiguous_and_deterministic(self):
+        lengths = [6, 12, 18, 24, 30]
+        weights = [500, 300, 200, 100, 50]
+        first = compute_shard_map(lengths, weights, 3)
+        second = compute_shard_map(lengths, weights, 3)
+        assert first == second
+        flat = [length for shard in first.shards for length in shard]
+        assert flat == sorted(lengths)
+        assert first.n_shards == 3
+
+    def test_balances_max_weight(self):
+        # One heavy length must sit alone; the optimum max weight is 500.
+        shard_map = compute_shard_map([1, 2, 3], [500, 250, 250], 2)
+        assert shard_map.shards == ((1,), (2, 3))
+        assert max(shard_map.weights) == 500
+
+    def test_clamps_to_length_count(self):
+        shard_map = compute_shard_map([10, 20], [1, 1], 8)
+        assert shard_map.n_shards == 2
+
+    def test_owner_lookup(self):
+        shard_map = compute_shard_map([5, 10, 15], [1, 1, 1], 3)
+        assert [shard_map.owner(length) for length in (5, 10, 15)] == [0, 1, 2]
+        with pytest.raises(KeyError):
+            shard_map.owner(99)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            compute_shard_map([], [], 2)
+        with pytest.raises(ValueError):
+            compute_shard_map([5], [1], 0)
+
+    def test_from_manifest(self, v3_path, small_index):
+        manifest = read_manifest(v3_path)
+        assert manifest["sharding"]["strategy"] == "contiguous-balanced"
+        shard_map = shard_map_from_manifest(manifest, 2)
+        assert shard_map.lengths == small_index.rspace.lengths
+        # Weights come from the persisted per-length subsequence counts.
+        totals = {
+            entry["length"]: entry["n_subsequences"]
+            for entry in manifest["lengths"]
+        }
+        assert sum(shard_map.weights) == sum(totals.values())
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_counts_and_merge(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.001)
+        histogram.observe(0.010)
+        histogram.observe(5.0)
+        snapshot = histogram.to_dict()
+        assert snapshot["count"] == 3
+        assert snapshot["sum_seconds"] == pytest.approx(5.011)
+        assert snapshot["max_seconds"] == pytest.approx(5.0)
+        assert sum(b["count"] for b in snapshot["buckets"]) == 3
+        assert snapshot["buckets"][-1]["le_ms"] is None  # +inf bucket
+
+        other = LatencyHistogram()
+        other.merge_dict(snapshot)
+        other.observe(0.002)
+        assert other.to_dict()["count"] == 4
+
+    def test_histogram_merge_rejects_foreign_grid(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.merge_dict({"buckets": [{"count": 1}]})
+
+    def test_cluster_counters(self):
+        metrics = ClusterMetrics()
+        metrics.record_op("query")
+        metrics.record_op("query")
+        metrics.record_busy()
+        metrics.record_shard_error()
+        metrics.record_worker_restart()
+        snapshot = metrics.to_dict()
+        assert snapshot["ops"]["query"] == 2
+        assert snapshot["busy_rejected"] == 1
+        assert snapshot["errors"]["busy"] == 1
+        assert snapshot["shard_errors"] == 1
+        assert snapshot["worker_restarts"] == 1
+        assert set(snapshot["stages"]) == {
+            "parse",
+            "route",
+            "shard_compute",
+            "merge",
+        }
+
+
+# ----------------------------------------------------------------------
+# Pure merge helpers
+# ----------------------------------------------------------------------
+class TestMergeHelpers:
+    def test_replay_sweep_prefers_strictly_better(self):
+        scans = {
+            10: [(0, 2.0, 0.5)],
+            20: [(1, 1.0, 0.2)],
+        }
+        winner = replay_sweep(scans, [10, 20], 12, st=0.1)
+        assert winner == (20, [(1, 1.0, 0.2)])
+
+    def test_replay_sweep_stops_at_half_st(self):
+        # Sweep from 10 upward: 10 already satisfies ST/2, so 20 (which
+        # is closer in distance) must never be visited — exactly the
+        # single-process stop-at-half-ST behaviour.
+        scans = {
+            10: [(0, 2.0, 0.04)],
+            20: [(1, 1.0, 0.01)],
+        }
+        winner = replay_sweep(scans, [10, 20], 10, st=0.1)
+        assert winner == (10, [(0, 2.0, 0.04)])
+
+    def test_replay_sweep_no_reachable(self):
+        assert replay_sweep({10: []}, [10], 10, st=0.2) is None
+
+    def test_merge_within_reproduces_stable_order(self):
+        shard0 = [
+            {"series": 0, "dtw_normalized": 0.1},
+            {"series": 1, "dtw_normalized": 0.3},
+        ]
+        shard1 = [
+            {"series": 2, "dtw_normalized": 0.1},
+            {"series": 3, "dtw_normalized": 0.2},
+        ]
+        merged = merge_within([shard0, shard1])
+        # Ties resolve in shard (= generation) order: series 0 before 2.
+        assert [match["series"] for match in merged] == [0, 2, 3, 1]
+
+
+# ----------------------------------------------------------------------
+# Background job queue
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_build_job_lifecycle(self, tmp_path):
+        queue = JobQueue()
+        try:
+            ticket = queue.submit(
+                "build",
+                {
+                    "dataset": {"name": "ItalyPower", "n_series": 4, "length": 16},
+                    "st": 0.3,
+                    "path": str(tmp_path / "job_index"),
+                },
+            )
+            assert ticket["status"] == "queued"
+            for _ in range(200):
+                status = queue.status(ticket["job"])
+                if status["status"] in ("done", "error"):
+                    break
+                import time
+
+                time.sleep(0.05)
+            assert status["status"] == "done", status
+            assert (tmp_path / "job_index" / "manifest.json").exists()
+            assert status["result"]["lengths"]
+            assert queue.list_jobs()[0]["job"] == ticket["job"]
+        finally:
+            queue.close()
+
+    def test_unknown_kind_and_job(self):
+        queue = JobQueue()
+        try:
+            with pytest.raises(ValueError):
+                queue.submit("bogus", {})
+            with pytest.raises(KeyError):
+                queue.status("job-404")
+        finally:
+            queue.close()
+
+
+# ----------------------------------------------------------------------
+# Single-process server fixes (id echo everywhere)
+# ----------------------------------------------------------------------
+class TestRespond:
+    def test_error_responses_echo_id(self, single_service):
+        for request in (
+            {"op": "nonsense", "id": 7},
+            {"op": "query", "id": 8},
+            {"op": "query", "values": [0.1] * 12, "k": 0, "id": 9},
+            {"op": "seasonal", "id": 10},
+        ):
+            response = respond(single_service, request)
+            assert response["ok"] is False
+            assert response["id"] == request["id"]
+
+    def test_unknown_op_via_handle_request_then_respond(self, single_service):
+        # handle_request alone reports the error; respond adds the id.
+        assert handle_request(single_service, {"op": "zap"})["ok"] is False
+        assert respond(single_service, {"op": "zap", "id": 1})["id"] == 1
+
+    def test_ping_op(self, single_service):
+        assert respond(single_service, {"op": "ping", "id": 2}) == {
+            "ok": True,
+            "pong": True,
+            "id": 2,
+        }
+
+
+# ----------------------------------------------------------------------
+# Service-level scatter/gather primitives (no subprocesses)
+# ----------------------------------------------------------------------
+class TestScanRefine:
+    def test_scan_refine_matches_query(self, single_service):
+        from repro.core.rspace import search_length_order
+
+        service = single_service
+        lengths = service.index.rspace.lengths
+        rng = np.random.default_rng(5)
+        for query_length in (lengths[0], lengths[0] + 3, lengths[-1]):
+            values = rng.random(query_length) * 0.8 + 0.1
+            direct = service.query(values, k=2)
+            scans_by_length = service.scan(values, lengths)
+            winner = replay_sweep(
+                {
+                    length: scans
+                    for length, scans in scans_by_length.items()
+                },
+                lengths,
+                query_length,
+                service.index.st,
+            )
+            assert winner is not None
+            routed = service.refine(values, winner[0], winner[1], k=2)
+            assert [
+                (m.ssid, m.dtw, m.dtw_normalized, m.group) for m in direct
+            ] == [
+                (m.ssid, m.dtw, m.dtw_normalized, m.group) for m in routed
+            ]
+
+    def test_within_lengths_partition_merges(self, single_service):
+        service = single_service
+        lengths = service.index.rspace.lengths
+        values = np.linspace(0.2, 0.8, lengths[1])
+        whole = service.within(values, st=0.6)
+        split = [
+            match
+            for subset in (lengths[:2], lengths[2:])
+            for match in service.within(values, st=0.6, lengths=subset)
+        ]
+        split.sort(key=lambda match: match.dtw_normalized)
+        assert [(m.ssid, m.dtw) for m in whole] == [
+            (m.ssid, m.dtw) for m in split
+        ]
+
+    def test_within_rejects_length_and_lengths(self, single_service):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            single_service.index.processor.within_threshold(
+                np.linspace(0, 1, 12), length=12, lengths=[12]
+            )
+
+
+# ----------------------------------------------------------------------
+# End-to-end: real worker subprocesses behind the router
+# ----------------------------------------------------------------------
+class TestClusterEndToEnd:
+    def test_bit_identity_with_single_process(
+        self, v3_path, single_service
+    ):
+        lengths = single_service.index.rspace.lengths
+        requests = _requests(lengths)
+        expected = [
+            json.dumps(respond(single_service, dict(request)), sort_keys=True)
+            for request in requests
+        ]
+
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, max_inflight=16, ping_interval=30
+            )
+            await router.start()
+            try:
+                responses = [
+                    json.dumps(
+                        await router.process_request(dict(request)),
+                        sort_keys=True,
+                    )
+                    for request in requests
+                ]
+                health = await router.process_request({"op": "health"})
+                metrics = await router.process_request({"op": "metrics"})
+                info = await router.process_request({"op": "info"})
+            finally:
+                await router.drain()
+            return responses, health, metrics, info
+
+        responses, health, metrics, info = _run(run())
+        for request, want, got in zip(requests, expected, responses, strict=True):
+            assert want == got, f"divergence on {request['id']}"
+
+        assert health["health"]["status"] == "ok"
+        assert len(health["health"]["shards"]) == 2
+        assert all(shard["alive"] for shard in health["health"]["shards"])
+
+        snapshot = metrics["metrics"]
+        assert snapshot["ops"]["query"] == 7
+        assert snapshot["stages"]["shard_compute"]["count"] > 0
+        assert snapshot["stages"]["merge"]["count"] > 0
+        assert len(snapshot["shard_latency"]) == 2
+        assert snapshot["cache"]["misses"] > 0
+        assert snapshot["query_stats"].get("rep_dtw_full", 0) > 0
+
+        assert info["info"]["lengths"] == lengths
+        assert info["info"]["n_shards"] == 2
+
+    def test_backpressure_rejects_instead_of_buffering(self, v3_path):
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, max_inflight=1, ping_interval=30
+            )
+            await router.start()
+            try:
+                blocker = asyncio.create_task(
+                    router.process_request(
+                        {"op": "shard_sleep", "shard": 0, "seconds": 1.5}
+                    )
+                )
+                await asyncio.sleep(0.3)  # the sleep op now holds the slot
+                rejected = await router.process_request(
+                    {"op": "query", "values": [0.5] * 8, "id": "over"}
+                )
+                # Observability must bypass admission even under load.
+                health = await router.process_request({"op": "health"})
+                blocked = await blocker
+                # The slot is free again: the same query now succeeds.
+                accepted = await router.process_request(
+                    {"op": "query", "values": [0.5] * 8, "id": "after"}
+                )
+                busy_count = router.metrics.busy_rejected
+            finally:
+                await router.drain()
+            return rejected, health, blocked, accepted, busy_count
+
+        rejected, health, blocked, accepted, busy_count = _run(run())
+        assert rejected["ok"] is False
+        assert rejected["code"] == "busy"
+        assert rejected["id"] == "over"  # errors echo the id too
+        assert health["ok"] is True
+        assert blocked["ok"] is True
+        assert accepted["ok"] is True
+        assert busy_count == 1
+
+    def test_worker_death_and_recovery(self, v3_path, single_service):
+        probe = {"op": "query", "values": [0.4] * 10, "id": "probe"}
+        expected = json.dumps(
+            respond(single_service, dict(probe)), sort_keys=True
+        )
+
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, max_inflight=8, ping_interval=30
+            )
+            await router.start()
+            try:
+                victim = asyncio.create_task(
+                    router.process_request(
+                        {"op": "shard_sleep", "shard": 0, "seconds": 60, "id": "rip"}
+                    )
+                )
+                await asyncio.sleep(0.3)
+                os.kill(router.workers[0].pid, signal.SIGKILL)
+                failed = await victim
+                # The supervisor restarts the worker automatically.
+                for _ in range(200):
+                    if router.workers[0].alive:
+                        try:
+                            await router.workers[0].ping()
+                            break
+                        except ShardUnavailable:
+                            pass
+                    await asyncio.sleep(0.05)
+                restarts = router.workers[0].restarts
+                health = await router.process_request({"op": "health"})
+                recovered = await router.process_request(dict(probe))
+            finally:
+                await router.drain()
+            return failed, restarts, health, recovered
+
+        failed, restarts, health, recovered = _run(run())
+        assert failed["ok"] is False
+        assert failed["code"] == "shard_unavailable"
+        assert failed["id"] == "rip"
+        assert restarts == 1
+        assert health["health"]["status"] == "ok"
+        assert json.dumps(recovered, sort_keys=True) == expected
+
+    def test_drain_rejects_new_work(self, v3_path):
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, max_inflight=4, ping_interval=30
+            )
+            await router.start()
+            await router.drain()
+            return await router.process_request(
+                {"op": "query", "values": [0.5] * 8, "id": "late"}
+            )
+
+        response = _run(run())
+        assert response["ok"] is False
+        assert response["code"] == "draining"
+        assert response["id"] == "late"
+
+    def test_job_submit_and_poll_through_router(self, v3_path, tmp_path):
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, max_inflight=4, ping_interval=30
+            )
+            await router.start()
+            try:
+                ticket = await router.process_request(
+                    {
+                        "op": "submit",
+                        "kind": "build",
+                        "params": {
+                            "dataset": {
+                                "name": "ItalyPower",
+                                "n_series": 4,
+                                "length": 16,
+                            },
+                            "st": 0.3,
+                            "path": str(tmp_path / "bg_index"),
+                        },
+                        "id": "t",
+                    }
+                )
+                assert ticket["ok"], ticket
+                status = None
+                for _ in range(200):
+                    status = await router.process_request(
+                        {"op": "job_status", "job": ticket["job"]}
+                    )
+                    if status["status"] in ("done", "error"):
+                        break
+                    await asyncio.sleep(0.05)
+                listing = await router.process_request({"op": "jobs"})
+            finally:
+                await router.drain()
+            return ticket, status, listing
+
+        ticket, status, listing = _run(run())
+        assert ticket["status"] == "queued"
+        assert status["status"] == "done", status
+        assert (tmp_path / "bg_index" / "manifest.json").exists()
+        assert listing["jobs"][0]["job"] == ticket["job"]
