@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Validate the shape of an ``onex lint --json`` report artifact.
+
+CI runs this against the ``onex-lint.json`` it just produced so that a
+report-format drift (a renamed key, a version bump without a consumer
+update) fails the pipeline loudly instead of silently breaking whoever
+parses the artifact downstream. Stdlib-only on purpose: the CI image
+has no jsonschema.
+
+Usage: ``python scripts/check_lint_report.py onex-lint.json``
+Exit codes: 0 = report is well-formed, 1 = drift/malformed, 2 = usage.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+EXPECTED_VERSION = 2
+
+#: key -> expected container type at the top level of the report.
+TOP_LEVEL = {
+    "version": int,
+    "files_checked": int,
+    "diagnostics": list,
+    "suppressed": list,
+    "baselined": list,
+    "stale_baseline": list,
+    "rules": dict,
+}
+
+DIAGNOSTIC_KEYS = {
+    "path": str,
+    "line": int,
+    "col": int,
+    "code": str,
+    "message": str,
+}
+
+STALE_KEYS = {"code": str, "path": str, "justification": str}
+
+
+def fail(message: str) -> "int":
+    print(f"check_lint_report: {message}", file=sys.stderr)
+    return 1
+
+
+def check(payload: object) -> int:
+    if not isinstance(payload, dict):
+        return fail("report must be a JSON object")
+    for key, expected in TOP_LEVEL.items():
+        if key not in payload:
+            return fail(f"missing top-level key {key!r}")
+        if not isinstance(payload[key], expected):
+            return fail(
+                f"key {key!r} must be {expected.__name__}, got "
+                f"{type(payload[key]).__name__}"
+            )
+    if payload["version"] != EXPECTED_VERSION:
+        return fail(
+            f"report version {payload['version']!r} != expected "
+            f"{EXPECTED_VERSION} (update this checker with the format)"
+        )
+    for section in ("diagnostics", "suppressed", "baselined"):
+        for index, entry in enumerate(payload[section]):
+            if not isinstance(entry, dict):
+                return fail(f"{section}[{index}] must be an object")
+            for key, expected in DIAGNOSTIC_KEYS.items():
+                if not isinstance(entry.get(key), expected):
+                    return fail(
+                        f"{section}[{index}].{key} must be "
+                        f"{expected.__name__}"
+                    )
+            if not entry["code"].startswith("ONEX"):
+                return fail(
+                    f"{section}[{index}].code {entry['code']!r} is not "
+                    "an ONEX rule code"
+                )
+    for index, entry in enumerate(payload["stale_baseline"]):
+        if not isinstance(entry, dict):
+            return fail(f"stale_baseline[{index}] must be an object")
+        for key, expected in STALE_KEYS.items():
+            if not isinstance(entry.get(key), expected):
+                return fail(
+                    f"stale_baseline[{index}].{key} must be "
+                    f"{expected.__name__}"
+                )
+    for code, rule in payload["rules"].items():
+        if not code.startswith("ONEX"):
+            return fail(f"rule key {code!r} is not an ONEX code")
+        if not isinstance(rule, dict) or not isinstance(
+            rule.get("name"), str
+        ) or not isinstance(rule.get("rationale"), str):
+            return fail(f"rule {code!r} needs string name and rationale")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot read {argv[1]}: {exc}")
+    status = check(payload)
+    if status == 0:
+        print(
+            f"check_lint_report: {argv[1]} ok "
+            f"(version {payload['version']}, "
+            f"{payload['files_checked']} files, "
+            f"{len(payload['diagnostics'])} findings)"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -11,16 +11,27 @@ self-contained, stdlib-only (``ast`` + ``tokenize``) framework:
 * :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record;
 * :mod:`repro.analysis.source` — parsed per-file context (AST, comment
   directives: ``# onex: ignore[...]`` and ``# guarded-by: <lock>``);
-* :mod:`repro.analysis.registry` — the rule registry (code → rule);
-* :mod:`repro.analysis.rules` — the four shipped rule families:
-  numeric purity (ONEX1xx), backend dispatch (ONEX2xx), lockset races
-  (ONEX3xx), persistence atomicity (ONEX4xx);
+* :mod:`repro.analysis.registry` — the rule registry (code → rule),
+  per-tree scoping, and the two-phase ``Rule`` / ``ProjectRule`` split;
+* :mod:`repro.analysis.callgraph` — the project-wide call graph the
+  interprocedural rules share (name resolution, lock-context edges,
+  reachability);
+* :mod:`repro.analysis.rules` — the shipped rule families: numeric
+  purity (ONEX1xx), backend dispatch (ONEX2xx), interprocedural lockset
+  races (ONEX3xx), persistence atomicity (ONEX4xx), async safety
+  (ONEX5xx), determinism (ONEX6xx), resource lifecycle (ONEX7xx);
+* :mod:`repro.analysis.baseline` — the ``lint-baseline.json``
+  grandfather list (justified entries only; stale entries reported);
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 serialisation for code
+  scanning upload;
 * :mod:`repro.analysis.engine` — file discovery, rule execution,
-  suppression handling, text/JSON reporting;
+  suppression/baseline handling, text/JSON/SARIF reporting;
 * ``python -m repro.analysis`` / ``onex lint`` — the CI entry points
-  (exit 0 on a clean tree, 1 on any diagnostic, 2 on usage errors).
+  (exit 0 on a clean tree, 1 on any non-baselined diagnostic, 2 on
+  usage errors).
 
-See DESIGN.md §11 for the rule catalog and annotation conventions.
+See DESIGN.md §11 for the rule catalog and annotation conventions and
+§14 for the call-graph engine, baseline workflow, and SARIF output.
 """
 
 from repro.analysis.diagnostics import Diagnostic

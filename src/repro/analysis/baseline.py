@@ -1,0 +1,147 @@
+"""The grandfathered-findings baseline (``lint-baseline.json``).
+
+New rule families land against an existing tree; the baseline is how
+that happens without either breaking CI on day one or silently hiding
+real findings. The contract, pinned by ``tests/test_analysis_cli.py``:
+
+* The file is checked in at the repo root and loaded by default, so
+  local ``onex lint`` and CI agree on what is grandfathered.
+* Every entry **must** carry a written ``justification`` — an entry
+  without one is a usage error (exit 2), not a quiet exemption.
+* A baselined finding is still *reported* (in the ``baselined`` section
+  of the JSON report and as a suppressed SARIF result); it just does
+  not fail the build. A new finding — anything not matched — does.
+* Entries match on ``(code, path)`` where ``path`` is the module's
+  logical path (``serve/cluster/router.py``) or a trailing path suffix,
+  never on line numbers: baselines must survive unrelated edits.
+* Entries that match nothing are listed as ``stale`` so a fixed finding
+  prompts deleting its baseline entry rather than leaving a loophole.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: The default baseline filename, discovered at the repo root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file (engine maps this to exit code 2)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    code: str
+    path: str
+    justification: str
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.code != self.code:
+            return False
+        candidate = diagnostic.path.replace("\\", "/")
+        wanted = self.path.replace("\\", "/")
+        return candidate == wanted or candidate.endswith("/" + wanted)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline plus its matching bookkeeping."""
+
+    entries: list[BaselineEntry]
+    source: str | None = None
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    def partition(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic], list[BaselineEntry]]:
+        """Split diagnostics into (new, baselined); also the stale entries."""
+        new: list[Diagnostic] = []
+        baselined: list[Diagnostic] = []
+        used: set[BaselineEntry] = set()
+        for diagnostic in diagnostics:
+            entry = next(
+                (e for e in self.entries if e.matches(diagnostic)), None
+            )
+            if entry is None:
+                new.append(diagnostic)
+            else:
+                baselined.append(diagnostic)
+                used.add(entry)
+        stale = [entry for entry in self.entries if entry not in used]
+        return new, baselined, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse and validate one baseline file.
+
+    Raises :class:`BaselineError` on structural problems — including a
+    missing or empty ``justification``, which is the whole point: a
+    grandfathered finding without a written reason is just a hidden one.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise BaselineError(
+            f"baseline {path} must be an object with \"version\": 1"
+        )
+    raw_entries = payload.get("entries")
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path} needs an \"entries\" list")
+    entries: list[BaselineEntry] = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(
+                f"baseline {path} entry {index} must be an object"
+            )
+        code = raw.get("code")
+        entry_path = raw.get("path")
+        justification = raw.get("justification")
+        if not isinstance(code, str) or not code.startswith("ONEX"):
+            raise BaselineError(
+                f"baseline {path} entry {index}: \"code\" must be an "
+                "ONEX rule code"
+            )
+        if not isinstance(entry_path, str) or not entry_path:
+            raise BaselineError(
+                f"baseline {path} entry {index}: \"path\" is required"
+            )
+        if not isinstance(justification, str) or not justification.strip():
+            raise BaselineError(
+                f"baseline {path} entry {index} ({code} {entry_path}): "
+                "every baselined finding needs a written justification"
+            )
+        entries.append(
+            BaselineEntry(
+                code=code, path=entry_path, justification=justification
+            )
+        )
+    return Baseline(entries=entries, source=str(path))
+
+
+def discover_baseline(start: Path) -> Path | None:
+    """The nearest ``lint-baseline.json`` at or above ``start``."""
+    current = start.resolve()
+    for candidate in [current, *current.parents]:
+        path = candidate / BASELINE_FILENAME
+        if path.is_file():
+            return path
+    return None

@@ -1,0 +1,475 @@
+"""The project-wide call-graph engine behind the interprocedural rules.
+
+The per-module rule families (ONEX1xx/2xx/4xx) see one file at a time;
+the concurrency and determinism invariants they cannot check are
+*reachability* properties: a blocking call three helpers below an
+``async def``, a guarded attribute touched by a helper whose lock
+arrives two call frames up. This module builds one graph over every
+parsed module of a lint run and gives rules the pieces they need:
+
+* **Function index.** Every module-level function, class method, and
+  named nested function becomes a :class:`FunctionInfo` keyed by a
+  stable qualname (``repro.serve.cluster.router::WorkerHandle.start``).
+* **Edge resolution.** Call sites resolve through four mechanisms:
+  bare names (module functions, ``from``-imports, enclosing-scope
+  nested functions — local definitions shadow imports, as at runtime),
+  ``self.method()`` (same class first, then single-level bases named in
+  the same module), dotted module access (``server.respond`` through an
+  import alias), and ``Class.method`` chains. Unresolvable calls are
+  kept as :class:`ExternalCall` records — the async-safety rules match
+  their dotted names against blocking-API tables.
+* **Call-site context.** Every edge and external call carries the
+  lexically held ``with self.<lock>:`` set at the call site, so the
+  lockset detector can run a fixed-point dataflow over the graph
+  instead of the one-level caller scan it shipped with (DESIGN.md §14).
+
+The graph is deliberately name-based and intra-project: no type
+inference, no attribute tracking through containers (``self.jobs.x()``
+stays external). That keeps resolution sound-for-what-it-resolves —
+an edge in the graph is a call that can happen — while unresolved
+calls stay visible to rules that want them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import decorator_base_name, dotted_name
+from repro.analysis.source import SourceModule
+
+#: Methods where the instance is assumed not yet shared across threads.
+CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def module_key(module: SourceModule) -> str:
+    """Stable dotted key for one module (import-name when in-package).
+
+    ``repro/serve/cluster/router.py`` keys as
+    ``repro.serve.cluster.router`` so ``import``-statement resolution is
+    a string match; files outside a ``repro`` package key by path.
+    """
+    if module.logical_parts:
+        parts = list(module.logical_parts)
+        last = parts[-1]
+        if last == "__init__.py":
+            parts = parts[:-1]
+        elif last.endswith(".py"):
+            parts[-1] = last[:-3]
+        return ".".join(["repro", *parts])
+    return module.display_path
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method in the project index."""
+
+    qualname: str
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Enclosing class name for methods, else ``None``.
+    class_name: str | None
+    #: ``Class.method`` / ``func`` / ``outer.<locals>.inner``.
+    local_name: str
+    is_async: bool
+    decorators: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.class_name is not None and self.name in CONSTRUCTORS
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: caller qualname -> callee qualname."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+    #: ``with self.<name>:`` attributes lexically held at the site.
+    held_locks: frozenset[str]
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """One unresolved call site, kept for name-table rules."""
+
+    caller: str
+    node: ast.Call
+    #: Dotted callee name (``time.sleep``, ``self.jobs.submit``) or
+    #: ``<attr>.name`` for calls on arbitrary expressions.
+    name: str
+    held_locks: frozenset[str]
+
+
+@dataclass
+class CallGraph:
+    """The resolved project graph plus its unresolved remainder."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    edges: list[CallEdge] = field(default_factory=list)
+    external_calls: dict[str, list[ExternalCall]] = field(
+        default_factory=dict
+    )
+    _out: dict[str, list[CallEdge]] = field(default_factory=dict)
+    _in: dict[str, list[CallEdge]] = field(default_factory=dict)
+
+    def add_edge(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self._out.setdefault(edge.caller, []).append(edge)
+        self._in.setdefault(edge.callee, []).append(edge)
+
+    def callees(self, qualname: str) -> list[CallEdge]:
+        """Outgoing resolved edges of one function."""
+        return self._out.get(qualname, [])
+
+    def callers(self, qualname: str) -> list[CallEdge]:
+        """Incoming resolved edges of one function."""
+        return self._in.get(qualname, [])
+
+    def externals(self, qualname: str) -> list[ExternalCall]:
+        """Unresolved call sites inside one function."""
+        return self.external_calls.get(qualname, [])
+
+    def functions_of(self, module: SourceModule) -> list[FunctionInfo]:
+        return [
+            info
+            for info in self.functions.values()
+            if info.module is module
+        ]
+
+    def reachable_from(
+        self,
+        starts: Iterable[str],
+        follow: Callable[[CallEdge], bool] | None = None,
+    ) -> set[str]:
+        """Every function reachable from ``starts`` along resolved edges.
+
+        ``follow`` filters edges (return ``False`` to prune); cycles are
+        handled by the visited set. The result includes the starts.
+        """
+        seen: set[str] = set()
+        work = deque(starts)
+        while work:
+            current = work.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            for edge in self.callees(current):
+                if follow is not None and not follow(edge):
+                    continue
+                if edge.callee not in seen:
+                    work.append(edge.callee)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# Graph construction
+# ----------------------------------------------------------------------
+@dataclass
+class _ModuleScope:
+    """Name-resolution tables for one module."""
+
+    key: str
+    #: Bare name -> qualname of a module-level function.
+    functions: dict[str, str] = field(default_factory=dict)
+    #: Class name -> {method name -> qualname}.
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: Class name -> base-class names (as written).
+    bases: dict[str, list[str]] = field(default_factory=dict)
+    #: Local alias -> imported module key (``srv`` -> ``repro.serve.server``).
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: Local alias -> (module key, symbol) for ``from m import symbol``.
+    symbol_aliases: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+def _collect_imports(module: SourceModule, scope: _ModuleScope) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if not alias.name.startswith("repro"):
+                    continue
+                if alias.asname is not None:
+                    scope.module_aliases[alias.asname] = alias.name
+                else:
+                    # `import repro.serve.server` binds `repro`; dotted
+                    # lookups walk the full name from that root.
+                    scope.module_aliases.setdefault("repro", "repro")
+        elif isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            if node.level or not source.startswith("repro"):
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                # The imported symbol may itself be a module
+                # (`from repro.serve import server`); record both
+                # readings and let resolution try function-first.
+                scope.symbol_aliases[bound] = (source, alias.name)
+                scope.module_aliases.setdefault(
+                    bound, f"{source}.{alias.name}"
+                )
+
+
+class _FunctionIndexer:
+    """First pass: index every function of one module."""
+
+    def __init__(self, module: SourceModule, graph: CallGraph) -> None:
+        self.module = module
+        self.graph = graph
+        self.scope = _ModuleScope(key=module_key(module))
+
+    def run(self) -> _ModuleScope:
+        _collect_imports(self.module, self.scope)
+        for statement in self.module.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(statement, class_name=None, prefix="")
+            elif isinstance(statement, ast.ClassDef):
+                self._index_class(statement)
+        return self.scope
+
+    def _index_class(self, class_node: ast.ClassDef) -> None:
+        methods: dict[str, str] = {}
+        self.scope.classes[class_node.name] = methods
+        self.scope.bases[class_node.name] = [
+            name
+            for base in class_node.bases
+            if (name := dotted_name(base)) is not None
+        ]
+        for statement in class_node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._index_function(
+                    statement,
+                    class_name=class_node.name,
+                    prefix=f"{class_node.name}.",
+                )
+                methods[statement.name] = info.qualname
+
+    def _index_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+        prefix: str,
+    ) -> FunctionInfo:
+        local_name = prefix + node.name
+        qualname = f"{self.scope.key}::{local_name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.module,
+            node=node,
+            class_name=class_name,
+            local_name=local_name,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            decorators=tuple(
+                name
+                for decorator in node.decorator_list
+                if (name := decorator_base_name(decorator)) is not None
+            ),
+        )
+        self.graph.functions[qualname] = info
+        if class_name is None and prefix == "":
+            self.scope.functions[node.name] = qualname
+        return info
+
+
+class _BodyWalker(ast.NodeVisitor):
+    """Second pass: resolve the call sites of one function body.
+
+    Tracks the lexically held ``with self.<attr>:`` set, attributes
+    nested named functions to their own graph nodes, and resolves bare
+    names through locals-first scoping (a nested ``def`` shadows a
+    module function or import of the same name, as at runtime).
+    """
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        scope: _ModuleScope,
+        info: FunctionInfo,
+        local_functions: dict[str, str],
+    ) -> None:
+        self.graph = graph
+        self.scope = scope
+        self.info = info
+        self.local_functions = local_functions
+        self.held: tuple[str, ...] = ()
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        entered = [
+            item.context_expr.attr
+            for item in node.items
+            if isinstance(item.context_expr, ast.Attribute)
+            and isinstance(item.context_expr.value, ast.Name)
+            and item.context_expr.value.id == "self"
+        ]
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self.held = self.held + tuple(entered)
+        for statement in node.body:
+            self.visit(statement)
+        self.held = self.held[: len(self.held) - len(entered)]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._walk_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._walk_nested(node)
+
+    def _walk_nested(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """Index a nested function and walk it as its own graph node."""
+        local_name = f"{self.info.local_name}.<locals>.{node.name}"
+        qualname = f"{module_key(self.info.module)}::{local_name}"
+        nested = FunctionInfo(
+            qualname=qualname,
+            module=self.info.module,
+            node=node,
+            class_name=self.info.class_name,
+            local_name=local_name,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            decorators=tuple(
+                name
+                for decorator in node.decorator_list
+                if (name := decorator_base_name(decorator)) is not None
+            ),
+        )
+        self.graph.functions[qualname] = nested
+        self.local_functions[node.name] = qualname
+        walker = _BodyWalker(
+            self.graph, self.scope, nested, dict(self.local_functions)
+        )
+        for statement in node.body:
+            walker.visit(statement)
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = self._resolve(node)
+        held = frozenset(self.held)
+        if callee is not None:
+            self.graph.add_edge(
+                CallEdge(
+                    caller=self.info.qualname,
+                    callee=callee,
+                    node=node,
+                    held_locks=held,
+                )
+            )
+        else:
+            name = dotted_name(node.func)
+            if name is None and isinstance(node.func, ast.Attribute):
+                name = f"<expr>.{node.func.attr}"
+            if name is not None:
+                self.graph.external_calls.setdefault(
+                    self.info.qualname, []
+                ).append(
+                    ExternalCall(
+                        caller=self.info.qualname,
+                        node=node,
+                        name=name,
+                        held_locks=held,
+                    )
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def _resolve(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(func.id)
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and self.info.class_name is not None
+            ):
+                return self._resolve_method(
+                    self.info.class_name, func.attr, depth=0
+                )
+            dotted = dotted_name(func)
+            if dotted is not None:
+                return self._resolve_dotted(dotted)
+        return None
+
+    def _resolve_bare(self, name: str) -> str | None:
+        # Locals (nested defs) shadow module functions shadow imports —
+        # the same order the interpreter applies.
+        if name in self.local_functions:
+            return self.local_functions[name]
+        if name in self.scope.functions:
+            return self.scope.functions[name]
+        if name in self.scope.symbol_aliases:
+            source, symbol = self.scope.symbol_aliases[name]
+            return self._lookup(source, symbol)
+        return None
+
+    def _resolve_method(
+        self, class_name: str, method: str, depth: int
+    ) -> str | None:
+        methods = self.scope.classes.get(class_name)
+        if methods and method in methods:
+            return methods[method]
+        if depth >= 4:  # inheritance chains deeper than this are noise
+            return None
+        for base in self.scope.bases.get(class_name, []):
+            found = self._resolve_method(base, method, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        if not rest:
+            return None
+        # `Class.method(...)` on a same-module class (static/classmethod).
+        class_methods = self.scope.classes.get(head)
+        if class_methods is not None and "." not in rest:
+            return class_methods.get(rest)
+        source = self.scope.module_aliases.get(head)
+        if source is None:
+            return None
+        # Walk the remaining parts: the longest prefix that is a known
+        # module wins, the remainder must name a function/Class.method.
+        parts = rest.split(".")
+        for split in range(len(parts) - 1, -1, -1):
+            candidate_module = ".".join([source, *parts[:split]])
+            remainder = ".".join(parts[split:])
+            found = self._lookup(candidate_module, remainder)
+            if found is not None:
+                return found
+        return None
+
+    def _lookup(self, module: str, symbol: str) -> str | None:
+        qualname = f"{module}::{symbol}"
+        if qualname in self.graph.functions:
+            return qualname
+        return None
+
+
+def build_call_graph(modules: Iterable[SourceModule]) -> CallGraph:
+    """Index every module, then resolve every call site."""
+    graph = CallGraph()
+    scopes: list[tuple[SourceModule, _ModuleScope]] = []
+    for module in modules:
+        indexer = _FunctionIndexer(module, graph)
+        scopes.append((module, indexer.run()))
+    for module, scope in scopes:
+        for info in [
+            candidate
+            for candidate in graph.functions.values()
+            if candidate.module is module and "<locals>" not in candidate.qualname
+        ]:
+            walker = _BodyWalker(graph, scope, info, {})
+            for statement in info.node.body:
+                walker.visit(statement)
+    return graph

@@ -2,13 +2,17 @@
 
 :func:`run_lint` is the library entry point (the CLI and the tests call
 it); :func:`main` is the process entry point shared by ``onex lint``
-and ``python -m repro.analysis``. Exit-code contract, pinned by
-``tests/test_analysis_cli.py``:
+and ``python -m repro.analysis``. The run is two-phase: every file is
+parsed first, per-module rules stream over the modules, then the
+project rules (the interprocedural families, DESIGN.md §14) run once
+over the assembled :class:`~repro.analysis.registry.Project` with its
+call graph. Exit-code contract, pinned by ``tests/test_analysis_cli.py``:
 
-* ``0`` — no diagnostics (suppressed findings don't fail the build,
-  but they are counted and reported);
-* ``1`` — at least one diagnostic;
-* ``2`` — usage error (unknown path, unknown rule code).
+* ``0`` — no *new* diagnostics (suppressed and baselined findings are
+  counted and reported, but don't fail the build);
+* ``1`` — at least one non-baselined diagnostic;
+* ``2`` — usage error (unknown path, unknown rule code, malformed
+  baseline).
 """
 
 from __future__ import annotations
@@ -20,12 +24,30 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO
 
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    discover_baseline,
+    load_baseline,
+)
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.registry import Rule, all_rules, register_rule
+from repro.analysis.registry import (
+    ALL_TREES,
+    Project,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.sarif import report_to_sarif
 from repro.analysis.source import iter_python_files, parse_module
 
 #: Engine-level code for files the parser rejects.
 PARSE_FAILURE_CODE = "ONEX900"
+
+#: The JSON report format version (checked by scripts/check_lint_report.py).
+REPORT_VERSION = 2
 
 
 @register_rule
@@ -38,6 +60,7 @@ class ParseFailure(Rule):
         "a file the checker cannot parse is a file no invariant is "
         "enforced on; fix the syntax error first"
     )
+    trees = ALL_TREES
 
     def check(self, module):  # pragma: no cover - engine emits directly
         return ()
@@ -49,6 +72,13 @@ class LintReport:
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     suppressed: list[Diagnostic] = field(default_factory=list)
+    #: Findings matched by the baseline: reported, never build-failing.
+    baselined: list[Diagnostic] = field(default_factory=list)
+    #: The baseline entries in force (for the SARIF justifications).
+    baseline_entries: list[BaselineEntry] = field(default_factory=list)
+    #: Baseline entries that matched nothing — fixed findings whose
+    #: entries should now be deleted.
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
     files_checked: int = 0
 
     @property
@@ -57,10 +87,12 @@ class LintReport:
 
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": REPORT_VERSION,
             "files_checked": self.files_checked,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "suppressed": [d.to_dict() for d in self.suppressed],
+            "baselined": [d.to_dict() for d in self.baselined],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
             "rules": {
                 code: {"name": rule.name, "rationale": rule.rationale}
                 for code, rule in all_rules().items()
@@ -71,23 +103,30 @@ class LintReport:
 def run_lint(
     paths: list[Path] | list[str],
     select: set[str] | None = None,
+    baseline: Baseline | None = None,
 ) -> LintReport:
     """Run every registered rule over the Python files under ``paths``.
 
     ``select`` restricts reporting to the given codes (``ONEX900``
     parse failures always report: an unparsable file can't be checked
     for *any* invariant). Suppressed diagnostics land in
-    ``report.suppressed`` rather than vanishing.
+    ``report.suppressed``; baseline-matched ones in ``report.baselined``
+    — neither vanishes.
     """
     rules = [rule_class() for rule_class in all_rules().values()]
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     report = LintReport()
+    raw: list[Diagnostic] = []
+
+    project = Project()
     for file_path in iter_python_files([Path(p) for p in paths]):
         report.files_checked += 1
         try:
             module = parse_module(file_path)
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             line = getattr(exc, "lineno", None) or 1
-            report.diagnostics.append(
+            raw.append(
                 Diagnostic(
                     path=str(file_path),
                     line=int(line),
@@ -97,26 +136,64 @@ def run_lint(
                 )
             )
             continue
-        for rule in rules:
+        project.modules.append(module)
+
+    by_path = {module.display_path: module for module in project.modules}
+
+    def admit(diagnostic: Diagnostic) -> None:
+        if (
+            select is not None
+            and diagnostic.code not in select
+            and diagnostic.code != PARSE_FAILURE_CODE
+        ):
+            return
+        module = by_path.get(diagnostic.path)
+        if module is not None and module.suppressed(
+            diagnostic.line, diagnostic.code
+        ):
+            report.suppressed.append(diagnostic)
+        else:
+            raw.append(diagnostic)
+
+    for module in project.modules:
+        for rule in module_rules:
+            if not rule.applies_to(module):
+                continue
             for diagnostic in rule.check(module):
-                if (
-                    select is not None
-                    and diagnostic.code not in select
-                    and diagnostic.code != PARSE_FAILURE_CODE
-                ):
-                    continue
-                if module.suppressed(diagnostic.line, diagnostic.code):
-                    report.suppressed.append(diagnostic)
-                else:
-                    report.diagnostics.append(diagnostic)
-    report.diagnostics.sort()
+                admit(diagnostic)
+    for rule in project_rules:
+        for diagnostic in rule.check_project(project):
+            admit(diagnostic)
+
+    if baseline is None:
+        baseline = Baseline.empty()
+    new, baselined, stale = baseline.partition(raw)
+    report.diagnostics = sorted(new)
+    report.baselined = sorted(baselined)
+    report.baseline_entries = list(baseline.entries)
+    report.stale_baseline = stale
     report.suppressed.sort()
     return report
 
 
 def _default_paths() -> list[Path]:
-    """Scan the installed ``repro`` package tree by default."""
-    return [Path(__file__).resolve().parents[1]]
+    """The repro package plus the repo's sibling trees, when present.
+
+    Installed as a package there is only ``src``; in a checkout the
+    engine sits at ``src/repro/analysis/engine.py``, so the repo root is
+    three levels up and ``tests`` / ``benchmarks`` / ``scripts`` join
+    the default scan (per-tree rule scoping keeps e.g. the determinism
+    family src-only there).
+    """
+    package_dir = Path(__file__).resolve().parents[1]
+    paths = [package_dir]
+    repo_root = package_dir.parents[1]
+    if (repo_root / "src" / "repro").is_dir():
+        for tree in ("tests", "benchmarks", "scripts"):
+            candidate = repo_root / tree
+            if candidate.is_dir():
+                paths.append(candidate)
+    return paths
 
 
 def main(argv: list[str] | None = None, stdout: IO[str] | None = None) -> int:
@@ -127,14 +204,18 @@ def main(argv: list[str] | None = None, stdout: IO[str] | None = None) -> int:
         description=(
             "AST-based invariant checker: kernel numeric purity "
             "(ONEX1xx), backend dispatch (ONEX2xx), lockset races "
-            "(ONEX3xx), persistence atomicity (ONEX4xx). See "
-            "DESIGN.md §11."
+            "(ONEX3xx), persistence atomicity (ONEX4xx), async safety "
+            "(ONEX5xx), determinism (ONEX6xx), resource lifecycle "
+            "(ONEX7xx). See DESIGN.md §11 and §14."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to check (default: the repro package)",
+        help=(
+            "files or directories to check (default: the repro package "
+            "plus the repo's tests/, benchmarks/ and scripts/ trees)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -146,6 +227,26 @@ def main(argv: list[str] | None = None, stdout: IO[str] | None = None) -> int:
         metavar="FILE",
         dest="json_path",
         help="also write the machine-readable report to FILE ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        dest="sarif_path",
+        help="also write a SARIF 2.1.0 log to FILE ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        dest="baseline_path",
+        help=(
+            "baseline of grandfathered findings (default: the nearest "
+            "lint-baseline.json at or above the working directory)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding fails the build",
     )
     parser.add_argument(
         "--list-rules",
@@ -177,15 +278,36 @@ def main(argv: list[str] | None = None, stdout: IO[str] | None = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    report = run_lint(paths, select=select)
+    baseline: Baseline | None = None
+    if not args.no_baseline:
+        baseline_path = (
+            Path(args.baseline_path)
+            if args.baseline_path
+            else discover_baseline(Path.cwd())
+        )
+        if baseline_path is not None:
+            try:
+                baseline = load_baseline(baseline_path)
+            except BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    report = run_lint(paths, select=select, baseline=baseline)
     for diagnostic in report.diagnostics:
         print(diagnostic.render(), file=out)
     summary = (
         f"checked {report.files_checked} file(s): "
         f"{len(report.diagnostics)} finding(s), "
-        f"{len(report.suppressed)} suppressed"
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined"
     )
     print(summary, file=out)
+    for entry in report.stale_baseline:
+        print(
+            f"warning: stale baseline entry {entry.code} {entry.path} "
+            "matched nothing — delete it",
+            file=out,
+        )
 
     if args.json_path:
         payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
@@ -193,4 +315,14 @@ def main(argv: list[str] | None = None, stdout: IO[str] | None = None) -> int:
             print(payload, file=out)
         else:
             Path(args.json_path).write_text(payload + "\n", encoding="utf-8")
+    if args.sarif_path:
+        payload = json.dumps(
+            report_to_sarif(report), indent=2, sort_keys=True
+        )
+        if args.sarif_path == "-":
+            print(payload, file=out)
+        else:
+            Path(args.sarif_path).write_text(
+                payload + "\n", encoding="utf-8"
+            )
     return report.exit_code

@@ -7,20 +7,54 @@ module import away. Codes are grouped by family:
 
 * ``ONEX1xx`` — kernel numeric purity;
 * ``ONEX2xx`` — backend-dispatch enforcement;
-* ``ONEX3xx`` — lockset race detection;
+* ``ONEX3xx`` — lockset race detection (interprocedural);
 * ``ONEX4xx`` — persistence atomicity;
+* ``ONEX5xx`` — async safety (interprocedural);
+* ``ONEX6xx`` — determinism (the bit-identity contract as a lint);
+* ``ONEX7xx`` — resource lifecycle;
 * ``ONEX9xx`` — engine-level findings (parse failures).
+
+Two rule kinds share the registry: plain :class:`Rule` checks one
+module at a time; :class:`ProjectRule` runs once per lint run over a
+:class:`Project` (every parsed module plus the call graph), which is
+how the interprocedural families see across files. Every rule also
+declares which source *trees* it applies to (``src`` / ``tests`` /
+``benchmarks`` / ``scripts`` / ``examples``) so e.g. the determinism
+family stays src-only while lifecycle checks cover the whole repo.
 """
 
 from __future__ import annotations
 
 import re
 from collections.abc import Iterable
+from dataclasses import dataclass, field
 
+from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.source import SourceModule
 
 _CODE_RE = re.compile(r"^ONEX\d{3}$")
+
+#: ``Rule.trees`` value meaning "every tree, whatever its name".
+ALL_TREES = None
+
+
+@dataclass
+class Project:
+    """One lint run's whole-project view for :class:`ProjectRule`."""
+
+    modules: list[SourceModule] = field(default_factory=list)
+    _graph: CallGraph | None = None
+
+    @property
+    def graph(self) -> CallGraph:
+        """The project call graph, built lazily on first use."""
+        if self._graph is None:
+            self._graph = build_call_graph(self.modules)
+        return self._graph
+
+    def modules_in_tree(self, *trees: str) -> list[SourceModule]:
+        return [m for m in self.modules if m.source_tree in trees]
 
 
 class Rule:
@@ -29,12 +63,18 @@ class Rule:
     Subclasses set ``code`` / ``name`` / ``rationale`` and implement
     :meth:`check`, yielding :class:`Diagnostic` instances. Rules are
     stateless across files — the engine instantiates each once per run
-    and calls ``check`` per module.
+    and calls ``check`` per module. ``trees`` scopes the rule to the
+    named source trees (:data:`ALL_TREES` disables tree filtering).
     """
 
     code: str = ""
     name: str = ""
     rationale: str = ""
+    #: Source trees the rule runs on; default: first-party ``src`` only.
+    trees: frozenset[str] | None = frozenset({"src"})
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return self.trees is ALL_TREES or module.source_tree in self.trees
 
     def check(self, module: SourceModule) -> Iterable[Diagnostic]:
         raise NotImplementedError
@@ -50,6 +90,22 @@ class Rule:
             code=self.code,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole project.
+
+    The engine calls :meth:`check_project` after every module parsed;
+    implementations consult ``project.graph`` for interprocedural facts
+    and are responsible for their own per-module tree scoping (use
+    ``self.applies_to(module)`` when iterating ``project.modules``).
+    """
+
+    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        raise NotImplementedError
 
 
 _RULES: dict[str, type[Rule]] = {}

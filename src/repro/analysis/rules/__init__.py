@@ -1,8 +1,11 @@
 """The shipped rule families; importing this package registers them all."""
 
 from repro.analysis.rules import (  # noqa: F401
+    async_safety,
     atomicity,
+    determinism,
     dispatch,
+    lifecycle,
     lockset,
     numeric_purity,
 )

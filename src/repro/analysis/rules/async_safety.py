@@ -1,0 +1,243 @@
+"""ONEX5xx — async-safety rules for the serving tier.
+
+The cluster router (DESIGN.md §13) is a single-threaded asyncio loop:
+one blocking call anywhere in a coroutine's call tree stalls every
+in-flight query behind it. That property is *reachability*, not
+lexical — ``time.sleep`` three sync helpers below an ``async def`` is
+exactly as fatal as one written inline — so ONEX501 walks the project
+call graph (DESIGN.md §14) from every coroutine in ``serve/`` and
+matches the unresolved call sites of everything reachable against a
+table of known blocking APIs. ONEX502 is the dual hazard: ``await``
+while holding a *threading* lock parks the coroutine mid-critical-
+section, blocking every thread contending for the lock for as long as
+the awaited IO takes (and deadlocking outright if the awaited work
+needs the lock). ``asyncio`` locks are exempt — suspending while
+holding one is their intended use.
+
+The sanctioned escape hatch for blocking work is
+``loop.run_in_executor(...)``: the callable is passed by reference,
+never called on the loop, so the graph (correctly) draws no edge into
+it and the rule stays quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.astutil import call_name, is_self_attribute
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Project, ProjectRule, Rule, register_rule
+from repro.analysis.source import SourceModule
+
+#: Dotted names of APIs that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Receiver-name fragments that make a ``.join()`` call read as
+#: thread/process lifecycle (``worker.join()``) rather than ``str.join``
+#: or ``os.path.join``.
+_JOIN_RECEIVER_HINTS = ("thread", "worker", "proc")
+
+
+def _blocking_reason(name: str) -> str | None:
+    """Why a dotted external-call name is considered blocking."""
+    if name in BLOCKING_CALLS:
+        return f"`{name}` blocks the event loop"
+    if "." not in name:
+        return None
+    method = name.rsplit(".", 1)[-1]
+    if method == "result":
+        return (
+            f"`{name}` blocks the event loop "
+            "(`.result()` waits synchronously; await the future instead)"
+        )
+    receiver = name.rsplit(".", 2)[-2].lower()
+    if method == "join" and any(
+        hint in receiver for hint in _JOIN_RECEIVER_HINTS
+    ):
+        return (
+            f"`{name}` blocks the event loop "
+            "(`.join()` waits for the thread synchronously)"
+        )
+    return None
+
+
+@register_rule
+class BlockingCallInCoroutine(ProjectRule):
+    code = "ONEX501"
+    name = "blocking-call-in-coroutine"
+    rationale = (
+        "the router is one asyncio loop: a blocking call anywhere in a "
+        "coroutine's call tree (time.sleep, subprocess, sync IO, "
+        "Future.result, Thread.join) stalls every in-flight query; "
+        "push it through loop.run_in_executor instead (DESIGN.md §13)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        graph = project.graph
+        starts = [
+            info.qualname
+            for info in graph.functions.values()
+            if info.is_async
+            and self.applies_to(info.module)
+            and info.module.in_package_dir("serve")
+        ]
+        if not starts:
+            return
+        # One BFS over resolved edges, remembering which coroutine first
+        # reached each function so the finding can name its entry point.
+        entry: dict[str, str] = {}
+        work = deque((start, start) for start in starts)
+        while work:
+            current, via = work.popleft()
+            if current in entry:
+                continue
+            entry[current] = via
+            for edge in graph.callees(current):
+                if edge.callee not in entry:
+                    work.append((edge.callee, via))
+
+        seen_sites: set[tuple[str, int, int]] = set()
+        for qualname in entry:
+            info = graph.functions.get(qualname)
+            if info is None:
+                continue
+            for external in graph.externals(qualname):
+                reason = _blocking_reason(external.name)
+                if reason is None:
+                    continue
+                site = (
+                    info.module.display_path,
+                    external.node.lineno,
+                    external.node.col_offset,
+                )
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
+                origin = graph.functions[entry[qualname]]
+                suffix = (
+                    ""
+                    if qualname == origin.qualname
+                    else f" (reached via `{info.local_name}`)"
+                )
+                yield self.diagnostic(
+                    info.module,
+                    external.node,
+                    f"{reason}; reachable from coroutine "
+                    f"`{origin.local_name}`{suffix}",
+                )
+
+
+def _threading_lock_attrs(class_node: ast.ClassDef) -> set[str]:
+    """``self.X`` attributes assigned a ``threading`` lock in the class."""
+    locks: set[str] = set()
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        name = call_name(node.value)
+        if name not in {
+            "threading.Lock",
+            "threading.RLock",
+            "Lock",
+            "RLock",
+        }:
+            continue
+        for target in node.targets:
+            if is_self_attribute(target):
+                locks.add(target.attr)
+    return locks
+
+
+class _AwaitUnderLockVisitor(ast.NodeVisitor):
+    """Find ``await`` lexically inside ``with self.<threading-lock>:``."""
+
+    def __init__(self, lock_attrs: set[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.held: list[str] = []
+        self.findings: list[tuple[ast.Await, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        entered = [
+            item.context_expr.attr
+            for item in node.items
+            if is_self_attribute(item.context_expr)
+            and item.context_expr.attr in self.lock_attrs
+        ]
+        self.held.extend(entered)
+        self.generic_visit(node)
+        del self.held[len(self.held) - len(entered) :]
+
+    # `async with self._lock:` is an asyncio lock by construction —
+    # threading locks are not async context managers.
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if self.held:
+            self.findings.append((node, self.held[-1]))
+        self.generic_visit(node)
+
+    def _skip_nested(self, node: ast.AST) -> None:
+        # A nested def's body runs later, outside this lock scope.
+        return
+
+    visit_FunctionDef = _skip_nested
+    visit_AsyncFunctionDef = _skip_nested
+    visit_Lambda = _skip_nested
+
+
+@register_rule
+class AwaitUnderThreadingLock(Rule):
+    code = "ONEX502"
+    name = "await-under-threading-lock"
+    rationale = (
+        "awaiting while holding a threading lock parks the coroutine "
+        "mid-critical-section: every thread contending for the lock "
+        "blocks for the duration of the awaited IO, and if the awaited "
+        "work needs the lock the loop deadlocks; use asyncio.Lock for "
+        "coroutine-side exclusion (DESIGN.md §13)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        if not module.in_package_dir("serve"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            lock_attrs = _threading_lock_attrs(node)
+            if not lock_attrs:
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AsyncFunctionDef):
+                    continue
+                visitor = _AwaitUnderLockVisitor(lock_attrs)
+                for inner in statement.body:
+                    visitor.visit(inner)
+                for await_node, lock in visitor.findings:
+                    yield Diagnostic(
+                        path=module.display_path,
+                        line=await_node.lineno,
+                        col=await_node.col_offset,
+                        code=self.code,
+                        message=(
+                            f"`await` while holding threading lock "
+                            f"`self.{lock}` in coroutine "
+                            f"`{statement.name}`; threads contending "
+                            "for the lock block for the whole await"
+                        ),
+                    )

@@ -1,0 +1,410 @@
+"""ONEX6xx — the bit-identity contract as a lint (DESIGN.md §4, §14).
+
+The repo's core promise is that two builds of the same index are
+bit-identical and two deployments answer identically. The tier-1 suite
+pins that for the paths it runs; these rules pin the *sources* of
+nondeterminism the suite can only catch probabilistically, scoped to
+the modules where ordering is load-bearing (``distances/``, ``core/``,
+and the router's merge in ``serve/cluster/router.py``) and to first
+party ``src`` only — tests and benchmarks iterate sets all the time,
+legitimately.
+
+* **ONEX601** — iterating a ``set``/``frozenset`` (literal, comp,
+  constructor, set algebra, or a local consistently bound to one)
+  in a ``for`` or comprehension: hash-order varies per process
+  (``PYTHONHASHSEED``), so anything order-sensitive downstream drifts.
+  ``sorted(...)`` around the set is the fix and the exemption.
+* **ONEX602** — a value produced by an unseeded RNG or a wall-clock
+  read flowing into a function's return value. Timing *telemetry* is
+  fine and recognized three ways: an elapsed-time subtraction against
+  a timing-named variable, a timing-named keyword argument, or a
+  timing-named enclosing function.
+* **ONEX603** — ``os.listdir`` / ``os.scandir`` / ``glob`` /
+  ``Path.iterdir`` without ``sorted(...)``: directory order is
+  filesystem-dependent, the classic cross-machine build divergence.
+
+Membership tests (``x in s``) are order-insensitive and exempt by
+construction — the rules look only at iteration positions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.astutil import call_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+#: Variable / keyword / function names that mark a value as timing
+#: telemetry rather than index state.
+_TIMING_NAME_RE = re.compile(
+    r"(second|time|start|began|elapsed|latenc|duration|deadline|rtt|"
+    r"timeout|timestamp|stamp|uptime|age|wall|perf|tic|toc)",
+    re.IGNORECASE,
+)
+
+#: Unseeded / process-global RNG entry points.
+_RANDOM_CALLS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.gauss",
+        "np.random.random",
+        "np.random.rand",
+        "np.random.randn",
+        "np.random.randint",
+        "np.random.choice",
+        "np.random.permutation",
+        "np.random.shuffle",
+        "np.random.uniform",
+        "numpy.random.random",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.choice",
+        "numpy.random.permutation",
+        "numpy.random.shuffle",
+        "numpy.random.uniform",
+    }
+)
+
+#: Wall-clock reads.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+
+def _in_scope(module: SourceModule) -> bool:
+    return (
+        module.in_package_dir("distances")
+        or module.in_package_dir("core")
+        or module.is_module("serve", "cluster", "router.py")
+    )
+
+
+def _is_timing_name(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_TIMING_NAME_RE.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_TIMING_NAME_RE.search(node.attr))
+    return False
+
+
+def _nondeterministic_call(node: ast.Call) -> str | None:
+    """The source name when ``node`` is an RNG/clock read, else ``None``."""
+    name = call_name(node)
+    if name is None:
+        return None
+    if name in _RANDOM_CALLS or name in _CLOCK_CALLS:
+        return name
+    # default_rng() with no seed argument is the unseeded generator.
+    if name.rsplit(".", 1)[-1] == "default_rng" and not (
+        node.args or node.keywords
+    ):
+        return name
+    return None
+
+
+# ----------------------------------------------------------------------
+# ONEX601 — set iteration order
+# ----------------------------------------------------------------------
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_OPERATORS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+
+
+def _is_set_expr(node: ast.AST, set_vars: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node) in _SET_CONSTRUCTORS:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPERATORS):
+        return _is_set_expr(node.left, set_vars) or _is_set_expr(
+            node.right, set_vars
+        )
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    return False
+
+
+def _set_bound_names(func: ast.AST) -> set[str]:
+    """Locals *every* assignment of which is a set expression.
+
+    Flow-insensitive on purpose, but conservative: one rebinding to a
+    ``sorted(...)`` list (the sanctioned fix) clears the name.
+    """
+    assigned: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(func):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                assigned.setdefault(target.id, []).append(value)
+    # Two passes so `b = a` with `a` a set var counts.
+    names: set[str] = set()
+    for _ in range(2):
+        names = {
+            name
+            for name, values in assigned.items()
+            if values
+            and all(_is_set_expr(value, names) for value in values)
+        }
+    return names
+
+
+@register_rule
+class UnorderedSetIteration(Rule):
+    code = "ONEX601"
+    name = "unordered-set-iteration"
+    rationale = (
+        "set iteration order varies with PYTHONHASHSEED and across "
+        "processes; in build/merge code that order reaches the index "
+        "bytes — wrap the set in sorted(...) (DESIGN.md §4)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        if not _in_scope(module):
+            return
+        funcs = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Nested defs appear in their enclosing function's walk too;
+        # report each iteration site once.
+        seen: set[tuple[int, int]] = set()
+        for func in funcs:
+            set_vars = _set_bound_names(func)
+            for node in ast.walk(func):
+                iters: list[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters = [node.iter]
+                elif isinstance(
+                    node,
+                    (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+                ):
+                    iters = [gen.iter for gen in node.generators]
+                for candidate in iters:
+                    site = (candidate.lineno, candidate.col_offset)
+                    if site in seen:
+                        continue
+                    if _is_set_expr(candidate, set_vars):
+                        seen.add(site)
+                        yield Diagnostic(
+                            path=module.display_path,
+                            line=candidate.lineno,
+                            col=candidate.col_offset,
+                            code=self.code,
+                            message=(
+                                "iterating a set here feeds hash order "
+                                "into order-sensitive code; wrap it in "
+                                "sorted(...)"
+                            ),
+                        )
+
+
+# ----------------------------------------------------------------------
+# ONEX602 — RNG / clock values escaping through returns
+# ----------------------------------------------------------------------
+class _SourceFinder(ast.NodeVisitor):
+    """Collect RNG/clock calls in an expression, minus timing idioms."""
+
+    def __init__(self, tainted_names: set[str]) -> None:
+        self.tainted_names = tainted_names
+        self.found: list[tuple[ast.AST, str]] = []
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Sub) and (
+            _is_timing_name(node.right) or _is_timing_name(node.left)
+        ):
+            # `time.perf_counter() - started`: elapsed-time telemetry.
+            return
+        self.generic_visit(node)
+
+    def visit_keyword(self, node: ast.keyword) -> None:
+        if node.arg is not None and _TIMING_NAME_RE.search(node.arg):
+            # `unpack_seconds=time.perf_counter() - t0` — telemetry.
+            return
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        source = _nondeterministic_call(node)
+        if source is not None:
+            self.found.append((node, source))
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in self.tainted_names and not _is_timing_name(node):
+            self.found.append((node, f"`{node.id}` (assigned from an RNG)"))
+
+
+def _tainted_locals(func: ast.AST) -> set[str]:
+    """Locals whose every binding contains an RNG source (not a clock:
+    clock values bound to a local are nearly always timing telemetry)."""
+    assigned: dict[str, list[bool]] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        has_rng = any(
+            isinstance(inner, ast.Call)
+            and (name := _nondeterministic_call(inner)) is not None
+            and name not in _CLOCK_CALLS
+            for inner in ast.walk(node.value)
+        )
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                assigned.setdefault(target.id, []).append(has_rng)
+    return {
+        name
+        for name, flags in assigned.items()
+        if flags and all(flags)
+    }
+
+
+@register_rule
+class NondeterministicReturn(Rule):
+    code = "ONEX602"
+    name = "nondeterministic-return"
+    rationale = (
+        "an unseeded RNG draw or wall-clock read flowing into a return "
+        "value makes the output differ per process, breaking the "
+        "bit-identity contract; thread an explicit seeded Generator or "
+        "mark timing telemetry with a timing name (DESIGN.md §4)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        if not _in_scope(module):
+            return
+        seen: set[tuple[int, int]] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if _TIMING_NAME_RE.search(func.name):
+                continue
+            tainted = _tainted_locals(func)
+            returns = [
+                node
+                for node in ast.walk(func)
+                if isinstance(node, ast.Return) and node.value is not None
+            ]
+            for ret in returns:
+                finder = _SourceFinder(tainted)
+                finder.visit(ret.value)
+                for node, source in finder.found:
+                    site = (node.lineno, node.col_offset)
+                    if site in seen:
+                        continue
+                    seen.add(site)
+                    yield Diagnostic(
+                        path=module.display_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code=self.code,
+                        message=(
+                            f"nondeterministic value from {source} "
+                            f"escapes through the return of "
+                            f"`{func.name}`"
+                        ),
+                    )
+
+
+# ----------------------------------------------------------------------
+# ONEX603 — filesystem listing order
+# ----------------------------------------------------------------------
+_LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def _is_listing_call(node: ast.Call) -> str | None:
+    name = call_name(node)
+    if name in _LISTING_CALLS:
+        return name
+    if name is None and isinstance(node.func, ast.Attribute):
+        method = node.func.attr
+        if method in _LISTING_METHODS:
+            return f"<expr>.{method}"
+        return None
+    if name is not None:
+        method = name.rsplit(".", 1)[-1]
+        if "." in name and method in _LISTING_METHODS:
+            return name
+    return None
+
+
+class _ListingVisitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.sorted_depth = 0
+        self.findings: list[tuple[ast.Call, str]] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        listing = _is_listing_call(node)
+        if listing is not None and self.sorted_depth == 0:
+            self.findings.append((node, listing))
+        if name == "sorted":
+            self.sorted_depth += 1
+            self.generic_visit(node)
+            self.sorted_depth -= 1
+        else:
+            self.generic_visit(node)
+
+
+@register_rule
+class UnsortedDirectoryListing(Rule):
+    code = "ONEX603"
+    name = "unsorted-directory-listing"
+    rationale = (
+        "os.listdir / scandir / glob / Path.iterdir order is "
+        "filesystem-dependent; unsorted listings make builds diverge "
+        "across machines — wrap in sorted(...) (DESIGN.md §4)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        if not _in_scope(module):
+            return
+        visitor = _ListingVisitor()
+        visitor.visit(module.tree)
+        for node, name in visitor.findings:
+            yield Diagnostic(
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                code=self.code,
+                message=(
+                    f"`{name}` returns entries in filesystem order; "
+                    "wrap the listing in sorted(...) so downstream "
+                    "work is machine-independent"
+                ),
+            )

@@ -1,0 +1,345 @@
+"""ONEX7xx — resource-lifecycle rules (DESIGN.md §12, §14).
+
+The parallel build's shared-memory result protocol and the serving
+tier's pools are the two places a leaked OS resource outlives the
+process that forgot it: an un-unlinked ``SharedMemory`` block squats in
+``/dev/shm`` until reboot, an un-shutdown executor keeps worker
+processes alive past the build. These rules check the shapes the repo
+actually uses, across every tree (tests leak ``/dev/shm`` too):
+
+* **ONEX701** — a ``SharedMemory`` bound to a local must have its
+  ``close()`` inside a ``finally`` (an exception between map and close
+  leaks the mapping), and a *created* (``create=True``) block must
+  additionally reach ``unlink()`` somewhere in the function — on the
+  success path for self-contained users, on the error path when
+  ownership transfers by name (the shard-descriptor protocol).
+* **ONEX702** — a ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` /
+  ``multiprocessing.Pool`` must be ``with``-managed, or its holder
+  (``self._pool`` / a local) must reach ``shutdown()`` / ``close()`` /
+  ``terminate()`` in the same class or function.
+* **ONEX703** — a handle opened by ``with open(...)`` / ``with
+  mmap.mmap(...)`` must not escape the ``with`` (returned, or stored on
+  ``self``): it is closed the moment the block exits, so every escape
+  is a use-after-close. (``yield``-ing it is fine — the generator is
+  suspended *inside* the block, handle live.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import call_name, is_self_attribute
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import ALL_TREES, Rule, register_rule
+from repro.analysis.source import SourceModule
+
+
+def _call_basename(node: ast.Call) -> str | None:
+    name = call_name(node)
+    return None if name is None else name.rsplit(".", 1)[-1]
+
+
+def _functions(module: SourceModule) -> Iterator[ast.AST]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _method_calls_on(func: ast.AST, receiver: str) -> set[str]:
+    """Method names invoked as ``<receiver>.m(...)`` anywhere in ``func``."""
+    calls: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == receiver
+        ):
+            calls.add(node.func.attr)
+    return calls
+
+
+def _finally_calls_on(func: ast.AST, receiver: str) -> set[str]:
+    """Method names invoked on ``receiver`` inside any ``finally`` block."""
+    calls: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for statement in node.finalbody:
+            for inner in ast.walk(statement):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and isinstance(inner.func.value, ast.Name)
+                    and inner.func.value.id == receiver
+                ):
+                    calls.add(inner.func.attr)
+    return calls
+
+
+@register_rule
+class SharedMemoryLifecycle(Rule):
+    code = "ONEX701"
+    name = "shared-memory-lifecycle"
+    rationale = (
+        "a SharedMemory block outlives the process: close() must sit "
+        "in a finally (exceptions between map and close leak the "
+        "mapping) and a created block must reach unlink() on some path "
+        "or it squats in /dev/shm until reboot (DESIGN.md §12)"
+    )
+    trees = ALL_TREES
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        seen: set[tuple[int, int]] = set()
+        for func in _functions(module):
+            for node in ast.walk(func):
+                if (
+                    not isinstance(node, ast.Assign)
+                    or not isinstance(node.value, ast.Call)
+                    or _call_basename(node.value) != "SharedMemory"
+                    or len(node.targets) != 1
+                    or not isinstance(node.targets[0], ast.Name)
+                ):
+                    continue
+                # Nested defs are walked by their enclosing function
+                # too; charge each site to the innermost walk only.
+                site = (node.lineno, node.col_offset)
+                if site in seen or any(
+                    node in set(ast.walk(inner))
+                    for inner in ast.walk(func)
+                    if inner is not func
+                    and isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                ):
+                    continue
+                seen.add(site)
+                var = node.targets[0].id
+                creates = any(
+                    kw.arg == "create"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in node.value.keywords
+                )
+                all_calls = _method_calls_on(func, var)
+                finally_calls = _finally_calls_on(func, var)
+                if "close" not in all_calls:
+                    yield self._finding(
+                        module, node, f"`{var}` is never close()d"
+                    )
+                elif "close" not in finally_calls:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"`{var}.close()` is not in a finally block; an "
+                        "exception while the mapping is live leaks it",
+                    )
+                if creates and "unlink" not in all_calls:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"`{var}` is created here but never unlink()ed "
+                        "in this function; the block persists in "
+                        "/dev/shm after the process exits",
+                    )
+
+    def _finding(
+        self, module: SourceModule, node: ast.AST, detail: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=module.display_path,
+            line=node.lineno,
+            col=node.col_offset,
+            code=self.code,
+            message=f"shared-memory lifecycle: {detail}",
+        )
+
+
+_POOL_CONSTRUCTORS = frozenset(
+    {"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
+)
+_POOL_SHUTDOWN_METHODS = frozenset({"shutdown", "close", "terminate"})
+
+
+def _pool_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    if name is None:
+        return False
+    base = name.rsplit(".", 1)[-1]
+    if base not in _POOL_CONSTRUCTORS:
+        return False
+    # Bare `Pool` is too common a name; require the multiprocessing
+    # spelling for it, executors match by their distinctive names.
+    if base == "Pool" and name not in {
+        "multiprocessing.Pool",
+        "mp.Pool",
+    }:
+        return False
+    return True
+
+
+def _self_attr_shutdown(class_node: ast.ClassDef, attr: str) -> bool:
+    for node in ast.walk(class_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_SHUTDOWN_METHODS
+            and is_self_attribute(node.func.value, attr)
+        ):
+            return True
+    return False
+
+
+@register_rule
+class ExecutorLifecycle(Rule):
+    code = "ONEX702"
+    name = "executor-lifecycle"
+    rationale = (
+        "an executor/pool that is never shut down keeps its workers "
+        "alive past the work: use `with`, or pair the holder with an "
+        "explicit shutdown()/close()/terminate() (DESIGN.md §12)"
+    )
+    trees = ALL_TREES
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        managed: set[ast.Call] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        managed.add(item.context_expr)
+
+        classes = {
+            node: None
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+
+        seen: set[tuple[int, int]] = set()
+        for func in _functions(module):
+            owner_class = next(
+                (
+                    cls
+                    for cls in classes
+                    if any(stmt is func for stmt in cls.body)
+                ),
+                None,
+            )
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign) or not _pool_call(
+                    node.value
+                ):
+                    continue
+                if node.value in managed:
+                    continue
+                site = (node.lineno, node.col_offset)
+                if site in seen or any(
+                    node in set(ast.walk(inner))
+                    for inner in ast.walk(func)
+                    if inner is not func
+                    and isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                ):
+                    continue
+                seen.add(site)
+                target = node.targets[0] if len(node.targets) == 1 else None
+                if isinstance(target, ast.Name):
+                    if _method_calls_on(func, target.id) & (
+                        _POOL_SHUTDOWN_METHODS
+                    ):
+                        continue
+                elif (
+                    is_self_attribute(target)
+                    and owner_class is not None
+                    and _self_attr_shutdown(owner_class, target.attr)
+                ):
+                    continue
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        "executor/pool is created without a matching "
+                        "shutdown; use `with ...:` or call "
+                        "shutdown()/close()/terminate() on the holder"
+                    ),
+                )
+            # `with ThreadPoolExecutor(...) as pool:` never reaches the
+            # Assign branch above — the with-statement manages it.
+
+
+_WITH_HANDLE_CALLS = frozenset({"open", "mmap.mmap", "mmap"})
+
+
+@register_rule
+class EscapingWithHandle(Rule):
+    code = "ONEX703"
+    name = "escaping-with-handle"
+    rationale = (
+        "a handle bound by `with open(...)`/`with mmap.mmap(...)` is "
+        "closed when the block exits; returning it or storing it on "
+        "self hands out a dead handle (DESIGN.md §12)"
+    )
+    trees = ALL_TREES
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                ctx = item.context_expr
+                if not isinstance(ctx, ast.Call):
+                    continue
+                if call_name(ctx) not in _WITH_HANDLE_CALLS:
+                    continue
+                if not isinstance(item.optional_vars, ast.Name):
+                    continue
+                handle = item.optional_vars.id
+                yield from self._escapes(module, node, handle)
+
+    def _escapes(
+        self,
+        module: SourceModule,
+        with_node: ast.With | ast.AsyncWith,
+        handle: str,
+    ) -> Iterator[Diagnostic]:
+        # Only the *bare handle* escaping is a defect: `return
+        # json.load(f)` reads while open and returns data, and `yield f`
+        # suspends inside the block with the handle still live.
+        def is_handle(expr: ast.AST | None) -> bool:
+            if isinstance(expr, ast.Name) and expr.id == handle:
+                return True
+            if isinstance(expr, (ast.Tuple, ast.List)):
+                return any(is_handle(element) for element in expr.elts)
+            return False
+
+        for statement in with_node.body:
+            for node in ast.walk(statement):
+                escaped: str | None = None
+                if isinstance(node, ast.Return) and is_handle(node.value):
+                    escaped = "returned"
+                elif (
+                    isinstance(node, ast.Assign)
+                    and is_handle(node.value)
+                    and any(
+                        is_self_attribute(target) for target in node.targets
+                    )
+                ):
+                    escaped = "stored on self"
+                if escaped is not None:
+                    yield Diagnostic(
+                        path=module.display_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code=self.code,
+                        message=(
+                            f"`{handle}` from the enclosing `with` is "
+                            f"{escaped}; it is closed when the block "
+                            "exits, so the receiver gets a dead handle"
+                        ),
+                    )

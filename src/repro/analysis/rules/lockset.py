@@ -1,4 +1,4 @@
-"""ONEX3xx — the lockset race detector.
+"""ONEX3xx — the interprocedural lockset race detector.
 
 The serving layer's concurrency story (DESIGN.md §9) is a *locking
 discipline*: every piece of shared mutable state has one documented
@@ -14,11 +14,18 @@ discipline itself, statically, per class:
    locks (entered via ``with self.<lock>:`` blocks, including multiple
    context managers). Constructors (``__init__``/``__post_init__``/
    ``__new__``) are exempt: the object is not yet shared.
-3. **Verdict.** A read or write of a guarded attribute outside its
-   lock is ``ONEX301`` — unless the enclosing method is a *helper*
-   whose every intra-class call site holds the lock (one level of
-   call-graph propagation). A helper that most callers lock but one
-   does not yields ``ONEX302`` at the offending call site.
+3. **Lock-context propagation.** A fixed-point dataflow over the
+   project call graph (DESIGN.md §14) computes, per method and lock,
+   whether *every* path to the method holds the lock — transitively:
+   ``A: with lock: B()``, ``B: C()`` makes ``C`` lock-inheriting even
+   though no direct caller of ``C`` takes the lock lexically. The
+   one-level scan this replaces could neither exempt that chain nor
+   flag its dual.
+4. **Verdict.** A read or write of a guarded attribute outside its
+   lock is ``ONEX301`` — unless the method is always reached with the
+   lock held. A helper reachable both *with* and *without* the lock
+   (on any call chain) yields ``ONEX302`` at each unlocked call site:
+   those sites race every locked path to the same state.
 
 Deliberate lock-free fast paths (the double-checked payload caches)
 carry ``# onex: ignore[ONEX301]`` with a reason, keeping every benign
@@ -32,12 +39,16 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.analysis.astutil import is_self_attribute
+from repro.analysis.callgraph import CONSTRUCTORS, CallEdge, module_key
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.registry import Rule, register_rule
+from repro.analysis.registry import (
+    ALL_TREES,
+    Project,
+    ProjectRule,
+    Rule,
+    register_rule,
+)
 from repro.analysis.source import SourceModule
-
-#: Methods where the instance is assumed not yet shared across threads.
-_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
 
 
 @dataclass
@@ -49,28 +60,18 @@ class _Access:
 
 
 @dataclass
-class _CallSite:
-    node: ast.Call
-    callee: str
-    held: frozenset[str]
-    in_constructor: bool
-
-
-@dataclass
 class _MethodFacts:
     name: str
     accesses: list[_Access] = field(default_factory=list)
-    calls: list[_CallSite] = field(default_factory=list)
 
 
-class _MethodVisitor(ast.NodeVisitor):
+class _AccessVisitor(ast.NodeVisitor):
     """Walk one method body tracking the lexically held lock set."""
 
     def __init__(self, guarded: dict[str, str], facts: _MethodFacts) -> None:
         self.guarded = guarded
         self.facts = facts
         self.held: tuple[str, ...] = ()
-        self.in_constructor = facts.name in _CONSTRUCTORS
 
     def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
         entered = [
@@ -98,18 +99,6 @@ class _MethodVisitor(ast.NodeVisitor):
                     attr=node.attr,
                     held=frozenset(self.held),
                     is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
-                )
-            )
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if is_self_attribute(node.func):
-            self.facts.calls.append(
-                _CallSite(
-                    node=node,
-                    callee=node.func.attr,
-                    held=frozenset(self.held),
-                    in_constructor=self.in_constructor,
                 )
             )
         self.generic_visit(node)
@@ -150,43 +139,55 @@ def _class_attribute_defs(
                         yield inner, attr
 
 
+def _enclosing_method(local_name: str) -> str:
+    """``Cache.put.<locals>.retry`` -> ``Cache.put`` (identity otherwise)."""
+    return local_name.split(".<locals>.", 1)[0]
+
+
 @register_rule
-class LocksetRace(Rule):
+class LocksetRace(ProjectRule):
     code = "ONEX301"
     name = "guarded-attribute-race"
     rationale = (
         "an attribute declared `# guarded-by: <lock>` may only be "
-        "touched inside `with self.<lock>:` (or from a helper whose "
-        "every caller holds it); anything else is a data race waiting "
-        "for a scheduler (DESIGN.md §9)"
+        "touched inside `with self.<lock>:` (or from a helper every "
+        "path to which holds it — propagated transitively over the "
+        "call graph); anything else is a data race waiting for a "
+        "scheduler (DESIGN.md §9, §14)"
     )
+    #: Annotations are opt-in, so the detector covers every tree.
+    trees = ALL_TREES
 
     #: Companion codes emitted by the same analysis.
     HELPER_CODE = "ONEX302"
     UNKNOWN_LOCK_CODE = "ONEX303"
 
-    def check(self, module: SourceModule) -> Iterable[Diagnostic]:
-        if not module.guarded_by:
-            return
-        consumed: set[int] = set()
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef):
-                yield from self._check_class(module, node, consumed)
-        for line in sorted(set(module.guarded_by) - consumed):
-            yield Diagnostic(
-                path=module.display_path,
-                line=line,
-                col=0,
-                code=self.UNKNOWN_LOCK_CODE,
-                message=(
-                    "`# guarded-by:` annotation is not attached to a "
-                    "class attribute definition"
-                ),
-            )
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        for module in project.modules:
+            if not module.guarded_by:
+                continue
+            consumed: set[int] = set()
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(
+                        project, module, node, consumed
+                    )
+            for line in sorted(set(module.guarded_by) - consumed):
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=line,
+                    col=0,
+                    code=self.UNKNOWN_LOCK_CODE,
+                    message=(
+                        "`# guarded-by:` annotation is not attached to a "
+                        "class attribute definition"
+                    ),
+                )
 
     # ------------------------------------------------------------------
     def _check_class(
         self,
+        project: Project,
         module: SourceModule,
         class_node: ast.ClassDef,
         consumed: set[int],
@@ -219,22 +220,70 @@ class LocksetRace(Rule):
                     ),
                 )
 
+        graph = project.graph
+        key = module_key(module)
         methods: dict[str, _MethodFacts] = {}
+        qualnames: dict[str, str] = {}
         for statement in class_node.body:
             if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 facts = _MethodFacts(statement.name)
-                visitor = _MethodVisitor(guarded, facts)
+                visitor = _AccessVisitor(guarded, facts)
                 for inner in statement.body:
                     visitor.visit(inner)
                 methods[statement.name] = facts
+                qualnames[statement.name] = (
+                    f"{key}::{class_node.name}.{statement.name}"
+                )
 
-        call_sites: dict[str, list[_CallSite]] = {}
-        for facts in methods.values():
-            for site in facts.calls:
-                call_sites.setdefault(site.callee, []).append(site)
+        # Intra-class call sites per method, from the project graph.
+        # A site from a nested function is charged to its enclosing
+        # method so lock context flows through closures too.
+        sites: dict[str, list[tuple[CallEdge, str]]] = {
+            name: [] for name in methods
+        }
+        for name, qualname in qualnames.items():
+            for edge in graph.callers(qualname):
+                caller = graph.functions.get(edge.caller)
+                if caller is None or caller.module is not module:
+                    continue
+                enclosing = _enclosing_method(caller.local_name)
+                caller_method = enclosing.rsplit(".", 1)[-1]
+                if caller_method not in methods:
+                    continue
+                sites[name].append((edge, caller_method))
+
+        locks = sorted(set(guarded.values()))
+        # Greatest-fixed-point dataflow: a method's entry is treated as
+        # lock-held only while every known call path supports it.
+        entry_held: dict[tuple[str, str], bool] = {
+            (name, lock): bool(sites[name])
+            for name in methods
+            for lock in locks
+        }
+
+        def covered(edge: CallEdge, caller_method: str, lock: str) -> bool:
+            return (
+                lock in edge.held_locks
+                or caller_method in CONSTRUCTORS
+                or entry_held[(caller_method, lock)]
+            )
+
+        changed = True
+        while changed:
+            changed = False
+            for name in methods:
+                for lock in locks:
+                    if not entry_held[(name, lock)]:
+                        continue
+                    if not all(
+                        covered(edge, caller_method, lock)
+                        for edge, caller_method in sites[name]
+                    ):
+                        entry_held[(name, lock)] = False
+                        changed = True
 
         for name, facts in sorted(methods.items()):
-            if name in _CONSTRUCTORS:
+            if name in CONSTRUCTORS:
                 continue
             unlocked = [
                 access
@@ -244,32 +293,30 @@ class LocksetRace(Rule):
             if not unlocked:
                 continue
             needed_locks = {guarded[access.attr] for access in unlocked}
-            sites = call_sites.get(name, [])
             for lock in sorted(needed_locks):
-                covered = [
-                    site
-                    for site in sites
-                    if lock in site.held or site.in_constructor
-                ]
-                if sites and len(covered) == len(sites):
-                    # Helper pattern: every intra-class caller holds the
-                    # lock, so the accesses inherit it (one level).
+                if entry_held[(name, lock)]:
+                    # Every path to this helper holds the lock
+                    # (possibly inherited across several frames).
                     continue
-                if covered:
-                    # Mixed callers: the helper is lock-requiring, so
-                    # the unlocked call sites are the defect.
-                    for site in sites:
-                        if lock in site.held or site.in_constructor:
-                            continue
+                uncovered = [
+                    edge
+                    for edge, caller_method in sites[name]
+                    if not covered(edge, caller_method, lock)
+                ]
+                if sites[name] and len(uncovered) < len(sites[name]):
+                    # Mixed reachability: the helper is lock-requiring
+                    # on some chains, so the unlocked chains are the
+                    # defect — flag each offending call site.
+                    for edge in uncovered:
                         yield Diagnostic(
                             path=module.display_path,
-                            line=site.node.lineno,
-                            col=site.node.col_offset,
+                            line=edge.node.lineno,
+                            col=edge.node.col_offset,
                             code=self.HELPER_CODE,
                             message=(
                                 f"helper `{name}` touches state guarded "
                                 f"by `self.{lock}` and relies on its "
-                                "callers holding it; this call site "
+                                "callers holding it; this call path "
                                 "does not"
                             ),
                         )
@@ -278,13 +325,17 @@ class LocksetRace(Rule):
                     if guarded[access.attr] != lock:
                         continue
                     verb = "written" if access.is_write else "read"
-                    yield self.diagnostic(
-                        module,
-                        access.node,
-                        f"`self.{access.attr}` is guarded by "
-                        f"`self.{lock}` (declared at line "
-                        f"{declaration_line[access.attr]}) but is "
-                        f"{verb} here without holding it",
+                    yield Diagnostic(
+                        path=module.display_path,
+                        line=access.node.lineno,
+                        col=access.node.col_offset,
+                        code=self.code,
+                        message=(
+                            f"`self.{access.attr}` is guarded by "
+                            f"`self.{lock}` (declared at line "
+                            f"{declaration_line[access.attr]}) but is "
+                            f"{verb} here without holding it"
+                        ),
                     )
 
 
@@ -295,9 +346,11 @@ class LocksetHelperCall(Rule):
     code = "ONEX302"
     name = "unlocked-helper-call"
     rationale = (
-        "a helper whose other callers hold the lock is lock-requiring; "
-        "calling it without the lock races every locked caller"
+        "a helper reachable with the lock held on one call chain and "
+        "without it on another races itself; the unlocked chain is "
+        "the defect"
     )
+    trees = ALL_TREES
 
     def check(self, module):  # pragma: no cover - ONEX301 emits this code
         return ()
@@ -314,6 +367,7 @@ class UnknownLockAnnotation(Rule):
         "to nothing) enforces nothing; the declaration itself must stay "
         "sound"
     )
+    trees = ALL_TREES
 
     def check(self, module):  # pragma: no cover - ONEX301 emits this code
         return ()

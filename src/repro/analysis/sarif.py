@@ -1,0 +1,121 @@
+"""SARIF 2.1.0 output for the lint report.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the
+interchange format code-scanning UIs ingest — GitHub's security tab,
+VS Code's SARIF viewer, etc. The mapping here is deliberately small and
+spec-shaped (``tests/test_analysis_cli.py`` validates it against a
+vendored subset of the 2.1.0 schema):
+
+* every registered rule becomes a ``tool.driver.rules`` descriptor
+  (``id`` = the ONEX code, rationale as ``fullDescription``);
+* live diagnostics become ``results`` at level ``error``;
+* in-source suppressions (``# onex: ignore[...]``) become results with
+  a ``suppressions: [{"kind": "inSource"}]`` block;
+* baselined findings become results with an ``"external"`` suppression
+  carrying the written justification — visible to the viewer, not
+  failing the run, exactly mirroring the JSON report's semantics.
+
+Paths are emitted as forward-slash relative URIs when the file sits
+under the current working directory, else as absolute ``file://`` URIs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path, PurePosixPath
+
+from repro.analysis.diagnostics import Diagnostic
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://github.com/onex/onex#static-analysis"
+
+
+def _artifact_uri(path: str) -> str:
+    """Relative forward-slash URI when possible, else ``file://``."""
+    candidate = Path(path)
+    try:
+        relative = candidate.resolve().relative_to(Path.cwd().resolve())
+        return str(PurePosixPath(*relative.parts))
+    except ValueError:
+        return candidate.resolve().as_uri()
+
+
+def _result(
+    diagnostic: Diagnostic, suppression: dict | None = None
+) -> dict:
+    result = {
+        "ruleId": diagnostic.code,
+        "level": "error",
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(diagnostic.path)
+                    },
+                    "region": {
+                        "startLine": max(1, diagnostic.line),
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": diagnostic.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppression is not None:
+        result["suppressions"] = [suppression]
+    return result
+
+
+def report_to_sarif(report) -> dict:
+    """One :class:`~repro.analysis.engine.LintReport` as a SARIF log."""
+    from repro.analysis.registry import all_rules
+
+    rules = [
+        {
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, rule in all_rules().items()
+    ]
+    results = [_result(d) for d in report.diagnostics]
+    results += [
+        _result(d, suppression={"kind": "inSource"})
+        for d in report.suppressed
+    ]
+    justifications = {
+        (entry.code, entry.path): entry.justification
+        for entry in getattr(report, "baseline_entries", [])
+    }
+    for diagnostic in report.baselined:
+        suppression: dict = {"kind": "external"}
+        for (code, path), justification in justifications.items():
+            if code == diagnostic.code and diagnostic.path.replace(
+                "\\", "/"
+            ).endswith(path.replace("\\", "/")):
+                suppression["justification"] = justification
+                break
+        results.append(_result(diagnostic, suppression=suppression))
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "onex-lint",
+                        "informationUri": _INFO_URI,
+                        "version": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

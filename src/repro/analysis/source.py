@@ -37,6 +37,22 @@ _GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>\w+)")
 #: Sentinel stored in ``ignores`` for a bare ``# onex: ignore``.
 IGNORE_ALL = "*"
 
+#: Source-tree names rules can scope themselves by (``Rule.trees``).
+#: ``src`` is any module inside a ``repro`` package; the rest are the
+#: repo's sibling trees, recognized by directory name so fixture trees
+#: under ``tmp/tests/...`` scope exactly like the real ones.
+KNOWN_TREES = ("src", "tests", "benchmarks", "scripts", "examples")
+
+
+def tree_for(path: Path, logical_parts: tuple[str, ...]) -> str:
+    """Which source tree a file belongs to (``other`` when unknown)."""
+    if logical_parts:
+        return "src"
+    for part in reversed(path.resolve().parts[:-1]):
+        if part in KNOWN_TREES:
+            return part
+    return "other"
+
 
 @dataclass
 class SourceModule:
@@ -53,6 +69,8 @@ class SourceModule:
     ignores: dict[int, set[str]] = field(default_factory=dict)
     #: line -> lock name from a ``# guarded-by:`` annotation.
     guarded_by: dict[int, str] = field(default_factory=dict)
+    #: Which source tree the file sits in (see :data:`KNOWN_TREES`).
+    source_tree: str = "src"
 
     @property
     def display_path(self) -> str:
@@ -126,13 +144,15 @@ def parse_module(path: Path, source: str | None = None) -> SourceModule:
         source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     ignores, guarded = _collect_directives(source)
+    logical_parts = logical_parts_for(path)
     return SourceModule(
         path=path,
         source=source,
         tree=tree,
-        logical_parts=logical_parts_for(path),
+        logical_parts=logical_parts,
         ignores=ignores,
         guarded_by=guarded,
+        source_tree=tree_for(path, logical_parts),
     )
 
 

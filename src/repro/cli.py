@@ -16,8 +16,10 @@ Subcommands mirror the ONEX lifecycle:
   and the per-stage cascade counters);
 * ``onex lint`` — the repo's own AST-based invariant checker
   (:mod:`repro.analysis`): kernel numeric purity, backend-dispatch
-  enforcement, the lockset race detector, persistence atomicity.
-  Also exposed as ``python -m repro.analysis`` for CI.
+  enforcement, the interprocedural lockset race detector, persistence
+  atomicity, async safety, determinism and resource lifecycle — with
+  SARIF output and a reviewed baseline. Also exposed as
+  ``python -m repro.analysis`` for CI.
 
 The global ``--backend {auto,numpy,numba}`` flag (or the
 ``ONEX_KERNEL_BACKEND`` environment variable) selects the refinement
@@ -277,6 +279,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded += ["--select", args.select]
     if args.json_path:
         forwarded += ["--json", args.json_path]
+    if args.sarif_path:
+        forwarded += ["--sarif", args.sarif_path]
+    if args.baseline_path:
+        forwarded += ["--baseline", args.baseline_path]
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
     if args.list_rules:
         forwarded.append("--list-rules")
     return lint_main(forwarded)
@@ -444,10 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the AST-based invariant checker (see DESIGN.md §11)",
         description=(
             "Checks kernel numeric purity (ONEX1xx), backend dispatch "
-            "(ONEX2xx), the lockset discipline (ONEX3xx) and "
-            "persistence atomicity (ONEX4xx). All arguments are "
-            "forwarded to `python -m repro.analysis` (paths, --select "
-            "CODES, --json FILE, --list-rules). Exit 0 = clean, 1 = "
+            "(ONEX2xx), the lockset discipline (ONEX3xx), persistence "
+            "atomicity (ONEX4xx), async safety (ONEX5xx), determinism "
+            "(ONEX6xx) and resource lifecycle (ONEX7xx). All arguments "
+            "are forwarded to `python -m repro.analysis` (paths, "
+            "--select CODES, --json FILE, --sarif FILE, --baseline "
+            "FILE, --no-baseline, --list-rules). Exit 0 = clean, 1 = "
             "findings."
         ),
     )
@@ -464,6 +474,23 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         metavar="FILE",
         help="write the machine-readable report to FILE ('-' = stdout)",
+    )
+    p_lint.add_argument(
+        "--sarif",
+        dest="sarif_path",
+        metavar="FILE",
+        help="write a SARIF 2.1.0 log to FILE ('-' = stdout)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        dest="baseline_path",
+        metavar="FILE",
+        help="baseline file of grandfathered findings",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding fails the run",
     )
     p_lint.add_argument(
         "--list-rules",

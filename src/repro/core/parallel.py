@@ -189,27 +189,60 @@ def _pack_shard(
     layout, total = _shard_layout(len(groups), n_members, length)
     shm = shared_memory.SharedMemory(create=True, size=total)
     try:
-        _untrack_shm(shm)
-        views = [
-            np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
-            for offset, dtype, shape in layout
-        ]
-        off_view, count_view, sum_view, ed_view, row_view = views
-        off_view[:] = offsets
-        count_view[:] = counts
-        for g, group in enumerate(groups):
-            sum_view[g] = group.member_sum
-            ed_view[offsets[g] : offsets[g + 1]] = group.ed_to_rep
-            if group.member_rows is None:  # pragma: no cover - defensive
-                raise IndexConstructionError(
-                    "shm shard transport needs store-backed groups "
-                    "(member_rows is None)"
-                )
-            row_view[offsets[g] : offsets[g + 1]] = group.member_rows
-        del views, off_view, count_view, sum_view, ed_view, row_view
+        _untrack_shm(shm)  # ONEX701: parent unlinks on the success path
+        _fill_shard_block(shm, layout, groups, offsets, counts)
+    except BaseException:
+        # Nobody will ever receive this block's name — without the
+        # unlink it would squat in /dev/shm until reboot.
+        shm.unlink()
+        raise
     finally:
         shm.close()
     return shm.name, total
+
+
+def _fill_shard_block(
+    shm: shared_memory.SharedMemory,
+    layout: list[tuple[int, np.dtype, tuple[int, ...]]],
+    groups: list[SimilarityGroup],
+    offsets: np.ndarray,
+    counts: np.ndarray,
+) -> None:
+    views = [
+        np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        for offset, dtype, shape in layout
+    ]
+    off_view, count_view, sum_view, ed_view, row_view = views
+    off_view[:] = offsets
+    count_view[:] = counts
+    for g, group in enumerate(groups):
+        sum_view[g] = group.member_sum
+        ed_view[offsets[g] : offsets[g + 1]] = group.ed_to_rep
+        if group.member_rows is None:  # pragma: no cover - defensive
+            raise IndexConstructionError(
+                "shm shard transport needs store-backed groups "
+                "(member_rows is None)"
+            )
+        row_view[offsets[g] : offsets[g + 1]] = group.member_rows
+    del views, off_view, count_view, sum_view, ed_view, row_view
+
+
+def _discard_descriptor(descriptor: ShardDescriptor) -> None:
+    """Unlink a shard block that will never be restored.
+
+    Used on the build's failure path: a shard that completed before a
+    sibling raised has already transferred ownership of its block to
+    the parent, so the parent must still unlink it or the segment
+    outlives the build.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+    except (FileNotFoundError, OSError):  # already restored or unlinked
+        return
+    try:
+        shm.unlink()
+    finally:
+        shm.close()
 
 
 def _restore_shard(
@@ -400,38 +433,57 @@ def build_shards_parallel(
             flat_path, np.ascontiguousarray(store.flat_values)
         )
         max_workers = max(1, min(int(n_jobs), len(grid)))
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(
-                flat_path,
-                store.series_lengths,
-                store.start_step,
-                backend,
-            ),
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _build_shard,
-                    length,
-                    orders[length],
-                    st,
-                    assign_mode,
-                    envelope_radius,
-                    result_transport,
-                    profile_transport,
-                ): length
-                for length in grid
-            }
-            for future in as_completed(futures):
+        futures: dict = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(
+                    flat_path,
+                    store.series_lengths,
+                    store.start_step,
+                    backend,
+                ),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _build_shard,
+                        length,
+                        orders[length],
+                        st,
+                        assign_mode,
+                        envelope_radius,
+                        result_transport,
+                        profile_transport,
+                    ): length
+                    for length in grid
+                }
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    if isinstance(outcome, ShardDescriptor):
+                        shard = _restore_shard(outcome, store)
+                    else:
+                        shard = outcome
+                    results[shard.length] = shard
+                    if progress is not None:
+                        progress(shard.length, shard.n_rows, shard.seconds)
+        except BaseException:
+            # The pool has shut down (the `with` exit waits), so every
+            # future is settled. Shards that completed before the
+            # failure handed their shm blocks to this process; reap
+            # them or they leak (ONEX701's runtime dual).
+            for future in futures:
+                if not future.done() or future.cancelled():
+                    continue  # pragma: no cover - settled post-shutdown
+                if future.exception() is not None:
+                    continue
                 outcome = future.result()
-                if isinstance(outcome, ShardDescriptor):
-                    shard = _restore_shard(outcome, store)
-                else:
-                    shard = outcome
-                results[shard.length] = shard
-                if progress is not None:
-                    progress(shard.length, shard.n_rows, shard.seconds)
+                if (
+                    isinstance(outcome, ShardDescriptor)
+                    and outcome.length not in results
+                ):
+                    _discard_descriptor(outcome)
+            raise
     finally:
         shutil.rmtree(shard_dir, ignore_errors=True)
     return results

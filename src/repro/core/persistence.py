@@ -309,7 +309,7 @@ def _sweep_dead_backups(target: str) -> None:
     parent = os.path.dirname(target) or "."
     marker = os.path.basename(target) + ".old-"
     try:
-        names = os.listdir(parent)
+        names = sorted(os.listdir(parent))
     except OSError:
         return
     for name in names:

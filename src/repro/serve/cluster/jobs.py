@@ -101,6 +101,7 @@ class JobQueue:
         self._jobs: dict[str, Job] = {}  # guarded-by: _lock
         self._order: list[str] = []  # guarded-by: _lock
         self._next_id = 1  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         self._queue: queue.Queue[Job | None] = queue.Queue()
         self._thread = threading.Thread(
             target=self._run, name="onex-jobs", daemon=True
@@ -113,6 +114,10 @@ class JobQueue:
                 f"unknown job kind {kind!r} (known: {sorted(_RUNNERS)})"
             )
         with self._lock:
+            if self._closed:
+                # The worker is gone; accepting the job would park it
+                # in "queued" forever with no thread to run it.
+                raise RuntimeError("job queue is closed")
             job_id = f"job-{self._next_id}"
             self._next_id += 1
             job = Job(
@@ -127,11 +132,14 @@ class JobQueue:
         return {"job": job_id, "status": "queued"}
 
     def status(self, job_id: str) -> dict:
+        # Snapshot under the lock: the worker flips status/result/error
+        # together under the same lock, so a poll can never observe
+        # "done" with a missing result.
         with self._lock:
             job = self._jobs.get(job_id)
-        if job is None:
-            raise KeyError(f"unknown job {job_id!r}")
-        return job.to_dict()
+            if job is not None:
+                return job.to_dict()
+        raise KeyError(f"unknown job {job_id!r}")
 
     def list_jobs(self) -> list[dict]:
         with self._lock:
@@ -142,20 +150,34 @@ class JobQueue:
             job = self._queue.get()
             if job is None:
                 return
-            job.status = "running"
-            job.started_at = time.time()
+            with self._lock:
+                job.status = "running"
+                job.started_at = time.time()
             try:
-                job.result = _RUNNERS[job.kind](job.params)
-                job.status = "done"
+                result = _RUNNERS[job.kind](job.params)
             except Exception as exc:  # noqa: BLE001 — a failed job must
                 # surface through status polling, not kill the queue.
-                job.status = "error"
-                job.error = str(exc) or repr(exc)
                 traceback.print_exc()
-            finally:
-                job.finished_at = time.time()
+                with self._lock:
+                    job.status = "error"
+                    job.error = str(exc) or repr(exc)
+                    job.finished_at = time.time()
+            else:
+                with self._lock:
+                    job.result = result
+                    job.status = "done"
+                    job.finished_at = time.time()
 
     def close(self) -> None:
-        """Stop the worker thread after in-flight jobs finish."""
-        self._queue.put(None)
+        """Stop the worker thread after in-flight jobs finish.
+
+        Idempotent: only the first call enqueues the sentinel, so a
+        double close can't leave a stray ``None`` for a queue that was
+        reopened-by-accident elsewhere; every call joins the thread.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if not already:
+            self._queue.put(None)
         self._thread.join(timeout=30)

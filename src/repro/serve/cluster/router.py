@@ -350,7 +350,11 @@ class ClusterRouter:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._ping_task
         await asyncio.gather(*(worker.stop() for worker in self.workers))
-        self.jobs.close()
+        # jobs.close() joins the worker thread (up to 30s): run it off
+        # the loop so a long-running build can't freeze the drain.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.jobs.close
+        )
 
     # ------------------------------------------------------------------
     # Request entry points

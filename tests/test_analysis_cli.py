@@ -2,8 +2,11 @@
 
 Pins the exit-code contract the CI step relies on: a clean tree exits
 0, a tree with a seeded violation exits 1 and names the rule code, a
-usage error exits 2 — plus the repo-is-clean invariant itself (the
-whole point of the suite: the current tree must pass its own checker).
+usage error (including a malformed baseline) exits 2 — plus the
+repo-is-clean invariant itself (the whole point of the suite: the
+current tree must pass its own checker, modulo the checked-in
+baseline), the version-2 JSON artifact shape, the baseline workflow,
+and SARIF 2.1.0 output validity.
 """
 
 from __future__ import annotations
@@ -15,12 +18,22 @@ import sys
 import textwrap
 from pathlib import Path
 
+import pytest
+
 import repro
 from repro.analysis import all_rules, run_lint
 from repro.cli import main as cli_main
 
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
 SRC_DIR = PACKAGE_DIR.parent
+REPO_ROOT = SRC_DIR.parent
+
+_BAD_SNIPPET = """\
+import numpy as np
+
+def quantize(x):
+    return x.astype(np.float32)
+"""
 
 
 def _run_module(args: list[str], cwd: Path | None = None):
@@ -36,6 +49,13 @@ def _run_module(args: list[str], cwd: Path | None = None):
     )
 
 
+def _seed_violation(tmp_path: Path) -> Path:
+    bad = tmp_path / "repro" / "distances" / "impure.py"
+    bad.parent.mkdir(parents=True, exist_ok=True)
+    bad.write_text(_BAD_SNIPPET, encoding="utf-8")
+    return bad
+
+
 class TestRepoIsClean:
     def test_checker_runs_clean_on_the_real_tree(self):
         report = run_lint([PACKAGE_DIR])
@@ -47,6 +67,15 @@ class TestRepoIsClean:
         assert "ONEX301" in suppressed_codes
         assert "ONEX401" in suppressed_codes
 
+    def test_default_scan_covers_sibling_trees_and_is_clean(self):
+        # No args: src plus tests/benchmarks/scripts. The run must stay
+        # clean modulo the checked-in baseline (discovered at the repo
+        # root), pinning the baseline workflow end to end.
+        result = _run_module([], cwd=REPO_ROOT)
+        assert result.returncode == 0, result.stdout + result.stderr
+        files_checked = int(result.stdout.split("checked ")[1].split(" ")[0])
+        assert files_checked > 150  # src alone is ~100 files
+
     def test_cli_lint_subcommand_exits_zero(self, capsys):
         assert cli_main(["lint"]) == 0
         out = capsys.readouterr().out
@@ -54,7 +83,16 @@ class TestRepoIsClean:
 
     def test_every_rule_family_is_registered(self):
         families = {code[:5] for code in all_rules()}
-        assert {"ONEX1", "ONEX2", "ONEX3", "ONEX4", "ONEX9"} <= families
+        assert {
+            "ONEX1",
+            "ONEX2",
+            "ONEX3",
+            "ONEX4",
+            "ONEX5",
+            "ONEX6",
+            "ONEX7",
+            "ONEX9",
+        } <= families
 
 
 class TestExitCodeContract:
@@ -63,19 +101,7 @@ class TestExitCodeContract:
         assert result.returncode == 0, result.stdout + result.stderr
 
     def test_seeded_violation_exits_one_with_code(self, tmp_path):
-        bad = tmp_path / "repro" / "distances" / "impure.py"
-        bad.parent.mkdir(parents=True)
-        bad.write_text(
-            textwrap.dedent(
-                """\
-                import numpy as np
-
-                def quantize(x):
-                    return x.astype(np.float32)
-                """
-            ),
-            encoding="utf-8",
-        )
+        _seed_violation(tmp_path)
         result = _run_module([str(tmp_path)])
         assert result.returncode == 1
         assert "ONEX101" in result.stdout
@@ -97,10 +123,19 @@ class TestJsonReport:
         out = tmp_path / "lint.json"
         assert cli_main(["lint", str(PACKAGE_DIR), "--json", str(out)]) == 0
         payload = json.loads(out.read_text(encoding="utf-8"))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_checked"] > 80
         assert payload["diagnostics"] == []
-        assert {"ONEX101", "ONEX301", "ONEX401"} <= set(payload["rules"])
+        assert payload["baselined"] == []
+        assert payload["stale_baseline"] == []
+        assert {
+            "ONEX101",
+            "ONEX301",
+            "ONEX401",
+            "ONEX501",
+            "ONEX601",
+            "ONEX701",
+        } <= set(payload["rules"])
         for entry in payload["suppressed"]:
             assert {"path", "line", "col", "code", "message"} <= set(entry)
 
@@ -120,3 +155,241 @@ class TestJsonReport:
         out = capsys.readouterr().out
         for code in all_rules():
             assert code in out
+
+    def test_report_schema_checker_accepts_the_artifact(self, tmp_path):
+        out = tmp_path / "lint.json"
+        assert cli_main(["lint", str(PACKAGE_DIR), "--json", str(out)]) == 0
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "check_lint_report.py"),
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_report_schema_checker_rejects_drift(self, tmp_path):
+        out = tmp_path / "lint.json"
+        out.write_text(json.dumps({"version": 1}), encoding="utf-8")
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "check_lint_report.py"),
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert result.returncode != 0
+
+
+class TestBaseline:
+    def _baseline(self, tmp_path: Path, entries: list[dict]) -> Path:
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": entries}), encoding="utf-8"
+        )
+        return path
+
+    def test_baselined_finding_does_not_fail_the_run(self, tmp_path):
+        _seed_violation(tmp_path)
+        baseline = self._baseline(
+            tmp_path,
+            [
+                {
+                    "code": "ONEX101",
+                    "path": "repro/distances/impure.py",
+                    "justification": "legacy float32 cast, tracked in #42",
+                }
+            ],
+        )
+        result = _run_module(
+            [str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "1 baselined" in result.stdout
+
+    def test_baseline_is_discovered_from_cwd(self, tmp_path):
+        _seed_violation(tmp_path)
+        self._baseline(
+            tmp_path,
+            [
+                {
+                    "code": "ONEX101",
+                    "path": "repro/distances/impure.py",
+                    "justification": "legacy float32 cast, tracked in #42",
+                }
+            ],
+        )
+        assert _run_module([str(tmp_path)], cwd=tmp_path).returncode == 0
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path):
+        _seed_violation(tmp_path)
+        baseline = self._baseline(
+            tmp_path,
+            [
+                {
+                    "code": "ONEX102",
+                    "path": "repro/distances/other.py",
+                    "justification": "unrelated entry",
+                }
+            ],
+        )
+        result = _run_module([str(tmp_path), "--baseline", str(baseline)])
+        assert result.returncode == 1
+        assert "ONEX101" in result.stdout
+        assert "stale baseline entry" in result.stdout
+
+    def test_no_baseline_flag_fails_on_grandfathered_finding(self, tmp_path):
+        _seed_violation(tmp_path)
+        self._baseline(
+            tmp_path,
+            [
+                {
+                    "code": "ONEX101",
+                    "path": "repro/distances/impure.py",
+                    "justification": "grandfathered",
+                }
+            ],
+        )
+        result = _run_module(
+            [str(tmp_path), "--no-baseline"], cwd=tmp_path
+        )
+        assert result.returncode == 1
+
+    def test_missing_justification_is_a_usage_error(self, tmp_path):
+        _seed_violation(tmp_path)
+        baseline = self._baseline(
+            tmp_path,
+            [{"code": "ONEX101", "path": "repro/distances/impure.py"}],
+        )
+        result = _run_module([str(tmp_path), "--baseline", str(baseline)])
+        assert result.returncode == 2
+        assert "justification" in result.stderr
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path):
+        baseline = tmp_path / "lint-baseline.json"
+        baseline.write_text("[]", encoding="utf-8")
+        result = _run_module(
+            [str(PACKAGE_DIR), "--baseline", str(baseline)]
+        )
+        assert result.returncode == 2
+
+    def test_checked_in_baseline_entries_are_all_justified(self):
+        payload = json.loads(
+            (REPO_ROOT / "lint-baseline.json").read_text(encoding="utf-8")
+        )
+        assert payload["version"] == 1
+        for entry in payload["entries"]:
+            assert entry["justification"].strip()
+
+
+def _validate_sarif_structure(log: dict) -> None:
+    """Structural SARIF 2.1.0 check that works without jsonschema."""
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert isinstance(log["runs"], list) and log["runs"]
+    for run in log["runs"]:
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "onex-lint"
+        assert isinstance(driver["rules"], list)
+        rule_ids = set()
+        for rule in driver["rules"]:
+            assert rule["id"].startswith("ONEX")
+            assert rule["shortDescription"]["text"]
+            rule_ids.add(rule["id"])
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in {
+                "none",
+                "note",
+                "warning",
+                "error",
+            }
+            assert isinstance(result["message"]["text"], str)
+            for location in result["locations"]:
+                region = location["physicalLocation"]["region"]
+                assert region["startLine"] >= 1
+                assert region["startColumn"] >= 1
+                uri = location["physicalLocation"]["artifactLocation"]["uri"]
+                assert "\\" not in uri
+            for suppression in result.get("suppressions", []):
+                assert suppression["kind"] in {"inSource", "external"}
+
+
+class TestSarif:
+    def _sarif_for(self, tmp_path: Path, args: list[str]) -> dict:
+        out = tmp_path / "lint.sarif"
+        result = _run_module([*args, "--sarif", str(out)])
+        assert out.is_file(), result.stdout + result.stderr
+        return json.loads(out.read_text(encoding="utf-8"))
+
+    def test_real_tree_sarif_is_structurally_valid(self, tmp_path):
+        log = self._sarif_for(tmp_path, [str(PACKAGE_DIR)])
+        _validate_sarif_structure(log)
+        # Suppressed findings surface as inSource suppressions.
+        kinds = {
+            suppression["kind"]
+            for run in log["runs"]
+            for result in run["results"]
+            for suppression in result.get("suppressions", [])
+        }
+        assert "inSource" in kinds
+
+    def test_seeded_violation_becomes_an_error_result(self, tmp_path):
+        _seed_violation(tmp_path)
+        log = self._sarif_for(tmp_path, [str(tmp_path), "--no-baseline"])
+        _validate_sarif_structure(log)
+        results = [
+            result
+            for run in log["runs"]
+            for result in run["results"]
+            if "suppressions" not in result
+        ]
+        assert any(r["ruleId"] == "ONEX101" for r in results)
+
+    def test_baselined_finding_carries_external_suppression(self, tmp_path):
+        _seed_violation(tmp_path)
+        baseline = tmp_path / "lint-baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "code": "ONEX101",
+                            "path": "repro/distances/impure.py",
+                            "justification": "tracked in #42",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        log = self._sarif_for(
+            tmp_path, [str(tmp_path), "--baseline", str(baseline)]
+        )
+        _validate_sarif_structure(log)
+        suppressions = [
+            suppression
+            for run in log["runs"]
+            for result in run["results"]
+            for suppression in result.get("suppressions", [])
+            if suppression["kind"] == "external"
+        ]
+        assert suppressions
+        assert suppressions[0]["justification"] == "tracked in #42"
+
+    def test_sarif_validates_against_vendored_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(
+            (
+                REPO_ROOT / "tests" / "data" / "sarif-2.1.0-subset.schema.json"
+            ).read_text(encoding="utf-8")
+        )
+        log = self._sarif_for(tmp_path, [str(PACKAGE_DIR)])
+        jsonschema.validate(instance=log, schema=schema)

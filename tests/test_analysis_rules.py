@@ -1,8 +1,10 @@
-"""Fixture-based tests for the four ``onex lint`` rule families.
+"""Fixture-based tests for the ``onex lint`` rule families.
 
 Each case writes a small snippet into a fake ``repro`` package tree
 (so path-scoped rules see the same layout as the real one) and asserts
-the exact ``(code, line)`` pairs the checker reports.
+the exact ``(code, line)`` pairs the checker reports. The
+interprocedural families (lockset propagation, async safety) get the
+same treatment — the call graph is built over the fixture tree.
 """
 
 from __future__ import annotations
@@ -464,6 +466,541 @@ class TestPersistenceAtomicity:
             def write(path, payload):
                 with open(path, "w", encoding="utf-8") as handle:
                     handle.write(payload)
+            """,
+        )
+        assert report.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# ONEX3xx — transitive lock-context propagation (the call-graph rebase)
+# ----------------------------------------------------------------------
+class TestLocksetTransitive:
+    def test_two_hop_lock_inheritance_is_clean(self, tmp_path):
+        # put -> _h1 -> _h2: the lock is taken two frames above the
+        # access. The one-level detector this replaces flagged _h2.
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def put(self, key, value):
+        with self._lock:
+            self._h1(key, value)
+
+    def _h1(self, key, value):
+        self._h2(key, value)
+
+    def _h2(self, key, value):
+        self._items[key] = value
+""",
+        )
+        assert report.diagnostics == []
+
+    def test_transitive_unlocked_chain_flags_the_call_site(self, tmp_path):
+        # Same chain plus one unlocked entry (sweep -> _h2): the defect
+        # is sweep's call site, which the one-level detector provably
+        # missed (it neither saw put->_h1->_h2 as covered nor sweep's
+        # chain as the uncovered one).
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def put(self, key, value):
+        with self._lock:
+            self._h1(key, value)
+
+    def _h1(self, key, value):
+        self._h2(key, value)
+
+    def _h2(self, key, value):
+        self._items[key] = value
+
+    def sweep(self):
+        self._h2("k", None)
+""",
+        )
+        assert codes_and_lines(report) == [("ONEX302", 19)]
+        assert "_h2" in report.diagnostics[0].message
+
+    def test_mutually_recursive_helpers_terminate(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cachelike.py",
+            _LOCKED_CLASS_HEADER
+            + """\
+
+    def tick(self):
+        with self._lock:
+            self._ping()
+
+    def _ping(self):
+        self._pong()
+
+    def _pong(self):
+        self._items.clear()
+        self._ping()
+""",
+        )
+        assert report.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# ONEX5xx — async safety
+# ----------------------------------------------------------------------
+class TestAsyncSafety:
+    def test_direct_blocking_call_in_coroutine(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/loopy.py",
+            """\
+            import time
+
+            async def handle(request):
+                time.sleep(0.1)
+                return request
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX501", 4)]
+        assert "handle" in report.diagnostics[0].message
+
+    def test_blocking_call_two_helpers_down(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/loopy.py",
+            """\
+            import subprocess
+
+            async def handle(request):
+                return prepare(request)
+
+            def prepare(request):
+                return launch(request)
+
+            def launch(request):
+                return subprocess.run(["echo", str(request)])
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX501", 10)]
+        message = report.diagnostics[0].message
+        assert "handle" in message and "launch" in message
+
+    def test_future_result_in_coroutine_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/loopy.py",
+            """\
+            async def gather(future):
+                return future.result()
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX501", 2)]
+
+    def test_run_in_executor_reference_is_clean(self, tmp_path):
+        # The callable is passed by reference, not called on the loop.
+        report = lint_snippet(
+            tmp_path,
+            "serve/loopy.py",
+            """\
+            import asyncio
+            import time
+
+            def blocking_io():
+                time.sleep(1.0)
+
+            async def handle(request):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(None, blocking_io)
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_outside_serve_is_not_this_rules_business(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/offline.py",
+            """\
+            import time
+
+            async def crunch():
+                time.sleep(1.0)
+            """,
+        )
+        assert "ONEX501" not in codes(report)
+
+    def test_suppression_is_respected(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/loopy.py",
+            """\
+            import time
+
+            async def handle(request):
+                time.sleep(0.001)  # onex: ignore[ONEX501]
+            """,
+        )
+        assert report.diagnostics == []
+        assert [d.code for d in report.suppressed] == ["ONEX501"]
+
+    def test_await_under_threading_lock_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/locky.py",
+            """\
+            import threading
+
+            class Shared:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def update(self, worker):
+                    with self._lock:
+                        await worker.request({"op": "ping"})
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX502", 9)]
+        assert "_lock" in report.diagnostics[0].message
+
+    def test_asyncio_lock_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/locky.py",
+            """\
+            import asyncio
+
+            class Shared:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+
+                async def update(self, worker):
+                    async with self._lock:
+                        await worker.request({"op": "ping"})
+            """,
+        )
+        assert report.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# ONEX6xx — determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_set_iteration_flagged_in_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/merge2.py",
+            """\
+            def merge(ids_a, ids_b):
+                out = []
+                for item in set(ids_a) | set(ids_b):
+                    out.append(item)
+                return out
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX601", 3)]
+
+    def test_sorted_set_iteration_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/merge2.py",
+            """\
+            def merge(ids_a, ids_b):
+                return [x for x in sorted(set(ids_a) | set(ids_b))]
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_set_bound_local_tracked_and_cleared_by_sorted(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "distances/pick.py",
+            """\
+            def pick(rows):
+                chosen = set(rows)
+                for row in chosen:
+                    yield row
+
+            def pick_sorted(rows):
+                chosen = set(rows)
+                chosen = sorted(chosen)
+                for row in chosen:
+                    yield row
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX601", 3)]
+
+    def test_membership_test_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/member.py",
+            """\
+            def keep(rows, wanted):
+                allowed = set(wanted)
+                return [row for row in rows if row in allowed]
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_unseeded_rng_return_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/jitter.py",
+            """\
+            import random
+
+            def pick_order(n):
+                return random.sample(range(n), n)
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX602", 4)]
+
+    def test_seeded_generator_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/jitter.py",
+            """\
+            import numpy as np
+
+            def pick_order(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.permutation(n)
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_elapsed_time_idiom_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "distances/warm.py",
+            """\
+            import time
+
+            def warmup_probe(kernel):
+                started = time.perf_counter()
+                kernel()
+                return time.perf_counter() - started
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_timing_keyword_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/pack2.py",
+            """\
+            import time
+
+            def pack(payload, t0):
+                return dict(
+                    payload=payload,
+                    pack_seconds=time.perf_counter() - t0,
+                )
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_unsorted_listdir_flagged_and_sorted_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/sweep2.py",
+            """\
+            import os
+
+            def entries(path):
+                return os.listdir(path)
+
+            def entries_sorted(path):
+                return sorted(os.listdir(path))
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX603", 4)]
+
+    def test_determinism_rules_stay_out_of_serve_helpers(self, tmp_path):
+        # Only router.py is merge-critical in serve/; other serve
+        # modules iterate sets for presentation and are out of scope.
+        report = lint_snippet(
+            tmp_path,
+            "serve/present.py",
+            """\
+            def tags(items):
+                return [t for t in set(items)]
+            """,
+        )
+        assert "ONEX601" not in codes(report)
+
+
+# ----------------------------------------------------------------------
+# ONEX7xx — resource lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_shared_memory_never_closed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/shmuser.py",
+            """\
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                shm = shared_memory.SharedMemory(name=name)
+                return bytes(shm.buf)
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX701", 4)]
+        assert "never close" in report.diagnostics[0].message
+
+    def test_close_outside_finally_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/shmuser.py",
+            """\
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                shm = shared_memory.SharedMemory(name=name)
+                data = bytes(shm.buf)
+                shm.close()
+                return data
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX701", 4)]
+        assert "finally" in report.diagnostics[0].message
+
+    def test_created_block_without_unlink_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/shmuser.py",
+            """\
+            from multiprocessing import shared_memory
+
+            def make(size):
+                shm = shared_memory.SharedMemory(create=True, size=size)
+                try:
+                    return shm.name
+                finally:
+                    shm.close()
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX701", 4)]
+        assert "unlink" in report.diagnostics[0].message
+
+    def test_full_lifecycle_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/shmuser.py",
+            """\
+            from multiprocessing import shared_memory
+
+            def roundtrip(size):
+                shm = shared_memory.SharedMemory(create=True, size=size)
+                try:
+                    shm.buf[0] = 1
+                    return bytes(shm.buf)
+                except BaseException:
+                    shm.unlink()
+                    raise
+                finally:
+                    shm.close()
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_lifecycle_rules_cover_the_tests_tree(self, tmp_path):
+        # ONEX7xx runs on every tree: a leaked block in a test leaks
+        # /dev/shm all the same.
+        target = tmp_path / "tests" / "test_leak.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "from multiprocessing import shared_memory\n"
+            "\n"
+            "def probe(name):\n"
+            "    shm = shared_memory.SharedMemory(name=name)\n"
+            "    return bytes(shm.buf)\n",
+            encoding="utf-8",
+        )
+        report = run_lint([tmp_path])
+        assert [d.code for d in report.diagnostics] == ["ONEX701"]
+
+    def test_src_only_rules_skip_the_benchmarks_tree(self, tmp_path):
+        # The same snippet inside repro/core/ trips ONEX601; under
+        # benchmarks/ the determinism family is scoped out.
+        snippet = (
+            "def merge(ids):\n"
+            "    return [x for x in set(ids)]\n"
+        )
+        target = tmp_path / "benchmarks" / "bench_merge.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(snippet, encoding="utf-8")
+        report = run_lint([tmp_path])
+        assert report.diagnostics == []
+
+    def test_executor_without_shutdown_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/poolish.py",
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fire(jobs):
+                pool = ThreadPoolExecutor(max_workers=2)
+                return [pool.submit(job) for job in jobs]
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX702", 4)]
+
+    def test_with_managed_executor_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/poolish.py",
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fire(jobs):
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    return [f.result() for f in map(pool.submit, jobs)]
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_self_pool_with_class_shutdown_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/poolish.py",
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Service:
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor(max_workers=2)
+
+                def close(self):
+                    self._pool.shutdown(wait=True)
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_returning_with_handle_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "data/reader2.py",
+            """\
+            def acquire(path):
+                with open(path, "rb") as handle:
+                    return handle
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX703", 3)]
+
+    def test_reading_inside_with_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "data/reader2.py",
+            """\
+            import json
+
+            def load(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return json.load(handle)
             """,
         )
         assert report.diagnostics == []

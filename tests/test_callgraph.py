@@ -1,0 +1,264 @@
+"""Unit tests for the project call-graph engine (repro.analysis.callgraph).
+
+All fixtures are parsed from strings at fake in-package paths — the
+graph never touches the filesystem — so each test controls the exact
+module layout, import shape, and class hierarchy it exercises.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.callgraph import build_call_graph, module_key
+from repro.analysis.source import parse_module
+
+
+def _module(relpath: str, source: str):
+    return parse_module(Path("/fake/repro") / relpath, source=source)
+
+
+def _graph(*specs: tuple[str, str]):
+    return build_call_graph([_module(rel, src) for rel, src in specs])
+
+
+def _edge_pairs(graph):
+    return {(edge.caller, edge.callee) for edge in graph.edges}
+
+
+class TestIndexing:
+    def test_functions_methods_and_async_flags(self):
+        graph = _graph(
+            (
+                "serve/app.py",
+                """\
+def helper():
+    pass
+
+class Handler:
+    async def respond(self):
+        pass
+
+    def sync_part(self):
+        pass
+""",
+            )
+        )
+        key = "repro.serve.app"
+        assert f"{key}::helper" in graph.functions
+        respond = graph.functions[f"{key}::Handler.respond"]
+        assert respond.is_async
+        assert respond.class_name == "Handler"
+        assert not graph.functions[f"{key}::Handler.sync_part"].is_async
+
+    def test_module_key_for_package_and_loose_files(self):
+        packaged = _module("core/onex.py", "x = 1\n")
+        assert module_key(packaged) == "repro.core.onex"
+        loose = parse_module(Path("/somewhere/tool.py"), source="x = 1\n")
+        assert module_key(loose) == str(Path("/somewhere/tool.py"))
+
+    def test_decorators_recorded_by_base_name(self):
+        graph = _graph(
+            (
+                "core/k.py",
+                """\
+import functools
+
+@functools.lru_cache(maxsize=8)
+def cached():
+    pass
+""",
+            )
+        )
+        info = graph.functions["repro.core.k::cached"]
+        assert info.decorators == ("lru_cache",)
+
+
+class TestResolution:
+    def test_bare_name_resolves_to_module_function(self):
+        graph = _graph(
+            (
+                "core/a.py",
+                """\
+def callee():
+    pass
+
+def caller():
+    callee()
+""",
+            )
+        )
+        assert (
+            "repro.core.a::caller",
+            "repro.core.a::callee",
+        ) in _edge_pairs(graph)
+
+    def test_self_method_resolves_through_single_base(self):
+        graph = _graph(
+            (
+                "core/b.py",
+                """\
+class Base:
+    def shared(self):
+        pass
+
+class Child(Base):
+    def go(self):
+        self.shared()
+""",
+            )
+        )
+        assert (
+            "repro.core.b::Child.go",
+            "repro.core.b::Base.shared",
+        ) in _edge_pairs(graph)
+
+    def test_from_import_resolves_across_modules(self):
+        graph = _graph(
+            ("core/util.py", "def tool():\n    pass\n"),
+            (
+                "serve/user.py",
+                """\
+from repro.core.util import tool
+
+def run():
+    tool()
+""",
+            ),
+        )
+        assert (
+            "repro.serve.user::run",
+            "repro.core.util::tool",
+        ) in _edge_pairs(graph)
+
+    def test_module_alias_dotted_call_resolves(self):
+        graph = _graph(
+            ("core/util.py", "def tool():\n    pass\n"),
+            (
+                "serve/user.py",
+                """\
+import repro.core.util as util
+
+def run():
+    util.tool()
+""",
+            ),
+        )
+        assert (
+            "repro.serve.user::run",
+            "repro.core.util::tool",
+        ) in _edge_pairs(graph)
+
+    def test_local_def_shadows_import(self):
+        # The nested `tool` shadows the imported one, as at runtime.
+        graph = _graph(
+            ("core/util.py", "def tool():\n    pass\n"),
+            (
+                "serve/user.py",
+                """\
+from repro.core.util import tool
+
+def run():
+    def tool():
+        pass
+
+    tool()
+""",
+            ),
+        )
+        pairs = _edge_pairs(graph)
+        assert (
+            "repro.serve.user::run",
+            "repro.serve.user::run.<locals>.tool",
+        ) in pairs
+        assert (
+            "repro.serve.user::run",
+            "repro.core.util::tool",
+        ) not in pairs
+
+    def test_unresolved_call_is_kept_as_external(self):
+        graph = _graph(
+            (
+                "serve/user.py",
+                """\
+import time
+
+def nap():
+    time.sleep(1)
+""",
+            )
+        )
+        externals = graph.externals("repro.serve.user::nap")
+        assert [external.name for external in externals] == ["time.sleep"]
+
+
+class TestLockContext:
+    def test_edges_carry_lexically_held_locks(self):
+        graph = _graph(
+            (
+                "serve/c.py",
+                """\
+class Cache:
+    def put(self):
+        with self._lock:
+            self._evict()
+        self._stat()
+
+    def _evict(self):
+        pass
+
+    def _stat(self):
+        pass
+""",
+            )
+        )
+        by_callee = {
+            edge.callee.rsplit(".", 1)[-1]: edge for edge in graph.edges
+        }
+        assert by_callee["_evict"].held_locks == frozenset({"_lock"})
+        assert by_callee["_stat"].held_locks == frozenset()
+
+
+class TestReachability:
+    def test_cycles_terminate_and_are_fully_reachable(self):
+        graph = _graph(
+            (
+                "core/cyc.py",
+                """\
+def a():
+    b()
+
+def b():
+    a()
+    c()
+
+def c():
+    pass
+""",
+            )
+        )
+        key = "repro.core.cyc"
+        reached = graph.reachable_from([f"{key}::a"])
+        assert reached == {f"{key}::a", f"{key}::b", f"{key}::c"}
+
+    def test_follow_predicate_prunes_edges(self):
+        graph = _graph(
+            (
+                "core/pr.py",
+                """\
+def a():
+    b()
+
+def b():
+    c()
+
+def c():
+    pass
+""",
+            )
+        )
+        key = "repro.core.pr"
+        reached = graph.reachable_from(
+            [f"{key}::a"],
+            follow=lambda edge: not edge.callee.endswith("::c"),
+        )
+        assert reached == {f"{key}::a", f"{key}::b"}
