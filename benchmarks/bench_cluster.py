@@ -208,3 +208,79 @@ def test_backpressure_rejection_fast_path(v3_path, workload) -> None:
         f"{rejected} rejected busy",
     ]
     _register()
+
+
+def test_replica_failover_cost(v3_path, workload) -> None:
+    """Failover price: the workload after killing one replica of every
+    shard must stay bit-identical and error-free; the row pair shows
+    the healthy-vs-degraded throughput delta (ISSUE 10)."""
+    import signal
+
+    service = OnexService(
+        OnexIndex.load(v3_path), max_workers=2, cache_size=2048
+    )
+    expected = [
+        json.dumps(respond(service, dict(request)), sort_keys=True)
+        for request in workload
+    ]
+    service.close()
+
+    async def run():
+        router = ClusterRouter(
+            v3_path,
+            n_shards=N_SHARDS,
+            n_replicas=2,
+            max_inflight=64,
+            ping_interval=30,
+            respawn_backoff=60.0,  # keep the dead replicas dead
+        )
+        await router.start()
+        try:
+
+            async def drive():
+                responses = await asyncio.gather(
+                    *(
+                        router.process_request(dict(request))
+                        for request in workload
+                    )
+                )
+                return [
+                    json.dumps(response, sort_keys=True)
+                    for response in responses
+                ]
+
+            healthy_started = time.perf_counter()
+            healthy = await drive()
+            healthy_seconds = time.perf_counter() - healthy_started
+            for replica_set in router.shards:
+                os.kill(replica_set.replicas[0].pid, signal.SIGKILL)
+            for replica_set in router.shards:
+                while replica_set.replicas[0].alive:
+                    await asyncio.sleep(0.02)
+            degraded_started = time.perf_counter()
+            degraded = await drive()
+            degraded_seconds = time.perf_counter() - degraded_started
+            failovers = router.metrics.failovers
+        finally:
+            await router.drain()
+        return healthy, healthy_seconds, degraded, degraded_seconds, failovers
+
+    healthy, healthy_seconds, degraded, degraded_seconds, failovers = (
+        asyncio.run(run())
+    )
+    assert healthy == expected
+    assert degraded == expected  # failover is invisible to clients
+    assert failovers > 0
+    _rows["e_replicated"] = [
+        f"{N_SHARDS}x2 replicas, healthy",
+        healthy_seconds,
+        N_QUERIES / healthy_seconds,
+        "bit-identical",
+    ]
+    _rows["f_failover"] = [
+        f"{N_SHARDS}x2 replicas, one killed per shard",
+        degraded_seconds,
+        N_QUERIES / degraded_seconds,
+        f"{failovers} failovers, zero errors",
+    ]
+    _register()

@@ -13,7 +13,15 @@ reports shard-level state a single process does not have, so the smoke
 asserts the documented shape (per-shard latency histograms, merged
 cache and cascade counters) instead of equality.
 
-Usage: python scripts/serve_cluster_smoke.py [--out metrics.json]
+``--chaos`` runs the failure-model scenario instead: the CLI is
+started with ``--shards 2 --replicas 2``, a warm battery establishes
+bit-identity, then one replica of **every** shard is SIGKILLed while a
+second battery is in flight. The client must see zero errors and
+bit-identical answers — router-side failover absorbs the deaths — and
+the final ``metrics`` snapshot must show the failovers and restarts
+that occurred.
+
+Usage: python scripts/serve_cluster_smoke.py [--chaos] [--out metrics.json]
 Exit code 0 on success; the metrics snapshot is written to --out for
 upload as a CI artifact.
 """
@@ -23,9 +31,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
+import threading
+import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
@@ -76,11 +87,203 @@ def make_requests(lengths: list[int]) -> list[dict]:
     ]
 
 
+class PipeClient:
+    """Tiny id-correlating JSON-lines client over a subprocess pipe."""
+
+    def __init__(self, proc: subprocess.Popen) -> None:
+        self.proc = proc
+        self._responses: dict = {}
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._read, daemon=True)
+        self._reader.start()
+
+    def _read(self) -> None:
+        for line in self.proc.stdout:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                response = json.loads(line)
+            except ValueError:
+                continue
+            with self._lock:
+                self._responses[response.get("id")] = response
+
+    def send(self, request: dict) -> None:
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+
+    def wait_for(self, request_id: str, timeout: float = 300.0) -> dict:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if request_id in self._responses:
+                    return self._responses.pop(request_id)
+            time.sleep(0.01)
+        raise TimeoutError(f"no response for {request_id!r}")
+
+    def call(self, request: dict, timeout: float = 300.0) -> dict:
+        self.send(request)
+        return self.wait_for(request["id"], timeout)
+
+
+def chaos_main(args: argparse.Namespace) -> int:
+    workdir = tempfile.mkdtemp(prefix="onex-chaos-smoke-")
+    index_path = os.path.join(workdir, "index_v3")
+    index = build_fixture(index_path)
+    lengths = index.rspace.lengths
+    requests = make_requests(lengths)
+
+    service = OnexService(OnexIndex.load(index_path), cache_size=256)
+    expected = {
+        request["id"]: json.dumps(
+            respond(service, dict(request)), sort_keys=True
+        )
+        for request in requests
+    }
+    service.close()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            index_path,
+            "--shards",
+            str(args.shards),
+            "--replicas",
+            "2",
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=None,  # worker banners stream through for CI logs
+        text=True,
+        env=env,
+    )
+    client = PipeClient(proc)
+    failures = 0
+    victims: list[int] = []
+    snapshot: dict = {}
+    try:
+        client.call({"op": "ping", "id": "warm-ping"})
+
+        def battery(tag: str) -> int:
+            for request in requests:
+                client.send({**request, "id": f"{tag}:{request['id']}"})
+            bad = 0
+            for request in requests:
+                request_id = request["id"]
+                got = client.wait_for(f"{tag}:{request_id}")
+                got["id"] = request_id  # compare modulo the round tag
+                canonical = json.dumps(got, sort_keys=True)
+                if canonical != expected[request_id]:
+                    print(f"FAIL {tag}:{request_id}: diverged")
+                    print(f"  single : {expected[request_id][:240]}")
+                    print(f"  cluster: {canonical[:240]}")
+                    bad += 1
+            print(f"ok {tag}: {len(requests) - bad}/{len(requests)} "
+                  "bit-identical")
+            return bad
+
+        failures += battery("warm")
+
+        # SIGKILL one replica of every shard while round two is on the
+        # wire: the router must fail over without a client-visible error.
+        health = client.call({"op": "health", "id": "pre-kill-health"})
+        victims = [
+            entry["pid"]
+            for entry in health["health"]["shards"]
+            if entry["replica"] == 0
+        ]
+        for request in requests:
+            client.send({**request, "id": f"mid:{request['id']}"})
+        for pid in victims:
+            os.kill(pid, signal.SIGKILL)
+        print(f"killed replica 0 of every shard: pids {victims}")
+        for request in requests:
+            request_id = request["id"]
+            got = client.wait_for(f"mid:{request_id}")
+            got["id"] = request_id
+            if json.dumps(got, sort_keys=True) != expected[request_id]:
+                print(f"FAIL mid:{request_id}: diverged after SIGKILL")
+                failures += 1
+        print("ok mid: battery answered across the kills")
+
+        # A full post-kill battery: guaranteed to ride the failover
+        # path while the primaries respawn (or after, both must work).
+        failures += battery("post")
+
+        metrics = client.call({"op": "metrics", "id": "final-metrics"})
+        snapshot = metrics["metrics"]
+        health = client.call({"op": "health", "id": "final-health"})
+        checks = [
+            (snapshot["failovers"] > 0, "failovers recorded"),
+            (
+                snapshot["worker_restarts"] >= len(victims),
+                "killed replicas respawned",
+            ),
+            (
+                snapshot["errors"].get("shard_unavailable", 0) == 0,
+                "no shard_unavailable surfaced to clients",
+            ),
+            (
+                health["health"]["status"] in ("ok", "degraded"),
+                "cluster still serving",
+            ),
+        ]
+        for passed, label in checks:
+            print(("ok " if passed else "FAIL ") + label)
+            if not passed:
+                failures += 1
+    finally:
+        try:
+            proc.stdin.close()
+            proc.wait(timeout=60)
+        except Exception:
+            proc.kill()
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "scenario": "chaos",
+                "shards": args.shards,
+                "replicas": 2,
+                "killed": len(victims),
+                "metrics": snapshot,
+            },
+            handle,
+            indent=2,
+        )
+    print(f"metrics snapshot written to {args.out}")
+
+    if failures:
+        print(f"{failures} chaos check(s) failed")
+        return 1
+    print(
+        "chaos-smoke passed: one replica of every shard SIGKILLed, "
+        "zero client-visible errors, bit-identical results"
+    )
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--out", default="cluster-metrics.json")
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the failure-model scenario: --replicas 2, SIGKILL one "
+        "replica per shard mid-battery, assert zero client-visible errors",
+    )
     args = parser.parse_args()
+    if args.chaos:
+        return chaos_main(args)
 
     workdir = tempfile.mkdtemp(prefix="onex-cluster-smoke-")
     index_path = os.path.join(workdir, "index_v3")

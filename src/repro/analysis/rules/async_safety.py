@@ -241,3 +241,56 @@ class AwaitUnderThreadingLock(Rule):
                             "for the lock block for the whole await"
                         ),
                     )
+
+
+_WAIT_FOR_NAMES = frozenset({"asyncio.wait_for", "wait_for"})
+
+
+@register_rule
+class ShardRpcWithoutDeadline(Rule):
+    code = "ONEX504"
+    name = "shard-rpc-without-deadline"
+    rationale = (
+        "an unbounded shard RPC waits forever on a dropped frame, a "
+        "corrupt reply, or a hung worker — the failure modes the "
+        "fault-injection harness exists to produce; every "
+        "`.request(...)` in the cluster tier must be bounded by "
+        "`asyncio.wait_for` carrying the per-replica timeout or the "
+        "request's propagated deadline budget (DESIGN.md §15)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Diagnostic]:
+        if not module.in_package_dir("serve", "cluster"):
+            return
+        # A `.request(...)` call is deadline-bounded iff it is the
+        # direct awaitable argument of asyncio.wait_for — collect those
+        # first, then flag every other shard-RPC call site.
+        bounded: set[ast.Call] = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node) in _WAIT_FOR_NAMES
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+            ):
+                bounded.add(node.args[0])
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr != "request"
+                or node in bounded
+            ):
+                continue
+            yield Diagnostic(
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                code=self.code,
+                message=(
+                    "shard RPC `.request(...)` is not bounded by "
+                    "`asyncio.wait_for`; a dropped or corrupt reply "
+                    "strands this await forever — wrap it with the "
+                    "per-replica timeout or the propagated budget"
+                ),
+            )

@@ -250,16 +250,19 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     router = ClusterRouter(
         args.index,
         n_shards=args.shards,
+        n_replicas=args.replicas,
         max_inflight=args.max_inflight,
         cache_size=args.cache_size,
         worker_threads=args.workers,
+        replica_timeout_ms=args.replica_timeout_ms,
     )
 
     async def run() -> int:
         await router.start()
         print(
             f"onex-cluster serving {args.index!r} with "
-            f"{router.shard_map.n_shards} shard(s) "
+            f"{router.shard_map.n_shards} shard(s) x "
+            f"{router.n_replicas} replica(s) "
             f"{[list(owned) for owned in router.shard_map.shards]}, "
             f"max_inflight={router.max_inflight}",
             file=sys.stderr,
@@ -426,6 +429,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the index across N worker processes behind a "
         "scatter-gather router (requires a v3 index directory; "
         "1 = single-process serving)",
+    )
+    p_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="spawn R workers per shard over the same index directory; "
+        "the router fails over between replicas on worker death or "
+        "per-replica timeout (sharded mode)",
+    )
+    p_serve.add_argument(
+        "--replica-timeout-ms",
+        type=float,
+        default=None,
+        help="per-replica attempt timeout for shard subrequests; a "
+        "slow replica is retried on another (default: none — only "
+        "request-level timeout_ms bounds an attempt)",
     )
     p_serve.add_argument(
         "--max-inflight",

@@ -1,0 +1,127 @@
+"""Fault-injection harness for chaos-testing the sharded serving tier.
+
+A :class:`FaultInjector` lives inside every shard worker process and,
+when **enabled**, intercepts the worker's reply path to simulate the
+failure modes the router must survive (DESIGN.md §15):
+
+``die``
+    Exit the process abruptly (``os._exit``) *before* replying — the
+    router sees a dead pipe mid-request, exactly like a SIGKILL.
+``delay``
+    Sleep ``delay_ms`` before replying — a slow shard that should trip
+    per-replica timeouts and deadline budgets.
+``drop``
+    Swallow the response entirely — the request's future strands until
+    a deadline (or the worker's death) resolves it.
+``corrupt``
+    Emit a non-JSON frame instead of the response — exercises the
+    router's corrupt-line handling plus deadline-based recovery.
+
+Injection is **off by default** and double-gated: the worker only arms
+faults when the ``ONEX_FAULTS=1`` environment variable is set, and the
+router refuses to forward the test-only ``inject_fault`` op unless it
+sees the same flag. Faults are armed per-op with a finite ``count``,
+so a chaos test can say "kill this replica on its next ``scan``" and
+the harness disarms itself afterwards. Nothing in this module touches
+the serving data path when disabled — ``match`` is a single attribute
+check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections.abc import Mapping
+
+#: Environment flag that must be ``"1"`` for fault injection to arm.
+ENV_FLAG = "ONEX_FAULTS"
+
+#: The failure modes the harness can simulate.
+FAULT_KINDS = ("die", "delay", "drop", "corrupt")
+
+
+@dataclasses.dataclass
+class Fault:
+    """One armed fault: fires on matching ops until ``remaining`` hits 0."""
+
+    kind: str
+    ops: frozenset[str] | None  # None matches every op
+    remaining: int
+    delay_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "ops": None if self.ops is None else sorted(self.ops),
+            "remaining": self.remaining,
+            "delay_ms": self.delay_ms,
+        }
+
+
+class FaultInjector:
+    """Holds armed faults and matches them against request ops.
+
+    The injector is deliberately dumb: it neither sleeps nor exits
+    itself — the worker's reply path interprets the matched
+    :class:`Fault` so the side effects stay in one auditable place.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._faults: list[Fault] = []
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> FaultInjector:
+        """Build an injector gated on ``ONEX_FAULTS=1``."""
+        source = os.environ if env is None else env
+        return cls(enabled=source.get(ENV_FLAG, "") == "1")
+
+    def arm(
+        self,
+        kind: str,
+        ops: list[str] | None = None,
+        count: int = 1,
+        delay_ms: float = 0.0,
+    ) -> dict:
+        """Arm one fault; returns the armed-fault summary for the client."""
+        if not self.enabled:
+            raise RuntimeError(
+                f"fault injection is disabled (set {ENV_FLAG}=1 to enable)"
+            )
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} (known: {list(FAULT_KINDS)})"
+            )
+        count = int(count)
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        delay_ms = float(delay_ms)
+        if kind == "delay" and delay_ms <= 0:
+            raise ValueError("delay faults need delay_ms > 0")
+        fault = Fault(
+            kind=kind,
+            ops=None if ops is None else frozenset(str(op) for op in ops),
+            remaining=count,
+            delay_ms=delay_ms,
+        )
+        self._faults.append(fault)
+        return {"armed": fault.to_dict(), "faults": self.list_faults()}
+
+    def match(self, op: str) -> Fault | None:
+        """The first armed fault covering ``op``, consuming one charge.
+
+        ``inject_fault`` itself never matches — the control channel must
+        stay usable while faults are armed.
+        """
+        if not self.enabled or op == "inject_fault":
+            return None
+        for fault in self._faults:
+            if fault.remaining > 0 and (fault.ops is None or op in fault.ops):
+                fault.remaining -= 1
+                if fault.remaining == 0:
+                    self._faults.remove(fault)
+                return fault
+        return None
+
+    def list_faults(self) -> list[dict]:
+        return [fault.to_dict() for fault in self._faults]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import queue
+import sys
 import threading
 import time
 import traceback
@@ -102,6 +103,7 @@ class JobQueue:
         self._order: list[str] = []  # guarded-by: _lock
         self._next_id = 1  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
+        self._closed_clean: bool | None = None  # guarded-by: _lock
         self._queue: queue.Queue[Job | None] = queue.Queue()
         self._thread = threading.Thread(
             target=self._run, name="onex-jobs", daemon=True
@@ -168,16 +170,43 @@ class JobQueue:
                     job.status = "done"
                     job.finished_at = time.time()
 
-    def close(self) -> None:
+    @property
+    def closed_clean(self) -> bool | None:
+        """Whether ``close`` joined cleanly (``None`` before any close)."""
+        with self._lock:
+            return self._closed_clean
+
+    def close(self, join_timeout: float = 30.0) -> bool:
         """Stop the worker thread after in-flight jobs finish.
 
         Idempotent: only the first call enqueues the sentinel, so a
         double close can't leave a stray ``None`` for a queue that was
         reopened-by-accident elsewhere; every call joins the thread.
+        A join timeout (a job still running past ``join_timeout``
+        seconds) leaks the daemon thread by design — but loudly: it is
+        logged to stderr and reported as ``closed_clean: false`` in the
+        ``jobs`` status so operators can tell a clean drain from a
+        stuck build. Returns whether the join completed.
         """
         with self._lock:
             already = self._closed
             self._closed = True
         if not already:
             self._queue.put(None)
-        self._thread.join(timeout=30)
+        self._thread.join(timeout=join_timeout)
+        clean = not self._thread.is_alive()
+        if not clean:
+            print(
+                f"onex-jobs: close() join timed out after {join_timeout:g}s; "
+                "worker thread leaked (job still running)",
+                file=sys.stderr,
+                flush=True,
+            )
+        with self._lock:
+            # Sticky-false: a later clean-looking join (the leaked
+            # thread eventually finished) must not mask the timeout.
+            self._closed_clean = (
+                clean if self._closed_clean is None
+                else self._closed_clean and clean
+            )
+        return clean

@@ -92,6 +92,13 @@ class ClusterMetrics:
         self._busy_rejected = 0  # guarded-by: _lock
         self._shard_errors = 0  # guarded-by: _lock
         self._worker_restarts = 0  # guarded-by: _lock
+        self._failovers = 0  # guarded-by: _lock
+        self._retries = 0  # guarded-by: _lock
+        self._replica_timeouts = 0  # guarded-by: _lock
+        self._deadline_exceeded = 0  # guarded-by: _lock
+        self._degraded_responses = 0  # guarded-by: _lock
+        self._crash_loops = 0  # guarded-by: _lock
+        self._breaker_transitions: dict[str, int] = {}  # guarded-by: _lock
 
     def record_op(self, op: str) -> None:
         with self._lock:
@@ -114,6 +121,39 @@ class ClusterMetrics:
         with self._lock:
             self._worker_restarts += 1
 
+    def record_failover(self) -> None:
+        with self._lock:
+            self._failovers += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def record_replica_timeout(self) -> None:
+        with self._lock:
+            self._replica_timeouts += 1
+
+    def record_deadline_exceeded(self) -> None:
+        with self._lock:
+            self._deadline_exceeded += 1
+            self._errors["deadline_exceeded"] = (
+                self._errors.get("deadline_exceeded", 0) + 1
+            )
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self._degraded_responses += 1
+
+    def record_crash_loop(self) -> None:
+        with self._lock:
+            self._crash_loops += 1
+
+    def record_breaker_transition(self, state: str) -> None:
+        with self._lock:
+            self._breaker_transitions[state] = (
+                self._breaker_transitions.get(state, 0) + 1
+            )
+
     @property
     def busy_rejected(self) -> int:
         with self._lock:
@@ -124,6 +164,16 @@ class ClusterMetrics:
         with self._lock:
             return self._worker_restarts
 
+    @property
+    def failovers(self) -> int:
+        with self._lock:
+            return self._failovers
+
+    @property
+    def retries(self) -> int:
+        with self._lock:
+            return self._retries
+
     def to_dict(self) -> dict:
         with self._lock:
             snapshot = {
@@ -132,6 +182,13 @@ class ClusterMetrics:
                 "busy_rejected": self._busy_rejected,
                 "shard_errors": self._shard_errors,
                 "worker_restarts": self._worker_restarts,
+                "failovers": self._failovers,
+                "retries": self._retries,
+                "replica_timeouts": self._replica_timeouts,
+                "deadline_exceeded": self._deadline_exceeded,
+                "degraded_responses": self._degraded_responses,
+                "crash_loops": self._crash_loops,
+                "breaker_transitions": dict(self._breaker_transitions),
             }
         snapshot["stages"] = {
             stage: histogram.to_dict()

@@ -1,7 +1,7 @@
-"""Asyncio scatter-gather router over N shard worker processes.
+"""Asyncio scatter-gather router over replicated shard worker processes.
 
 The router owns the public serving endpoint (stdio pipe or TCP), spawns
-one :mod:`~repro.serve.cluster.worker` process per shard of the
+``R`` :mod:`~repro.serve.cluster.worker` processes per shard of the
 :mod:`~repro.serve.cluster.shardmap` partition, and answers every
 client op by fanning out to the owning shard(s) and merging:
 
@@ -21,15 +21,34 @@ client op by fanning out to the owning shard(s) and merging:
 * ``recommend`` routes to shard 0: the SP-Space thresholds are global
   manifest state every worker restores identically.
 
+Fault tolerance (DESIGN.md §15) is router-side and replica-based.
+Every shard is served by a :class:`ShardReplicas` set of ``R`` workers
+restoring the identical length range over the same mmap'd directory,
+so any replica answers bit-identically and failover is invisible to
+clients. A shard RPC that dies (worker death) or times out fails over
+to another replica with exponential backoff + deterministic-seeded
+jitter, bounded by the request's **deadline budget**: every compute op
+accepts ``timeout_ms``, the router propagates the remaining budget to
+each subrequest (``budget_ms``), and a spent budget answers a
+structured ``deadline_exceeded`` error. Consecutive per-worker
+failures open a :class:`CircuitBreaker` (half-open probes on a timer)
+that steers traffic away from a flapping replica. When *every* replica
+of a shard is down, scatter ops honour ``allow_partial=true`` by
+answering with the surviving shards plus a ``degraded`` flag naming
+the missing ones; without it the request fails ``shard_unavailable``.
+
 Admission control is a bounded in-flight counter: past
 ``max_inflight``, compute ops are rejected immediately with a
 structured ``busy`` error (429 semantics) instead of queueing — the
 router's memory stays bounded no matter the offered load. ``health`` /
 ``metrics`` / ``ping`` / job ops bypass admission so operators can
 always see in. Workers are supervised: a dead worker fails its
-in-flight requests with ``shard_unavailable`` and is respawned
-automatically; ``drain()`` stops admission, lets in-flight requests
-finish, then shuts workers down cleanly.
+in-flight requests (triggering failover) and is respawned with
+exponential backoff — a crash-looping worker backs off up to
+``respawn_backoff_cap`` seconds and is surfaced as ``crash_looping``
+in ``health`` instead of respawning in a tight loop. ``drain()`` stops
+admission, lets in-flight requests finish, then shuts workers down
+cleanly.
 """
 
 from __future__ import annotations
@@ -39,14 +58,20 @@ import contextlib
 import json
 import math
 import os
+import random
 import sys
 import time
 
 from repro.core.persistence import read_manifest
 from repro.core.rspace import search_length_order
+from repro.serve.cluster.faults import FaultInjector
 from repro.serve.cluster.jobs import JobQueue
 from repro.serve.cluster.metrics import ClusterMetrics, LatencyHistogram
-from repro.serve.cluster.shardmap import ShardMap, shard_map_from_manifest
+from repro.serve.cluster.shardmap import (
+    ShardMap,
+    assign_replicas,
+    shard_map_from_manifest,
+)
 
 _NO_REP_ERROR = "no representative reachable; widen the DTW window"
 
@@ -58,11 +83,141 @@ _ADMISSION_EXEMPT = frozenset(
 
 
 class ShardUnavailable(Exception):
-    """A worker died (or was still down) while holding our request."""
+    """Every replica of a shard failed (or was down) for our request."""
 
     def __init__(self, shard_index: int):
         super().__init__(f"shard {shard_index} unavailable")
         self.shard_index = shard_index
+
+
+class DeadlineExceeded(Exception):
+    """A request's ``timeout_ms`` budget ran out before it completed."""
+
+    def __init__(self, timeout_ms: float):
+        super().__init__(f"deadline of {timeout_ms:g} ms exceeded")
+        self.timeout_ms = timeout_ms
+
+
+def parse_timeout_ms(request: dict) -> float | None:
+    """Validate and return ``timeout_ms`` from a request (``None`` if absent).
+
+    The error text is shared verbatim with the single-process server so
+    the rejection stays bit-identical across tiers.
+    """
+    raw = request.get("timeout_ms")
+    if raw is None:
+        return None
+    timeout_ms = float(raw)
+    if not timeout_ms > 0:
+        raise ValueError(f"timeout_ms must be > 0, got {raw}")
+    return timeout_ms
+
+
+class Budget:
+    """A request's remaining deadline, propagated to shard subrequests.
+
+    A child subrequest can never receive more budget than its parent
+    has left: ``remaining_seconds`` is measured against one fixed
+    deadline instant, so every propagation is monotonically
+    non-increasing.
+    """
+
+    def __init__(self, timeout_ms: float, clock=time.monotonic) -> None:
+        self.timeout_ms = float(timeout_ms)
+        self._clock = clock
+        self._deadline_time = clock() + self.timeout_ms / 1000.0
+
+    def remaining_seconds(self) -> float:
+        return self._deadline_time - self._clock()
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent."""
+        if self.remaining_seconds() <= 0:
+            raise DeadlineExceeded(self.timeout_ms)
+
+
+class CircuitBreaker:
+    """Per-worker breaker: ``closed`` → ``open`` → ``half_open`` → ...
+
+    ``failure_threshold`` consecutive failures open the breaker; after
+    ``reset_after`` seconds it half-opens and admits exactly one probe
+    request — success closes it, failure re-opens it (restarting the
+    timer). The router's replica picker skips workers whose breaker
+    refuses, steering traffic away from a flapping replica without any
+    shared state beyond this object (single event loop, no lock).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 5.0,
+        clock=time.monotonic,
+        on_transition=None,
+    ) -> None:
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self._on_transition = on_transition
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_time: float | None = None
+        self._probe_inflight = False
+        self.transitions: dict[str, int] = {}
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.transitions[state] = self.transitions.get(state, 0) + 1
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    def allows(self) -> bool:
+        """Whether a request may be routed to this worker right now."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            elapsed = self._clock() - self._opened_time
+            if elapsed >= self.reset_after:
+                self._transition("half_open")
+                self._probe_inflight = True
+                return True
+            return False
+        # half_open: exactly one probe at a time.
+        if not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._probe_inflight = False
+        self.consecutive_failures = 0
+        if self.state != "closed":
+            self._transition("closed")
+
+    def record_failure(self) -> None:
+        self._probe_inflight = False
+        self.consecutive_failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_time = self._clock()
+            self._transition("open")
+        elif self.state == "open":
+            self._opened_time = self._clock()
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": dict(self.transitions),
+        }
+
+
+def respawn_delay(
+    consecutive_crashes: int, base: float, cap: float
+) -> float:
+    """Exponential backoff between respawns of a crashing worker."""
+    return min(float(cap), float(base) * 2 ** max(0, consecutive_crashes - 1))
 
 
 def replay_sweep(
@@ -110,7 +265,9 @@ def merge_within(shard_results: list[list[dict]]) -> list[dict]:
     distance reproduces the single-process ordering exactly: each shard
     list is itself a stable sort of a contiguous block of the global
     generation order, and stable sort of stably-sorted contiguous
-    blocks equals the stable sort of the whole.
+    blocks equals the stable sort of the whole. Omitting a whole
+    (degraded) shard removes one contiguous block and leaves the
+    relative order of the survivors intact.
     """
     merged = [match for matches in shard_results for match in matches]
     merged.sort(key=lambda match: match["dtw_normalized"])
@@ -118,30 +275,51 @@ def merge_within(shard_results: list[list[dict]]) -> list[dict]:
 
 
 class WorkerHandle:
-    """One supervised shard worker process plus its request plumbing."""
+    """One supervised shard-replica worker process plus its plumbing."""
 
     def __init__(
         self,
         shard_index: int,
+        replica_index: int,
         lengths: tuple[int, ...],
         index_path: str,
         metrics: ClusterMetrics,
         cache_size: int = 1024,
         threads: int | None = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_seconds: float = 5.0,
+        respawn_backoff: float = 0.2,
+        respawn_backoff_cap: float = 10.0,
+        crash_loop_threshold: int = 3,
+        healthy_uptime: float = 5.0,
+        ping_timeout: float = 60.0,
     ) -> None:
         self.shard_index = shard_index
+        self.replica_index = replica_index
         self.lengths = lengths
         self.index_path = index_path
         self.metrics = metrics
         self.cache_size = cache_size
         self.threads = threads
+        self.respawn_backoff = respawn_backoff
+        self.respawn_backoff_cap = respawn_backoff_cap
+        self.crash_loop_threshold = max(1, int(crash_loop_threshold))
+        self.healthy_uptime = healthy_uptime
+        self.ping_timeout = ping_timeout
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_failure_threshold,
+            reset_after=breaker_reset_seconds,
+            on_transition=metrics.record_breaker_transition,
+        )
         self.process: asyncio.subprocess.Process | None = None
         self.restarts = 0
+        self.consecutive_crashes = 0
         self.last_ping_ms: float | None = None
-        self.latency = LatencyHistogram()  # per-shard round-trip times
+        self.latency = LatencyHistogram()  # per-replica round-trip times
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 1
         self._stopping = False
+        self._started_time: float | None = None
         self._reader_task: asyncio.Task | None = None
         self._monitor_task: asyncio.Task | None = None
 
@@ -152,6 +330,11 @@ class WorkerHandle:
     @property
     def pid(self) -> int | None:
         return self.process.pid if self.process is not None else None
+
+    @property
+    def crash_looping(self) -> bool:
+        """Whether this worker is dying faster than it can serve."""
+        return self.consecutive_crashes >= self.crash_loop_threshold
 
     def _spawn_env(self) -> dict[str, str]:
         env = dict(os.environ)
@@ -173,6 +356,8 @@ class WorkerHandle:
             self.index_path,
             "--shard",
             str(self.shard_index),
+            "--replica",
+            str(self.replica_index),
             "--lengths",
             ",".join(str(length) for length in self.lengths),
             "--cache-size",
@@ -187,6 +372,7 @@ class WorkerHandle:
             stderr=None,  # worker banner/tracebacks share our stderr
             env=self._spawn_env(),
         )
+        self._started_time = time.monotonic()
         self._reader_task = asyncio.ensure_future(self._read_loop())
         self._monitor_task = asyncio.ensure_future(self._monitor())
 
@@ -200,21 +386,44 @@ class WorkerHandle:
             try:
                 response = json.loads(line)
             except ValueError:
-                continue  # a corrupt line can only strand its future
+                # A corrupt frame can only strand its future; the
+                # sender's deadline budget (or the worker's death)
+                # resolves the stranded request (DESIGN.md §15).
+                continue
             future = self._pending.pop(response.get("id"), None)
             if future is not None and not future.done():
                 future.set_result(response)
 
     async def _monitor(self) -> None:
-        """Fail in-flight requests on worker death; respawn unless stopping."""
+        """Fail in-flight requests on worker death; respawn with backoff.
+
+        A worker that dies within ``healthy_uptime`` seconds of its
+        spawn counts as a consecutive crash: each one doubles the
+        respawn delay (capped) so a crash-looping binary cannot pin a
+        CPU respawning, and past ``crash_loop_threshold`` the worker is
+        surfaced as ``crash_looping`` in ``health``.
+        """
         assert self.process is not None
         await self.process.wait()
         self._fail_pending()
         if self._stopping:
             return
+        uptime = time.monotonic() - (self._started_time or 0.0)
+        if uptime < self.healthy_uptime:
+            self.consecutive_crashes += 1
+        else:
+            self.consecutive_crashes = 1
+        if self.crash_looping:
+            self.metrics.record_crash_loop()
         self.restarts += 1
         self.metrics.record_worker_restart()
-        await asyncio.sleep(0.2)
+        await asyncio.sleep(
+            respawn_delay(
+                self.consecutive_crashes,
+                self.respawn_backoff,
+                self.respawn_backoff_cap,
+            )
+        )
         if not self._stopping:
             await self.start()
 
@@ -225,7 +434,12 @@ class WorkerHandle:
                 future.set_exception(ShardUnavailable(self.shard_index))
 
     async def request(self, payload: dict) -> dict:
-        """One round-trip; raises :class:`ShardUnavailable` on worker death."""
+        """One round-trip; raises :class:`ShardUnavailable` on worker death.
+
+        Callers in this package must bound the await with
+        ``asyncio.wait_for`` (ONEX504): an unbounded shard RPC waits
+        forever on a dropped frame or a hung worker.
+        """
         if not self.alive or self.process.stdin is None:
             raise ShardUnavailable(self.shard_index)
         request_id = self._next_id
@@ -251,7 +465,12 @@ class WorkerHandle:
     async def ping(self) -> float:
         """Round-trip a ping, recording and returning the RTT in ms."""
         started = time.perf_counter()
-        await self.request({"op": "ping"})
+        try:
+            await asyncio.wait_for(
+                self.request({"op": "ping"}), timeout=self.ping_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ShardUnavailable(self.shard_index) from None
         rtt_ms = (time.perf_counter() - started) * 1000.0
         self.last_ping_ms = rtt_ms
         return rtt_ms
@@ -278,50 +497,211 @@ class WorkerHandle:
     def health(self) -> dict:
         return {
             "shard": self.shard_index,
+            "replica": self.replica_index,
             "lengths": list(self.lengths),
             "alive": self.alive,
             "pid": self.pid,
             "restarts": self.restarts,
+            "consecutive_crashes": self.consecutive_crashes,
+            "crash_looping": self.crash_looping,
+            "breaker": self.breaker.to_dict(),
             "last_ping_ms": self.last_ping_ms,
         }
 
 
+class ShardReplicas:
+    """The replica set serving one shard, with failover + retry.
+
+    ``call`` is the only compute path into a shard: it picks the first
+    live replica whose breaker admits traffic (replica 0 preferred —
+    keeping one replica hot maximises its scan/refine cache hits), and
+    on worker death or per-replica timeout retries on the next pick
+    with exponential backoff + jitter, bounded by the request's
+    deadline budget. Results are bit-identical whichever replica
+    answers, because every replica restores the identical shard.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        replicas: list[WorkerHandle],
+        metrics: ClusterMetrics,
+        rng: random.Random,
+        replica_timeout: float | None = None,
+        retry_base: float = 0.02,
+        retry_cap: float = 0.5,
+    ) -> None:
+        self.shard_index = shard_index
+        self.replicas = replicas
+        self.metrics = metrics
+        self._rng = rng
+        self.replica_timeout = replica_timeout
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+
+    @property
+    def lengths(self) -> tuple[int, ...]:
+        return self.replicas[0].lengths
+
+    def pick(self) -> WorkerHandle | None:
+        """First live replica whose breaker admits traffic, else None."""
+        for worker in self.replicas:
+            if worker.alive and worker.breaker.allows():
+                return worker
+        return None
+
+    def _attempt_timeout(self, budget: Budget | None) -> float | None:
+        candidates = [
+            timeout
+            for timeout in (
+                self.replica_timeout,
+                budget.remaining_seconds() if budget is not None else None,
+            )
+            if timeout is not None
+        ]
+        return min(candidates) if candidates else None
+
+    async def call(self, payload: dict, budget: Budget | None = None) -> dict:
+        """One shard RPC with replica failover, retry, and deadlines."""
+        max_attempts = 2 * len(self.replicas)
+        previous: WorkerHandle | None = None
+        attempts = 0
+        while True:
+            if budget is not None:
+                budget.check()
+            worker = self.pick()
+            if worker is None:
+                raise ShardUnavailable(self.shard_index)
+            if (worker is not previous and previous is not None) or (
+                previous is None and worker is not self.replicas[0]
+            ):
+                # Served away from the primary replica — whether the
+                # switch happened mid-request (retry) or the primary
+                # was already down when the request arrived.
+                self.metrics.record_failover()
+            attempt_payload = payload
+            if budget is not None:
+                # Child budget <= parent budget, by construction.
+                attempt_payload = {
+                    **payload,
+                    "budget_ms": max(
+                        0.0, budget.remaining_seconds() * 1000.0
+                    ),
+                }
+            try:
+                response = await asyncio.wait_for(
+                    worker.request(attempt_payload),
+                    timeout=self._attempt_timeout(budget),
+                )
+            except (ShardUnavailable, asyncio.TimeoutError) as exc:
+                worker.breaker.record_failure()
+                self.metrics.record_shard_error()
+                if isinstance(exc, asyncio.TimeoutError):
+                    self.metrics.record_replica_timeout()
+                attempts += 1
+                previous = worker
+                if budget is not None and budget.remaining_seconds() <= 0:
+                    raise DeadlineExceeded(budget.timeout_ms) from exc
+                if attempts >= max_attempts:
+                    raise ShardUnavailable(self.shard_index) from exc
+                self.metrics.record_retry()
+                backoff = min(
+                    self.retry_cap, self.retry_base * 2 ** (attempts - 1)
+                )
+                # Jitter in [0.5x, 1.5x) from a seeded RNG: spreads
+                # synchronized retries without nondeterministic state.
+                backoff *= 0.5 + self._rng.random()
+                if budget is not None:
+                    backoff = min(
+                        backoff, max(0.0, budget.remaining_seconds())
+                    )
+                if backoff > 0:
+                    await asyncio.sleep(backoff)
+                continue
+            worker.breaker.record_success()
+            return response
+
+
 class ClusterRouter:
-    """The scatter-gather front for one sharded index."""
+    """The scatter-gather front for one sharded, replicated index."""
 
     def __init__(
         self,
         index_path: str,
         n_shards: int,
+        n_replicas: int = 1,
         max_inflight: int = 64,
         cache_size: int = 1024,
         worker_threads: int | None = None,
         ping_interval: float = 5.0,
+        replica_timeout_ms: float | None = None,
+        retry_base_ms: float = 20.0,
+        retry_cap_ms: float = 500.0,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_seconds: float = 5.0,
+        respawn_backoff: float = 0.2,
+        respawn_backoff_cap: float = 10.0,
+        crash_loop_threshold: int = 3,
     ) -> None:
         self.index_path = os.fspath(index_path)
         self.manifest = read_manifest(self.index_path)
         self.shard_map: ShardMap = shard_map_from_manifest(
             self.manifest, n_shards
         )
+        self.n_replicas = max(1, int(n_replicas))
+        self.replica_slots = assign_replicas(self.shard_map, self.n_replicas)
         self.st = float(self.manifest["st"])
         self.max_inflight = max(1, int(max_inflight))
         self.ping_interval = float(ping_interval)
         self.metrics = ClusterMetrics()
         self.jobs = JobQueue()
-        self.workers = [
-            WorkerHandle(
+        self.faults = FaultInjector.from_env()
+        # Retry jitter only spreads backoff sleeps — seeding keeps the
+        # router free of process-global RNG state (ONEX602 discipline).
+        self._rng = random.Random(0x0ECF)
+        replica_timeout = (
+            None if replica_timeout_ms is None else replica_timeout_ms / 1000.0
+        )
+        self.shards = [
+            ShardReplicas(
                 shard_index,
-                owned,
-                self.index_path,
+                [
+                    WorkerHandle(
+                        shard_index,
+                        replica_index,
+                        owned,
+                        self.index_path,
+                        self.metrics,
+                        cache_size=cache_size,
+                        threads=worker_threads,
+                        breaker_failure_threshold=breaker_failure_threshold,
+                        breaker_reset_seconds=breaker_reset_seconds,
+                        respawn_backoff=respawn_backoff,
+                        respawn_backoff_cap=respawn_backoff_cap,
+                        crash_loop_threshold=crash_loop_threshold,
+                    )
+                    for replica_index in range(self.n_replicas)
+                ],
                 self.metrics,
-                cache_size=cache_size,
-                threads=worker_threads,
+                self._rng,
+                replica_timeout=replica_timeout,
+                retry_base=retry_base_ms / 1000.0,
+                retry_cap=retry_cap_ms / 1000.0,
             )
             for shard_index, owned in enumerate(self.shard_map.shards)
         ]
         self._inflight = 0
         self.draining = False
         self._ping_task: asyncio.Task | None = None
+
+    @property
+    def workers(self) -> list[WorkerHandle]:
+        """Every worker, shard-major (replicas of shard 0 first)."""
+        return [
+            worker
+            for replica_set in self.shards
+            for worker in replica_set.replicas
+        ]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -406,16 +786,24 @@ class ClusterRouter:
                     "code": "busy",
                 }
             else:
+                timeout_ms = parse_timeout_ms(request)
+                budget = None if timeout_ms is None else Budget(timeout_ms)
                 self._inflight += 1
                 self.metrics.stages["route"].observe(
                     time.perf_counter() - route_started
                 )
                 try:
-                    response = await self._dispatch(op, request)
+                    response = await self._dispatch(op, request, budget)
                 finally:
                     self._inflight -= 1
+        except DeadlineExceeded as exc:
+            self.metrics.record_deadline_exceeded()
+            response = {
+                "ok": False,
+                "error": str(exc),
+                "code": "deadline_exceeded",
+            }
         except ShardUnavailable as exc:
-            self.metrics.record_shard_error()
             self.metrics.record_error("shard_unavailable")
             response = {
                 "ok": False,
@@ -449,40 +837,95 @@ class ClusterRouter:
         if op == "job_status":
             return {"ok": True, **self.jobs.status(request["job"])}
         if op == "jobs":
-            return {"ok": True, "jobs": self.jobs.list_jobs()}
+            return {
+                "ok": True,
+                "jobs": self.jobs.list_jobs(),
+                "closed_clean": self.jobs.closed_clean,
+            }
         raise ValueError(f"unhandled exempt op {op!r}")
 
-    async def _dispatch(self, op: str, request: dict) -> dict:
+    async def _dispatch(
+        self, op: str, request: dict, budget: Budget | None
+    ) -> dict:
         if op == "query":
-            return await self._op_query(request)
+            return await self._op_query(request, budget)
         if op == "within":
-            return await self._op_within(request)
+            return await self._op_within(request, budget)
         if op == "seasonal":
             return await self._forward_length_op(
-                request, request.get("length")
+                request, request.get("length"), budget
             )
         if op == "recommend":
-            return await self._forward(0, request)
+            return await self._forward(0, request, budget)
         if op == "info":
             return {"ok": True, "info": await self._info()}
         if op == "shard_sleep":
-            # Test/debug aid: hold one shard busy (fault injection).
-            shard = int(request.get("shard", 0))
-            payload = {
-                "op": "sleep",
-                "seconds": float(request.get("seconds", 1.0)),
-            }
-            return await self._timed_request(self.workers[shard], payload)
+            # Test/debug aid: hold one replica busy (fault injection).
+            # Routed directly (no retry) — replaying a sleep on another
+            # replica would defeat its purpose as a fault primitive.
+            return await self._direct_replica_op(request, "sleep", budget)
+        if op == "inject_fault":
+            if not self.faults.enabled:
+                raise ValueError(
+                    "fault injection is disabled (set ONEX_FAULTS=1 "
+                    "on the router and workers to enable)"
+                )
+            return await self._direct_replica_op(request, "inject_fault", budget)
         return {"ok": False, "error": f"unknown op {op!r}"}
 
-    async def _forward(self, shard_index: int, request: dict) -> dict:
-        payload = {key: value for key, value in request.items() if key != "id"}
-        return await self._timed_request(self.workers[shard_index], payload)
-
-    async def _timed_request(self, worker: WorkerHandle, payload: dict) -> dict:
+    async def _direct_replica_op(
+        self, request: dict, op: str, budget: Budget | None
+    ) -> dict:
+        """Forward to one addressed replica with no retry or failover."""
+        shard = int(request.get("shard", 0))
+        replica = int(request.get("replica", 0))
+        worker = self.shards[shard].replicas[replica]
+        payload = {
+            key: value
+            for key, value in request.items()
+            if key not in ("id", "shard", "replica", "timeout_ms")
+        }
+        payload["op"] = op
+        if budget is not None:
+            payload["budget_ms"] = max(
+                0.0, budget.remaining_seconds() * 1000.0
+            )
         started = time.perf_counter()
         try:
-            return await worker.request(payload)
+            try:
+                return await asyncio.wait_for(
+                    worker.request(payload),
+                    timeout=(
+                        None if budget is None else budget.remaining_seconds()
+                    ),
+                )
+            except asyncio.TimeoutError:
+                self.metrics.record_replica_timeout()
+                raise DeadlineExceeded(budget.timeout_ms) from None
+        finally:
+            self.metrics.stages["shard_compute"].observe(
+                time.perf_counter() - started
+            )
+
+    async def _forward(
+        self, shard_index: int, request: dict, budget: Budget | None
+    ) -> dict:
+        payload = {
+            key: value
+            for key, value in request.items()
+            if key not in ("id", "timeout_ms", "allow_partial")
+        }
+        return await self._shard_call(self.shards[shard_index], payload, budget)
+
+    async def _shard_call(
+        self,
+        replica_set: ShardReplicas,
+        payload: dict,
+        budget: Budget | None,
+    ) -> dict:
+        started = time.perf_counter()
+        try:
+            return await replica_set.call(payload, budget)
         finally:
             self.metrics.stages["shard_compute"].observe(
                 time.perf_counter() - started
@@ -500,119 +943,213 @@ class ClusterRouter:
         except (KeyError, TypeError, ValueError):
             return 0
 
-    async def _forward_length_op(self, request: dict, length) -> dict:
+    async def _forward_length_op(
+        self, request: dict, length, budget: Budget | None
+    ) -> dict:
         if length is None:
             raise KeyError("length")
-        return await self._forward(self._owner_or_zero(length), request)
+        return await self._forward(self._owner_or_zero(length), request, budget)
 
     # ------------------------------------------------------------------
     # query (the scatter-gather centrepiece)
     # ------------------------------------------------------------------
-    async def _op_query(self, request: dict) -> dict:
+    async def _op_query(self, request: dict, budget: Budget | None) -> dict:
         if "values" not in request and "queries" not in request:
             raise ValueError("query op requires 'values' or 'queries'")
         length = request.get("length")
         if length is not None:
             # Exact-length: whole request belongs to one shard.
-            return await self._forward(self._owner_or_zero(length), request)
+            return await self._forward(
+                self._owner_or_zero(length), request, budget
+            )
         k = int(request.get("k", 1))
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         normalized = bool(request.get("normalized", True))
+        allow_partial = bool(request.get("allow_partial", False))
         if "queries" in request:
             return await self._query_any_batch(
-                list(request["queries"]), k, normalized
+                list(request["queries"]), k, normalized, budget, allow_partial
             )
-        matches = await self._query_any(request["values"], k, normalized)
-        return {"ok": True, "matches": matches}
+        return await self._query_any(
+            request["values"], k, normalized, budget, allow_partial
+        )
 
-    async def _scatter_scans(self, payload_for_shard) -> list[dict]:
-        """Send one scan op per shard; gather raw worker responses."""
+    async def _scatter(
+        self,
+        payload_for_shard,
+        budget: Budget | None,
+        allow_partial: bool,
+    ) -> tuple[list[tuple[ShardReplicas, dict]], list[int]]:
+        """Fan one op out to every shard through its replica set.
+
+        Returns the (replica_set, response) pairs that succeeded, in
+        shard order, plus the shard indices that were entirely
+        unavailable. Without ``allow_partial``, any unavailable shard
+        (or spent deadline) propagates as the failure it is.
+        """
         started = time.perf_counter()
         try:
-            responses = await asyncio.gather(
+            outcomes = await asyncio.gather(
                 *(
-                    worker.request(payload_for_shard(worker))
-                    for worker in self.workers
-                )
+                    replica_set.call(payload_for_shard(replica_set), budget)
+                    for replica_set in self.shards
+                ),
+                return_exceptions=True,
             )
         finally:
             self.metrics.stages["shard_compute"].observe(
                 time.perf_counter() - started
             )
-        for response in responses:
+        available: list[tuple[ShardReplicas, dict]] = []
+        missing: list[int] = []
+        for replica_set, outcome in zip(self.shards, outcomes, strict=True):
+            if isinstance(outcome, ShardUnavailable):
+                if not allow_partial:
+                    raise outcome
+                missing.append(replica_set.shard_index)
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                available.append((replica_set, outcome))
+        for _, response in available:
             if not response.get("ok"):
                 raise ValueError(response.get("error", "scan failed"))
-        return responses
+        return available, missing
 
-    def _sweep(self, per_shard_scans: list[dict], query_length: int):
-        """Merge per-shard scan dicts and replay the sweep (timed)."""
+    def _sweep(self, scans_by_length: dict[int, list], query_length: int):
+        """Replay the sweep over merged per-shard scans (timed)."""
         started = time.perf_counter()
-        scans_by_length = {
-            int(length): scans
-            for shard_scans in per_shard_scans
-            for length, scans in shard_scans.items()
-        }
         winner = replay_sweep(
             scans_by_length, self.shard_map.lengths, query_length, self.st
         )
         self.metrics.stages["merge"].observe(time.perf_counter() - started)
         return winner
 
-    async def _query_any(
-        self, values: list, k: int, normalized: bool
+    @staticmethod
+    def _merge_scans(per_shard_scans: list[dict]) -> dict[int, list]:
+        return {
+            int(length): scans
+            for shard_scans in per_shard_scans
+            for length, scans in shard_scans.items()
+        }
+
+    async def _refine_with_fallback(
+        self,
+        values: list,
+        k: int,
+        normalized: bool,
+        scans_by_length: dict[int, list],
+        budget: Budget | None,
+        allow_partial: bool,
+        degraded: set[int],
     ) -> list[dict]:
-        responses = await self._scatter_scans(
-            lambda worker: {
+        """Sweep + refine, re-sweeping past shards that die mid-request.
+
+        When the winning length's shard loses its last replica between
+        the scan and the refine, ``allow_partial`` re-runs the sweep
+        without that shard's lengths — graceful degradation instead of
+        an error. The scans dict is mutated to drop dead shards so a
+        batch sharing it converges too.
+        """
+        while True:
+            winner = self._sweep(scans_by_length, len(values))
+            if winner is None:
+                raise ValueError(_NO_REP_ERROR)
+            best_length, best_scans = winner
+            owner = self.shard_map.owner(best_length)
+            job = {
+                "values": values,
+                "length": best_length,
+                "scans": best_scans,
+                "k": k,
+                "normalized": normalized,
+            }
+            try:
+                refined = await self._shard_call(
+                    self.shards[owner], {"op": "refine", "jobs": [job]}, budget
+                )
+            except ShardUnavailable:
+                if not allow_partial:
+                    raise
+                degraded.add(owner)
+                for length in self.shards[owner].lengths:
+                    scans_by_length.pop(length, None)
+                continue
+            if not refined.get("ok"):
+                raise ValueError(refined.get("error", "refine failed"))
+            return refined["results"][0]
+
+    async def _query_any(
+        self,
+        values: list,
+        k: int,
+        normalized: bool,
+        budget: Budget | None,
+        allow_partial: bool,
+    ) -> dict:
+        available, missing = await self._scatter(
+            lambda replica_set: {
                 "op": "scan",
                 "values": values,
-                "lengths": list(worker.lengths),
+                "lengths": list(replica_set.lengths),
                 "normalized": normalized,
-            }
-        )
-        winner = self._sweep(
-            [response["scans"] for response in responses], len(values)
-        )
-        if winner is None:
-            raise ValueError(_NO_REP_ERROR)
-        best_length, best_scans = winner
-        refined = await self._timed_request(
-            self.workers[self.shard_map.owner(best_length)],
-            {
-                "op": "refine",
-                "jobs": [
-                    {
-                        "values": values,
-                        "length": best_length,
-                        "scans": best_scans,
-                        "k": k,
-                        "normalized": normalized,
-                    }
-                ],
             },
+            budget,
+            allow_partial,
         )
-        if not refined.get("ok"):
-            raise ValueError(refined.get("error", "refine failed"))
-        return refined["results"][0]
+        degraded = set(missing)
+        scans_by_length = self._merge_scans(
+            [response["scans"] for _, response in available]
+        )
+        matches = await self._refine_with_fallback(
+            values, k, normalized, scans_by_length, budget, allow_partial,
+            degraded,
+        )
+        response = {"ok": True, "matches": matches}
+        return self._mark_degraded(response, degraded)
+
+    def _mark_degraded(self, response: dict, degraded: set[int]) -> dict:
+        if degraded:
+            self.metrics.record_degraded()
+            response["degraded"] = True
+            response["missing_shards"] = sorted(degraded)
+            response["missing_lengths"] = sorted(
+                length
+                for shard in degraded
+                for length in self.shards[shard].lengths
+            )
+        return response
 
     async def _query_any_batch(
-        self, queries: list, k: int, normalized: bool
+        self,
+        queries: list,
+        k: int,
+        normalized: bool,
+        budget: Budget | None,
+        allow_partial: bool,
     ) -> dict:
-        responses = await self._scatter_scans(
-            lambda worker: {
+        available, missing = await self._scatter(
+            lambda replica_set: {
                 "op": "scan",
                 "queries": queries,
-                "lengths": list(worker.lengths),
+                "lengths": list(replica_set.lengths),
                 "normalized": normalized,
-            }
+            },
+            budget,
+            allow_partial,
         )
+        degraded = set(missing)
+        per_query_scans = [
+            self._merge_scans(
+                [response["scans_batch"][index] for _, response in available]
+            )
+            for index in range(len(queries))
+        ]
         # jobs_by_shard: shard -> list of (query_index, job)
         jobs_by_shard: dict[int, list[tuple[int, dict]]] = {}
         for index, values in enumerate(queries):
-            winner = self._sweep(
-                [response["scans_batch"][index] for response in responses],
-                len(values),
-            )
+            winner = self._sweep(per_query_scans[index], len(values))
             if winner is None:
                 raise ValueError(_NO_REP_ERROR)
             best_length, best_scans = winner
@@ -635,14 +1172,16 @@ class ClusterRouter:
         try:
             refined = await asyncio.gather(
                 *(
-                    self.workers[shard].request(
+                    self.shards[shard].call(
                         {
                             "op": "refine",
                             "jobs": [job for _, job in jobs_by_shard[shard]],
-                        }
+                        },
+                        budget,
                     )
                     for shard in shard_indices
-                )
+                ),
+                return_exceptions=True,
             )
         finally:
             self.metrics.stages["shard_compute"].observe(
@@ -650,7 +1189,16 @@ class ClusterRouter:
             )
         merge_started = time.perf_counter()
         results: list = [None] * len(queries)
+        fallback: list[int] = []
         for shard, response in zip(shard_indices, refined, strict=True):
+            if isinstance(response, ShardUnavailable):
+                if not allow_partial:
+                    raise response
+                degraded.add(shard)
+                fallback.extend(index for index, _ in jobs_by_shard[shard])
+                continue
+            if isinstance(response, BaseException):
+                raise response
             if not response.get("ok"):
                 raise ValueError(response.get("error", "refine failed"))
             for (index, _), matches in zip(
@@ -660,21 +1208,31 @@ class ClusterRouter:
         self.metrics.stages["merge"].observe(
             time.perf_counter() - merge_started
         )
-        return {"ok": True, "results": results}
+        for index in fallback:
+            for shard in sorted(degraded):
+                for length in self.shards[shard].lengths:
+                    per_query_scans[index].pop(length, None)
+            results[index] = await self._refine_with_fallback(
+                queries[index], k, normalized, per_query_scans[index],
+                budget, allow_partial, degraded,
+            )
+        response = {"ok": True, "results": results}
+        return self._mark_degraded(response, degraded)
 
     # ------------------------------------------------------------------
     # within
     # ------------------------------------------------------------------
-    async def _op_within(self, request: dict) -> dict:
+    async def _op_within(self, request: dict, budget: Budget | None) -> dict:
         if request.get("length") is not None:
             # Explicit single length: whole request belongs to one shard.
             return await self._forward(
-                self._owner_or_zero(request["length"]), request
+                self._owner_or_zero(request["length"]), request, budget
             )
+        allow_partial = bool(request.get("allow_partial", False))
         base = {
             key: value
             for key, value in request.items()
-            if key not in ("id", "lengths")
+            if key not in ("id", "lengths", "timeout_ms", "allow_partial")
         }
         requested = request.get("lengths")
         wanted = (
@@ -683,29 +1241,41 @@ class ClusterRouter:
         if wanted is not None and not wanted <= set(self.shard_map.lengths):
             # An unindexed length must raise the single-process error;
             # let shard 0's core validation produce it verbatim.
-            return await self._forward(0, request)
+            return await self._forward(0, request, budget)
         fan_out = [
-            (worker, owned)
-            for worker in self.workers
+            (replica_set, owned)
+            for replica_set in self.shards
             for owned in [
-                list(worker.lengths)
+                list(replica_set.lengths)
                 if wanted is None
-                else sorted(set(worker.lengths) & wanted)
+                else sorted(set(replica_set.lengths) & wanted)
             ]
             if owned
         ]
         started = time.perf_counter()
         try:
-            responses = await asyncio.gather(
+            outcomes = await asyncio.gather(
                 *(
-                    worker.request({**base, "lengths": owned})
-                    for worker, owned in fan_out
-                )
+                    replica_set.call({**base, "lengths": owned}, budget)
+                    for replica_set, owned in fan_out
+                ),
+                return_exceptions=True,
             )
         finally:
             self.metrics.stages["shard_compute"].observe(
                 time.perf_counter() - started
             )
+        responses = []
+        degraded: set[int] = set()
+        for (replica_set, _), outcome in zip(fan_out, outcomes, strict=True):
+            if isinstance(outcome, ShardUnavailable):
+                if not allow_partial:
+                    raise outcome
+                degraded.add(replica_set.shard_index)
+                continue
+            if isinstance(outcome, BaseException):
+                raise outcome
+            responses.append(outcome)
         for response in responses:
             if not response.get("ok"):
                 raise ValueError(response.get("error", "within failed"))
@@ -714,37 +1284,67 @@ class ClusterRouter:
         self.metrics.stages["merge"].observe(
             time.perf_counter() - merge_started
         )
-        return {"ok": True, "matches": merged}
+        return self._mark_degraded({"ok": True, "matches": merged}, degraded)
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def _health(self) -> dict:
-        shards = [worker.health() for worker in self.workers]
-        status = "ok" if all(shard["alive"] for shard in shards) else "degraded"
+        workers = [worker.health() for worker in self.workers]
+        shard_live = [
+            any(worker.alive for worker in replica_set.replicas)
+            for replica_set in self.shards
+        ]
+        crash_looping = [
+            {"shard": worker.shard_index, "replica": worker.replica_index}
+            for worker in self.workers
+            if worker.crash_looping
+        ]
         if self.draining:
             status = "draining"
+        elif not all(shard_live):
+            status = "unavailable"
+        elif crash_looping or not all(entry["alive"] for entry in workers):
+            status = "degraded"
+        else:
+            status = "ok"
         return {
             "status": status,
             "draining": self.draining,
             "inflight": self._inflight,
             "max_inflight": self.max_inflight,
+            "n_replicas": self.n_replicas,
             "shard_map": self.shard_map.to_dict(),
-            "shards": shards,
+            "replica_slots": [list(slots) for slots in self.replica_slots],
+            "shards": workers,
+            "crash_looping": crash_looping,
             "shard_latency": [
                 worker.latency.to_dict() for worker in self.workers
             ],
         }
 
     async def _shard_infos(self) -> list[dict]:
-        responses = await asyncio.gather(
-            *(worker.request({"op": "shard_info"}) for worker in self.workers)
+        outcomes = await asyncio.gather(
+            *(
+                replica_set.call({"op": "shard_info"})
+                for replica_set in self.shards
+            ),
+            return_exceptions=True,
         )
         infos = []
-        for response in responses:
-            if not response.get("ok"):
-                raise ValueError(response.get("error", "shard_info failed"))
-            infos.append(response["info"])
+        for replica_set, outcome in zip(self.shards, outcomes, strict=True):
+            if isinstance(outcome, ShardUnavailable):
+                # Observability must degrade, not fail, when a whole
+                # shard is down — operators need the remaining picture.
+                infos.append(
+                    {"shard": replica_set.shard_index, "unavailable": True}
+                )
+                continue
+            if isinstance(outcome, BaseException):
+                raise outcome
+            if not outcome.get("ok"):
+                raise ValueError(outcome.get("error", "shard_info failed"))
+            infos.append(outcome["info"])
         return infos
 
     async def _metrics(self) -> dict:
@@ -764,6 +1364,7 @@ class ClusterRouter:
             "shard_latency": [
                 worker.latency.to_dict() for worker in self.workers
             ],
+            "breakers": [worker.breaker.to_dict() for worker in self.workers],
             "cache": cache,
             "query_stats": cascade,
             "per_shard": infos,
@@ -776,6 +1377,7 @@ class ClusterRouter:
             "st": self.st,
             "lengths": self.shard_map.lengths,
             "n_shards": self.shard_map.n_shards,
+            "n_replicas": self.n_replicas,
             "shard_map": self.shard_map.to_dict(),
             "shards": infos,
         }

@@ -121,6 +121,29 @@ def compute_shard_map(
     )
 
 
+def assign_replicas(
+    shard_map: ShardMap, n_replicas: int
+) -> tuple[tuple[int, ...], ...]:
+    """Global worker-slot ids per shard for an R-replicated cluster.
+
+    Every replica of shard ``i`` restores the identical length range
+    (``shard_map.shards[i]``) over the same mmap'd v3 directory, so
+    replication is purely a placement concern: slot ``shard * R +
+    replica`` in the router's shard-major spawn order. Deterministic by
+    construction — every router reading the same manifest with the same
+    ``--replicas`` computes the same placement, which is what makes
+    router-side failover transparent (any replica answers
+    bit-identically).
+    """
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    replicas = int(n_replicas)
+    return tuple(
+        tuple(shard * replicas + replica for replica in range(replicas))
+        for shard in range(shard_map.n_shards)
+    )
+
+
 def shard_map_from_manifest(manifest: dict, n_shards: int) -> ShardMap:
     """Compute the shard map a v3 manifest pins for ``n_shards``."""
     entries = manifest["lengths"]

@@ -20,7 +20,12 @@ four cluster-internal ops:
     foreign buckets, unlike the full ``info`` op).
 ``sleep``
     Debug/test aid: hold the worker busy for ``seconds`` so fault
-    injection can kill it mid-request.
+    injection can kill it mid-request; echoes the ``budget_ms`` the
+    router propagated so tests can observe deadline propagation.
+``inject_fault``
+    Chaos-test control channel (armed only under ``ONEX_FAULTS=1``,
+    see :mod:`repro.serve.cluster.faults`): arms a fault that the
+    reply path applies to a later matching request.
 
 Requests are processed sequentially — concurrency lives in the router's
 fan-out across workers and each service's internal thread pool.
@@ -30,16 +35,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from repro.core.onex import OnexIndex
+from repro.serve.cluster.faults import FaultInjector
 from repro.serve.server import match_to_dict, respond
 from repro.serve.service import OnexService
 
 
 def handle_worker_request(
-    service: OnexService, lengths: list[int], request: dict
+    service: OnexService,
+    lengths: list[int],
+    request: dict,
+    faults: FaultInjector | None = None,
 ) -> dict:
     """Dispatch one request, cluster-internal ops first."""
     op = request.get("op")
@@ -78,12 +88,34 @@ def handle_worker_request(
         return {"ok": True, "info": service.shard_info(lengths)}
     if op == "sleep":
         time.sleep(float(request.get("seconds", 1.0)))
-        return {"ok": True, "slept": float(request.get("seconds", 1.0))}
+        response = {"ok": True, "slept": float(request.get("seconds", 1.0))}
+        if "budget_ms" in request:
+            # Echo the propagated budget so deadline-propagation tests
+            # can assert child budget <= parent budget.
+            response["budget_ms"] = float(request["budget_ms"])
+        return response
+    if op == "inject_fault":
+        if faults is None:
+            raise ValueError("fault injection is not wired in this worker")
+        if request.get("action") == "list":
+            return {"ok": True, "faults": faults.list_faults()}
+        return {
+            "ok": True,
+            **faults.arm(
+                str(request.get("kind")),
+                ops=request.get("ops"),
+                count=int(request.get("count", 1)),
+                delay_ms=float(request.get("delay_ms", 0.0)),
+            ),
+        }
     return respond(service, request)
 
 
 def worker_respond(
-    service: OnexService, lengths: list[int], request: dict
+    service: OnexService,
+    lengths: list[int],
+    request: dict,
+    faults: FaultInjector | None = None,
 ) -> dict:
     """Error-mapped, id-echoing wrapper around the worker dispatch."""
     request_id = None
@@ -91,7 +123,7 @@ def worker_respond(
         if not isinstance(request, dict):
             raise ValueError("request must be a JSON object")
         request_id = request.get("id")
-        response = handle_worker_request(service, lengths, request)
+        response = handle_worker_request(service, lengths, request, faults)
     except Exception as exc:  # noqa: BLE001 — same contract as the
         # single-process loop: bad requests answer, never crash.
         response = {"ok": False, "error": str(exc) or repr(exc)}
@@ -100,10 +132,31 @@ def worker_respond(
     return response
 
 
+def apply_fault(fault, response_line: str) -> str | None:
+    """Interpret a matched fault in the reply path.
+
+    Returns the line to emit (possibly corrupted), or ``None`` to drop
+    the reply entirely. ``die`` never returns.
+    """
+    if fault.kind == "die":
+        # os._exit skips atexit/flush — the router sees a dead pipe
+        # mid-request, indistinguishable from a SIGKILL.
+        os._exit(86)
+    if fault.kind == "delay":
+        time.sleep(fault.delay_ms / 1000.0)
+        return response_line
+    if fault.kind == "drop":
+        return None
+    if fault.kind == "corrupt":
+        return "\x00corrupt-frame\x00 not json {"
+    return response_line
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.serve.cluster.worker")
     parser.add_argument("index", help="v3 index directory (shared, mmap'd)")
     parser.add_argument("--shard", type=int, required=True)
+    parser.add_argument("--replica", type=int, default=0)
     parser.add_argument(
         "--lengths",
         required=True,
@@ -118,9 +171,10 @@ def main(argv: list[str] | None = None) -> int:
     service = OnexService(
         index, max_workers=args.threads, cache_size=args.cache_size
     )
+    faults = FaultInjector.from_env()
     print(
-        f"onex-worker shard={args.shard} lengths={lengths} "
-        f"backend={service.backend.name} ready",
+        f"onex-worker shard={args.shard} replica={args.replica} "
+        f"lengths={lengths} backend={service.backend.name} ready",
         file=sys.stderr,
         flush=True,
     )
@@ -133,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
                 request = json.loads(line)
             except ValueError as exc:
                 response = {"ok": False, "error": str(exc) or repr(exc)}
+                request = {}
             else:
                 if isinstance(request, dict) and request.get("op") == "shutdown":
                     response = {"ok": True, "bye": True}
@@ -140,8 +195,18 @@ def main(argv: list[str] | None = None) -> int:
                         response["id"] = request["id"]
                     print(json.dumps(response), flush=True)
                     break
-                response = worker_respond(service, lengths, request)
-            print(json.dumps(response), flush=True)
+                response = worker_respond(service, lengths, request, faults)
+            out = json.dumps(response)
+            fault = (
+                faults.match(str(request.get("op")))
+                if isinstance(request, dict)
+                else None
+            )
+            if fault is not None:
+                out = apply_fault(fault, out)
+                if out is None:
+                    continue
+            print(out, flush=True)
     finally:
         service.close()
     return 0

@@ -75,6 +75,12 @@ def _recommendation_to_dict(rec: ThresholdRecommendation) -> dict:
 def handle_request(service: OnexService, request: dict) -> dict:
     """Dispatch one decoded request; exceptions become error responses."""
     op = request.get("op")
+    # timeout_ms is validated (shared error text with the cluster
+    # router) but not enforced single-process: one process has no
+    # subrequests to budget, and compute here is bounded by design.
+    raw_timeout = request.get("timeout_ms")
+    if raw_timeout is not None and not float(raw_timeout) > 0:
+        raise ValueError(f"timeout_ms must be > 0, got {raw_timeout}")
     if op == "query":
         kwargs = {
             "length": request.get("length"),

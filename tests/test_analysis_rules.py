@@ -681,6 +681,62 @@ class TestAsyncSafety:
         )
         assert report.diagnostics == []
 
+    def test_unbounded_shard_rpc_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cluster/rpc.py",
+            """\
+            async def forward(worker, payload):
+                return await worker.request(payload)
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX504", 2)]
+        assert "wait_for" in report.diagnostics[0].message
+
+    def test_wait_for_wrapped_shard_rpc_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/cluster/rpc.py",
+            """\
+            import asyncio
+
+            async def forward(worker, payload, budget):
+                return await asyncio.wait_for(
+                    worker.request(payload), timeout=budget.remaining_seconds()
+                )
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_wait_for_around_other_work_does_not_bless_rpc(self, tmp_path):
+        # The RPC must be the awaitable *inside* wait_for; a wait_for
+        # elsewhere in the function bounds nothing for this call.
+        report = lint_snippet(
+            tmp_path,
+            "serve/cluster/rpc.py",
+            """\
+            import asyncio
+
+            async def forward(worker, payload):
+                await asyncio.wait_for(asyncio.sleep(0), timeout=1)
+                return await worker.request(payload)
+            """,
+        )
+        assert codes_and_lines(report) == [("ONEX504", 5)]
+
+    def test_shard_rpc_rule_scoped_to_cluster_package(self, tmp_path):
+        # `.request(...)` outside serve/cluster/ (e.g. an HTTP client in
+        # a script-facing helper) is not a shard RPC.
+        report = lint_snippet(
+            tmp_path,
+            "serve/client.py",
+            """\
+            async def fetch(session, url):
+                return await session.request(url)
+            """,
+        )
+        assert "ONEX504" not in codes(report)
+
 
 # ----------------------------------------------------------------------
 # ONEX6xx — determinism

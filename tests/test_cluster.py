@@ -20,12 +20,17 @@ from repro.core.persistence import read_manifest, save_index
 from repro.serve.cluster.jobs import JobQueue
 from repro.serve.cluster.metrics import ClusterMetrics, LatencyHistogram
 from repro.serve.cluster.router import (
+    Budget,
+    CircuitBreaker,
     ClusterRouter,
+    DeadlineExceeded,
     ShardUnavailable,
     merge_within,
     replay_sweep,
+    respawn_delay,
 )
 from repro.serve.cluster.shardmap import (
+    assign_replicas,
     compute_shard_map,
     shard_map_from_manifest,
 )
@@ -132,6 +137,15 @@ class TestShardMap:
         with pytest.raises(ValueError):
             compute_shard_map([5], [1], 0)
 
+    def test_replica_assignment(self):
+        shard_map = compute_shard_map([5, 10, 15], [1, 1, 1], 3)
+        assert assign_replicas(shard_map, 1) == ((0,), (1,), (2,))
+        assert assign_replicas(shard_map, 2) == ((0, 1), (2, 3), (4, 5))
+        # Deterministic: same inputs, same placement.
+        assert assign_replicas(shard_map, 2) == assign_replicas(shard_map, 2)
+        with pytest.raises(ValueError):
+            assign_replicas(shard_map, 0)
+
     def test_from_manifest(self, v3_path, small_index):
         manifest = read_manifest(v3_path)
         assert manifest["sharding"]["strategy"] == "contiguous-balanced"
@@ -233,6 +247,87 @@ class TestMergeHelpers:
 
 
 # ----------------------------------------------------------------------
+# Failure-model primitives: breaker, budget, respawn backoff
+# ----------------------------------------------------------------------
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_open_half_open_close_cycle(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_after=5.0, clock=clock
+        )
+        assert breaker.state == "closed"
+        assert breaker.allows()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allows()
+        clock.now += 5.1
+        assert breaker.allows()  # first call past reset -> half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allows()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+        assert breaker.transitions == {
+            "open": 1,
+            "half_open": 1,
+            "closed": 1,
+        }
+
+    def test_failed_probe_reopens(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=2.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now += 2.5
+        assert breaker.allows()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        assert not breaker.allows()  # timer restarted
+        clock.now += 2.5
+        assert breaker.allows()
+
+    def test_transition_callback_feeds_metrics(self):
+        metrics = ClusterMetrics()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_after=0.0,
+            clock=_FakeClock(),
+            on_transition=metrics.record_breaker_transition,
+        )
+        breaker.record_failure()
+        assert metrics.to_dict()["breaker_transitions"] == {"open": 1}
+
+
+class TestBudgetAndBackoff:
+    def test_budget_counts_down_and_raises(self):
+        clock = _FakeClock()
+        budget = Budget(250.0, clock=clock)
+        assert budget.remaining_seconds() == pytest.approx(0.25)
+        budget.check()  # plenty left
+        clock.now += 0.2
+        assert budget.remaining_seconds() == pytest.approx(0.05)
+        clock.now += 0.1
+        with pytest.raises(DeadlineExceeded):
+            budget.check()
+
+    def test_respawn_delay_doubles_to_cap(self):
+        delays = [respawn_delay(n, 0.2, 1.0) for n in range(1, 6)]
+        assert delays == [0.2, 0.4, 0.8, 1.0, 1.0]
+
+
+# ----------------------------------------------------------------------
 # Background job queue
 # ----------------------------------------------------------------------
 class TestJobQueue:
@@ -271,6 +366,32 @@ class TestJobQueue:
                 queue.status("job-404")
         finally:
             queue.close()
+
+    def test_close_reports_clean_join(self):
+        queue = JobQueue()
+        assert queue.closed_clean is None  # no close attempted yet
+        assert queue.close() is True
+        assert queue.closed_clean is True
+
+    def test_close_timeout_is_detected_and_sticky(self, capsys):
+        from repro.serve.cluster import jobs as jobs_module
+
+        release = __import__("threading").Event()
+        jobs_module._RUNNERS["_test_hang"] = lambda params: release.wait(10)
+        queue = JobQueue()
+        try:
+            queue.submit("_test_hang", {})
+            assert queue.close(join_timeout=0.2) is False
+            assert queue.closed_clean is False
+            assert "join timed out" in capsys.readouterr().err
+            release.set()
+            queue._thread.join(timeout=10)
+            # A later clean-looking join must not mask the timeout.
+            assert queue.close(join_timeout=5) is True
+            assert queue.closed_clean is False
+        finally:
+            release.set()
+            jobs_module._RUNNERS.pop("_test_hang", None)
 
 
 # ----------------------------------------------------------------------
@@ -548,3 +669,301 @@ class TestClusterEndToEnd:
         assert status["status"] == "done", status
         assert (tmp_path / "bg_index" / "manifest.json").exists()
         assert listing["jobs"][0]["job"] == ticket["job"]
+        assert listing["closed_clean"] is None  # queue still open
+
+
+# ----------------------------------------------------------------------
+# Replicated shards: failover, deadlines, graceful degradation
+# ----------------------------------------------------------------------
+async def _kill_and_wait(worker) -> None:
+    """SIGKILL one worker and wait until the router has noticed."""
+    os.kill(worker.pid, signal.SIGKILL)
+    for _ in range(200):
+        if not worker.alive:
+            return
+        await asyncio.sleep(0.02)
+    raise AssertionError("worker did not die")
+
+
+def _stop_forever(worker) -> None:
+    """Mark a worker stopping (no respawn) and SIGKILL it."""
+    worker._stopping = True
+    os.kill(worker.pid, signal.SIGKILL)
+
+
+class TestReplicatedCluster:
+    def test_replica_sets_and_flat_workers(self, v3_path):
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, n_replicas=2, ping_interval=30
+            )
+            await router.start()
+            try:
+                health = await router.process_request({"op": "health"})
+            finally:
+                await router.drain()
+            return router, health
+
+        router, health = _run(run())
+        assert len(router.shards) == 2
+        assert [len(s.replicas) for s in router.shards] == [2, 2]
+        # Flat view stays shard-major for back-compat and placement.
+        assert [(w.shard_index, w.replica_index) for w in router.workers] == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+        assert router.replica_slots == ((0, 1), (2, 3))
+        snapshot = health["health"]
+        assert snapshot["n_replicas"] == 2
+        assert len(snapshot["shards"]) == 4
+        assert all(entry["breaker"]["state"] == "closed"
+                   for entry in snapshot["shards"])
+
+    def test_kill_one_replica_of_every_shard_bit_identity(
+        self, v3_path, single_service
+    ):
+        """The acceptance scenario: SIGKILL a replica per shard mid-run;
+        the mixed workload sees zero errors and bit-identical results."""
+        lengths = single_service.index.rspace.lengths
+        requests = _requests(lengths)
+        expected = [
+            json.dumps(respond(single_service, dict(request)), sort_keys=True)
+            for request in requests
+        ]
+
+        async def run():
+            router = ClusterRouter(
+                v3_path,
+                n_shards=2,
+                n_replicas=2,
+                ping_interval=30,
+                # Slow respawn so the killed replicas stay down while
+                # the battery runs: failover, not restart, must answer.
+                respawn_backoff=30.0,
+            )
+            await router.start()
+            try:
+                warm = [
+                    json.dumps(
+                        await router.process_request(dict(request)),
+                        sort_keys=True,
+                    )
+                    for request in requests
+                ]
+                for replica_set in router.shards:
+                    await _kill_and_wait(replica_set.replicas[0])
+                after = [
+                    json.dumps(
+                        await router.process_request(dict(request)),
+                        sort_keys=True,
+                    )
+                    for request in requests
+                ]
+                metrics = await router.process_request({"op": "metrics"})
+                health = await router.process_request({"op": "health"})
+            finally:
+                await router.drain()
+            return warm, after, metrics, health
+
+        warm, after, metrics, health = _run(run())
+        assert warm == expected
+        assert after == expected  # bit-identical across replica failover
+        snapshot = metrics["metrics"]
+        assert snapshot["failovers"] > 0
+        assert snapshot["worker_restarts"] >= 2
+        # Dead replicas surface as degraded, not unavailable: every
+        # shard still has a live replica answering.
+        assert health["health"]["status"] == "degraded"
+
+    def test_kill_replica_mid_scatter_client_sees_success(
+        self, v3_path, single_service
+    ):
+        probe = {"op": "query", "values": [0.4] * 10, "id": "mid"}
+        expected = json.dumps(
+            respond(single_service, dict(probe)), sort_keys=True
+        )
+
+        async def run():
+            router = ClusterRouter(
+                v3_path,
+                n_shards=2,
+                n_replicas=2,
+                ping_interval=30,
+                replica_timeout_ms=60_000.0,
+                respawn_backoff=30.0,
+            )
+            await router.start()
+            try:
+                # Hold replica 0 of shard 0 busy via the direct path,
+                # then kill it mid-request: the scatter in flight on it
+                # must fail over to replica 1 invisibly.
+                sleeper = asyncio.create_task(
+                    router.process_request(
+                        {"op": "shard_sleep", "shard": 0, "seconds": 60}
+                    )
+                )
+                await asyncio.sleep(0.3)
+                inflight = asyncio.create_task(
+                    router.process_request(dict(probe))
+                )
+                await asyncio.sleep(0.1)
+                await _kill_and_wait(router.shards[0].replicas[0])
+                answered = await inflight
+                stranded = await sleeper
+                failovers = router.metrics.failovers
+            finally:
+                await router.drain()
+            return answered, stranded, failovers
+
+        answered, stranded, failovers = _run(run())
+        assert json.dumps(answered, sort_keys=True) == expected
+        # The direct (no-retry) sleep op reports the death honestly.
+        assert stranded["ok"] is False
+        assert stranded["code"] == "shard_unavailable"
+        assert failovers >= 1
+
+    def test_deadline_propagates_shrunken_budget(self, v3_path):
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, n_replicas=1, ping_interval=30
+            )
+            await router.start()
+            try:
+                response = await router.process_request(
+                    {
+                        "op": "shard_sleep",
+                        "shard": 0,
+                        "seconds": 0,
+                        "timeout_ms": 5_000,
+                        "id": "b",
+                    }
+                )
+            finally:
+                await router.drain()
+            return response
+
+        response = _run(run())
+        assert response["ok"] is True
+        # Child budget <= parent budget, and some of it was spent
+        # before the subrequest went out.
+        assert 0 < response["budget_ms"] <= 5_000
+
+    def test_deadline_exceeded_is_structured(self, v3_path):
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, n_replicas=1, ping_interval=30
+            )
+            await router.start()
+            try:
+                response = await router.process_request(
+                    {
+                        "op": "shard_sleep",
+                        "shard": 0,
+                        "seconds": 2,
+                        "timeout_ms": 300,
+                        "id": "d",
+                    }
+                )
+                deadline_count = router.metrics.to_dict()[
+                    "deadline_exceeded"
+                ]
+            finally:
+                await router.drain()
+            return response, deadline_count
+
+        response, deadline_count = _run(run())
+        assert response["ok"] is False
+        assert response["code"] == "deadline_exceeded"
+        assert response["id"] == "d"
+        assert deadline_count == 1
+
+    def test_timeout_ms_validation_matches_single_process(
+        self, v3_path, single_service
+    ):
+        bad = {"op": "query", "values": [0.4] * 10, "timeout_ms": 0, "id": "t"}
+        expected = respond(single_service, dict(bad))
+        assert expected["ok"] is False
+
+        async def run():
+            router = ClusterRouter(v3_path, n_shards=2, ping_interval=30)
+            await router.start()
+            try:
+                return await router.process_request(dict(bad))
+            finally:
+                await router.drain()
+
+        response = _run(run())
+        assert response["error"] == expected["error"]
+        assert response["id"] == "t"
+
+    def test_allow_partial_degrades_instead_of_failing(
+        self, v3_path, single_service
+    ):
+        values = [0.4] * 12
+
+        async def run():
+            router = ClusterRouter(
+                v3_path, n_shards=2, n_replicas=1, ping_interval=30
+            )
+            await router.start()
+            try:
+                _stop_forever(router.shards[1].replicas[0])
+                for _ in range(200):
+                    if not router.shards[1].replicas[0].alive:
+                        break
+                    await asyncio.sleep(0.02)
+                strict = await router.process_request(
+                    {"op": "within", "values": values, "st": 0.6, "id": "s"}
+                )
+                partial = await router.process_request(
+                    {
+                        "op": "within",
+                        "values": values,
+                        "st": 0.6,
+                        "allow_partial": True,
+                        "id": "p",
+                    }
+                )
+                query_partial = await router.process_request(
+                    {
+                        "op": "query",
+                        "values": values[:11],
+                        "allow_partial": True,
+                        "id": "q",
+                    }
+                )
+                degraded_count = router.metrics.to_dict()[
+                    "degraded_responses"
+                ]
+                health = await router.process_request({"op": "health"})
+            finally:
+                await router.drain()
+            return strict, partial, query_partial, degraded_count, health
+
+        strict, partial, query_partial, degraded_count, health = _run(run())
+        assert strict["ok"] is False
+        assert strict["code"] == "shard_unavailable"
+
+        assert partial["ok"] is True
+        assert partial["degraded"] is True
+        assert partial["missing_shards"] == [1]
+        # The surviving matches are exactly the single-process answer
+        # restricted to the live shard's lengths.
+        live_lengths = sorted(
+            set(single_service.index.rspace.lengths)
+            - set(partial["missing_lengths"])
+        )
+        expected = handle_request(
+            single_service,
+            {"op": "within", "values": values, "st": 0.6,
+             "lengths": live_lengths},
+        )
+        assert partial["matches"] == expected["matches"]
+
+        assert query_partial["ok"] is True
+        assert query_partial["degraded"] is True
+        assert query_partial["matches"]  # re-swept over live lengths
+        assert degraded_count >= 2
+        assert health["health"]["status"] == "unavailable"
